@@ -1,0 +1,38 @@
+"""Shared configuration of the benchmark harnesses.
+
+Every benchmark runs by default with *bounded* exploration budgets so that the
+whole suite finishes on a laptop in minutes; the paper-scale exhaustive runs
+are enabled by setting the environment variable ``REPRO_FULL_SCALE=1`` (the
+``pj``/``bur`` columns then still use the bounded random-depth-first search,
+exactly like the paper does).
+
+Results are printed to stdout in the layout of the paper's tables so that
+``pytest benchmarks/ --benchmark-only -s`` produces a directly comparable
+report; EXPERIMENTS.md records one such run.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+if os.path.abspath(_SRC) not in [os.path.abspath(p) for p in sys.path]:
+    sys.path.insert(0, os.path.abspath(_SRC))
+
+import pytest
+
+
+def full_scale() -> bool:
+    """True when the user asked for the unbounded, paper-scale runs."""
+    return os.environ.get("REPRO_FULL_SCALE", "0") not in ("0", "", "false")
+
+
+@pytest.fixture(scope="session")
+def radio_navigation_model():
+    from repro.casestudy import build_radio_navigation
+
+    return build_radio_navigation()
+
+
+def state_budget(default: int | None) -> int | None:
+    """Exploration budget: ``None`` (exhaustive) when REPRO_FULL_SCALE is set."""
+    return None if full_scale() else default

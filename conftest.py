@@ -1,0 +1,14 @@
+"""Pytest root configuration.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (e.g. on machines where ``pip install -e .`` is unavailable); an
+installed copy of :mod:`repro` always takes precedence because site-packages
+entries appear earlier only if the editable install placed them there.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Reproduce (a slice of) the paper's Table 1 on the in-car radio navigation system.
+
+Analyses the HandleTMC and AddressLookup requirements of the
+AddressLookup + HandleTMC combination — the rows of Table 1 for which the
+exact analysis is fast enough for an interactive run — under the po, pno and
+sp event configurations, and prints the reproduced numbers next to the
+published ones.
+
+Run with::
+
+    python examples/radio_navigation_wcrt.py            # fast subset
+    python examples/radio_navigation_wcrt.py --full     # add the heavy CV+TMC rows
+"""
+
+import argparse
+
+from repro.arch import TimedAutomataSettings, analyze_wcrt
+from repro.casestudy import TABLE1_UPPAAL_MS, build_radio_navigation, configure
+from repro.io import format_table1
+
+FAST_ROWS = [
+    ("HandleTMC (+ AddressLookup)", "TMC", "AL+TMC"),
+    ("AddressLookup (+ HandleTMC)", "ALK2V", "AL+TMC"),
+]
+HEAVY_ROWS = [
+    ("HandleTMC (+ ChangeVolume)", "TMC", "CV+TMC"),
+    ("K2A (ChangeVolume + HandleTMC)", "K2A", "CV+TMC"),
+    ("A2V (ChangeVolume + HandleTMC)", "A2V", "CV+TMC"),
+]
+CONFIGURATIONS = ["po", "pno", "sp"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="also analyse the ChangeVolume+HandleTMC rows (bounded search)")
+    parser.add_argument("--max-states", type=int, default=20_000,
+                        help="exploration budget per heavy cell (default 20000)")
+    args = parser.parse_args()
+
+    model = build_radio_navigation()
+    rows = FAST_ROWS + (HEAVY_ROWS if args.full else [])
+
+    results = {}
+    for label, requirement, combination in rows:
+        results[label] = {}
+        for configuration in CONFIGURATIONS:
+            configured = configure(model, combination, configuration)
+            heavy = combination == "CV+TMC"
+            settings = TimedAutomataSettings(max_states=args.max_states if heavy else None)
+            analysis = analyze_wcrt(configured, requirement, settings)
+            results[label][configuration] = (analysis.wcrt_ms, analysis.is_lower_bound)
+            marker = ">" if analysis.is_lower_bound else "="
+            print(f"{label:34s} {configuration:4s} WCRT {marker} {analysis.wcrt_ms:9.3f} ms   "
+                  f"({analysis.detail.statistics})")
+
+    print()
+    print(format_table1(results, CONFIGURATIONS, paper=TABLE1_UPPAAL_MS))
+    print("\nPaper values appear in brackets; the AddressLookup/HandleTMC rows are exact,")
+    print("'>' entries are lower bounds obtained with a bounded exploration budget.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 660 editable-install support.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` / ``python setup.py develop`` also work with the
+older setuptools tool-chains found on air-gapped machines.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro — timed-automata based analysis of embedded system architectures.
+
+A reproduction of Hendriks & Verhoef, *Timed Automata Based Analysis of
+Embedded System Architectures* (IPPS 2006).  The library contains
+
+* :mod:`repro.core` — a zone-based timed-automata model checker
+  (UPPAAL-style semantics, DBMs, reachability, ``sup`` queries, WCRT),
+* :mod:`repro.arch` — an architecture-level front-end that generates timed
+  automata from annotated scenarios, deployments and event models following
+  the modelling patterns of the paper,
+* :mod:`repro.casestudy` — the in-car radio navigation case study,
+* :mod:`repro.baselines` — the comparison techniques of Table 2
+  (discrete-event simulation, compositional scheduling analysis, and
+  modular performance analysis / real-time calculus),
+* :mod:`repro.io` — DOT / UPPAAL-XML export and result reporting.
+
+Quickstart
+----------
+See ``examples/quickstart.py`` for a complete walk-through, or start from
+:func:`repro.casestudy.build_radio_navigation`.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "arch", "casestudy", "baselines", "io", "util", "__version__"]

@@ -1,0 +1,81 @@
+"""Architecture-level front-end: from annotated scenarios to timed automata.
+
+This package implements the paper's modelling strategy as an automated
+generator:
+
+* :mod:`repro.arch.resources` — processors and buses with scheduling /
+  arbitration policies,
+* :mod:`repro.arch.workload` — operations, messages and scenario chains
+  (annotated sequence diagrams),
+* :mod:`repro.arch.eventmodels` — the five arrival patterns of Figs. 7–8,
+* :mod:`repro.arch.requirements` — latency requirements,
+* :mod:`repro.arch.model` — the complete architecture model,
+* :mod:`repro.arch.generator` / :mod:`repro.arch.observers` — generation of
+  the timed-automata network (Figs. 4–6, 9),
+* :mod:`repro.arch.analysis` — one-call worst-case response time analysis.
+"""
+
+from repro.arch.analysis import (
+    RequirementAnalysis,
+    TimedAutomataSettings,
+    analyze_requirements,
+    analyze_wcrt,
+)
+from repro.arch.eventmodels import (
+    Bursty,
+    EventModel,
+    Periodic,
+    PeriodicJitter,
+    PeriodicOffset,
+    Sporadic,
+)
+from repro.arch.generator import (
+    GeneratedModel,
+    GeneratorOptions,
+    build_bus_automaton,
+    build_environment_automaton,
+    build_model,
+    build_processor_automaton,
+    done_channel,
+    inject_channel,
+    queue_variable,
+)
+from repro.arch.model import ArchitectureModel
+from repro.arch.observers import build_latency_observer
+from repro.arch.requirements import LatencyRequirement
+from repro.arch.resources import (
+    BUS_FCFS_NONDETERMINISTIC,
+    BUS_FIXED_PRIORITY,
+    BUS_TDMA,
+    FIXED_PRIORITY_NONPREEMPTIVE,
+    FIXED_PRIORITY_PREEMPTIVE,
+    NONPREEMPTIVE_NONDETERMINISTIC,
+    ArbitrationPolicy,
+    Bus,
+    Processor,
+    SchedulingPolicy,
+)
+from repro.arch.timebase import MICROSECONDS, MILLISECONDS, TENTH_MILLISECONDS, TimeBase
+from repro.arch.workload import Execute, Message, Operation, Scenario, Transfer, chain
+
+__all__ = [
+    # resources
+    "Processor", "Bus", "SchedulingPolicy", "ArbitrationPolicy",
+    "NONPREEMPTIVE_NONDETERMINISTIC", "FIXED_PRIORITY_NONPREEMPTIVE",
+    "FIXED_PRIORITY_PREEMPTIVE", "BUS_FCFS_NONDETERMINISTIC",
+    "BUS_FIXED_PRIORITY", "BUS_TDMA",
+    # workload
+    "Operation", "Message", "Execute", "Transfer", "Scenario", "chain",
+    # event models
+    "EventModel", "PeriodicOffset", "Periodic", "Sporadic", "PeriodicJitter", "Bursty",
+    # requirements + model
+    "LatencyRequirement", "ArchitectureModel",
+    # time base
+    "TimeBase", "MICROSECONDS", "TENTH_MILLISECONDS", "MILLISECONDS",
+    # generation
+    "GeneratedModel", "GeneratorOptions", "build_model",
+    "build_processor_automaton", "build_bus_automaton", "build_environment_automaton",
+    "build_latency_observer", "queue_variable", "inject_channel", "done_channel",
+    # analysis
+    "TimedAutomataSettings", "RequirementAnalysis", "analyze_wcrt", "analyze_requirements",
+]

@@ -1,0 +1,378 @@
+"""Event arrival models (the environment automata of Figs. 7 and 8).
+
+Five arrival patterns are supported, matching the paper's evaluation:
+
+* :class:`PeriodicOffset` — strictly periodic with a known offset (``po``),
+* :class:`Periodic` — strictly periodic with an unknown offset (``pno``),
+* :class:`Sporadic` — only a minimal inter-arrival time is known (``sp``),
+* :class:`PeriodicJitter` — periodic with jitter ``J <= P`` (``pj``),
+* :class:`Bursty` — periodic with jitter ``J > P`` and optional minimal
+  separation ``D`` (``bur``).
+
+Every event model serves *all four* analysis techniques of the paper's
+comparison:
+
+* :meth:`EventModel.build_automaton` emits the timed-automaton template used
+  by the model checker (Figs. 7a–d and Fig. 8);
+* :meth:`EventModel.delta_min` / :meth:`EventModel.eta_plus` provide the
+  standard-event-stream view used by the SymTA/S-style busy-window analysis;
+* :meth:`EventModel.pjd` provides the (period, jitter, min-separation) triple
+  from which the MPA baseline constructs arrival curves;
+* :meth:`EventModel.sample_arrivals` draws concrete arrival traces for the
+  discrete-event simulation baseline.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.automaton import TimedAutomaton
+from repro.util.errors import ModelError
+
+__all__ = [
+    "EventModel",
+    "PeriodicOffset",
+    "Periodic",
+    "Sporadic",
+    "PeriodicJitter",
+    "Bursty",
+]
+
+
+@dataclass(frozen=True)
+class EventModel:
+    """Base class of event arrival models.
+
+    All time quantities are integers in model time units (ticks).
+    """
+
+    period: int
+
+    def __post_init__(self):
+        if self.period <= 0:
+            raise ModelError("event model period must be positive")
+
+    # -- identification ------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        """Short identifier (``po``, ``pno``, ``sp``, ``pj``, ``bur``)."""
+        raise NotImplementedError
+
+    # -- standard event stream view (SymTA/S) ----------------------------------
+    @property
+    def jitter(self) -> int:
+        return 0
+
+    @property
+    def min_separation(self) -> int:
+        """Guaranteed minimal distance between two consecutive events."""
+        return max(1, self.period - self.jitter)
+
+    def pjd(self) -> tuple[int, int, int]:
+        """(period, jitter, minimal separation) triple."""
+        return (self.period, self.jitter, self.min_separation)
+
+    def delta_min(self, n: int) -> int:
+        """Minimal time spanning *n* consecutive events (0 for n <= 1)."""
+        if n <= 1:
+            return 0
+        return max((n - 1) * self.min_separation, (n - 1) * self.period - self.jitter)
+
+    def delta_max(self, n: int) -> int:
+        """Maximal time spanning *n* consecutive events (0 for n <= 1)."""
+        if n <= 1:
+            return 0
+        return (n - 1) * self.period + self.jitter
+
+    def eta_plus(self, delta: int) -> int:
+        """Maximum number of events in any half-open window of length *delta*.
+
+        Closed form of ``max {n : delta_min(n) < delta}`` for the
+        (period, jitter, separation) streams of this module.
+        """
+        if delta <= 0:
+            return 0
+        period, jitter, separation = self.period, self.jitter, self.min_separation
+        # largest n with (n - 1) * period - jitter < delta
+        by_period = (delta + jitter - 1) // period + 1
+        if separation > 0:
+            by_separation = (delta + separation - 1) // separation
+            return int(min(by_period, by_separation))
+        return int(by_period)
+
+    def eta_minus(self, delta: int) -> int:
+        """Minimum number of events in any half-open window of length *delta*."""
+        if delta <= 0:
+            return 0
+        n = 0
+        while self.delta_max(n + 2) <= delta:
+            n += 1
+        return n
+
+    # -- timed automaton view (model checker) ------------------------------------
+    def build_automaton(self, name: str, inject_channel: str, queue_update: str) -> TimedAutomaton:
+        """Build the environment automaton.
+
+        Every event occurrence fires a broadcast on *inject_channel* and
+        applies *queue_update* (typically ``"q_<scenario>_<first step>++"``).
+        """
+        raise NotImplementedError
+
+    # -- simulation view (DES baseline) ----------------------------------------------
+    def sample_arrivals(self, rng: random.Random, horizon: int) -> list[int]:
+        """Draw one arrival trace (sorted absolute times within ``[0, horizon)``)."""
+        raise NotImplementedError
+
+    # -- helpers ------------------------------------------------------------------------
+    def _finish(self, ta: TimedAutomaton) -> TimedAutomaton:
+        return ta
+
+    def __str__(self) -> str:
+        return f"{self.kind}(P={self.period})"
+
+
+@dataclass(frozen=True)
+class PeriodicOffset(EventModel):
+    """Strictly periodic events with a known offset (Fig. 7a, ``po``)."""
+
+    offset: int = 0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.offset < 0:
+            raise ModelError("offset must be non-negative")
+
+    @property
+    def kind(self) -> str:
+        return "po"
+
+    def build_automaton(self, name: str, inject_channel: str, queue_update: str) -> TimedAutomaton:
+        ta = TimedAutomaton(name)
+        ta.add_clock("x")
+        ta.add_constant("P", self.period)
+        ta.add_constant("F", self.offset)
+        ta.add_location("L0", invariant="x <= F", initial=True)
+        ta.add_location("L1", invariant="x <= P")
+        ta.add_edge("L0", "L1", guard="x == F", sync=f"{inject_channel}!",
+                    updates=queue_update, resets="x")
+        ta.add_edge("L1", "L1", guard="x == P", sync=f"{inject_channel}!",
+                    updates=queue_update, resets="x")
+        return self._finish(ta)
+
+    def sample_arrivals(self, rng: random.Random, horizon: int) -> list[int]:
+        return list(range(self.offset, horizon, self.period))
+
+    def __str__(self) -> str:
+        return f"po(P={self.period}, F={self.offset})"
+
+
+@dataclass(frozen=True)
+class Periodic(EventModel):
+    """Strictly periodic events with an unknown offset (Fig. 7b, ``pno``)."""
+
+    @property
+    def kind(self) -> str:
+        return "pno"
+
+    def build_automaton(self, name: str, inject_channel: str, queue_update: str) -> TimedAutomaton:
+        ta = TimedAutomaton(name)
+        ta.add_clock("x")
+        ta.add_constant("P", self.period)
+        ta.add_location("L0", invariant="x <= P", initial=True)
+        ta.add_location("L1", invariant="x <= P")
+        # the first event may occur anywhere in [0, P]
+        ta.add_edge("L0", "L1", sync=f"{inject_channel}!", updates=queue_update, resets="x")
+        ta.add_edge("L1", "L1", guard="x == P", sync=f"{inject_channel}!",
+                    updates=queue_update, resets="x")
+        return self._finish(ta)
+
+    def sample_arrivals(self, rng: random.Random, horizon: int) -> list[int]:
+        offset = rng.randrange(0, self.period)
+        return list(range(offset, horizon, self.period))
+
+
+@dataclass(frozen=True)
+class Sporadic(EventModel):
+    """Sporadic events: only a lower bound on the inter-arrival time (Fig. 7c, ``sp``)."""
+
+    #: mean slack factor used when *sampling* arrivals for simulation: the
+    #: simulated inter-arrival time is ``period * (1 + Exp(burstiness))``
+    burstiness: float = 0.1
+
+    @property
+    def kind(self) -> str:
+        return "sp"
+
+    def build_automaton(self, name: str, inject_channel: str, queue_update: str) -> TimedAutomaton:
+        ta = TimedAutomaton(name)
+        ta.add_clock("x")
+        ta.add_constant("P", self.period)
+        ta.add_location("L0", initial=True)
+        ta.add_location("L1")
+        ta.add_edge("L0", "L1", sync=f"{inject_channel}!", updates=queue_update, resets="x")
+        ta.add_edge("L1", "L1", guard="x >= P", sync=f"{inject_channel}!",
+                    updates=queue_update, resets="x")
+        return self._finish(ta)
+
+    def sample_arrivals(self, rng: random.Random, horizon: int) -> list[int]:
+        arrivals: list[int] = []
+        t = rng.randrange(0, self.period)
+        while t < horizon:
+            arrivals.append(t)
+            slack = rng.expovariate(1.0 / max(self.burstiness * self.period, 1.0))
+            t += self.period + int(slack)
+        return arrivals
+
+
+@dataclass(frozen=True)
+class PeriodicJitter(EventModel):
+    """Periodic events with jitter ``J <= P`` (Fig. 7d, ``pj``)."""
+
+    jitter_: int = 0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not (0 <= self.jitter_ <= self.period):
+            raise ModelError(
+                "PeriodicJitter requires 0 <= J <= P; use Bursty for larger jitter"
+            )
+
+    @property
+    def kind(self) -> str:
+        return "pj"
+
+    @property
+    def jitter(self) -> int:
+        return self.jitter_
+
+    def build_automaton(self, name: str, inject_channel: str, queue_update: str) -> TimedAutomaton:
+        ta = TimedAutomaton(name)
+        ta.add_clock("x")
+        ta.add_constant("P", self.period)
+        ta.add_constant("J", self.jitter_)
+        # unknown phase: the first period starts anywhere within [0, P]
+        ta.add_location("L0", invariant="x <= P", initial=True)
+        # within each period the event occurs within the first J time units
+        ta.add_location("L1", invariant="x <= J")
+        ta.add_location("L2", invariant="x <= P")
+        ta.add_edge("L0", "L1", resets="x")
+        ta.add_edge("L1", "L2", sync=f"{inject_channel}!", updates=queue_update)
+        ta.add_edge("L2", "L1", guard="x >= P", resets="x")
+        return self._finish(ta)
+
+    def sample_arrivals(self, rng: random.Random, horizon: int) -> list[int]:
+        offset = rng.randrange(0, self.period)
+        arrivals = []
+        k = 0
+        while True:
+            base = offset + k * self.period
+            if base >= horizon:
+                break
+            arrivals.append(base + rng.randint(0, self.jitter_))
+            k += 1
+        return sorted(arrivals)
+
+    def __str__(self) -> str:
+        return f"pj(P={self.period}, J={self.jitter_})"
+
+
+@dataclass(frozen=True)
+class Bursty(EventModel):
+    """Bursty events: jitter larger than the period (Fig. 8, ``bur``).
+
+    ``jitter_`` may exceed the period; ``min_separation_`` (the paper's ``D``)
+    bounds how closely two events may follow each other inside a burst
+    (``0`` means arbitrarily close).
+    """
+
+    jitter_: int = 0
+    min_separation_: int = 0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.jitter_ < 0 or self.min_separation_ < 0:
+            raise ModelError("jitter and minimal separation must be non-negative")
+
+    @property
+    def kind(self) -> str:
+        return "bur"
+
+    @property
+    def jitter(self) -> int:
+        return self.jitter_
+
+    @property
+    def min_separation(self) -> int:
+        # 0 means events inside a burst may coincide
+        return self.min_separation_
+
+    def pjd(self) -> tuple[int, int, int]:
+        return (self.period, self.jitter_, self.min_separation_)
+
+    def delta_min(self, n: int) -> int:
+        if n <= 1:
+            return 0
+        separation = self.min_separation_
+        return max((n - 1) * separation, (n - 1) * self.period - self.jitter_)
+
+    @property
+    def _max_backlog(self) -> int:
+        """Maximum number of events that can be pending at once."""
+        return int(math.ceil(self.jitter_ / self.period)) + 1
+
+    def build_automaton(self, name: str, inject_channel: str, queue_update: str) -> TimedAutomaton:
+        ta = TimedAutomaton(name)
+        ta.add_clock("x")
+        ta.add_clock("y")
+        use_separation = self.min_separation_ > 0
+        if use_separation:
+            ta.add_clock("z")
+        ta.add_constant("P", self.period)
+        ta.add_constant("J", self.jitter_)
+        if use_separation:
+            ta.add_constant("D", self.min_separation_)
+        backlog = self._max_backlog
+        ta.add_variable("pending", 0, 0, backlog + 1)
+        ta.add_variable("snd", 0, 0, backlog + 1)
+
+        # an initial committed location releases the first event credit
+        ta.add_location("init", committed=True, initial=True)
+        ta.add_location("first", invariant="x <= P && y <= J")
+        ta.add_location("steady", invariant="x <= P && y <= P")
+        ta.add_edge("init", "first", updates="pending++")
+
+        send_guard = "z > D && pending > 0" if use_separation else "pending > 0"
+        send_updates = f"pending--, snd++, {queue_update}"
+        send_resets = "z" if use_separation else None
+
+        for location in ("first", "steady"):
+            ta.add_edge(location, location, guard="x == P", updates="pending++", resets="x")
+            ta.add_edge(location, location, guard=send_guard, sync=f"{inject_channel}!",
+                        updates=send_updates, resets=send_resets)
+        ta.add_edge("first", "steady", guard="y == J && snd > 0", updates="snd--", resets="y")
+        ta.add_edge("steady", "steady", guard="y == P && snd > 0", updates="snd--", resets="y")
+        return self._finish(ta)
+
+    def sample_arrivals(self, rng: random.Random, horizon: int) -> list[int]:
+        offset = rng.randrange(0, self.period)
+        arrivals = []
+        k = 0
+        while True:
+            base = offset + k * self.period
+            if base >= horizon:
+                break
+            arrivals.append(base + rng.randint(0, self.jitter_))
+            k += 1
+        arrivals.sort()
+        # enforce the minimal separation inside bursts
+        separation = self.min_separation_
+        if separation > 0:
+            for i in range(1, len(arrivals)):
+                arrivals[i] = max(arrivals[i], arrivals[i - 1] + separation)
+        return arrivals
+
+    def __str__(self) -> str:
+        return f"bur(P={self.period}, J={self.jitter_}, D={self.min_separation_})"

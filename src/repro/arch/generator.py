@@ -1,0 +1,553 @@
+"""Generation of timed-automata networks from architecture models.
+
+This module is the reproduction of the paper's central claim: the modelling
+strategy of Section 3 — hardware automata (Figs. 4–5), communication
+automata (Fig. 6), environment automata (Figs. 7–8) and measuring observers
+(Fig. 9) — is systematic enough to be automated.  Given an
+:class:`~repro.arch.model.ArchitectureModel` and (optionally) one latency
+requirement to measure, :func:`build_model` produces a ready-to-analyse
+:class:`~repro.core.network.Network`.
+
+Naming conventions of the generated artefacts (all derived from scenario and
+step names):
+
+=====================  =====================================================
+entity                 name
+=====================  =====================================================
+queue counter          ``q_<scenario>_<step>``   (global variable)
+urgent channel         ``hurry``                  (urgent broadcast)
+event injection        ``inject_<scenario>``      (broadcast)
+step completion        ``done_<scenario>_<step>`` (broadcast, only generated
+                                                   when an observer needs it)
+processor automaton    instance named after the processor
+bus automaton          instance named after the bus
+environment automaton  ``env_<scenario>``
+observer automaton     ``obs``
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.model import ArchitectureModel
+from repro.arch.observers import (
+    OBSERVER_CLOCK,
+    OBSERVER_SEEN_LOCATION,
+    build_latency_observer,
+)
+from repro.arch.requirements import LatencyRequirement
+from repro.arch.resources import Bus, Processor
+from repro.arch.workload import Execute, Scenario, Step, Transfer
+from repro.core.automaton import TimedAutomaton
+from repro.core.network import CompiledNetwork, Network
+from repro.core.properties import LocationProp, StateFormula
+from repro.util.errors import ModelError
+
+__all__ = [
+    "GeneratedModel",
+    "GeneratorOptions",
+    "build_model",
+    "build_processor_automaton",
+    "build_bus_automaton",
+    "build_environment_automaton",
+    "queue_variable",
+    "inject_channel",
+    "done_channel",
+]
+
+#: name of the urgent broadcast channel that enforces greedy behaviour
+HURRY = "hurry"
+#: instance name of the measuring observer
+OBSERVER_INSTANCE = "obs"
+
+
+def queue_variable(scenario: str, step: str) -> str:
+    """Global counter of pending activations of a step."""
+    return f"q_{scenario}_{step}"
+
+
+def inject_channel(scenario: str) -> str:
+    """Broadcast channel fired when the scenario's triggering event arrives."""
+    return f"inject_{scenario}"
+
+
+def done_channel(scenario: str, step: str) -> str:
+    """Broadcast channel fired when the given step completes."""
+    return f"done_{scenario}_{step}"
+
+
+@dataclass
+class GeneratorOptions:
+    """Tunables of the generated network."""
+
+    #: domain upper bound of every queue counter
+    queue_capacity: int = 16
+    #: domain upper bound of the observer's in-flight counters
+    max_in_flight: int = 8
+    #: multiplier used to bound the preemption-accounting variable ``D``
+    #: (Fig. 5): its domain is ``busy_window_factor`` times the low-priority
+    #: execution time plus the accumulated high-priority work in that window
+    busy_window_factor: int = 4
+
+
+@dataclass
+class GeneratedModel:
+    """The result of :func:`build_model`."""
+
+    network: Network
+    model: ArchitectureModel
+    requirement: LatencyRequirement | None
+    observer_instance: str | None
+    #: qualified observer clock name (``"obs.y"``), when an observer exists
+    observer_clock: str | None
+    #: formula identifying measurement-complete states (``obs.seen``)
+    observer_condition: StateFormula | None
+    #: queue counter names per (scenario, step)
+    queues: dict[tuple[str, str], str] = field(default_factory=dict)
+    _compiled: CompiledNetwork | None = field(default=None, repr=False)
+
+    def compile(self) -> CompiledNetwork:
+        """Compile (and cache) the network."""
+        if self._compiled is None:
+            self._compiled = self.network.compile()
+        return self._compiled
+
+
+# ---------------------------------------------------------------------------
+# Helper queries over the architecture
+# ---------------------------------------------------------------------------
+
+def _steps_on(model: ArchitectureModel, resource: str) -> list[tuple[Scenario, Step]]:
+    return model.steps_on_resource(resource)
+
+
+def _higher_priority_steps(
+    model: ArchitectureModel, resource: str, priority: int
+) -> list[tuple[Scenario, Step]]:
+    return [
+        (scenario, step)
+        for scenario, step in _steps_on(model, resource)
+        if scenario.priority < priority
+    ]
+
+
+def _next_step(scenario: Scenario, step: Step) -> Step | None:
+    index = scenario.step_index(step.name)
+    if index + 1 < len(scenario.steps):
+        return scenario.steps[index + 1]
+    return None
+
+
+def _completion_actions(
+    scenario: Scenario, step: Step, signals: set[tuple[str, str]]
+) -> tuple[str | None, str | None]:
+    """(update string, sync string) performed when *step* completes."""
+    updates = []
+    next_step = _next_step(scenario, step)
+    if next_step is not None:
+        updates.append(f"{queue_variable(scenario.name, next_step.name)}++")
+    sync = None
+    if (scenario.name, step.name) in signals:
+        sync = f"{done_channel(scenario.name, step.name)}!"
+    return (", ".join(updates) or None, sync)
+
+
+def _preemption_bound(
+    max_low: int,
+    high_steps: list[tuple[Scenario, Step]],
+    durations: dict[tuple[str, str], int],
+    options: GeneratorOptions,
+) -> int:
+    """Busy-window bound on the Fig. 5 preemption-accounting variable ``D``.
+
+    ``D`` holds the low-priority execution time plus every preemption served
+    while the low-priority operation is on the processor, so it is bounded by
+    the level-2 busy window ``w = C_lo + Σ_h η⁺_h(w)·C_h``.  The fixed point
+    is computed iteratively; if the higher-priority load alone saturates the
+    processor the iteration would diverge, which the paper notes makes model
+    checking impossible — in that case we stop at ``busy_window_factor`` times
+    the divergence threshold and let the run-time range check report the
+    unboundedness.
+    """
+    window = max_low
+    cap = max(options.busy_window_factor, 2) * max_low * 64
+    for _ in range(1024):
+        demand = max_low + sum(
+            scenario.event_model.eta_plus(window) * durations[(scenario.name, step.name)]
+            for scenario, step in high_steps
+        )
+        if demand == window:
+            return window + 1
+        window = demand
+        if window > cap:
+            break
+    return cap + 1
+
+
+# ---------------------------------------------------------------------------
+# Hardware (processor) automata — Figs. 4 and 5
+# ---------------------------------------------------------------------------
+
+def build_processor_automaton(
+    model: ArchitectureModel,
+    processor: Processor,
+    signals: set[tuple[str, str]] | None = None,
+    options: GeneratorOptions | None = None,
+) -> TimedAutomaton:
+    """Build the automaton of one processor.
+
+    ``signals`` is the set of (scenario, step) pairs whose completion must be
+    announced on a ``done_*`` broadcast channel (because an observer listens
+    to it).
+    """
+    signals = signals or set()
+    options = options or GeneratorOptions()
+    steps = [
+        (scenario, step)
+        for scenario, step in _steps_on(model, processor.name)
+        if isinstance(step, Execute)
+    ]
+    if not steps:
+        raise ModelError(f"processor {processor.name!r} has no operations mapped onto it")
+
+    ta = TimedAutomaton(processor.name)
+    ta.add_clock("x")
+    ta.add_location("idle", initial=True)
+
+    policy = processor.policy
+    priorities = sorted({scenario.priority for scenario, _ in steps})
+    preemptive = policy.preemptive and len(priorities) == 2
+    if policy.preemptive and len(priorities) > 2:
+        raise ModelError(
+            f"preemptive processor {processor.name!r} with more than two priority "
+            "levels is not supported by the Fig. 5 pattern"
+        )
+    low_priority = priorities[-1] if preemptive else None
+
+    # execution-time constants
+    durations: dict[tuple[str, str], int] = {}
+    for scenario, step in steps:
+        ticks = model.step_duration(step)
+        durations[(scenario.name, step.name)] = ticks
+        ta.add_constant(f"ET_{scenario.name}_{step.name}", ticks)
+
+    if preemptive:
+        high_steps = [(s, st) for s, st in steps if s.priority != low_priority]
+        low_steps = [(s, st) for s, st in steps if s.priority == low_priority]
+        max_low = max(durations[(s.name, st.name)] for s, st in low_steps)
+        d_max = _preemption_bound(max_low, high_steps, durations, options)
+        ta.add_variable("D", 0, 0, d_max)
+        ta.add_clock("y")
+
+    for scenario, step in steps:
+        duration_name = f"ET_{scenario.name}_{step.name}"
+        queue = queue_variable(scenario.name, step.name)
+        exec_location = f"exec_{scenario.name}_{step.name}"
+        completion_updates, completion_sync = _completion_actions(scenario, step, signals)
+
+        is_low = preemptive and scenario.priority == low_priority
+        if is_low:
+            ta.add_location(exec_location, invariant="x <= D")
+        else:
+            ta.add_location(exec_location, invariant=f"x <= {duration_name}")
+
+        # dispatch guard: queue non-empty, plus priority guards
+        guard_parts = [f"{queue} > 0"]
+        if policy.priority_based:
+            for other_scenario, other_step in _higher_priority_steps(
+                model, processor.name, scenario.priority
+            ):
+                if isinstance(other_step, Execute):
+                    guard_parts.append(
+                        f"{queue_variable(other_scenario.name, other_step.name)} == 0"
+                    )
+        dispatch_updates = f"{queue}--"
+        if is_low:
+            dispatch_updates += f", D = {duration_name}"
+        ta.add_edge(
+            "idle", exec_location,
+            guard=" && ".join(guard_parts),
+            sync=f"{HURRY}!",
+            updates=dispatch_updates,
+            resets="x",
+        )
+
+        # completion
+        completion_guard = "x == D" if is_low else f"x == {duration_name}"
+        completion_update = completion_updates
+        if is_low:
+            completion_update = "D = 0" + (f", {completion_updates}" if completion_updates else "")
+        ta.add_edge(
+            exec_location, "idle",
+            guard=completion_guard,
+            sync=completion_sync,
+            updates=completion_update,
+            resets=None,
+        )
+
+        # preemption sub-locations (Fig. 5): a pending higher-priority
+        # operation interrupts the running low-priority one
+        if is_low:
+            for high_scenario, high_step in high_steps:
+                high_duration_name = f"ET_{high_scenario.name}_{high_step.name}"
+                high_queue = queue_variable(high_scenario.name, high_step.name)
+                pre_location = f"pre_{scenario.name}_{step.name}_{high_scenario.name}_{high_step.name}"
+                ta.add_location(pre_location, invariant=f"y <= {high_duration_name}")
+                ta.add_edge(
+                    exec_location, pre_location,
+                    guard=f"{high_queue} > 0",
+                    sync=f"{HURRY}!",
+                    updates=f"{high_queue}--",
+                    resets="y",
+                )
+                high_updates, high_sync = _completion_actions(high_scenario, high_step, signals)
+                back_updates = f"D = D + {high_duration_name}"
+                if high_updates:
+                    back_updates += f", {high_updates}"
+                ta.add_edge(
+                    pre_location, exec_location,
+                    guard=f"y == {high_duration_name}",
+                    sync=high_sync,
+                    updates=back_updates,
+                )
+    return ta
+
+
+# ---------------------------------------------------------------------------
+# Communication (bus) automata — Fig. 6 and the Section 3.2 variants
+# ---------------------------------------------------------------------------
+
+def build_bus_automaton(
+    model: ArchitectureModel,
+    bus: Bus,
+    signals: set[tuple[str, str]] | None = None,
+    options: GeneratorOptions | None = None,
+) -> TimedAutomaton:
+    """Build the automaton of one communication link."""
+    signals = signals or set()
+    options = options or GeneratorOptions()
+    steps = [
+        (scenario, step)
+        for scenario, step in _steps_on(model, bus.name)
+        if isinstance(step, Transfer)
+    ]
+    if not steps:
+        raise ModelError(f"bus {bus.name!r} has no messages mapped onto it")
+
+    if bus.policy.time_triggered:
+        return _build_tdma_bus(model, bus, steps, signals)
+
+    ta = TimedAutomaton(bus.name)
+    ta.add_clock("x")
+    ta.add_location("idle", initial=True)
+
+    for scenario, step in steps:
+        ticks = model.step_duration(step)
+        duration_name = f"TT_{scenario.name}_{step.name}"
+        ta.add_constant(duration_name, ticks)
+        queue = queue_variable(scenario.name, step.name)
+        send_location = f"send_{scenario.name}_{step.name}"
+        ta.add_location(send_location, invariant=f"x <= {duration_name}")
+
+        guard_parts = [f"{queue} > 0"]
+        if bus.policy.priority_based:
+            for other_scenario, other_step in _higher_priority_steps(
+                model, bus.name, scenario.priority
+            ):
+                if isinstance(other_step, Transfer):
+                    guard_parts.append(
+                        f"{queue_variable(other_scenario.name, other_step.name)} == 0"
+                    )
+        ta.add_edge(
+            "idle", send_location,
+            guard=" && ".join(guard_parts),
+            sync=f"{HURRY}!",
+            updates=f"{queue}--",
+            resets="x",
+        )
+        completion_updates, completion_sync = _completion_actions(scenario, step, signals)
+        ta.add_edge(
+            send_location, "idle",
+            guard=f"x == {duration_name}",
+            sync=completion_sync,
+            updates=completion_updates,
+        )
+    return ta
+
+
+def _build_tdma_bus(
+    model: ArchitectureModel,
+    bus: Bus,
+    steps: list[tuple[Scenario, Step]],
+    signals: set[tuple[str, str]],
+) -> TimedAutomaton:
+    """TDMA arbitration: one fixed slot per message, in ``slot_order``.
+
+    A message is transmitted at the start of its own slot if it is pending at
+    that moment; transmissions never cross slot boundaries (the message
+    transfer time must fit into one slot).
+    """
+    by_name = {step.name: (scenario, step) for scenario, step in steps}
+    order = bus.slot_order or tuple(step.name for _scenario, step in steps)
+    unknown = [name for name in order if name not in by_name]
+    if unknown:
+        raise ModelError(f"TDMA slot_order references unknown messages {unknown} on bus {bus.name!r}")
+    missing = [name for name in by_name if name not in order]
+    if missing:
+        raise ModelError(f"TDMA slot_order on bus {bus.name!r} misses messages {missing}")
+    slot = int(bus.slot_ticks or 0)
+
+    ta = TimedAutomaton(bus.name)
+    ta.add_clock("x")
+    ta.add_constant("SLOT", slot)
+
+    for index, name in enumerate(order):
+        scenario, step = by_name[name]
+        ticks = model.step_duration(step)
+        if ticks > slot:
+            raise ModelError(
+                f"message {name!r} needs {ticks} ticks but the TDMA slot is only {slot}"
+            )
+        ta.add_constant(f"TT_{scenario.name}_{step.name}", ticks)
+
+    # declare all slot locations first: the wrap-around edge of the last slot
+    # targets the first slot's begin location
+    for index, name in enumerate(order):
+        scenario, step = by_name[name]
+        duration_name = f"TT_{scenario.name}_{step.name}"
+        ta.add_location(f"begin_{index}", committed=True, initial=(index == 0))
+        ta.add_location(f"sending_{index}", invariant=f"x <= {duration_name}")
+        ta.add_location(f"idle_{index}", invariant="x <= SLOT")
+
+    for index, name in enumerate(order):
+        scenario, step = by_name[name]
+        queue = queue_variable(scenario.name, step.name)
+        duration_name = f"TT_{scenario.name}_{step.name}"
+        begin, sending, idle = f"begin_{index}", f"sending_{index}", f"idle_{index}"
+        ta.add_edge(begin, sending, guard=f"{queue} > 0", updates=f"{queue}--")
+        ta.add_edge(begin, idle, guard=f"{queue} == 0")
+        completion_updates, completion_sync = _completion_actions(scenario, step, signals)
+        ta.add_edge(sending, idle, guard=f"x == {duration_name}",
+                    sync=completion_sync, updates=completion_updates)
+        next_begin = f"begin_{(index + 1) % len(order)}"
+        ta.add_edge(idle, next_begin, guard="x == SLOT", resets="x")
+    return ta
+
+
+# ---------------------------------------------------------------------------
+# Environment automata — Figs. 7 and 8
+# ---------------------------------------------------------------------------
+
+def build_environment_automaton(scenario: Scenario) -> TimedAutomaton:
+    """Build the environment (event generator) automaton of one scenario."""
+    first = scenario.steps[0]
+    return scenario.event_model.build_automaton(
+        name=f"env_{scenario.name}",
+        inject_channel=inject_channel(scenario.name),
+        queue_update=f"{queue_variable(scenario.name, first.name)}++",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Whole-system generation
+# ---------------------------------------------------------------------------
+
+def _sanitize_name(name: str) -> str:
+    """Turn an arbitrary model name into a legal network identifier."""
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name).strip("_")
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = f"system_{cleaned}" if cleaned else "system"
+    return cleaned
+
+
+def build_model(
+    model: ArchitectureModel,
+    requirement: str | LatencyRequirement | None = None,
+    options: GeneratorOptions | None = None,
+) -> GeneratedModel:
+    """Generate the network of timed automata for *model*.
+
+    When *requirement* is given, a measuring observer for that requirement is
+    added and the returned :class:`GeneratedModel` carries the observer clock
+    and the ``obs.seen`` condition needed by
+    :func:`repro.core.wcrt.wcrt_sup` / :func:`~repro.core.wcrt.wcrt_binary_search`.
+    """
+    options = options or GeneratorOptions()
+    model.validate()
+
+    resolved_requirement: LatencyRequirement | None
+    if requirement is None:
+        resolved_requirement = None
+    elif isinstance(requirement, LatencyRequirement):
+        resolved_requirement = requirement
+    else:
+        resolved_requirement = model.requirement(requirement)
+
+    network = Network(_sanitize_name(model.name))
+    network.add_broadcast_channel(HURRY, urgent=True)
+
+    # queue counters and injection channels
+    queues: dict[tuple[str, str], str] = {}
+    for scenario in model.scenarios.values():
+        network.add_broadcast_channel(inject_channel(scenario.name))
+        for step in scenario.steps:
+            variable = queue_variable(scenario.name, step.name)
+            queues[(scenario.name, step.name)] = variable
+            network.add_variable(variable, 0, 0, options.queue_capacity)
+
+    # observer wiring
+    signals: set[tuple[str, str]] = set()
+    observer_clock = None
+    observer_condition = None
+    observer_instance = None
+    if resolved_requirement is not None:
+        scenario = model.scenario(resolved_requirement.scenario)
+        start_index, end_index = resolved_requirement.resolve(scenario)
+        end_step = scenario.steps[end_index]
+        signals.add((scenario.name, end_step.name))
+        end_chan = done_channel(scenario.name, end_step.name)
+        if start_index is None:
+            start_chan = inject_channel(scenario.name)
+        else:
+            start_step = scenario.steps[start_index]
+            signals.add((scenario.name, start_step.name))
+            start_chan = done_channel(scenario.name, start_step.name)
+
+        for scenario_name, step_name in signals:
+            network.add_broadcast_channel(done_channel(scenario_name, step_name))
+
+        observer = build_latency_observer(
+            "Observer", start_chan, end_chan, max_in_flight=options.max_in_flight
+        )
+        observer_instance = OBSERVER_INSTANCE
+        observer_clock = f"{OBSERVER_INSTANCE}.{OBSERVER_CLOCK}"
+        observer_condition = LocationProp(OBSERVER_INSTANCE, OBSERVER_SEEN_LOCATION)
+
+    # resource automata
+    for processor in model.processors.values():
+        if any(isinstance(step, Execute) for _s, step in _steps_on(model, processor.name)):
+            network.add_instance(
+                build_processor_automaton(model, processor, signals, options), processor.name
+            )
+    for bus in model.buses.values():
+        if any(isinstance(step, Transfer) for _s, step in _steps_on(model, bus.name)):
+            network.add_instance(build_bus_automaton(model, bus, signals, options), bus.name)
+
+    # environment automata
+    for scenario in model.scenarios.values():
+        network.add_instance(build_environment_automaton(scenario), f"env_{scenario.name}")
+
+    # observer instance last (so committed 'seen' interleaves after the work)
+    if resolved_requirement is not None:
+        network.add_instance(observer, OBSERVER_INSTANCE)
+
+    return GeneratedModel(
+        network=network,
+        model=model,
+        requirement=resolved_requirement,
+        observer_instance=observer_instance,
+        observer_clock=observer_clock,
+        observer_condition=observer_condition,
+        queues=queues,
+    )

@@ -1,0 +1,246 @@
+"""The architecture model: resources + scenarios + requirements.
+
+An :class:`ArchitectureModel` is the complete analysable description of an
+embedded system design in the style of the paper's case study: a deployment
+of processors and buses (Fig. 1), a set of concurrently running scenarios
+(the annotated sequence diagrams of Figs. 2–3) and a set of timeliness
+requirements.  It is the single input shared by all four analysis techniques
+(timed automata, discrete-event simulation, busy-window scheduling analysis,
+and real-time calculus), which guarantees that every technique analyses the
+same system — the paper notes that ensuring identical semantics across tools
+was the key difficulty of its comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping
+
+from repro.arch.eventmodels import EventModel
+from repro.arch.requirements import LatencyRequirement
+from repro.arch.resources import Bus, Processor
+from repro.arch.timebase import MICROSECONDS, TimeBase
+from repro.arch.workload import Execute, Scenario, Step, Transfer
+from repro.util.errors import ModelError
+
+__all__ = ["ArchitectureModel"]
+
+
+@dataclass
+class ArchitectureModel:
+    """A complete, analysable embedded-system architecture."""
+
+    name: str
+    processors: dict[str, Processor] = field(default_factory=dict)
+    buses: dict[str, Bus] = field(default_factory=dict)
+    scenarios: dict[str, Scenario] = field(default_factory=dict)
+    requirements: dict[str, LatencyRequirement] = field(default_factory=dict)
+    timebase: TimeBase = MICROSECONDS
+
+    # -- construction -----------------------------------------------------------
+    def add_processor(self, processor: Processor) -> Processor:
+        if processor.name in self.processors or processor.name in self.buses:
+            raise ModelError(f"resource {processor.name!r} already exists")
+        self.processors[processor.name] = processor
+        return processor
+
+    def add_bus(self, bus: Bus) -> Bus:
+        if bus.name in self.buses or bus.name in self.processors:
+            raise ModelError(f"resource {bus.name!r} already exists")
+        self.buses[bus.name] = bus
+        return bus
+
+    def add_scenario(self, scenario: Scenario) -> Scenario:
+        if scenario.name in self.scenarios:
+            raise ModelError(f"scenario {scenario.name!r} already exists")
+        for step in scenario.steps:
+            if isinstance(step, Execute) and step.processor not in self.processors:
+                raise ModelError(
+                    f"scenario {scenario.name!r}: step {step.name!r} runs on unknown "
+                    f"processor {step.processor!r}"
+                )
+            if isinstance(step, Transfer) and step.bus not in self.buses:
+                raise ModelError(
+                    f"scenario {scenario.name!r}: step {step.name!r} uses unknown "
+                    f"bus {step.bus!r}"
+                )
+        self.scenarios[scenario.name] = scenario
+        return scenario
+
+    def add_requirement(self, requirement: LatencyRequirement) -> LatencyRequirement:
+        if requirement.name in self.requirements:
+            raise ModelError(f"requirement {requirement.name!r} already exists")
+        if requirement.scenario not in self.scenarios:
+            raise ModelError(
+                f"requirement {requirement.name!r} refers to unknown scenario "
+                f"{requirement.scenario!r}"
+            )
+        requirement.resolve(self.scenarios[requirement.scenario])  # validates step names
+        self.requirements[requirement.name] = requirement
+        return requirement
+
+    # -- derived quantities ---------------------------------------------------------
+    def step_duration(self, step: Step) -> int:
+        """Worst-case duration of one step in model time units."""
+        if isinstance(step, Execute):
+            processor = self.processors[step.processor]
+            return self.timebase.execution_ticks(step.operation.instructions, processor.mips)
+        bus = self.buses[step.bus]
+        return self.timebase.transfer_ticks(step.message.size_bytes, bus.kbps)
+
+    def chain_duration(self, scenario_name: str) -> int:
+        """Sum of the step durations of a scenario (its latency in isolation)."""
+        scenario = self.scenario(scenario_name)
+        return sum(self.step_duration(step) for step in scenario.steps)
+
+    def resource_of(self, step: Step) -> "Processor | Bus":
+        if isinstance(step, Execute):
+            return self.processors[step.processor]
+        return self.buses[step.bus]
+
+    def steps_on_resource(self, resource: str) -> list[tuple[Scenario, Step]]:
+        """All (scenario, step) pairs mapped onto the given resource."""
+        out: list[tuple[Scenario, Step]] = []
+        for scenario in self.scenarios.values():
+            for step in scenario.steps:
+                if step.resource == resource:
+                    out.append((scenario, step))
+        return out
+
+    def utilisation(self, resource: str) -> float:
+        """Long-term utilisation of a resource by all scenarios (0..1+)."""
+        total = 0.0
+        for scenario, step in self.steps_on_resource(resource):
+            total += self.step_duration(step) / scenario.event_model.period
+        return total
+
+    # -- accessors ----------------------------------------------------------------------
+    def scenario(self, name: str) -> Scenario:
+        try:
+            return self.scenarios[name]
+        except KeyError as exc:
+            raise ModelError(f"unknown scenario {name!r}") from exc
+
+    def requirement(self, name: str) -> LatencyRequirement:
+        try:
+            return self.requirements[name]
+        except KeyError as exc:
+            raise ModelError(f"unknown requirement {name!r}") from exc
+
+    def processor(self, name: str) -> Processor:
+        try:
+            return self.processors[name]
+        except KeyError as exc:
+            raise ModelError(f"unknown processor {name!r}") from exc
+
+    def bus(self, name: str) -> Bus:
+        try:
+            return self.buses[name]
+        except KeyError as exc:
+            raise ModelError(f"unknown bus {name!r}") from exc
+
+    # -- restriction / variation --------------------------------------------------------
+    def restrict(self, scenario_names: Iterable[str]) -> "ArchitectureModel":
+        """A copy containing only the named scenarios (and their requirements).
+
+        The paper analyses scenario *combinations* (ChangeVolume + HandleTMC,
+        AddressLookup + HandleTMC); this is the operation that produces those
+        sub-systems from the full model.
+        """
+        names = list(scenario_names)
+        for name in names:
+            if name not in self.scenarios:
+                raise ModelError(f"unknown scenario {name!r}")
+        restricted = ArchitectureModel(
+            name=f"{self.name}[{'+'.join(names)}]",
+            processors=dict(self.processors),
+            buses=dict(self.buses),
+            timebase=self.timebase,
+        )
+        for name in names:
+            restricted.scenarios[name] = self.scenarios[name]
+        for requirement in self.requirements.values():
+            if requirement.scenario in restricted.scenarios:
+                restricted.requirements[requirement.name] = requirement
+        return restricted
+
+    def with_event_models(self, overrides: Mapping[str, EventModel]) -> "ArchitectureModel":
+        """A copy in which the named scenarios use different arrival models."""
+        out = ArchitectureModel(
+            name=self.name,
+            processors=dict(self.processors),
+            buses=dict(self.buses),
+            requirements=dict(self.requirements),
+            timebase=self.timebase,
+        )
+        for name, scenario in self.scenarios.items():
+            if name in overrides:
+                out.scenarios[name] = scenario.with_event_model(overrides[name])
+            else:
+                out.scenarios[name] = scenario
+        unknown = set(overrides) - set(self.scenarios)
+        if unknown:
+            raise ModelError(f"event model overrides for unknown scenarios: {sorted(unknown)}")
+        return out
+
+    def with_processor(self, processor: Processor) -> "ArchitectureModel":
+        """A copy with one processor replaced (e.g. a different scheduling policy)."""
+        if processor.name not in self.processors:
+            raise ModelError(f"unknown processor {processor.name!r}")
+        out = ArchitectureModel(
+            name=self.name,
+            processors={**self.processors, processor.name: processor},
+            buses=dict(self.buses),
+            scenarios=dict(self.scenarios),
+            requirements=dict(self.requirements),
+            timebase=self.timebase,
+        )
+        return out
+
+    def with_bus(self, bus: Bus) -> "ArchitectureModel":
+        """A copy with one bus replaced (e.g. a different arbitration policy)."""
+        if bus.name not in self.buses:
+            raise ModelError(f"unknown bus {bus.name!r}")
+        return ArchitectureModel(
+            name=self.name,
+            processors=dict(self.processors),
+            buses={**self.buses, bus.name: bus},
+            scenarios=dict(self.scenarios),
+            requirements=dict(self.requirements),
+            timebase=self.timebase,
+        )
+
+    # -- validation -----------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`~repro.util.errors.ModelError` on an inconsistent model."""
+        if not self.processors and not self.buses:
+            raise ModelError("architecture has no resources")
+        if not self.scenarios:
+            raise ModelError("architecture has no scenarios")
+        for scenario in self.scenarios.values():
+            for step in scenario.steps:
+                if isinstance(step, Execute) and step.processor not in self.processors:
+                    raise ModelError(f"step {step.name!r} mapped to unknown processor")
+                if isinstance(step, Transfer) and step.bus not in self.buses:
+                    raise ModelError(f"step {step.name!r} mapped to unknown bus")
+        for requirement in self.requirements.values():
+            requirement.resolve(self.scenario(requirement.scenario))
+        # a preemptive resource supports at most two distinct priority levels
+        for processor in self.processors.values():
+            if processor.policy.preemptive:
+                priorities = {
+                    scenario.priority
+                    for scenario, _step in self.steps_on_resource(processor.name)
+                }
+                if len(priorities) > 2:
+                    raise ModelError(
+                        f"preemptive processor {processor.name!r} is shared by more than two "
+                        "priority levels; the Fig. 5 preemption pattern supports exactly two"
+                    )
+
+    def __str__(self) -> str:
+        return (
+            f"ArchitectureModel({self.name}: {len(self.processors)} processors, "
+            f"{len(self.buses)} buses, {len(self.scenarios)} scenarios, "
+            f"{len(self.requirements)} requirements)"
+        )

@@ -1,0 +1,101 @@
+"""Measuring observer automata (the generic form of the paper's Fig. 9).
+
+The paper measures worst-case response times by a *measuring variant* of each
+environment automaton (``rstat-m``): the generator non-deterministically tags
+one of the events it emits, counts how many responses must still be observed
+before the tagged one completes, and moves to a committed ``seen`` location at
+the moment the tagged response arrives; the observer clock ``y`` then holds
+the response time.
+
+This module implements the same measurement as a *separate* observer
+automaton that listens to two broadcast signals:
+
+* a *start* signal, fired either when the environment injects an event or
+  when an intermediate step completes (this generalisation is what allows the
+  audible-to-visual (A2V) requirement, whose measurement does not start at the
+  triggering keypress), and
+* an *end* signal fired when the step that closes the measured sub-chain
+  completes.
+
+The correctness argument is the same as the paper's: scenario instances are
+processed in FIFO order and never dropped, so the ``k``-th start corresponds
+to the ``k``-th end, and counting pending ends (the ``m``/``n`` variables)
+identifies the response of the tagged instance.
+"""
+
+from __future__ import annotations
+
+from repro.core.automaton import TimedAutomaton
+from repro.util.errors import ModelError
+
+__all__ = ["build_latency_observer", "OBSERVER_CLOCK", "OBSERVER_SEEN_LOCATION"]
+
+#: name of the observer's measurement clock
+OBSERVER_CLOCK = "y"
+#: name of the committed location entered when the tagged response is seen
+OBSERVER_SEEN_LOCATION = "seen"
+
+
+def build_latency_observer(
+    name: str,
+    start_channel: str,
+    end_channel: str,
+    max_in_flight: int = 8,
+) -> TimedAutomaton:
+    """Build a latency observer automaton.
+
+    Parameters
+    ----------
+    name:
+        template name of the observer automaton.
+    start_channel / end_channel:
+        broadcast channels whose occurrences delimit the measured latency.
+        They must be distinct.
+    max_in_flight:
+        upper bound on the number of scenario instances that can be between
+        the start and the end point simultaneously; the bound only sizes the
+        domains of the observer's counters (exceeding it raises a run-time
+        range error during exploration rather than silently truncating).
+    """
+    if start_channel == end_channel:
+        raise ModelError("observer start and end channels must differ")
+    if max_in_flight < 1:
+        raise ModelError("max_in_flight must be at least 1")
+
+    ta = TimedAutomaton(name)
+    ta.add_clock(OBSERVER_CLOCK)
+    # m: responses still ahead of the tagged one (-1 = not measuring)
+    ta.add_variable("m", -1, -1, max_in_flight)
+    # n: instances started but not yet ended
+    ta.add_variable("n", 0, 0, max_in_flight)
+
+    ta.add_location("idle", initial=True)
+    ta.add_location(OBSERVER_SEEN_LOCATION, committed=True)
+
+    # --- start events ------------------------------------------------------
+    # count the instance without tagging it
+    ta.add_edge("idle", "idle", sync=f"{start_channel}?", updates="n++")
+    # tag this instance for measurement (only when not already measuring)
+    ta.add_edge(
+        "idle", "idle",
+        guard="m == -1",
+        sync=f"{start_channel}?",
+        updates="m = n, n++",
+        resets=OBSERVER_CLOCK,
+    )
+
+    # --- end events ---------------------------------------------------------
+    # an untagged instance (ahead of the tagged one) completes
+    ta.add_edge("idle", "idle", guard="m > 0", sync=f"{end_channel}?", updates="m--, n--")
+    # completions while no measurement is in progress
+    ta.add_edge("idle", "idle", guard="m == -1 && n > 0", sync=f"{end_channel}?", updates="n--")
+    # the tagged instance completes: record the response time
+    ta.add_edge(
+        "idle", OBSERVER_SEEN_LOCATION,
+        guard="m == 0",
+        sync=f"{end_channel}?",
+        updates="m = -1, n--",
+    )
+    # committed: return immediately, ready for the next measurement
+    ta.add_edge(OBSERVER_SEEN_LOCATION, "idle")
+    return ta

@@ -1,0 +1,90 @@
+"""End-to-end timeliness requirements on scenario chains.
+
+A :class:`LatencyRequirement` bounds the time between two observable points
+of one scenario instance:
+
+* the *start* point is either the arrival of the triggering event
+  (``start_after=None``) or the completion of a named step,
+* the *end* point is the completion of a named step
+  (``end_after=None`` means the last step of the chain).
+
+This covers every requirement of the case study: the end-to-end TMC and
+AddressLookup deadlines, the keypress-to-audible (K2A) and
+keypress-to-visual (K2V) deadlines, and the audible-to-visual (A2V) deadline
+which starts *after* the AdjustVolume step rather than at the triggering
+keypress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.workload import Scenario
+from repro.util.errors import ModelError
+from repro.util.naming import check_identifier
+
+__all__ = ["LatencyRequirement"]
+
+
+@dataclass(frozen=True)
+class LatencyRequirement:
+    """A latency bound over (part of) a scenario chain.
+
+    Attributes
+    ----------
+    name:
+        requirement identifier (``"K2A"``).
+    scenario:
+        name of the scenario the requirement refers to.
+    bound:
+        the deadline in model time units; analyses compare the computed
+        worst-case response time against this bound.
+    start_after:
+        name of the step whose completion starts the measurement, or ``None``
+        to start at the arrival of the triggering event.
+    end_after:
+        name of the step whose completion ends the measurement, or ``None``
+        for the last step of the chain.
+    """
+
+    name: str
+    scenario: str
+    bound: int
+    start_after: str | None = None
+    end_after: str | None = None
+
+    def __post_init__(self):
+        check_identifier(self.name, "requirement")
+        if self.bound <= 0:
+            raise ModelError(f"requirement {self.name!r} must have a positive bound")
+
+    def resolve(self, scenario: Scenario) -> tuple[int | None, int]:
+        """Return the (start step index or None, end step index) pair.
+
+        Validates the step references against *scenario* and checks that the
+        start point precedes the end point.
+        """
+        if scenario.name != self.scenario:
+            raise ModelError(
+                f"requirement {self.name!r} refers to scenario {self.scenario!r}, "
+                f"not {scenario.name!r}"
+            )
+        start_index = None
+        if self.start_after is not None:
+            start_index = scenario.step_index(self.start_after)
+        end_index = (
+            len(scenario.steps) - 1
+            if self.end_after is None
+            else scenario.step_index(self.end_after)
+        )
+        if start_index is not None and start_index >= end_index:
+            raise ModelError(
+                f"requirement {self.name!r}: start step {self.start_after!r} does not "
+                f"precede end step {scenario.steps[end_index].name!r}"
+            )
+        return start_index, end_index
+
+    def __str__(self) -> str:
+        start = self.start_after or "<event>"
+        end = self.end_after or "<end of chain>"
+        return f"{self.name}: {self.scenario} {start} -> {end} <= {self.bound}"

@@ -1,0 +1,127 @@
+"""Hardware resources of an embedded architecture: processors and buses.
+
+Each resource carries a *scheduling policy* (processors) or *arbitration
+policy* (buses) that determines which timed-automaton template the generator
+emits for it:
+
+* :data:`NONPREEMPTIVE_NONDETERMINISTIC` — the Fig. 4 pattern: whichever
+  pending operation grabs the resource first (non-deterministic choice),
+  runs to completion;
+* :data:`FIXED_PRIORITY_NONPREEMPTIVE` — dispatch guarded so that a pending
+  higher-priority operation wins the resource, but a running lower-priority
+  operation is never interrupted;
+* :data:`FIXED_PRIORITY_PREEMPTIVE` — the Fig. 5 pattern: a higher-priority
+  arrival interrupts the running lower-priority operation, whose remaining
+  work is accounted for in the ``D`` variable;
+* bus arbitration: :data:`BUS_FCFS_NONDETERMINISTIC` (Fig. 6),
+  :data:`BUS_FIXED_PRIORITY` and :data:`BUS_TDMA` (the extension discussed in
+  Section 3.2 of the paper, after Perathoner et al.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ModelError
+from repro.util.naming import check_identifier
+
+__all__ = [
+    "SchedulingPolicy",
+    "ArbitrationPolicy",
+    "NONPREEMPTIVE_NONDETERMINISTIC",
+    "FIXED_PRIORITY_NONPREEMPTIVE",
+    "FIXED_PRIORITY_PREEMPTIVE",
+    "BUS_FCFS_NONDETERMINISTIC",
+    "BUS_FIXED_PRIORITY",
+    "BUS_TDMA",
+    "Processor",
+    "Bus",
+]
+
+
+@dataclass(frozen=True)
+class SchedulingPolicy:
+    """A processor scheduling policy (see module docstring)."""
+
+    name: str
+    preemptive: bool
+    priority_based: bool
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArbitrationPolicy:
+    """A bus arbitration policy (see module docstring)."""
+
+    name: str
+    priority_based: bool
+    time_triggered: bool = False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+NONPREEMPTIVE_NONDETERMINISTIC = SchedulingPolicy(
+    "nonpreemptive-nondeterministic", preemptive=False, priority_based=False
+)
+FIXED_PRIORITY_NONPREEMPTIVE = SchedulingPolicy(
+    "fixed-priority-nonpreemptive", preemptive=False, priority_based=True
+)
+FIXED_PRIORITY_PREEMPTIVE = SchedulingPolicy(
+    "fixed-priority-preemptive", preemptive=True, priority_based=True
+)
+
+BUS_FCFS_NONDETERMINISTIC = ArbitrationPolicy("fcfs-nondeterministic", priority_based=False)
+BUS_FIXED_PRIORITY = ArbitrationPolicy("fixed-priority", priority_based=True)
+BUS_TDMA = ArbitrationPolicy("tdma", priority_based=False, time_triggered=True)
+
+
+@dataclass(frozen=True)
+class Processor:
+    """A processing element with a capacity in MIPS.
+
+    The execution time of an operation is approximated as
+    ``instructions / (mips * 1e6)`` seconds — the paper's Section 3.1
+    approximation, adequate for early design-space exploration; measured
+    values can be substituted by adjusting the operation's instruction count.
+    """
+
+    name: str
+    mips: float
+    policy: SchedulingPolicy = FIXED_PRIORITY_PREEMPTIVE
+
+    def __post_init__(self):
+        check_identifier(self.name, "processor")
+        if self.mips <= 0:
+            raise ModelError(f"processor {self.name!r} must have positive capacity")
+
+    def __str__(self) -> str:
+        return f"Processor({self.name}, {self.mips} MIPS, {self.policy})"
+
+
+@dataclass(frozen=True)
+class Bus:
+    """A shared communication link with a bandwidth in kbit/s.
+
+    ``slot_ticks`` and ``slot_order`` are only used by the TDMA arbitration
+    policy: ``slot_order`` lists message names in the order of their slots
+    and ``slot_ticks`` is the length of each slot in model time units.
+    """
+
+    name: str
+    kbps: float
+    policy: ArbitrationPolicy = BUS_FCFS_NONDETERMINISTIC
+    slot_ticks: int | None = None
+    slot_order: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        check_identifier(self.name, "bus")
+        if self.kbps <= 0:
+            raise ModelError(f"bus {self.name!r} must have positive bandwidth")
+        if self.policy.time_triggered and not self.slot_ticks:
+            raise ModelError(f"TDMA bus {self.name!r} needs a positive slot_ticks")
+
+    def __str__(self) -> str:
+        return f"Bus({self.name}, {self.kbps} kbit/s, {self.policy})"

@@ -1,0 +1,75 @@
+"""Time base: conversion between physical time and integer model time units.
+
+Timed automata (and the analytic baselines) work with integer time
+constants.  The case study uses a resolution of one micro-second, which is
+what reproduces the paper's numbers (e.g. the 79.075 ms AddressLookup
+latency becomes the integer 79 075).  A coarser resolution can be selected to
+shrink constants — useful for quick, lower-fidelity exploration runs — at the
+cost of rounding error; the chosen resolution is recorded in every analysis
+result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ModelError
+
+__all__ = ["TimeBase", "MICROSECONDS", "TENTH_MILLISECONDS", "MILLISECONDS"]
+
+
+@dataclass(frozen=True)
+class TimeBase:
+    """A time base of ``ticks_per_second`` integer ticks per physical second."""
+
+    ticks_per_second: int = 1_000_000
+
+    def __post_init__(self):
+        if self.ticks_per_second <= 0:
+            raise ModelError("ticks_per_second must be positive")
+
+    # -- conversions ---------------------------------------------------------
+    def from_seconds(self, seconds: float) -> int:
+        """Convert a duration in seconds to ticks (rounded to nearest)."""
+        return int(round(seconds * self.ticks_per_second))
+
+    def from_milliseconds(self, milliseconds: float) -> int:
+        return self.from_seconds(milliseconds / 1e3)
+
+    def from_microseconds(self, microseconds: float) -> int:
+        return self.from_seconds(microseconds / 1e6)
+
+    def to_seconds(self, ticks: float) -> float:
+        """Convert ticks back to seconds."""
+        return ticks / self.ticks_per_second
+
+    def to_milliseconds(self, ticks: float) -> float:
+        return ticks * 1e3 / self.ticks_per_second
+
+    # -- derived quantities -----------------------------------------------------
+    def execution_ticks(self, instructions: float, mips: float) -> int:
+        """Execution time of ``instructions`` on a ``mips`` MIPS processor.
+
+        This is the paper's approximation: worst-case instruction count
+        divided by the processor capacity, rounded to the nearest tick.
+        """
+        if mips <= 0:
+            raise ModelError("processor capacity must be positive")
+        return max(1, int(round(instructions / (mips * 1e6) * self.ticks_per_second)))
+
+    def transfer_ticks(self, size_bytes: float, kbps: float) -> int:
+        """Transfer time of ``size_bytes`` over a ``kbps`` kbit/s link."""
+        if kbps <= 0:
+            raise ModelError("bus bandwidth must be positive")
+        return max(1, int(round(size_bytes * 8 / (kbps * 1e3) * self.ticks_per_second)))
+
+    def __str__(self) -> str:
+        return f"TimeBase({self.ticks_per_second} ticks/s)"
+
+
+#: 1 tick = 1 µs — the resolution used throughout the paper reproduction.
+MICROSECONDS = TimeBase(1_000_000)
+#: 1 tick = 0.1 ms — coarser resolution for quick exploratory runs.
+TENTH_MILLISECONDS = TimeBase(10_000)
+#: 1 tick = 1 ms — coarsest supported resolution.
+MILLISECONDS = TimeBase(1_000)

@@ -1,0 +1,175 @@
+"""Workload description: operations, messages, scenario chains.
+
+A *scenario* corresponds to one of the paper's annotated UML sequence
+diagrams: a chain of steps triggered by an external event, where each step is
+either the execution of an operation on a processor (:class:`Execute`) or the
+transfer of a message over a bus (:class:`Transfer`).  Steps carry the
+performance annotations of the sequence diagram (worst-case instruction
+counts, message sizes); the arrival pattern of the triggering events is an
+:class:`~repro.arch.eventmodels.EventModel` attached to the scenario.
+
+Scenario priorities are *fixed priorities shared by every step of the
+scenario*: a smaller number means more important (the paper gives the
+ChangeVolume and AddressLookup scenarios priority over HandleTMC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Union
+
+from repro.arch.eventmodels import EventModel
+from repro.util.errors import ModelError
+from repro.util.naming import check_identifier
+
+__all__ = ["Operation", "Message", "Execute", "Transfer", "Step", "Scenario"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A piece of computation characterised by a worst-case instruction count."""
+
+    name: str
+    instructions: float
+
+    def __post_init__(self):
+        check_identifier(self.name, "operation")
+        if self.instructions <= 0:
+            raise ModelError(f"operation {self.name!r} must execute a positive number of instructions")
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.instructions:g} instr)"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message characterised by its size in bytes."""
+
+    name: str
+    size_bytes: float
+
+    def __post_init__(self):
+        check_identifier(self.name, "message")
+        if self.size_bytes <= 0:
+            raise ModelError(f"message {self.name!r} must have a positive size")
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.size_bytes:g} B)"
+
+
+@dataclass(frozen=True)
+class Execute:
+    """Scenario step: run *operation* on the processor named *processor*."""
+
+    operation: Operation
+    processor: str
+
+    @property
+    def name(self) -> str:
+        return self.operation.name
+
+    @property
+    def resource(self) -> str:
+        return self.processor
+
+    def __str__(self) -> str:
+        return f"{self.operation} on {self.processor}"
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """Scenario step: transfer *message* over the bus named *bus*."""
+
+    message: Message
+    bus: str
+
+    @property
+    def name(self) -> str:
+        return self.message.name
+
+    @property
+    def resource(self) -> str:
+        return self.bus
+
+    def __str__(self) -> str:
+        return f"{self.message} over {self.bus}"
+
+
+Step = Union[Execute, Transfer]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A triggered chain of computation and communication steps.
+
+    Attributes
+    ----------
+    name:
+        scenario identifier (``"ChangeVolume"``).
+    steps:
+        the ordered chain of :class:`Execute` / :class:`Transfer` steps.
+    event_model:
+        arrival pattern of the triggering events.
+    priority:
+        fixed priority shared by all steps (smaller = more important).
+    """
+
+    name: str
+    steps: tuple[Step, ...]
+    event_model: EventModel
+    priority: int = 1
+
+    def __post_init__(self):
+        check_identifier(self.name, "scenario")
+        if not self.steps:
+            raise ModelError(f"scenario {self.name!r} has no steps")
+        seen: set[str] = set()
+        for step in self.steps:
+            if step.name in seen:
+                raise ModelError(
+                    f"scenario {self.name!r} contains two steps named {step.name!r}; "
+                    "step names must be unique within a scenario"
+                )
+            seen.add(step.name)
+
+    # -- queries --------------------------------------------------------------
+    def step_names(self) -> list[str]:
+        return [step.name for step in self.steps]
+
+    def step(self, name: str) -> Step:
+        for step in self.steps:
+            if step.name == name:
+                return step
+        raise ModelError(f"scenario {self.name!r} has no step named {name!r}")
+
+    def step_index(self, name: str) -> int:
+        for index, step in enumerate(self.steps):
+            if step.name == name:
+                return index
+        raise ModelError(f"scenario {self.name!r} has no step named {name!r}")
+
+    def executions(self) -> list[Execute]:
+        return [step for step in self.steps if isinstance(step, Execute)]
+
+    def transfers(self) -> list[Transfer]:
+        return [step for step in self.steps if isinstance(step, Transfer)]
+
+    def resources(self) -> set[str]:
+        return {step.resource for step in self.steps}
+
+    def with_event_model(self, event_model: EventModel) -> "Scenario":
+        """A copy of the scenario with a different arrival pattern."""
+        return Scenario(self.name, self.steps, event_model, self.priority)
+
+    def with_priority(self, priority: int) -> "Scenario":
+        """A copy of the scenario with a different priority."""
+        return Scenario(self.name, self.steps, self.event_model, priority)
+
+    def __str__(self) -> str:
+        chain = " -> ".join(step.name for step in self.steps)
+        return f"Scenario({self.name}, prio {self.priority}, {self.event_model}: {chain})"
+
+
+def chain(name: str, steps: Iterable[Step], event_model: EventModel, priority: int = 1) -> Scenario:
+    """Convenience constructor for a :class:`Scenario`."""
+    return Scenario(name, tuple(steps), event_model, priority)

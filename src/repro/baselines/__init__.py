@@ -1,0 +1,15 @@
+"""Baseline analysis techniques used in the paper's comparison (Table 2).
+
+* :mod:`repro.baselines.des` — discrete-event simulation (substitute for the
+  POOSL / SHESim model),
+* :mod:`repro.baselines.symta` — compositional busy-window scheduling
+  analysis (substitute for SymTA/S),
+* :mod:`repro.baselines.mpa` — modular performance analysis with real-time
+  calculus (substitute for the MPA/RTC toolbox).
+
+All three consume the same :class:`repro.arch.model.ArchitectureModel` as the
+timed-automata analysis, which is what makes the Table 2 comparison an
+apples-to-apples one.
+"""
+
+__all__ = ["des", "symta", "mpa"]

@@ -1,0 +1,21 @@
+"""Discrete-event simulation baseline (POOSL / SHESim substitute)."""
+
+from repro.baselines.des.engine import ScheduledEvent, Simulator
+from repro.baselines.des.servers import Job, ResourceServer
+from repro.baselines.des.simulator import (
+    RequirementObservation,
+    SimulationResult,
+    SimulationSettings,
+    simulate,
+)
+
+__all__ = [
+    "Simulator",
+    "ScheduledEvent",
+    "Job",
+    "ResourceServer",
+    "SimulationSettings",
+    "SimulationResult",
+    "RequirementObservation",
+    "simulate",
+]

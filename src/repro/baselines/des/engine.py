@@ -1,0 +1,91 @@
+"""A minimal discrete-event simulation kernel.
+
+The kernel is deliberately small: a time-ordered event queue, a notion of
+*processes* expressed as callbacks, and deterministic tie-breaking (events
+scheduled for the same instant fire in scheduling order).  It is the
+foundation of the POOSL-style simulation baseline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.util.errors import AnalysisError
+
+__all__ = ["Simulator", "ScheduledEvent"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An entry of the event queue (ordered by time, then insertion order)."""
+
+    time: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so that it is skipped when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Discrete-event simulation clock and event queue."""
+
+    def __init__(self):
+        self._queue: list[ScheduledEvent] = []
+        self._sequence = 0
+        self._now = 0
+        self._processed = 0
+
+    # -- time ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in model ticks."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    # -- scheduling ---------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule *callback* to run ``delay`` ticks from now."""
+        if delay < 0:
+            raise AnalysisError("cannot schedule an event in the past")
+        event = ScheduledEvent(self._now + int(delay), self._sequence, callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule *callback* at absolute simulation time *time*."""
+        return self.schedule(int(time) - self._now, callback)
+
+    # -- execution -----------------------------------------------------------------
+    def run_until(self, horizon: int) -> None:
+        """Process events in time order until the queue empties or *horizon*."""
+        while self._queue:
+            event = self._queue[0]
+            if event.time > horizon:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+        self._now = max(self._now, horizon)
+
+    def run(self) -> None:
+        """Process every scheduled event (the model must be finite)."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()

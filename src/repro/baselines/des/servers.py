@@ -1,0 +1,152 @@
+"""Resource servers for the discrete-event simulation baseline.
+
+A server simulates one processor or one bus.  Jobs are submitted with a
+priority and a service demand; the server implements the same policies the
+timed-automata generator supports:
+
+* non-preemptive FCFS / non-deterministic (simulated as FCFS),
+* fixed-priority non-preemptive,
+* fixed-priority preemptive (processors only).
+
+Completion callbacks drive the scenario chains of
+:mod:`repro.baselines.des.simulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.baselines.des.engine import ScheduledEvent, Simulator
+from repro.util.errors import AnalysisError
+
+__all__ = ["Job", "ResourceServer"]
+
+
+@dataclass
+class Job:
+    """A unit of work submitted to a resource server."""
+
+    name: str
+    demand: int
+    priority: int
+    on_complete: Callable[[], None]
+    #: insertion order, used for FIFO tie-breaking among equal priorities
+    sequence: int = 0
+    #: remaining service demand (maintained by the server under preemption)
+    remaining: int = field(init=False)
+    submitted_at: int = 0
+    started_at: int | None = None
+    completed_at: int | None = None
+
+    def __post_init__(self):
+        if self.demand <= 0:
+            raise AnalysisError(f"job {self.name!r} must have positive demand")
+        self.remaining = self.demand
+
+
+class ResourceServer:
+    """A single shared resource (processor or bus)."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        preemptive: bool = False,
+        priority_based: bool = True,
+    ):
+        self.simulator = simulator
+        self.name = name
+        self.preemptive = preemptive
+        self.priority_based = priority_based
+        self._ready: list[Job] = []
+        self._running: Job | None = None
+        self._completion: ScheduledEvent | None = None
+        self._running_since: int = 0
+        self._sequence = 0
+        #: busy time accounting (for utilisation statistics)
+        self.busy_ticks = 0
+
+    # -- submission -------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Submit a job; it is started immediately if the policy allows."""
+        job.sequence = self._sequence
+        self._sequence += 1
+        job.submitted_at = self.simulator.now
+        self._ready.append(job)
+        self._reschedule()
+
+    # -- internal scheduling -------------------------------------------------------
+    def _pick_next(self) -> Job | None:
+        if not self._ready:
+            return None
+        if self.priority_based:
+            return min(self._ready, key=lambda job: (job.priority, job.sequence))
+        return min(self._ready, key=lambda job: job.sequence)
+
+    def _reschedule(self) -> None:
+        if self._running is None:
+            self._start_next()
+            return
+        if not self.preemptive or not self.priority_based:
+            return
+        candidate = self._pick_next()
+        if candidate is not None and candidate.priority < self._running.priority:
+            self._preempt_running()
+            self._start_next()
+
+    def _preempt_running(self) -> None:
+        assert self._running is not None
+        elapsed = self.simulator.now - self._running_since
+        self._running.remaining -= elapsed
+        self.busy_ticks += elapsed
+        if self._running.remaining <= 0:
+            raise AnalysisError(
+                f"internal error: preempting a finished job on {self.name}"
+            )
+        if self._completion is not None:
+            self._completion.cancel()
+        self._ready.append(self._running)
+        self._running = None
+        self._completion = None
+
+    def _start_next(self) -> None:
+        candidate = self._pick_next()
+        if candidate is None:
+            return
+        self._ready.remove(candidate)
+        self._running = candidate
+        self._running_since = self.simulator.now
+        if candidate.started_at is None:
+            candidate.started_at = self.simulator.now
+        self._completion = self.simulator.schedule(candidate.remaining, self._complete)
+
+    def _complete(self) -> None:
+        job = self._running
+        assert job is not None
+        self.busy_ticks += self.simulator.now - self._running_since
+        job.remaining = 0
+        job.completed_at = self.simulator.now
+        self._running = None
+        self._completion = None
+        self._start_next()
+        job.on_complete()
+
+    # -- introspection ---------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        """Number of jobs waiting (not counting the running one)."""
+        return len(self._ready)
+
+    @property
+    def busy(self) -> bool:
+        return self._running is not None
+
+    def utilisation(self, elapsed: int) -> float:
+        """Fraction of *elapsed* time the resource spent serving jobs."""
+        if elapsed <= 0:
+            return 0.0
+        busy = self.busy_ticks
+        if self._running is not None:
+            busy += self.simulator.now - self._running_since
+        return busy / elapsed

@@ -1,0 +1,211 @@
+"""POOSL-style discrete-event simulation of an architecture model.
+
+The simulation is the "typically used in industry" baseline of the paper's
+comparison: event generators draw concrete arrival traces from the scenario
+event models, scenario instances flow through the resource servers, and
+latency monitors record response times.  The *maximum observed* response time
+over a number of independent runs is reported — which, as Table 2
+demonstrates, may underestimate the true worst case because the worst-case
+phasing need not be sampled (the paper makes exactly this point about the
+``pno`` configuration, where infinitely many offsets exist).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from statistics import mean
+
+from repro.arch.model import ArchitectureModel
+from repro.arch.requirements import LatencyRequirement
+from repro.arch.workload import Execute, Scenario
+from repro.baselines.des.engine import Simulator
+from repro.baselines.des.servers import Job, ResourceServer
+from repro.util.errors import AnalysisError
+
+__all__ = ["SimulationSettings", "RequirementObservation", "SimulationResult", "simulate"]
+
+
+@dataclass
+class SimulationSettings:
+    """Settings of one simulation campaign."""
+
+    #: length of each run in model ticks
+    horizon: int = 60_000_000
+    #: number of independent runs (different seeds)
+    runs: int = 20
+    #: base seed; run ``i`` uses ``seed + i``
+    seed: int = 0
+
+
+@dataclass
+class RequirementObservation:
+    """Observed latencies of one requirement across all runs."""
+
+    requirement: str
+    samples: list[int] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def maximum(self) -> int | None:
+        return max(self.samples) if self.samples else None
+
+    @property
+    def average(self) -> float | None:
+        return mean(self.samples) if self.samples else None
+
+    def quantile(self, q: float) -> int | None:
+        """Empirical q-quantile of the observed latencies."""
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, max(0, int(q * (len(ordered) - 1))))
+        return ordered[index]
+
+
+@dataclass
+class SimulationResult:
+    """Result of a simulation campaign."""
+
+    model_name: str
+    settings: SimulationSettings
+    observations: dict[str, RequirementObservation]
+    utilisation: dict[str, float]
+    total_events: int
+
+    def max_ms(self, requirement: str, timebase) -> float | None:
+        """Maximum observed latency of a requirement in milliseconds."""
+        observation = self.observations[requirement]
+        if observation.maximum is None:
+            return None
+        return timebase.to_milliseconds(observation.maximum)
+
+
+class _ScenarioInstance:
+    """One in-flight activation of a scenario chain."""
+
+    __slots__ = ("scenario", "arrival", "step_completions")
+
+    def __init__(self, scenario: Scenario, arrival: int):
+        self.scenario = scenario
+        self.arrival = arrival
+        self.step_completions: dict[str, int] = {}
+
+
+class _SimulationRun:
+    """A single simulation run of the whole architecture."""
+
+    def __init__(self, model: ArchitectureModel, seed: int, horizon: int):
+        self.model = model
+        self.horizon = horizon
+        self.rng = random.Random(seed)
+        self.simulator = Simulator()
+        self.servers: dict[str, ResourceServer] = {}
+        for processor in model.processors.values():
+            self.servers[processor.name] = ResourceServer(
+                self.simulator,
+                processor.name,
+                preemptive=processor.policy.preemptive,
+                priority_based=processor.policy.priority_based,
+            )
+        for bus in model.buses.values():
+            self.servers[bus.name] = ResourceServer(
+                self.simulator,
+                bus.name,
+                preemptive=False,
+                priority_based=bus.policy.priority_based,
+            )
+        #: latency samples per requirement
+        self.samples: dict[str, list[int]] = {name: [] for name in model.requirements}
+        #: resolved (start step or None, end step) indices per requirement
+        self._resolved: dict[str, tuple[int | None, int]] = {
+            name: requirement.resolve(model.scenario(requirement.scenario))
+            for name, requirement in model.requirements.items()
+        }
+
+    # -- execution ----------------------------------------------------------------
+    def run(self) -> None:
+        for scenario in self.model.scenarios.values():
+            arrivals = scenario.event_model.sample_arrivals(self.rng, self.horizon)
+            for arrival in arrivals:
+                self.simulator.schedule_at(arrival, self._make_arrival(scenario, arrival))
+        self.simulator.run_until(self.horizon)
+
+    def _make_arrival(self, scenario: Scenario, arrival: int):
+        def fire():
+            instance = _ScenarioInstance(scenario, arrival)
+            self._start_step(instance, 0)
+        return fire
+
+    def _start_step(self, instance: _ScenarioInstance, index: int) -> None:
+        scenario = instance.scenario
+        step = scenario.steps[index]
+        server = self.servers[step.resource]
+        demand = self.model.step_duration(step)
+        job = Job(
+            name=f"{scenario.name}.{step.name}",
+            demand=demand,
+            priority=scenario.priority,
+            on_complete=lambda: self._finish_step(instance, index),
+        )
+        server.submit(job)
+
+    def _finish_step(self, instance: _ScenarioInstance, index: int) -> None:
+        scenario = instance.scenario
+        step = scenario.steps[index]
+        now = self.simulator.now
+        instance.step_completions[step.name] = now
+        self._record(instance, index, now)
+        if index + 1 < len(scenario.steps):
+            self._start_step(instance, index + 1)
+
+    def _record(self, instance: _ScenarioInstance, completed_index: int, now: int) -> None:
+        for name, requirement in self.model.requirements.items():
+            if requirement.scenario != instance.scenario.name:
+                continue
+            start_index, end_index = self._resolved[name]
+            if end_index != completed_index:
+                continue
+            if start_index is None:
+                start_time = instance.arrival
+            else:
+                start_step = instance.scenario.steps[start_index]
+                start_time = instance.step_completions.get(start_step.name)
+                if start_time is None:
+                    raise AnalysisError(
+                        f"requirement {name!r}: end step completed before its start step"
+                    )
+            self.samples[name].append(now - start_time)
+
+
+def simulate(model: ArchitectureModel, settings: SimulationSettings | None = None) -> SimulationResult:
+    """Run a simulation campaign and collect latency observations.
+
+    Returns the maximum/average observed latencies per requirement over
+    ``settings.runs`` independent runs of ``settings.horizon`` ticks each.
+    """
+    settings = settings or SimulationSettings()
+    model.validate()
+    observations = {name: RequirementObservation(name) for name in model.requirements}
+    utilisation: dict[str, list[float]] = {}
+    total_events = 0
+
+    for run_index in range(settings.runs):
+        run = _SimulationRun(model, settings.seed + run_index, settings.horizon)
+        run.run()
+        total_events += run.simulator.processed_events
+        for name, samples in run.samples.items():
+            observations[name].samples.extend(samples)
+        for resource, server in run.servers.items():
+            utilisation.setdefault(resource, []).append(server.utilisation(settings.horizon))
+
+    return SimulationResult(
+        model_name=model.name,
+        settings=settings,
+        observations=observations,
+        utilisation={name: mean(values) for name, values in utilisation.items()},
+        total_events=total_events,
+    )

@@ -1,0 +1,27 @@
+"""Modular Performance Analysis / real-time calculus baseline (MPA substitute)."""
+
+from repro.baselines.mpa.analysis import MpaResult, MpaSettings, MpaStepResult, analyze
+from repro.baselines.mpa.components import GPCResult, backlog_bound, busy_window, delay_bound
+from repro.baselines.mpa.curves import (
+    PiecewiseLinearCurve,
+    StaircaseCurve,
+    full_service,
+    leftover_service,
+    rate_latency,
+)
+
+__all__ = [
+    "StaircaseCurve",
+    "PiecewiseLinearCurve",
+    "full_service",
+    "rate_latency",
+    "leftover_service",
+    "GPCResult",
+    "delay_bound",
+    "backlog_bound",
+    "busy_window",
+    "MpaSettings",
+    "MpaStepResult",
+    "MpaResult",
+    "analyze",
+]

@@ -1,0 +1,19 @@
+"""Compositional scheduling analysis baseline (SymTA/S substitute)."""
+
+from repro.baselines.symta.busywindow import AnalysedTask, TaskResult, response_time
+from repro.baselines.symta.analysis import (
+    SymtaResult,
+    SymtaSettings,
+    SymtaStepResult,
+    analyze,
+)
+
+__all__ = [
+    "AnalysedTask",
+    "TaskResult",
+    "response_time",
+    "SymtaSettings",
+    "SymtaStepResult",
+    "SymtaResult",
+    "analyze",
+]

@@ -1,0 +1,54 @@
+"""The in-car radio navigation case study of the paper.
+
+* :func:`repro.casestudy.system.build_radio_navigation` — the architecture
+  (Fig. 1) with the ChangeVolume, HandleTMC and AddressLookup scenarios
+  (Figs. 2–3) and their timeliness requirements,
+* :mod:`repro.casestudy.configurations` — the scenario combinations and the
+  five event-model configurations of Table 1,
+* :mod:`repro.casestudy.expected` — the values published in Tables 1 and 2,
+  for side-by-side comparison in EXPERIMENTS.md and the benchmarks.
+"""
+
+from repro.casestudy.configurations import (
+    COMBINATIONS,
+    EVENT_CONFIGURATIONS,
+    TABLE1_ROWS,
+    Table1Row,
+    configure,
+)
+from repro.casestudy.expected import (
+    TABLE1_LOWER_BOUNDS,
+    TABLE1_UPPAAL_MS,
+    TABLE2_MS,
+    TABLE2_TOOLS,
+)
+from repro.casestudy.system import (
+    ADDRESS_LOOKUP_PERIOD_S,
+    BUS_KBPS,
+    CHANGE_VOLUME_PERIOD_S,
+    HANDLE_TMC_PERIOD_S,
+    MMI_MIPS,
+    NAV_MIPS,
+    RAD_MIPS,
+    build_radio_navigation,
+)
+
+__all__ = [
+    "build_radio_navigation",
+    "configure",
+    "COMBINATIONS",
+    "EVENT_CONFIGURATIONS",
+    "TABLE1_ROWS",
+    "Table1Row",
+    "TABLE1_UPPAAL_MS",
+    "TABLE1_LOWER_BOUNDS",
+    "TABLE2_MS",
+    "TABLE2_TOOLS",
+    "MMI_MIPS",
+    "RAD_MIPS",
+    "NAV_MIPS",
+    "BUS_KBPS",
+    "CHANGE_VOLUME_PERIOD_S",
+    "HANDLE_TMC_PERIOD_S",
+    "ADDRESS_LOOKUP_PERIOD_S",
+]

@@ -1,0 +1,117 @@
+"""The scenario combinations and event-model configurations of Table 1.
+
+The paper analyses two scenario *combinations*:
+
+* ChangeVolume + HandleTMC,
+* AddressLookup + HandleTMC,
+
+under five environment configurations:
+
+=========  =====================================================================
+``po``     strictly periodic events, offset 0 for every scenario (synchronous)
+``pno``    strictly periodic events, unknown offsets (asynchronous)
+``sp``     sporadic events (lower bound on the inter-arrival time only)
+``pj``     periodic with jitter ``J = P`` for the radio-station (HandleTMC)
+           stream, sporadic for the others
+``bur``    bursty with ``J = 2P`` and ``D = 0`` for the radio-station stream,
+           sporadic for the others
+=========  =====================================================================
+
+:func:`configure` produces the restricted model for one (combination,
+configuration) pair; :data:`TABLE1_ROWS` lists the (requirement, combination)
+pairs that make up the rows of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.eventmodels import Bursty, EventModel, Periodic, PeriodicJitter, PeriodicOffset, Sporadic
+from repro.arch.model import ArchitectureModel
+from repro.util.errors import ModelError
+
+__all__ = [
+    "EVENT_CONFIGURATIONS",
+    "COMBINATIONS",
+    "TABLE1_ROWS",
+    "Table1Row",
+    "configure",
+]
+
+#: the five event-model configurations (column labels of Table 1)
+EVENT_CONFIGURATIONS: tuple[str, ...] = ("po", "pno", "sp", "pj", "bur")
+
+#: the scenario combinations analysed in the paper
+COMBINATIONS: dict[str, tuple[str, ...]] = {
+    "CV+TMC": ("ChangeVolume", "HandleTMC"),
+    "AL+TMC": ("AddressLookup", "HandleTMC"),
+}
+
+#: the scenario whose event stream becomes jittery / bursty in pj and bur
+_RADIO_STATION_SCENARIO = "HandleTMC"
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1: a requirement measured within a combination."""
+
+    label: str
+    requirement: str
+    combination: str
+
+    def __str__(self) -> str:
+        return self.label
+
+
+#: the five rows of Table 1 (and Table 2)
+TABLE1_ROWS: tuple[Table1Row, ...] = (
+    Table1Row("HandleTMC (+ ChangeVolume)", "TMC", "CV+TMC"),
+    Table1Row("HandleTMC (+ AddressLookup)", "TMC", "AL+TMC"),
+    Table1Row("K2A (ChangeVolume + HandleTMC)", "K2A", "CV+TMC"),
+    Table1Row("A2V (ChangeVolume + HandleTMC)", "A2V", "CV+TMC"),
+    Table1Row("AddressLookup (+ HandleTMC)", "ALK2V", "AL+TMC"),
+)
+
+
+def _event_model_for(kind: str, scenario_name: str, period: int) -> EventModel:
+    """Event model of one scenario under a named configuration."""
+    if kind == "po":
+        return PeriodicOffset(period, offset=0)
+    if kind == "pno":
+        return Periodic(period)
+    if kind == "sp":
+        return Sporadic(period)
+    if kind == "pj":
+        if scenario_name == _RADIO_STATION_SCENARIO:
+            return PeriodicJitter(period, jitter_=period)
+        return Sporadic(period)
+    if kind == "bur":
+        if scenario_name == _RADIO_STATION_SCENARIO:
+            return Bursty(period, jitter_=2 * period, min_separation_=0)
+        return Sporadic(period)
+    raise ModelError(f"unknown event configuration {kind!r}")
+
+
+def configure(
+    model: ArchitectureModel,
+    combination: str,
+    configuration: str,
+) -> ArchitectureModel:
+    """Restrict *model* to a combination and apply an event configuration.
+
+    ``combination`` is a key of :data:`COMBINATIONS` (``"CV+TMC"`` or
+    ``"AL+TMC"``); ``configuration`` is one of :data:`EVENT_CONFIGURATIONS`.
+    """
+    try:
+        scenario_names = COMBINATIONS[combination]
+    except KeyError as exc:
+        raise ModelError(f"unknown scenario combination {combination!r}") from exc
+    if configuration not in EVENT_CONFIGURATIONS:
+        raise ModelError(f"unknown event configuration {configuration!r}")
+
+    restricted = model.restrict(scenario_names)
+    overrides = {
+        name: _event_model_for(configuration, name, restricted.scenario(name).event_model.period)
+        for name in scenario_names
+    }
+    return restricted.with_event_models(overrides)

@@ -1,0 +1,101 @@
+"""The numbers reported by the paper (Tables 1 and 2), in milliseconds.
+
+These constants are used by the benchmark harnesses and by EXPERIMENTS.md to
+put the reproduced values side by side with the published ones.  Entries that
+the paper itself reports only as lower bounds (the ``> x (df)`` / ``> x
+(rdf)`` cells of Table 1) are stored in :data:`TABLE1_LOWER_BOUNDS`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1_UPPAAL_MS",
+    "TABLE1_LOWER_BOUNDS",
+    "TABLE2_MS",
+    "TABLE2_TOOLS",
+]
+
+#: Table 1 — UPPAAL worst-case response times in milliseconds.
+#: Keys: (row label, event configuration).  Values that the paper reports as
+#: exact.
+TABLE1_UPPAAL_MS: dict[tuple[str, str], float] = {
+    ("HandleTMC (+ ChangeVolume)", "po"): 357.133,
+    ("HandleTMC (+ ChangeVolume)", "pno"): 381.632,
+    ("HandleTMC (+ ChangeVolume)", "sp"): 382.076,
+    ("HandleTMC (+ AddressLookup)", "po"): 172.106,
+    ("HandleTMC (+ AddressLookup)", "pno"): 239.080,
+    ("HandleTMC (+ AddressLookup)", "sp"): 239.080,
+    ("HandleTMC (+ AddressLookup)", "pj"): 329.989,
+    ("HandleTMC (+ AddressLookup)", "bur"): 420.898,
+    ("K2A (ChangeVolume + HandleTMC)", "po"): 27.716,
+    ("K2A (ChangeVolume + HandleTMC)", "pno"): 27.716,
+    ("K2A (ChangeVolume + HandleTMC)", "sp"): 27.716,
+    ("A2V (ChangeVolume + HandleTMC)", "po"): 41.796,
+    ("A2V (ChangeVolume + HandleTMC)", "pno"): 41.796,
+    ("A2V (ChangeVolume + HandleTMC)", "sp"): 41.796,
+    ("AddressLookup (+ HandleTMC)", "po"): 79.075,
+    ("AddressLookup (+ HandleTMC)", "pno"): 79.075,
+    ("AddressLookup (+ HandleTMC)", "sp"): 79.075,
+    ("AddressLookup (+ HandleTMC)", "pj"): 79.075,
+    ("AddressLookup (+ HandleTMC)", "bur"): 79.075,
+}
+
+#: Table 1 entries the paper could only bound from below (search order noted).
+TABLE1_LOWER_BOUNDS: dict[tuple[str, str], tuple[float, str]] = {
+    ("HandleTMC (+ ChangeVolume)", "pj"): (400.000, "df"),
+    ("HandleTMC (+ ChangeVolume)", "bur"): (500.000, "rdf"),
+    ("K2A (ChangeVolume + HandleTMC)", "pj"): (27.715, "bf"),
+    ("K2A (ChangeVolume + HandleTMC)", "bur"): (27.715, "bf"),
+    ("A2V (ChangeVolume + HandleTMC)", "pj"): (41.795, "bf"),
+    ("A2V (ChangeVolume + HandleTMC)", "bur"): (41.795, "bf"),
+}
+
+#: the tool columns of Table 2
+TABLE2_TOOLS: tuple[str, ...] = (
+    "Uppaal (po)",
+    "Uppaal (pno)",
+    "POOSL (pno)",
+    "SymTA/S (pno)",
+    "MPA (pno)",
+)
+
+#: Table 2 — comparison of the worst-case response times (milliseconds)
+#: computed by the different techniques, all under the pno environment
+#: (except the first column).
+TABLE2_MS: dict[str, dict[str, float]] = {
+    "HandleTMC (+ ChangeVolume)": {
+        "Uppaal (po)": 357.133,
+        "Uppaal (pno)": 381.632,
+        "POOSL (pno)": 266.94,
+        "SymTA/S (pno)": 382.086,
+        "MPA (pno)": 390.0862,
+    },
+    "HandleTMC (+ AddressLookup)": {
+        "Uppaal (po)": 172.106,
+        "Uppaal (pno)": 239.080,
+        "POOSL (pno)": 244.26,
+        "SymTA/S (pno)": 253.304,
+        "MPA (pno)": 265.8491,
+    },
+    "K2A (ChangeVolume + HandleTMC)": {
+        "Uppaal (po)": 27.716,
+        "Uppaal (pno)": 27.716,
+        "POOSL (pno)": 27.7067,
+        "SymTA/S (pno)": 27.717,
+        "MPA (pno)": 28.1616,
+    },
+    "A2V (ChangeVolume + HandleTMC)": {
+        "Uppaal (po)": 41.796,
+        "Uppaal (pno)": 41.796,
+        "POOSL (pno)": 41.7771,
+        "SymTA/S (pno)": 41.798,
+        "MPA (pno)": 42.2424,
+    },
+    "AddressLookup (+ HandleTMC)": {
+        "Uppaal (po)": 79.075,
+        "Uppaal (pno)": 79.075,
+        "POOSL (pno)": 78.8989,
+        "SymTA/S (pno)": 79.076,
+        "MPA (pno)": 84.066,
+    },
+}

@@ -1,0 +1,168 @@
+"""The in-car radio navigation case study (Figs. 1–3 of the paper).
+
+The system consists of three processors connected by one serial
+communication bus (Fig. 1):
+
+* **MMI** — man-machine interface, 22 MIPS,
+* **RAD** — radio functionality, 11 MIPS,
+* **NAV** — navigation functionality, 113 MIPS,
+* a 72 kbit/s communication bus.
+
+The preprint omits the numeric annotations of Fig. 1; the values above are
+taken from the companion case-study description (Wandeler, Thiele, Verhoef,
+Lieverse — *System Architecture Evaluation Using Modular Performance
+Analysis*, ISOLA 2004 / mpa.ethz.ch) and validated by back-calculation: they
+reproduce the paper's 79.075 ms AddressLookup latency exactly (see
+DESIGN.md §3).
+
+Three applications run concurrently:
+
+* **ChangeVolume** (Fig. 2) — the user turns the volume knob at up to 32
+  events/s; the key press is handled on the MMI, the volume is adjusted on
+  the RAD (audible change) and the new value is displayed by the MMI (visual
+  change).  Requirements: key-press-to-visual below 200 ms and
+  audible-to-visual below 50 ms.
+* **HandleTMC** (Fig. 3) — the radio receives ~300 traffic-message-channel
+  messages per 15 minutes; the RAD processes the reception, the NAV decodes
+  the message against the map database, and the MMI displays relevant
+  messages.  Requirement: below 1 s for urgent messages.
+* **AddressLookup** (reconstructed, omitted from the paper for brevity) —
+  the user enters a destination address; a database lookup runs on the NAV
+  and the result list is displayed by the MMI.  Requirement: below 200 ms.
+
+The ChangeVolume and AddressLookup scenarios have priority over the
+HandleTMC scenario; the processors use fixed-priority preemptive scheduling
+(the Fig. 5 pattern) and the bus is a simple non-preemptive FCFS link
+(Fig. 6).
+"""
+
+from __future__ import annotations
+
+from repro.arch.eventmodels import Periodic
+from repro.arch.model import ArchitectureModel
+from repro.arch.requirements import LatencyRequirement
+from repro.arch.resources import (
+    BUS_FCFS_NONDETERMINISTIC,
+    FIXED_PRIORITY_PREEMPTIVE,
+    Bus,
+    Processor,
+)
+from repro.arch.timebase import MICROSECONDS, TimeBase
+from repro.arch.workload import Execute, Message, Operation, Scenario, Transfer
+
+__all__ = [
+    "MMI_MIPS",
+    "RAD_MIPS",
+    "NAV_MIPS",
+    "BUS_KBPS",
+    "CHANGE_VOLUME_PERIOD_S",
+    "HANDLE_TMC_PERIOD_S",
+    "ADDRESS_LOOKUP_PERIOD_S",
+    "build_radio_navigation",
+]
+
+# -- deployment parameters (Fig. 1, values from the companion case study) ----
+MMI_MIPS = 22.0
+RAD_MIPS = 11.0
+NAV_MIPS = 113.0
+BUS_KBPS = 72.0
+
+# -- event rates --------------------------------------------------------------
+#: volume key presses: at most 32 per second
+CHANGE_VOLUME_PERIOD_S = 1.0 / 32.0
+#: TMC messages: 300 per 15 minutes, i.e. one every 3 seconds
+HANDLE_TMC_PERIOD_S = 15.0 * 60.0 / 300.0
+#: address look-up key presses: about one per second
+ADDRESS_LOOKUP_PERIOD_S = 1.0
+
+# -- requirements (in seconds) --------------------------------------------------
+KEY_TO_VISUAL_DEADLINE_S = 0.200
+AUDIBLE_TO_VISUAL_DEADLINE_S = 0.050
+TMC_DEADLINE_S = 1.000
+ADDRESS_LOOKUP_DEADLINE_S = 0.200
+
+
+def build_radio_navigation(timebase: TimeBase = MICROSECONDS) -> ArchitectureModel:
+    """Build the full in-car radio navigation architecture model.
+
+    The returned model contains all three scenarios with their default
+    (periodic, unknown offset) arrival models; use
+    :func:`repro.casestudy.configurations.configure` (or
+    :meth:`ArchitectureModel.restrict` / :meth:`ArchitectureModel.with_event_models`)
+    to obtain the scenario combinations and event-model variants analysed in
+    the paper.
+    """
+    model = ArchitectureModel("radio_navigation", timebase=timebase)
+
+    # ---- resources (Fig. 1) ------------------------------------------------
+    model.add_processor(Processor("MMI", MMI_MIPS, FIXED_PRIORITY_PREEMPTIVE))
+    model.add_processor(Processor("RAD", RAD_MIPS, FIXED_PRIORITY_PREEMPTIVE))
+    model.add_processor(Processor("NAV", NAV_MIPS, FIXED_PRIORITY_PREEMPTIVE))
+    model.add_bus(Bus("BUS", BUS_KBPS, BUS_FCFS_NONDETERMINISTIC))
+
+    # ---- ChangeVolume (Fig. 2) ------------------------------------------------
+    change_volume = Scenario(
+        "ChangeVolume",
+        steps=(
+            Execute(Operation("HandleKeyPress", 1e5), "MMI"),
+            Transfer(Message("SetVolume", 4), "BUS"),
+            Execute(Operation("AdjustVolume", 1e5), "RAD"),
+            Transfer(Message("GetVolume", 4), "BUS"),
+            Execute(Operation("UpdateScreen", 5e5), "MMI"),
+        ),
+        event_model=Periodic(timebase.from_seconds(CHANGE_VOLUME_PERIOD_S)),
+        priority=1,
+    )
+    model.add_scenario(change_volume)
+
+    # ---- HandleTMC (Fig. 3) -----------------------------------------------------
+    handle_tmc = Scenario(
+        "HandleTMC",
+        steps=(
+            Execute(Operation("HandleTMC", 1e6), "RAD"),
+            Transfer(Message("TMCMessage", 64), "BUS"),
+            Execute(Operation("DecodeTMC", 5e6), "NAV"),
+            Transfer(Message("TMCScreenUpdate", 64), "BUS"),
+            Execute(Operation("UpdateScreenTMC", 5e5), "MMI"),
+        ),
+        event_model=Periodic(timebase.from_seconds(HANDLE_TMC_PERIOD_S)),
+        priority=2,
+    )
+    model.add_scenario(handle_tmc)
+
+    # ---- AddressLookup (omitted from the paper, reconstructed) -------------------
+    address_lookup = Scenario(
+        "AddressLookup",
+        steps=(
+            Execute(Operation("HandleKeyPressAL", 1e5), "MMI"),
+            Transfer(Message("LookupRequest", 4), "BUS"),
+            Execute(Operation("DatabaseLookup", 5e6), "NAV"),
+            Transfer(Message("LookupReply", 64), "BUS"),
+            Execute(Operation("UpdateScreenAL", 5e5), "MMI"),
+        ),
+        event_model=Periodic(timebase.from_seconds(ADDRESS_LOOKUP_PERIOD_S)),
+        priority=1,
+    )
+    model.add_scenario(address_lookup)
+
+    # ---- requirements --------------------------------------------------------------
+    model.add_requirement(LatencyRequirement(
+        "K2V", "ChangeVolume", timebase.from_seconds(KEY_TO_VISUAL_DEADLINE_S),
+    ))
+    model.add_requirement(LatencyRequirement(
+        "K2A", "ChangeVolume", timebase.from_seconds(KEY_TO_VISUAL_DEADLINE_S),
+        end_after="AdjustVolume",
+    ))
+    model.add_requirement(LatencyRequirement(
+        "A2V", "ChangeVolume", timebase.from_seconds(AUDIBLE_TO_VISUAL_DEADLINE_S),
+        start_after="AdjustVolume", end_after="UpdateScreen",
+    ))
+    model.add_requirement(LatencyRequirement(
+        "TMC", "HandleTMC", timebase.from_seconds(TMC_DEADLINE_S),
+    ))
+    model.add_requirement(LatencyRequirement(
+        "ALK2V", "AddressLookup", timebase.from_seconds(ADDRESS_LOOKUP_DEADLINE_S),
+    ))
+
+    model.validate()
+    return model

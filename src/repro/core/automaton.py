@@ -1,0 +1,320 @@
+"""Timed automaton templates: locations, edges and a fluent builder API.
+
+A :class:`TimedAutomaton` is a *template* in UPPAAL terminology: it declares
+local clocks, bounded integer variables and named constants, a set of
+locations (one of which is initial) and a set of edges.  Templates are
+instantiated inside a :class:`~repro.core.network.Network`, which prefixes
+local entity names with the instance name and inlines constants.
+
+The builder methods accept guards, invariants, synchronisations and updates
+either as already-constructed objects or as strings in UPPAAL-like syntax::
+
+    rad = TimedAutomaton("RAD")
+    rad.add_clock("x")
+    rad.add_constant("AV", 9091)
+    rad.add_location("idle", initial=True)
+    rad.add_location("adjust_volume", invariant="x <= AV")
+    rad.add_edge("idle", "adjust_volume",
+                 guard="setvolume > 0", sync="hurry!",
+                 updates="setvolume--", resets="x")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core import expressions as ex
+from repro.core.declarations import Clock, Constant, IntVariable
+from repro.core.guards import (
+    Guard,
+    Invariant,
+    TRUE_GUARD,
+    TRUE_INVARIANT,
+    compile_guard,
+    compile_invariant,
+)
+from repro.util.errors import ModelError
+from repro.util.intervals import IntInterval
+from repro.util.naming import check_identifier
+
+__all__ = ["Location", "Sync", "Edge", "TimedAutomaton"]
+
+
+@dataclass(frozen=True)
+class Location:
+    """A control location of a timed automaton.
+
+    ``urgent`` locations forbid the passage of time; ``committed`` locations
+    additionally require the next transition in the whole network to involve
+    an automaton that currently resides in a committed location (UPPAAL
+    semantics; the paper's observer automaton uses a committed ``seen``
+    location).
+    """
+
+    name: str
+    invariant: Invariant = TRUE_INVARIANT
+    urgent: bool = False
+    committed: bool = False
+
+    def __post_init__(self):
+        check_identifier(self.name, "location")
+        if self.urgent and self.committed:
+            raise ModelError(f"location {self.name!r} cannot be both urgent and committed")
+        if self.committed and not self.invariant.is_trivially_true:
+            raise ModelError(f"committed location {self.name!r} may not carry an invariant")
+
+    def __str__(self) -> str:
+        flags = "".join(
+            flag for flag, active in (("(urgent)", self.urgent), ("(committed)", self.committed)) if active
+        )
+        inv = "" if self.invariant.is_trivially_true else f" inv: {self.invariant}"
+        return f"{self.name}{flags}{inv}"
+
+
+@dataclass(frozen=True)
+class Sync:
+    """A synchronisation label: channel name plus direction ('!' or '?')."""
+
+    channel: str
+    direction: str
+
+    def __post_init__(self):
+        if self.direction not in ("!", "?"):
+            raise ModelError(f"sync direction must be '!' or '?', got {self.direction!r}")
+        check_identifier(self.channel, "channel")
+
+    @property
+    def is_send(self) -> bool:
+        return self.direction == "!"
+
+    @property
+    def is_receive(self) -> bool:
+        return self.direction == "?"
+
+    @classmethod
+    def parse(cls, text: "str | Sync | None") -> "Sync | None":
+        """Parse ``"channel!"`` / ``"channel?"`` strings (``None`` passes through)."""
+        if text is None or isinstance(text, Sync):
+            return text
+        text = text.strip()
+        if not text:
+            return None
+        if text[-1] not in "!?":
+            raise ModelError(f"synchronisation {text!r} must end in '!' or '?'")
+        return cls(text[:-1], text[-1])
+
+    def __str__(self) -> str:
+        return f"{self.channel}{self.direction}"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A discrete transition between two locations of one automaton."""
+
+    source: str
+    target: str
+    guard: Guard = TRUE_GUARD
+    sync: Sync | None = None
+    updates: tuple[ex.Assignment, ...] = ()
+    resets: tuple[tuple[str, ex.Expr], ...] = ()
+
+    def __str__(self) -> str:
+        parts = [f"{self.source} -> {self.target}"]
+        if not self.guard.is_trivially_true:
+            parts.append(f"[{self.guard}]")
+        if self.sync is not None:
+            parts.append(str(self.sync))
+        actions = [str(u) for u in self.updates] + [f"{clock} = {value}" for clock, value in self.resets]
+        if actions:
+            parts.append("{" + ", ".join(actions) + "}")
+        return " ".join(parts)
+
+
+class TimedAutomaton:
+    """A timed automaton template with a fluent builder API."""
+
+    def __init__(self, name: str):
+        check_identifier(name, "automaton")
+        self.name = name
+        self.clocks: dict[str, Clock] = {}
+        self.variables: dict[str, IntVariable] = {}
+        self.constants: dict[str, Constant] = {}
+        self.locations: dict[str, Location] = {}
+        self.initial_location: str | None = None
+        self.edges: list[Edge] = []
+
+    # -- declarations --------------------------------------------------------
+    def add_clock(self, name: str) -> Clock:
+        """Declare a local clock."""
+        clock = Clock(name)
+        self._check_fresh(name)
+        self.clocks[name] = clock
+        return clock
+
+    def add_variable(
+        self,
+        name: str,
+        initial: int = 0,
+        lo: int | None = None,
+        hi: int | None = None,
+    ) -> IntVariable:
+        """Declare a local bounded integer variable."""
+        if lo is None and hi is None:
+            domain = IntInterval(-32768, 32767)
+        else:
+            domain = IntInterval(lo if lo is not None else 0, hi if hi is not None else 32767)
+        variable = IntVariable(name, initial, domain)
+        self._check_fresh(name)
+        self.variables[name] = variable
+        return variable
+
+    def add_constant(self, name: str, value: int) -> Constant:
+        """Declare a local named integer constant (inlined at instantiation)."""
+        constant = Constant(name, int(value))
+        self._check_fresh(name)
+        self.constants[name] = constant
+        return constant
+
+    def _check_fresh(self, name: str) -> None:
+        for table, kind in (
+            (self.clocks, "clock"),
+            (self.variables, "variable"),
+            (self.constants, "constant"),
+        ):
+            if name in table:
+                raise ModelError(f"name {name!r} already declared as a {kind} in {self.name}")
+
+    # -- locations -----------------------------------------------------------
+    def add_location(
+        self,
+        name: str,
+        invariant: "str | Invariant | None" = None,
+        urgent: bool = False,
+        committed: bool = False,
+        initial: bool = False,
+    ) -> Location:
+        """Add a location; ``invariant`` may be a string over local names."""
+        if name in self.locations:
+            raise ModelError(f"location {name!r} already exists in {self.name}")
+        location = Location(
+            name,
+            invariant=compile_invariant(invariant, self.clocks),
+            urgent=urgent,
+            committed=committed,
+        )
+        self.locations[name] = location
+        if initial:
+            if self.initial_location is not None:
+                raise ModelError(
+                    f"automaton {self.name} already has initial location {self.initial_location!r}"
+                )
+            self.initial_location = name
+        return location
+
+    # -- edges -----------------------------------------------------------------
+    def add_edge(
+        self,
+        source: str,
+        target: str,
+        guard: "str | Guard | None" = None,
+        sync: "str | Sync | None" = None,
+        updates: "str | Sequence[ex.Assignment] | None" = None,
+        resets: "str | Sequence | Mapping | None" = None,
+    ) -> Edge:
+        """Add an edge.
+
+        * ``guard`` — string / :class:`Guard`; clock names are resolved against
+          the local clock declarations.
+        * ``sync`` — ``"channel!"`` or ``"channel?"``.
+        * ``updates`` — comma-separated update string or list of assignments.
+        * ``resets`` — clock resets: a clock name, a comma separated string of
+          clock names (``"x, y"``), a mapping ``{"x": 0}``, or a sequence of
+          ``(clock, value)`` pairs; values may be integers or expressions.
+        """
+        for loc in (source, target):
+            if loc not in self.locations:
+                raise ModelError(f"unknown location {loc!r} in edge of {self.name}")
+        edge = Edge(
+            source=source,
+            target=target,
+            guard=compile_guard(guard, self.clocks),
+            sync=Sync.parse(sync),
+            updates=self._parse_updates(updates),
+            resets=self._parse_resets(resets),
+        )
+        self.edges.append(edge)
+        return edge
+
+    def _parse_updates(self, updates) -> tuple[ex.Assignment, ...]:
+        if updates is None:
+            return ()
+        if isinstance(updates, str):
+            return tuple(ex.parse_updates(updates))
+        return tuple(updates)
+
+    def _parse_resets(self, resets) -> tuple[tuple[str, ex.Expr], ...]:
+        if resets is None:
+            return ()
+        if isinstance(resets, str):
+            names = [part.strip() for part in resets.split(",") if part.strip()]
+            parsed: list[tuple[str, ex.Expr]] = []
+            for name in names:
+                if "=" in name:
+                    clock, _, value = name.partition("=")
+                    parsed.append((clock.strip(), ex.as_expr(value.strip())))
+                else:
+                    parsed.append((name, ex.IntConst(0)))
+            items: Iterable = parsed
+        elif isinstance(resets, Mapping):
+            items = resets.items()
+        else:
+            items = resets
+        out: list[tuple[str, ex.Expr]] = []
+        for item in items:
+            if isinstance(item, str):
+                clock, value = item, 0
+            else:
+                clock, value = item
+            if clock not in self.clocks:
+                raise ModelError(f"reset of unknown clock {clock!r} in {self.name}")
+            out.append((clock, ex.as_expr(value)))
+        return tuple(out)
+
+    # -- queries -------------------------------------------------------------
+    def outgoing(self, location: str) -> list[Edge]:
+        """Edges leaving *location*."""
+        return [edge for edge in self.edges if edge.source == location]
+
+    def location_names(self) -> list[str]:
+        return list(self.locations)
+
+    def validate(self) -> None:
+        """Check structural well-formedness (initial location, name references)."""
+        if self.initial_location is None:
+            raise ModelError(f"automaton {self.name} has no initial location")
+        known_names = set(self.clocks) | set(self.variables) | set(self.constants)
+        for edge in self.edges:
+            for clock, _value in edge.resets:
+                if clock not in self.clocks:
+                    raise ModelError(f"{self.name}: reset of unknown clock {clock!r}")
+            for constraint in edge.guard.clock_constraints:
+                if constraint.clock not in self.clocks or (
+                    constraint.other is not None and constraint.other not in self.clocks
+                ):
+                    # the constraint may reference a global clock; defer to network validation
+                    continue
+        for location in self.locations.values():
+            for constraint in location.invariant.constraints:
+                if constraint.clock not in self.clocks:
+                    continue  # may be global; checked at network level
+        # local sanity: local names must not collide with nothing else here
+        del known_names
+
+    def __str__(self) -> str:
+        return (
+            f"TimedAutomaton({self.name}: {len(self.locations)} locations, "
+            f"{len(self.edges)} edges, {len(self.clocks)} clocks)"
+        )
+
+    __repr__ = __str__

@@ -1,0 +1,517 @@
+"""Difference Bound Matrices (DBMs) — the zone representation of UPPAAL.
+
+A zone is a conjunction of constraints of the form ``x_i - x_j <= c`` or
+``x_i - x_j < c`` over the clocks ``x_1 .. x_{n-1}`` plus the reference clock
+``x_0`` which is constantly zero.  A DBM stores one bound per ordered clock
+pair in an ``n x n`` matrix.
+
+Bound encoding
+--------------
+Each matrix entry is an integer *raw* bound, following the encoding of the
+UPPAAL DBM library::
+
+    raw = 2 * c + 1      encodes  (c, <=)   -- "weak" bound
+    raw = 2 * c          encodes  (c, <)    -- "strict" bound
+    INFINITY_RAW         encodes  no bound
+
+With this encoding a smaller raw value is always a *tighter* constraint,
+which makes minimisation, comparison and inclusion checks plain integer
+comparisons.
+
+Canonical form
+--------------
+All public operations keep the DBM *closed* (canonical): every entry is the
+length of the shortest path in the constraint graph.  Closure is computed
+with Floyd-Warshall; incremental variants (``constrain_and_close``) touch
+only the rows/columns affected by a single new constraint.
+
+Two closure backends are provided: a pure-Python triple loop and a
+vectorised numpy implementation.  For the small dimensions used by the case
+study (about ten clocks) the pure-Python backend is typically faster because
+it avoids array-creation overhead, but the numpy backend wins for larger
+dimensions; the choice is benchmarked in ``benchmarks/bench_ablation_core.py``
+and can be switched globally via :func:`set_close_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.util.errors import ModelError
+
+__all__ = [
+    "INFINITY_RAW",
+    "LE_ZERO",
+    "LT_ZERO",
+    "bound",
+    "bound_value",
+    "bound_is_strict",
+    "bound_as_tuple",
+    "add_raw",
+    "negate_weak",
+    "DBM",
+    "set_close_backend",
+    "get_close_backend",
+]
+
+# A raw value larger than any bound that can arise from model constants.
+# Model constants in this library are micro-seconds up to a few seconds
+# (about 1e7); sums of two bounds stay far below this sentinel.
+INFINITY_RAW: int = 2**40
+
+#: raw encoding of the bound (0, <=)
+LE_ZERO: int = 1
+#: raw encoding of the bound (0, <)
+LT_ZERO: int = 0
+
+
+def bound(value: int, strict: bool = False) -> int:
+    """Encode the bound ``(value, < )`` if *strict* else ``(value, <=)``."""
+    return 2 * int(value) + (0 if strict else 1)
+
+
+def bound_value(raw: int) -> int:
+    """Decode the numeric part of a raw bound (undefined for infinity)."""
+    return raw >> 1
+
+
+def bound_is_strict(raw: int) -> bool:
+    """Return ``True`` if the raw bound encodes a strict inequality."""
+    return (raw & 1) == 0
+
+
+def bound_as_tuple(raw: int) -> tuple[int | None, bool]:
+    """Decode a raw bound into ``(value, strict)``; infinity gives ``(None, True)``."""
+    if raw >= INFINITY_RAW:
+        return None, True
+    return bound_value(raw), bound_is_strict(raw)
+
+
+def add_raw(a: int, b: int) -> int:
+    """Add two raw bounds (used for path shortening in the closure)."""
+    if a >= INFINITY_RAW or b >= INFINITY_RAW:
+        return INFINITY_RAW
+    # value(a)+value(b), strict unless both weak
+    return (a & ~1) + (b & ~1) + ((a & 1) & (b & 1))
+
+
+def negate_weak(raw: int) -> int:
+    """Return the raw bound for the negation of a weak/strict constraint.
+
+    The negation of ``x - y <= c`` is ``y - x < -c`` and the negation of
+    ``x - y < c`` is ``y - x <= -c``.
+    """
+    if raw >= INFINITY_RAW:
+        raise ModelError("cannot negate an infinite bound")
+    value, strict = bound_value(raw), bound_is_strict(raw)
+    return bound(-value, strict=not strict)
+
+
+# ---------------------------------------------------------------------------
+# Closure backends
+# ---------------------------------------------------------------------------
+
+def _close_python(m: list[int], dim: int) -> None:
+    """Floyd-Warshall closure of a flat row-major raw-bound matrix, in place."""
+    inf = INFINITY_RAW
+    for k in range(dim):
+        row_k = k * dim
+        for i in range(dim):
+            row_i = i * dim
+            d_ik = m[row_i + k]
+            if d_ik >= inf:
+                continue
+            base = d_ik & ~1
+            sbit = d_ik & 1
+            for j in range(dim):
+                d_kj = m[row_k + j]
+                if d_kj >= inf:
+                    continue
+                candidate = base + (d_kj & ~1) + (sbit & d_kj & 1)
+                if candidate < m[row_i + j]:
+                    m[row_i + j] = candidate
+
+
+def _close_numpy(m: list[int], dim: int) -> None:
+    """Vectorised Floyd-Warshall closure using numpy, in place on the list."""
+    a = np.array(m, dtype=np.int64).reshape(dim, dim)
+    inf = INFINITY_RAW
+    for k in range(dim):
+        col = a[:, k : k + 1]
+        row = a[k : k + 1, :]
+        # raw addition: values add, strictness = AND of weak bits
+        cand = (col & ~1) + (row & ~1) + ((col & 1) & (row & 1))
+        cand = np.where((col >= inf) | (row >= inf), inf, cand)
+        np.minimum(a, cand, out=a)
+    m[:] = a.reshape(-1).tolist()
+
+
+_CLOSE_BACKENDS = {"python": _close_python, "numpy": _close_numpy}
+_close = _close_python
+
+
+def set_close_backend(name: str) -> None:
+    """Select the Floyd-Warshall backend: ``"python"`` or ``"numpy"``."""
+    global _close
+    try:
+        _close = _CLOSE_BACKENDS[name]
+    except KeyError as exc:
+        raise ModelError(f"unknown DBM close backend {name!r}") from exc
+
+
+def get_close_backend() -> str:
+    """Return the name of the currently selected closure backend."""
+    for name, fn in _CLOSE_BACKENDS.items():
+        if fn is _close:
+            return name
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# The DBM class
+# ---------------------------------------------------------------------------
+
+class DBM:
+    """A difference bound matrix over ``dim`` clocks (including the reference).
+
+    Clock index ``0`` is the reference clock; real clocks use indices
+    ``1 .. dim-1``.  Instances behave like mutable values: operations modify
+    the receiver in place and return ``self`` to allow chaining; use
+    :meth:`copy` for persistent snapshots (the model checker copies before
+    mutating).
+    """
+
+    __slots__ = ("dim", "m")
+
+    def __init__(self, dim: int, raw: Sequence[int] | None = None):
+        if dim < 1:
+            raise ModelError("DBM dimension must be at least 1")
+        self.dim = dim
+        if raw is None:
+            # default-construct the universal zone (all clocks >= 0)
+            self.m = [INFINITY_RAW] * (dim * dim)
+            for i in range(dim):
+                self.m[i * dim + i] = LE_ZERO
+                self.m[0 * dim + i] = LE_ZERO
+        else:
+            raw = list(raw)
+            if len(raw) != dim * dim:
+                raise ModelError("raw DBM data has the wrong length")
+            self.m = raw
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def zero(cls, dim: int) -> "DBM":
+        """The zone in which every clock equals zero."""
+        d = cls(dim)
+        d.m = [LE_ZERO] * (dim * dim)
+        return d
+
+    @classmethod
+    def universal(cls, dim: int) -> "DBM":
+        """The zone containing every non-negative clock valuation."""
+        d = cls(dim)
+        m = [INFINITY_RAW] * (dim * dim)
+        for i in range(dim):
+            m[i * dim + i] = LE_ZERO
+            m[0 * dim + i] = LE_ZERO  # 0 - x_i <= 0, i.e. x_i >= 0
+        m[0] = LE_ZERO
+        d.m = m
+        return d
+
+    # -- accessors -------------------------------------------------------------
+    def get(self, i: int, j: int) -> int:
+        """Raw bound on ``x_i - x_j``."""
+        return self.m[i * self.dim + j]
+
+    def set(self, i: int, j: int, raw: int) -> None:
+        """Set the raw bound on ``x_i - x_j`` (does not re-close)."""
+        self.m[i * self.dim + j] = raw
+
+    def upper_bound(self, clock: int) -> int:
+        """Raw upper bound of ``clock`` (bound on ``x_clock - x_0``)."""
+        return self.get(clock, 0)
+
+    def lower_bound(self, clock: int) -> int:
+        """Raw bound on ``x_0 - x_clock`` (the negated lower bound)."""
+        return self.get(0, clock)
+
+    def copy(self) -> "DBM":
+        """Return an independent copy."""
+        clone = DBM.__new__(DBM)
+        clone.dim = self.dim
+        clone.m = list(self.m)
+        return clone
+
+    def key(self) -> bytes:
+        """A hashable canonical key (requires the DBM to be closed)."""
+        return np.array(self.m, dtype=np.int64).tobytes()
+
+    # -- basic predicates --------------------------------------------------------
+    def is_empty(self) -> bool:
+        """Return ``True`` when the zone contains no clock valuation.
+
+        A closed DBM is empty iff the diagonal carries a negative cycle,
+        which manifests as ``m[0][0] < (0, <=)``.
+        """
+        return self.m[0] < LE_ZERO
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        """Check membership of a concrete valuation (point[0] must be 0)."""
+        if len(point) != self.dim:
+            raise ModelError("point has wrong dimension")
+        for i in range(self.dim):
+            for j in range(self.dim):
+                raw = self.get(i, j)
+                if raw >= INFINITY_RAW:
+                    continue
+                diff = point[i] - point[j]
+                value, strict = bound_value(raw), bound_is_strict(raw)
+                if diff > value or (strict and diff == value):
+                    return False
+        return True
+
+    # -- canonicalisation ----------------------------------------------------------
+    def close(self) -> "DBM":
+        """Compute the canonical (all-pairs-shortest-path) form in place."""
+        _close(self.m, self.dim)
+        return self
+
+    def close_touched(self, touched: Iterable[int]) -> "DBM":
+        """Re-close after modifying only rows/columns in *touched*.
+
+        Runs one Floyd-Warshall sweep per touched index which is sufficient
+        when the matrix was canonical before the modification.
+        """
+        m, dim = self.m, self.dim
+        inf = INFINITY_RAW
+        for k in touched:
+            row_k = k * dim
+            for i in range(dim):
+                row_i = i * dim
+                d_ik = m[row_i + k]
+                if d_ik >= inf:
+                    continue
+                base = d_ik & ~1
+                sbit = d_ik & 1
+                for j in range(dim):
+                    d_kj = m[row_k + j]
+                    if d_kj >= inf:
+                        continue
+                    candidate = base + (d_kj & ~1) + (sbit & d_kj & 1)
+                    if candidate < m[row_i + j]:
+                        m[row_i + j] = candidate
+        return self
+
+    # -- zone operations --------------------------------------------------------------
+    def up(self) -> "DBM":
+        """Delay: remove the upper bounds of all clocks (future closure)."""
+        dim = self.dim
+        for i in range(1, dim):
+            self.m[i * dim + 0] = INFINITY_RAW
+        return self
+
+    def down(self) -> "DBM":
+        """Past: allow all clocks to have been smaller (used for backwards analysis)."""
+        dim, m = self.dim, self.m
+        for i in range(1, dim):
+            m[0 * dim + i] = LE_ZERO
+            for j in range(1, dim):
+                if m[j * dim + i] < m[0 * dim + i]:
+                    m[0 * dim + i] = m[j * dim + i]
+        return self.close()
+
+    def constrain(self, i: int, j: int, raw: int) -> bool:
+        """Add the constraint ``x_i - x_j (raw)``; re-close incrementally.
+
+        Returns ``False`` if the zone became empty.
+        """
+        dim, m = self.dim, self.m
+        if raw < m[i * dim + j]:
+            m[i * dim + j] = raw
+            # check for an immediate negative cycle
+            if add_raw(raw, m[j * dim + i]) < LE_ZERO:
+                m[0] = LT_ZERO - 2  # mark empty
+                return False
+            self.close_touched((i, j))
+        return not self.is_empty()
+
+    def free(self, clock: int) -> "DBM":
+        """Remove all constraints on *clock* (it may take any value >= 0)."""
+        dim, m = self.dim, self.m
+        for j in range(dim):
+            if j != clock:
+                m[clock * dim + j] = INFINITY_RAW
+                m[j * dim + clock] = m[j * dim + 0]
+        m[0 * dim + clock] = LE_ZERO
+        m[clock * dim + clock] = LE_ZERO
+        return self
+
+    def reset(self, clock: int, value: int = 0) -> "DBM":
+        """Reset *clock* to the constant *value* (must be closed beforehand)."""
+        dim, m = self.dim, self.m
+        pos = bound(value)
+        neg = bound(-value)
+        for j in range(dim):
+            if j == clock:
+                continue
+            m[clock * dim + j] = add_raw(pos, m[0 * dim + j])
+            m[j * dim + clock] = add_raw(m[j * dim + 0], neg)
+        m[clock * dim + clock] = LE_ZERO
+        return self
+
+    def copy_clock(self, dst: int, src: int) -> "DBM":
+        """Assign clock *dst* := clock *src* (UPPAAL clock copy)."""
+        dim, m = self.dim, self.m
+        if dst == src:
+            return self
+        for j in range(dim):
+            if j != dst:
+                m[dst * dim + j] = m[src * dim + j]
+                m[j * dim + dst] = m[j * dim + src]
+        m[dst * dim + dst] = LE_ZERO
+        m[dst * dim + src] = LE_ZERO
+        m[src * dim + dst] = LE_ZERO
+        return self
+
+    def intersect(self, other: "DBM") -> "DBM":
+        """In-place intersection with *other* (then re-closed)."""
+        if other.dim != self.dim:
+            raise ModelError("cannot intersect DBMs of different dimension")
+        changed = False
+        for idx, raw in enumerate(other.m):
+            if raw < self.m[idx]:
+                self.m[idx] = raw
+                changed = True
+        if changed:
+            self.close()
+        return self
+
+    # -- relations -----------------------------------------------------------------------
+    def is_subset_of(self, other: "DBM") -> bool:
+        """Return ``True`` when this zone is included in *other* (both closed)."""
+        if other.dim != self.dim:
+            raise ModelError("cannot compare DBMs of different dimension")
+        for a, b in zip(self.m, other.m):
+            if a > b:
+                return False
+        return True
+
+    def is_superset_of(self, other: "DBM") -> bool:
+        """Return ``True`` when this zone includes *other* (both closed)."""
+        return other.is_subset_of(self)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DBM):
+            return NotImplemented
+        return self.dim == other.dim and self.m == other.m
+
+    def __hash__(self) -> int:
+        return hash((self.dim, tuple(self.m)))
+
+    def intersects(self, other: "DBM") -> bool:
+        """Return ``True`` if the intersection of the two zones is non-empty."""
+        probe = self.copy()
+        probe.intersect(other)
+        return not probe.is_empty()
+
+    # -- extrapolation ---------------------------------------------------------------------
+    def extrapolate_max_bounds(self, max_bounds: Sequence[int]) -> "DBM":
+        """Classical k-extrapolation with per-clock maximal constants.
+
+        ``max_bounds[i]`` is the largest constant the model compares clock
+        ``i`` against (``max_bounds[0]`` must be 0).  Bounds above the maximal
+        constant are abstracted to infinity, lower bounds below ``-max`` are
+        relaxed, and the result is re-closed.  This is the abstraction that
+        guarantees termination of the zone-graph exploration while preserving
+        reachability (Behrmann et al., "A Tutorial on UPPAAL").
+        """
+        dim, m = self.dim, self.m
+        if len(max_bounds) != dim:
+            raise ModelError("max_bounds must have one entry per clock")
+        upper_raw = [bound(value) for value in max_bounds]
+        lower_raw = [bound(-value, strict=True) for value in max_bounds]
+        changed = False
+        for i in range(dim):
+            row = i * dim
+            max_raw_i = upper_raw[i]
+            for j in range(dim):
+                if i == j:
+                    continue
+                raw = m[row + j]
+                if raw >= INFINITY_RAW:
+                    continue
+                if i != 0 and raw > max_raw_i:
+                    m[row + j] = INFINITY_RAW
+                    changed = True
+                elif max_bounds[j] >= 0 and raw < lower_raw[j]:
+                    # classical Extra_M: relax bounds below -M(x_j) to (-M(x_j), <)
+                    m[row + j] = lower_raw[j]
+                    changed = True
+        if changed:
+            self.close()
+        return self
+
+    def extrapolate_lu_bounds(self, lower: Sequence[int], upper: Sequence[int]) -> "DBM":
+        """LU-extrapolation (Behrmann/Bouyer/Larsen/Pelanek).
+
+        ``lower[i]`` is the largest constant appearing in lower-bound
+        comparisons of clock ``i`` (``x_i > c`` / ``x_i >= c``), ``upper[i]``
+        the largest constant in upper-bound comparisons (``x_i < c`` /
+        ``x_i <= c``).  Coarser than max-bounds extrapolation, still exact for
+        reachability of location/data properties.
+        """
+        dim, m = self.dim, self.m
+        if len(lower) != dim or len(upper) != dim:
+            raise ModelError("LU bound vectors must have one entry per clock")
+        changed = False
+        for i in range(dim):
+            for j in range(dim):
+                if i == j:
+                    continue
+                raw = m[i * dim + j]
+                if raw >= INFINITY_RAW:
+                    continue
+                if i != 0 and raw > bound(lower[i]):
+                    m[i * dim + j] = INFINITY_RAW
+                    changed = True
+                elif upper[j] >= 0 and raw < bound(-upper[j], strict=True):
+                    m[i * dim + j] = bound(-upper[j], strict=True)
+                    changed = True
+        if changed:
+            self.close()
+        return self
+
+    # -- pretty printing ------------------------------------------------------------------
+    def constraints(self, clock_names: Sequence[str] | None = None) -> list[str]:
+        """Human-readable list of the non-trivial constraints of the zone."""
+        names = clock_names or [f"x{i}" for i in range(self.dim)]
+        if len(names) != self.dim:
+            raise ModelError("clock_names must have one entry per clock")
+        out = []
+        for i in range(self.dim):
+            for j in range(self.dim):
+                if i == j:
+                    continue
+                raw = self.get(i, j)
+                if raw >= INFINITY_RAW:
+                    continue
+                if i == 0 and raw == LE_ZERO:
+                    continue  # trivial x_j >= 0
+                value, strict = bound_value(raw), bound_is_strict(raw)
+                op = "<" if strict else "<="
+                if j == 0:
+                    out.append(f"{names[i]} {op} {value}")
+                elif i == 0:
+                    out.append(f"-{names[j]} {op} {value}")
+                else:
+                    out.append(f"{names[i]} - {names[j]} {op} {value}")
+        return out
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(self.constraints()) + "}"
+
+    def __repr__(self) -> str:
+        return f"DBM(dim={self.dim}, {self})"

@@ -1,0 +1,110 @@
+"""Declarations of clocks, bounded integer variables, constants and channels.
+
+These small value classes are shared by automaton templates (local
+declarations) and by :class:`~repro.core.network.Network` (global
+declarations).  All of them are immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ModelError
+from repro.util.intervals import IntInterval
+from repro.util.naming import check_identifier
+
+__all__ = ["Clock", "IntVariable", "Constant", "Channel", "BINARY", "BROADCAST"]
+
+#: Default domain of an integer variable, mirroring UPPAAL's int16 default.
+DEFAULT_INT_RANGE = IntInterval(-32768, 32767)
+
+#: Channel kinds
+BINARY = "binary"
+BROADCAST = "broadcast"
+
+
+@dataclass(frozen=True)
+class Clock:
+    """A clock declaration.
+
+    Clocks advance at rate one in every location and can only be reset to
+    integer constants on edges.
+    """
+
+    name: str
+
+    def __post_init__(self):
+        check_identifier(self.name, "clock")
+
+    def __str__(self) -> str:
+        return f"clock {self.name}"
+
+
+@dataclass(frozen=True)
+class IntVariable:
+    """A bounded integer variable declaration.
+
+    ``initial`` must lie inside ``domain``.  The domain is used both for
+    run-time range checking (UPPAAL semantics: assigning outside the range is
+    a modelling error) and for interval analysis of expressions.
+    """
+
+    name: str
+    initial: int = 0
+    domain: IntInterval = field(default=DEFAULT_INT_RANGE)
+
+    def __post_init__(self):
+        check_identifier(self.name, "variable")
+        if not self.domain.contains(self.initial):
+            raise ModelError(
+                f"initial value {self.initial} of variable {self.name!r} "
+                f"outside its domain {self.domain}"
+            )
+
+    def __str__(self) -> str:
+        return f"int[{self.domain.lo},{self.domain.hi}] {self.name} = {self.initial}"
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A named integer constant (UPPAAL ``const int``)."""
+
+    name: str
+    value: int
+
+    def __post_init__(self):
+        check_identifier(self.name, "constant")
+
+    def __str__(self) -> str:
+        return f"const int {self.name} = {self.value}"
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A synchronisation channel.
+
+    ``kind`` is either ``"binary"`` (hand-shake between exactly one sender
+    and one receiver) or ``"broadcast"`` (one sender, all enabled receivers,
+    never blocking for the sender).  ``urgent`` channels forbid the passage
+    of time whenever a synchronisation on the channel is enabled -- this is
+    the mechanism behind the paper's ``hurry!`` pattern that enforces greedy
+    behaviour of the hardware and bus automata.
+    """
+
+    name: str
+    kind: str = BINARY
+    urgent: bool = False
+
+    def __post_init__(self):
+        check_identifier(self.name, "channel")
+        if self.kind not in (BINARY, BROADCAST):
+            raise ModelError(f"unknown channel kind {self.kind!r}")
+
+    def __str__(self) -> str:
+        qualifiers = []
+        if self.urgent:
+            qualifiers.append("urgent")
+        if self.kind == BROADCAST:
+            qualifiers.append("broadcast")
+        qualifiers.append("chan")
+        return " ".join(qualifiers) + f" {self.name}"

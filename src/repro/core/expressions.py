@@ -1,0 +1,785 @@
+"""Integer/boolean expression language used in guards, invariants and updates.
+
+The expression language is a small, UPPAAL-flavoured subset of C:
+
+* integer expressions: literals, variable references, unary ``-``/``+``,
+  ``* / %``, ``+ -``, and the ternary conditional ``cond ? a : b``;
+* boolean expressions: ``true``/``false``, comparisons
+  (``< <= == != >= >``), ``!``, ``&&``, ``||``;
+* update statements: ``x = e``, ``x += e``, ``x -= e``, ``x++``, ``x--``,
+  several of them separated by commas.
+
+Expressions are represented as a small immutable AST.  Two evaluation
+strategies exist:
+
+* :meth:`Expr.evaluate` interprets the tree against a mapping from variable
+  names to integers (simple, used in tests and error reporting);
+* :func:`compile_int_expr` / :func:`compile_bool_expr` generate a Python
+  closure over an *indexed* state vector which is considerably faster and is
+  what the model checker uses in its inner loop.
+
+The module also provides :func:`parse_expression`, :func:`parse_updates`
+and interval analysis (:meth:`Expr.bounds`) which is used to derive clock
+extrapolation constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.util.errors import ModelError, ParseError
+from repro.util.intervals import IntInterval
+
+__all__ = [
+    "Expr",
+    "IntConst",
+    "BoolConst",
+    "VarRef",
+    "Unary",
+    "Binary",
+    "Compare",
+    "Logical",
+    "Not",
+    "Conditional",
+    "Assignment",
+    "parse_expression",
+    "parse_updates",
+    "compile_int_expr",
+    "compile_bool_expr",
+    "compile_updates",
+    "substitute",
+    "const",
+    "var",
+]
+
+# Comparison operators and their Python implementations.
+_CMP_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    ">=": lambda a, b: a >= b,
+    ">": lambda a, b: a > b,
+}
+
+_ARITH_OPS = {"+", "-", "*", "/", "%"}
+
+
+class Expr:
+    """Base class of all expression nodes.
+
+    Nodes are immutable and hashable; equality is structural.
+    """
+
+    #: ``True`` for nodes whose value is boolean, ``False`` for integers.
+    is_boolean: bool = False
+
+    # -- evaluation ----------------------------------------------------------
+    def evaluate(self, env: Mapping[str, int]):
+        """Evaluate the expression against a name -> int mapping."""
+        raise NotImplementedError
+
+    # -- analysis ------------------------------------------------------------
+    def variables(self) -> frozenset[str]:
+        """Return the set of variable names referenced by the expression."""
+        raise NotImplementedError
+
+    def bounds(self, domains: Mapping[str, IntInterval]) -> IntInterval:
+        """Conservative interval of possible values given variable domains."""
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        """Return a copy with variable names substituted via *mapping*."""
+        raise NotImplementedError
+
+    # -- code generation ------------------------------------------------------
+    def to_python(self, index: Mapping[str, int], state_name: str = "v") -> str:
+        """Emit a Python expression string reading variables from ``v[i]``."""
+        raise NotImplementedError
+
+    # -- misc ------------------------------------------------------------------
+    def __str__(self) -> str:  # pragma: no cover - overridden everywhere
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self})"
+
+
+@dataclass(frozen=True)
+class IntConst(Expr):
+    """An integer literal."""
+
+    value: int
+
+    def evaluate(self, env):
+        return self.value
+
+    def variables(self):
+        return frozenset()
+
+    def bounds(self, domains):
+        return IntInterval(self.value, self.value)
+
+    def rename(self, mapping):
+        return self
+
+    def to_python(self, index, state_name="v"):
+        return repr(int(self.value))
+
+    def __str__(self):
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BoolConst(Expr):
+    """A boolean literal (``true`` / ``false``)."""
+
+    value: bool
+    is_boolean = True
+
+    def evaluate(self, env):
+        return bool(self.value)
+
+    def variables(self):
+        return frozenset()
+
+    def bounds(self, domains):
+        return IntInterval(int(self.value), int(self.value))
+
+    def rename(self, mapping):
+        return self
+
+    def to_python(self, index, state_name="v"):
+        return "True" if self.value else "False"
+
+    def __str__(self):
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """Reference to an integer variable (or constant parameter) by name."""
+
+    name: str
+
+    def evaluate(self, env):
+        try:
+            return env[self.name]
+        except KeyError as exc:
+            raise ModelError(f"unknown variable {self.name!r} in expression") from exc
+
+    def variables(self):
+        return frozenset({self.name})
+
+    def bounds(self, domains):
+        try:
+            return domains[self.name]
+        except KeyError as exc:
+            raise ModelError(
+                f"no declared domain for variable {self.name!r}"
+            ) from exc
+
+    def rename(self, mapping):
+        return VarRef(mapping.get(self.name, self.name))
+
+    def to_python(self, index, state_name="v"):
+        try:
+            return f"{state_name}[{index[self.name]}]"
+        except KeyError as exc:
+            raise ModelError(f"variable {self.name!r} not in network index") from exc
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """Unary minus / plus on an integer expression."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self):
+        if self.op not in ("-", "+"):
+            raise ModelError(f"unsupported unary operator {self.op!r}")
+
+    def evaluate(self, env):
+        value = self.operand.evaluate(env)
+        return -value if self.op == "-" else +value
+
+    def variables(self):
+        return self.operand.variables()
+
+    def bounds(self, domains):
+        inner = self.operand.bounds(domains)
+        return -inner if self.op == "-" else inner
+
+    def rename(self, mapping):
+        return Unary(self.op, self.operand.rename(mapping))
+
+    def to_python(self, index, state_name="v"):
+        return f"({self.op}{self.operand.to_python(index, state_name)})"
+
+    def __str__(self):
+        return f"{self.op}{self.operand}"
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Integer arithmetic: ``+ - * / %`` (``/`` is C-style truncating)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _ARITH_OPS:
+            raise ModelError(f"unsupported arithmetic operator {self.op!r}")
+
+    def evaluate(self, env):
+        a = self.left.evaluate(env)
+        b = self.right.evaluate(env)
+        if self.op == "+":
+            return a + b
+        if self.op == "-":
+            return a - b
+        if self.op == "*":
+            return a * b
+        if self.op == "/":
+            if b == 0:
+                raise ModelError("division by zero in expression")
+            return int(a / b)  # C semantics: truncate towards zero
+        if b == 0:
+            raise ModelError("modulo by zero in expression")
+        return a - int(a / b) * b  # C semantics for %
+
+    def variables(self):
+        return self.left.variables() | self.right.variables()
+
+    def bounds(self, domains):
+        a = self.left.bounds(domains)
+        b = self.right.bounds(domains)
+        if self.op == "+":
+            return a + b
+        if self.op == "-":
+            return a - b
+        if self.op == "*":
+            return a * b
+        if self.op == "/":
+            return a.floordiv(b)
+        # conservative bound on a % b
+        magnitude = max(abs(b.lo), abs(b.hi))
+        return IntInterval(-magnitude, magnitude)
+
+    def rename(self, mapping):
+        return Binary(self.op, self.left.rename(mapping), self.right.rename(mapping))
+
+    def to_python(self, index, state_name="v"):
+        a = self.left.to_python(index, state_name)
+        b = self.right.to_python(index, state_name)
+        if self.op == "/":
+            return f"_c_div({a}, {b})"
+        if self.op == "%":
+            return f"_c_mod({a}, {b})"
+        return f"({a} {self.op} {b})"
+
+    def __str__(self):
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """Comparison of two integer expressions; value is boolean."""
+
+    op: str
+    left: Expr
+    right: Expr
+    is_boolean = True
+
+    def __post_init__(self):
+        if self.op not in _CMP_OPS:
+            raise ModelError(f"unsupported comparison operator {self.op!r}")
+
+    def evaluate(self, env):
+        return _CMP_OPS[self.op](self.left.evaluate(env), self.right.evaluate(env))
+
+    def variables(self):
+        return self.left.variables() | self.right.variables()
+
+    def bounds(self, domains):
+        return IntInterval(0, 1)
+
+    def rename(self, mapping):
+        return Compare(self.op, self.left.rename(mapping), self.right.rename(mapping))
+
+    def to_python(self, index, state_name="v"):
+        a = self.left.to_python(index, state_name)
+        b = self.right.to_python(index, state_name)
+        return f"({a} {self.op} {b})"
+
+    def __str__(self):
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Logical(Expr):
+    """Boolean conjunction / disjunction."""
+
+    op: str  # "&&" or "||"
+    left: Expr
+    right: Expr
+    is_boolean = True
+
+    def __post_init__(self):
+        if self.op not in ("&&", "||"):
+            raise ModelError(f"unsupported logical operator {self.op!r}")
+
+    def evaluate(self, env):
+        if self.op == "&&":
+            return bool(self.left.evaluate(env)) and bool(self.right.evaluate(env))
+        return bool(self.left.evaluate(env)) or bool(self.right.evaluate(env))
+
+    def variables(self):
+        return self.left.variables() | self.right.variables()
+
+    def bounds(self, domains):
+        return IntInterval(0, 1)
+
+    def rename(self, mapping):
+        return Logical(self.op, self.left.rename(mapping), self.right.rename(mapping))
+
+    def to_python(self, index, state_name="v"):
+        py_op = "and" if self.op == "&&" else "or"
+        a = self.left.to_python(index, state_name)
+        b = self.right.to_python(index, state_name)
+        return f"({a} {py_op} {b})"
+
+    def __str__(self):
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Boolean negation."""
+
+    operand: Expr
+    is_boolean = True
+
+    def evaluate(self, env):
+        return not bool(self.operand.evaluate(env))
+
+    def variables(self):
+        return self.operand.variables()
+
+    def bounds(self, domains):
+        return IntInterval(0, 1)
+
+    def rename(self, mapping):
+        return Not(self.operand.rename(mapping))
+
+    def to_python(self, index, state_name="v"):
+        return f"(not {self.operand.to_python(index, state_name)})"
+
+    def __str__(self):
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class Conditional(Expr):
+    """C-style ternary conditional ``cond ? then : otherwise``."""
+
+    condition: Expr
+    then: Expr
+    otherwise: Expr
+
+    def evaluate(self, env):
+        if self.condition.evaluate(env):
+            return self.then.evaluate(env)
+        return self.otherwise.evaluate(env)
+
+    def variables(self):
+        return (
+            self.condition.variables()
+            | self.then.variables()
+            | self.otherwise.variables()
+        )
+
+    def bounds(self, domains):
+        return self.then.bounds(domains).union(self.otherwise.bounds(domains))
+
+    def rename(self, mapping):
+        return Conditional(
+            self.condition.rename(mapping),
+            self.then.rename(mapping),
+            self.otherwise.rename(mapping),
+        )
+
+    def to_python(self, index, state_name="v"):
+        c = self.condition.to_python(index, state_name)
+        a = self.then.to_python(index, state_name)
+        b = self.otherwise.to_python(index, state_name)
+        return f"({a} if {c} else {b})"
+
+    def __str__(self):
+        return f"({self.condition} ? {self.then} : {self.otherwise})"
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """An update statement ``target = expr`` on an integer variable."""
+
+    target: str
+    expr: Expr
+
+    def apply(self, env: dict) -> None:
+        """Apply the assignment in place to a mutable mapping."""
+        env[self.target] = int(self.expr.evaluate(env))
+
+    def variables(self) -> frozenset[str]:
+        return self.expr.variables() | {self.target}
+
+    def rename(self, mapping: Mapping[str, str]) -> "Assignment":
+        return Assignment(mapping.get(self.target, self.target), self.expr.rename(mapping))
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.expr}"
+
+    def __repr__(self) -> str:
+        return f"Assignment({self})"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+def const(value: int) -> IntConst:
+    """Shorthand for :class:`IntConst`."""
+    return IntConst(int(value))
+
+
+def var(name: str) -> VarRef:
+    """Shorthand for :class:`VarRef`."""
+    return VarRef(name)
+
+
+def as_expr(value: "Expr | int | str") -> Expr:
+    """Coerce an int, string or Expr into an :class:`Expr`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return BoolConst(value)
+    if isinstance(value, int):
+        return IntConst(value)
+    if isinstance(value, str):
+        return parse_expression(value)
+    raise ModelError(f"cannot interpret {value!r} as an expression")
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TWO_CHAR_TOKENS = ("<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "++", "--")
+_ONE_CHAR_TOKENS = "+-*/%()<>!?:,="
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "int", "ident", "op", "end"
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(_Token("int", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "._"):
+                j += 1
+            tokens.append(_Token("ident", text[i:j], i))
+            i = j
+            continue
+        two = text[i : i + 2]
+        if two in _TWO_CHAR_TOKENS:
+            tokens.append(_Token("op", two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_TOKENS:
+            tokens.append(_Token("op", ch, i))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", text, i)
+    tokens.append(_Token("end", "", n))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser for expressions and update lists."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> _Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.next()
+        if token.text != text:
+            raise ParseError(f"expected {text!r}, found {token.text!r}", self.text, token.position)
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "end"
+
+    # -- grammar --------------------------------------------------------------
+    # expression := ternary
+    # ternary    := or ("?" expression ":" expression)?
+    # or         := and ("||" and)*
+    # and        := cmp ("&&" cmp)*
+    # cmp        := sum (("<"|"<="|"=="|"!="|">="|">") sum)?
+    # sum        := term (("+"|"-") term)*
+    # term       := unary (("*"|"/"|"%") unary)*
+    # unary      := ("-"|"+"|"!") unary | atom
+    # atom       := int | ident | "true" | "false" | "(" expression ")"
+
+    def parse_expression(self) -> Expr:
+        condition = self.parse_or()
+        if self.peek().text == "?":
+            self.next()
+            then = self.parse_expression()
+            self.expect(":")
+            otherwise = self.parse_expression()
+            return Conditional(condition, then, otherwise)
+        return condition
+
+    def parse_or(self) -> Expr:
+        node = self.parse_and()
+        while self.peek().text == "||":
+            self.next()
+            node = Logical("||", node, self.parse_and())
+        return node
+
+    def parse_and(self) -> Expr:
+        node = self.parse_cmp()
+        while self.peek().text == "&&":
+            self.next()
+            node = Logical("&&", node, self.parse_cmp())
+        return node
+
+    def parse_cmp(self) -> Expr:
+        node = self.parse_sum()
+        if self.peek().text in _CMP_OPS:
+            op = self.next().text
+            right = self.parse_sum()
+            return Compare(op, node, right)
+        return node
+
+    def parse_sum(self) -> Expr:
+        node = self.parse_term()
+        while self.peek().text in ("+", "-"):
+            op = self.next().text
+            node = Binary(op, node, self.parse_term())
+        return node
+
+    def parse_term(self) -> Expr:
+        node = self.parse_unary()
+        while self.peek().text in ("*", "/", "%"):
+            op = self.next().text
+            node = Binary(op, node, self.parse_unary())
+        return node
+
+    def parse_unary(self) -> Expr:
+        token = self.peek()
+        if token.text in ("-", "+"):
+            self.next()
+            return Unary(token.text, self.parse_unary())
+        if token.text == "!":
+            self.next()
+            return Not(self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        token = self.next()
+        if token.kind == "int":
+            return IntConst(int(token.text))
+        if token.kind == "ident":
+            if token.text == "true":
+                return BoolConst(True)
+            if token.text == "false":
+                return BoolConst(False)
+            return VarRef(token.text)
+        if token.text == "(":
+            node = self.parse_expression()
+            self.expect(")")
+            return node
+        raise ParseError(f"unexpected token {token.text!r}", self.text, token.position)
+
+    # -- updates ---------------------------------------------------------------
+    def parse_updates(self) -> list[Assignment]:
+        updates: list[Assignment] = []
+        while not self.at_end():
+            updates.append(self.parse_update())
+            if self.peek().text == ",":
+                self.next()
+                continue
+            break
+        if not self.at_end():
+            token = self.peek()
+            raise ParseError(f"unexpected token {token.text!r}", self.text, token.position)
+        return updates
+
+    def parse_update(self) -> Assignment:
+        token = self.next()
+        if token.kind != "ident":
+            raise ParseError("update must start with a variable name", self.text, token.position)
+        target = token.text
+        op_token = self.next()
+        if op_token.text == "=":
+            return Assignment(target, self.parse_expression())
+        if op_token.text == "+=":
+            return Assignment(target, Binary("+", VarRef(target), self.parse_expression()))
+        if op_token.text == "-=":
+            return Assignment(target, Binary("-", VarRef(target), self.parse_expression()))
+        if op_token.text == "++":
+            return Assignment(target, Binary("+", VarRef(target), IntConst(1)))
+        if op_token.text == "--":
+            return Assignment(target, Binary("-", VarRef(target), IntConst(1)))
+        raise ParseError(
+            f"expected assignment operator after {target!r}, found {op_token.text!r}",
+            self.text,
+            op_token.position,
+        )
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a guard/expression string into an :class:`Expr` tree."""
+    parser = _Parser(text)
+    node = parser.parse_expression()
+    if not parser.at_end():
+        token = parser.peek()
+        raise ParseError(f"trailing input {token.text!r}", text, token.position)
+    return node
+
+
+def parse_updates(text: str) -> list[Assignment]:
+    """Parse a comma-separated update list (``"a = 1, b++, c += d"``)."""
+    if not text or not text.strip():
+        return []
+    return _Parser(text).parse_updates()
+
+
+# ---------------------------------------------------------------------------
+# Compilation to Python closures
+# ---------------------------------------------------------------------------
+
+def _c_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ModelError("division by zero in expression")
+    return int(a / b)
+
+
+def _c_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise ModelError("modulo by zero in expression")
+    return a - int(a / b) * b
+
+
+_COMPILE_GLOBALS = {
+    "_c_div": _c_div,
+    "_c_mod": _c_mod,
+    "bool": bool,
+    "list": list,
+    "tuple": tuple,
+    "__builtins__": {},
+}
+
+
+def substitute(expr: Expr, values: Mapping[str, int]) -> Expr:
+    """Replace variable references that appear in *values* by integer literals.
+
+    Used to inline named constants (UPPAAL ``const int``) when an automaton
+    template is instantiated inside a network, so that constants do not take
+    up space in the discrete state vector.
+    """
+    if isinstance(expr, (IntConst, BoolConst)):
+        return expr
+    if isinstance(expr, VarRef):
+        if expr.name in values:
+            return IntConst(int(values[expr.name]))
+        return expr
+    if isinstance(expr, Unary):
+        return Unary(expr.op, substitute(expr.operand, values))
+    if isinstance(expr, Binary):
+        return Binary(expr.op, substitute(expr.left, values), substitute(expr.right, values))
+    if isinstance(expr, Compare):
+        return Compare(expr.op, substitute(expr.left, values), substitute(expr.right, values))
+    if isinstance(expr, Logical):
+        return Logical(expr.op, substitute(expr.left, values), substitute(expr.right, values))
+    if isinstance(expr, Not):
+        return Not(substitute(expr.operand, values))
+    if isinstance(expr, Conditional):
+        return Conditional(
+            substitute(expr.condition, values),
+            substitute(expr.then, values),
+            substitute(expr.otherwise, values),
+        )
+    raise ModelError(f"cannot substitute into expression node {expr!r}")
+
+
+def compile_int_expr(expr: Expr, index: Mapping[str, int]) -> Callable[[Sequence[int]], int]:
+    """Compile an integer expression into ``f(state_vector) -> int``.
+
+    ``index`` maps variable names to positions in the state vector.
+    """
+    source = f"lambda v: ({expr.to_python(index)})"
+    return eval(source, dict(_COMPILE_GLOBALS))  # noqa: S307 - controlled codegen
+
+
+def compile_bool_expr(expr: Expr, index: Mapping[str, int]) -> Callable[[Sequence[int]], bool]:
+    """Compile a boolean expression into ``f(state_vector) -> bool``."""
+    source = f"lambda v: bool({expr.to_python(index)})"
+    return eval(source, dict(_COMPILE_GLOBALS))  # noqa: S307 - controlled codegen
+
+
+def compile_updates(
+    updates: Iterable[Assignment], index: Mapping[str, int]
+) -> Callable[[Sequence[int]], tuple[int, ...]]:
+    """Compile a sequence of updates into ``f(state_vector) -> new_vector``.
+
+    Updates are applied left to right; later updates observe the effect of
+    earlier ones (C semantics of a comma-separated update list in UPPAAL).
+    """
+    updates = list(updates)
+    lines = ["def _apply(v):", "    v = list(v)"]
+    for update in updates:
+        if update.target not in index:
+            raise ModelError(f"assignment to unknown variable {update.target!r}")
+        lines.append(
+            f"    v[{index[update.target]}] = {update.expr.to_python(index)}"
+        )
+    lines.append("    return tuple(v)")
+    namespace: dict = dict(_COMPILE_GLOBALS)
+    exec("\n".join(lines), namespace)  # noqa: S102 - controlled codegen
+    return namespace["_apply"]

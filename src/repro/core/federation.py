@@ -1,0 +1,114 @@
+"""Federations: finite unions of DBMs over the same clock set.
+
+Zones (single DBMs) are closed under intersection, delay and reset, but not
+under union or complement.  A :class:`Federation` keeps a list of
+non-redundant DBMs and is used where a union naturally appears, e.g. for the
+set of zones stored per discrete state in the passed list and for reporting
+the clock valuations that witness a property violation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.dbm import DBM
+from repro.util.errors import ModelError
+
+__all__ = ["Federation"]
+
+
+class Federation:
+    """A finite, redundancy-reduced union of :class:`~repro.core.dbm.DBM` zones.
+
+    Internally the raw-bound matrices of the member zones are also kept
+    stacked in one numpy array so that the passed-list inclusion check (the
+    hottest operation of the reachability engine) is a single vectorised
+    comparison instead of a Python loop per stored zone.
+    """
+
+    __slots__ = ("dim", "_zones", "_stack")
+
+    def __init__(self, dim: int, zones: Iterable[DBM] = ()):
+        self.dim = dim
+        self._zones: list[DBM] = []
+        self._stack: np.ndarray = np.empty((0, dim * dim), dtype=np.int64)
+        for zone in zones:
+            self.add(zone)
+
+    # -- collection protocol ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._zones)
+
+    def __iter__(self) -> Iterator[DBM]:
+        return iter(self._zones)
+
+    def __bool__(self) -> bool:
+        return bool(self._zones)
+
+    @property
+    def zones(self) -> tuple[DBM, ...]:
+        """The member zones (read-only view)."""
+        return tuple(self._zones)
+
+    # -- mutation -----------------------------------------------------------------
+    def add(self, zone: DBM) -> bool:
+        """Add *zone* unless it is empty or already covered.
+
+        Zones previously stored that are covered by the new zone are removed.
+        Returns ``True`` when the federation actually grew (i.e. the zone was
+        not redundant) -- this is exactly the check used by the passed list of
+        the reachability engine.
+        """
+        if zone.dim != self.dim:
+            raise ModelError("zone dimension does not match federation dimension")
+        if zone.is_empty():
+            return False
+        candidate = np.asarray(zone.m, dtype=np.int64)
+        if len(self._zones):
+            # covered by an existing zone?  (element-wise <= against the stack)
+            if bool(np.any(np.all(candidate <= self._stack, axis=1))):
+                return False
+            # drop stored zones that the new zone covers
+            covered = np.all(self._stack <= candidate, axis=1)
+            if bool(covered.any()):
+                keep = ~covered
+                self._zones = [z for z, k in zip(self._zones, keep) if k]
+                self._stack = self._stack[keep]
+        self._zones.append(zone)
+        self._stack = np.vstack([self._stack, candidate[None, :]])
+        return True
+
+    def covers(self, zone: DBM) -> bool:
+        """Return ``True`` if some member zone includes *zone* entirely.
+
+        Note this is inclusion in a *single* member (the standard passed-list
+        check), not inclusion in the union.
+        """
+        return any(zone.is_subset_of(existing) for existing in self._zones)
+
+    # -- queries ----------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """True when the federation contains no zone."""
+        return not self._zones
+
+    def intersects(self, zone: DBM) -> bool:
+        """True when at least one member zone intersects *zone*."""
+        return any(member.intersects(zone) for member in self._zones)
+
+    def contains_point(self, point) -> bool:
+        """True when some member zone contains the concrete valuation."""
+        return any(member.contains_point(point) for member in self._zones)
+
+    def upper_bound(self, clock: int) -> int:
+        """Largest raw upper bound of *clock* over all member zones."""
+        if not self._zones:
+            raise ModelError("empty federation has no bounds")
+        return max(zone.upper_bound(clock) for zone in self._zones)
+
+    def __str__(self) -> str:
+        return " U ".join(str(zone) for zone in self._zones) or "(empty)"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Federation(dim={self.dim}, size={len(self)})"

@@ -1,0 +1,393 @@
+"""Zone-graph exploration: the reachability engine behind every query.
+
+The engine implements the standard UPPAAL forward exploration with a
+*waiting* list of symbolic states still to be expanded and a *passed* list of
+states already seen.  The passed list is indexed by the discrete part
+(location vector + variable vector) and stores, per discrete state, a set of
+maximal zones; a new symbolic state is discarded when its zone is included in
+a stored zone (inclusion checking).
+
+Search orders:
+
+* ``"bfs"``  — breadth first (default; shortest counterexamples),
+* ``"dfs"``  — depth first,
+* ``"rdfs"`` — randomised depth first (successor order shuffled), the
+  "structured testing" mode the paper uses to obtain lower bounds on the
+  worst-case response times when the exact search does not terminate within
+  the budget.
+
+Budgets (``max_states``, ``max_seconds``) make the engine stop early and mark
+the result as partial instead of raising, because partial exploration is a
+legitimate analysis mode in the paper (Table 1 reports ``> x (df)`` /
+``> x (rdf)`` entries obtained that way).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.dbm import INFINITY_RAW, bound_as_tuple
+from repro.core.federation import Federation
+from repro.core.network import CompiledNetwork
+from repro.core.properties import AG, EF, BoundFormula, Query, StateFormula, Sup
+from repro.core.statistics import ExplorationStatistics
+from repro.core.successors import (
+    SemanticsOptions,
+    SuccessorGenerator,
+    SymbolicState,
+    TransitionLabel,
+)
+from repro.util.errors import AnalysisError, ModelError
+
+__all__ = [
+    "SearchOptions",
+    "ReachabilityResult",
+    "SupResult",
+    "Explorer",
+    "Trace",
+    "TraceStep",
+]
+
+
+@dataclass
+class SearchOptions:
+    """Options of the exploration itself (orthogonal to the semantics)."""
+
+    #: "bfs", "dfs" or "rdfs"
+    order: str = "bfs"
+    #: stop after expanding this many symbolic states (None = unlimited)
+    max_states: int | None = None
+    #: stop after this much wall-clock time in seconds (None = unlimited)
+    max_seconds: float | None = None
+    #: seed of the random generator used by "rdfs"
+    seed: int = 0
+    #: discard successors whose zone is included in an already stored zone
+    inclusion_checking: bool = True
+    #: keep parent pointers so that witness/counterexample traces can be built
+    record_traces: bool = True
+
+    def __post_init__(self):
+        if self.order not in ("bfs", "dfs", "rdfs"):
+            raise ModelError(f"unknown search order {self.order!r}")
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One step of a symbolic trace."""
+
+    label: TransitionLabel | None
+    state: SymbolicState
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A symbolic run from the initial state to a target state."""
+
+    steps: tuple[TraceStep, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def final_state(self) -> SymbolicState:
+        return self.steps[-1].state
+
+    def format(self, network: CompiledNetwork) -> str:
+        """Multi-line human-readable rendering of the trace."""
+        lines = []
+        for index, step in enumerate(self.steps):
+            if step.label is not None:
+                lines.append(f"  --[{step.label}]-->")
+            lines.append(f"{index:4d}: {step.state.describe(network)}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ReachabilityResult:
+    """Outcome of an ``E<>`` / ``A[]`` query."""
+
+    query: Query
+    #: True / False when the query was decided; None when the exploration was
+    #: cut short by a budget before a decision was possible
+    holds: bool | None
+    #: witness trace (EF) or counterexample trace (AG), when available
+    trace: Trace | None
+    statistics: ExplorationStatistics
+
+    @property
+    def decided(self) -> bool:
+        return self.holds is not None
+
+    def __str__(self) -> str:
+        verdict = {True: "satisfied", False: "violated", None: "undecided"}[self.holds]
+        return f"{self.query}: {verdict} ({self.statistics})"
+
+
+@dataclass
+class SupResult:
+    """Outcome of a :class:`~repro.core.properties.Sup` query."""
+
+    query: Sup
+    #: largest value of the clock over the matching reachable states, in model
+    #: time units; None when no matching state was reached
+    value: int | None
+    #: True when the supremum is attained (a weak bound), False when it is a
+    #: strict limit
+    attained: bool
+    #: True when the value is only a lower bound (budget exhausted or the
+    #: bound hit the extrapolation ceiling)
+    is_lower_bound: bool
+    statistics: ExplorationStatistics
+    #: trace to a state attaining the reported value (when recorded)
+    trace: Trace | None = None
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return f"{self.query}: no matching state reached ({self.statistics})"
+        prefix = ">" if self.is_lower_bound else ("=" if self.attained else "<")
+        return f"{self.query}: {prefix} {self.value} ({self.statistics})"
+
+
+class _SearchNode:
+    """Internal: a stored symbolic state plus its parent pointer."""
+
+    __slots__ = ("state", "parent", "label")
+
+    def __init__(self, state: SymbolicState, parent: "_SearchNode | None", label: TransitionLabel | None):
+        self.state = state
+        self.parent = parent
+        self.label = label
+
+    def trace(self) -> Trace:
+        steps: list[TraceStep] = []
+        node: _SearchNode | None = self
+        while node is not None:
+            steps.append(TraceStep(node.label, node.state))
+            node = node.parent
+        steps.reverse()
+        return Trace(tuple(steps))
+
+
+class Explorer:
+    """Forward zone-graph exploration over a compiled network."""
+
+    def __init__(
+        self,
+        network: CompiledNetwork,
+        semantics: SemanticsOptions | None = None,
+        search: SearchOptions | None = None,
+    ):
+        self.network = network
+        self.semantics = semantics or SemanticsOptions()
+        self.search = search or SearchOptions()
+        self.generator = SuccessorGenerator(network, self.semantics)
+
+    # ------------------------------------------------------------------ core loop
+    def explore(
+        self,
+        visit: Callable[[SymbolicState, "_SearchNode"], bool] | None = None,
+    ) -> ExplorationStatistics:
+        """Run the exploration, calling *visit* on every new symbolic state.
+
+        ``visit`` may return ``True`` to stop the search (goal found).  The
+        returned statistics record why the exploration terminated.
+        """
+        options = self.search
+        stats = ExplorationStatistics(search_order=options.order)
+        stats.start_timer()
+        rng = random.Random(options.seed)
+
+        passed: dict[tuple, Federation] = {}
+        waiting: deque[_SearchNode] = deque()
+
+        initial = self.generator.initial_state()
+        root = _SearchNode(initial, None, None)
+        self._store(passed, initial)
+        stats.states_stored += 1
+        waiting.append(root)
+
+        if visit is not None and visit(initial, root):
+            stats.termination = "goal"
+            stats.stop_timer()
+            return stats
+
+        deadline = (
+            time.perf_counter() + options.max_seconds if options.max_seconds is not None else None
+        )
+
+        while waiting:
+            stats.peak_waiting = max(stats.peak_waiting, len(waiting))
+            if options.order == "bfs":
+                node = waiting.popleft()
+            else:
+                node = waiting.pop()
+            stats.states_explored += 1
+
+            if options.max_states is not None and stats.states_explored > options.max_states:
+                stats.termination = "state-budget"
+                break
+            if deadline is not None and time.perf_counter() > deadline:
+                stats.termination = "time-budget"
+                break
+
+            successors = self.generator.successors(node.state)
+            if options.order == "rdfs":
+                rng.shuffle(successors)
+            for label, successor in successors:
+                stats.transitions += 1
+                if options.inclusion_checking:
+                    if not self._store(passed, successor):
+                        stats.inclusions += 1
+                        continue
+                else:
+                    key = (successor.discrete_key(), successor.zone.key())
+                    federation = passed.setdefault(key, Federation(successor.zone.dim))
+                    if len(federation):
+                        stats.inclusions += 1
+                        continue
+                    federation.add(successor.zone)
+                stats.states_stored += 1
+                child = _SearchNode(
+                    successor, node if options.record_traces else None, label
+                )
+                if visit is not None and visit(successor, child):
+                    stats.termination = "goal"
+                    stats.stop_timer()
+                    return stats
+                waiting.append(child)
+
+        stats.stop_timer()
+        return stats
+
+    @staticmethod
+    def _store(passed: dict, state: SymbolicState) -> bool:
+        """Insert into the passed list; False when an existing zone covers it."""
+        key = state.discrete_key()
+        federation = passed.get(key)
+        if federation is None:
+            federation = Federation(state.zone.dim)
+            passed[key] = federation
+        return federation.add(state.zone)
+
+    # ------------------------------------------------------------------ queries
+    def check(self, query: Query) -> ReachabilityResult:
+        """Evaluate an :class:`EF` or :class:`AG` query."""
+        if isinstance(query, EF):
+            return self._check_ef(query)
+        if isinstance(query, AG):
+            return self._check_ag(query)
+        raise ModelError(f"unsupported query {query!r}")
+
+    def _check_ef(self, query: EF) -> ReachabilityResult:
+        bound_formula = query.bind(self.network)
+        found: list[_SearchNode] = []
+
+        def visit(state: SymbolicState, node: _SearchNode) -> bool:
+            if bound_formula.possibly(state):
+                found.append(node)
+                return True
+            return False
+
+        stats = self.explore(visit)
+        if found:
+            return ReachabilityResult(query, True, found[0].trace() if self.search.record_traces else None, stats)
+        holds: bool | None = False if stats.exhaustive else None
+        return ReachabilityResult(query, holds, None, stats)
+
+    def _check_ag(self, query: AG) -> ReachabilityResult:
+        bound_formula = BoundFormula(query.formula, self.network)
+        # A[] φ is violated when ¬φ is possibly satisfied somewhere.
+        negated = BoundFormula(query.formula.negate(), self.network)
+        for clock, constant in negated.max_clock_constant().items():
+            self.network.register_query_constant(clock, constant)
+        for clock, constant in bound_formula.max_clock_constant().items():
+            self.network.register_query_constant(clock, constant)
+        violations: list[_SearchNode] = []
+
+        def visit(state: SymbolicState, node: _SearchNode) -> bool:
+            if negated.possibly(state):
+                violations.append(node)
+                return True
+            return False
+
+        stats = self.explore(visit)
+        if violations:
+            return ReachabilityResult(
+                query, False, violations[0].trace() if self.search.record_traces else None, stats
+            )
+        holds: bool | None = True if stats.exhaustive else None
+        return ReachabilityResult(query, holds, None, stats)
+
+    def sup(self, query: Sup) -> SupResult:
+        """Evaluate a :class:`Sup` query by a single exhaustive exploration."""
+        network = self.network
+        clock_id = network.clock_id(query.clock)
+        if query.ceiling is not None:
+            network.register_query_constant(clock_id, int(query.ceiling))
+        condition = (
+            BoundFormula(query.condition, network) if query.condition is not None else None
+        )
+        if condition is not None:
+            for clock, constant in condition.max_clock_constant().items():
+                network.register_query_constant(clock, constant)
+
+        best_raw = None
+        best_node: list[_SearchNode | None] = [None]
+
+        def visit(state: SymbolicState, node: _SearchNode) -> bool:
+            nonlocal best_raw
+            if condition is not None and not condition.possibly(state):
+                return False
+            raw = state.zone.upper_bound(clock_id)
+            if best_raw is None or raw > best_raw:
+                best_raw = raw
+                best_node[0] = node
+            return False
+
+        stats = self.explore(visit)
+
+        if best_raw is None:
+            return SupResult(query, None, False, not stats.exhaustive, stats)
+
+        value, strict = bound_as_tuple(best_raw)
+        hit_ceiling = best_raw >= INFINITY_RAW or (
+            query.ceiling is not None and value is not None and value >= query.ceiling
+        )
+        if value is None:
+            # the bound was abstracted to infinity: report the ceiling as a
+            # lower bound (mirrors the paper's "> x" entries)
+            ceiling = query.ceiling if query.ceiling is not None else network.max_constants[clock_id]
+            return SupResult(query, int(ceiling), False, True, stats,
+                             best_node[0].trace() if best_node[0] and self.search.record_traces else None)
+        return SupResult(
+            query,
+            int(value),
+            not strict,
+            bool(hit_ceiling or not stats.exhaustive),
+            stats,
+            best_node[0].trace() if best_node[0] and self.search.record_traces else None,
+        )
+
+    # ------------------------------------------------------------------ convenience
+    def reachable_discrete_states(self) -> set[tuple]:
+        """Explore fully and return the set of reachable discrete states."""
+        seen: set[tuple] = set()
+
+        def visit(state: SymbolicState, _node: _SearchNode) -> bool:
+            seen.add(state.discrete_key())
+            return False
+
+        stats = self.explore(visit)
+        if not stats.exhaustive:
+            raise AnalysisError(
+                "exploration budget exhausted before the state space was covered"
+            )
+        return seen
+
+    def count_states(self) -> ExplorationStatistics:
+        """Explore fully (or until the budget) and return the statistics."""
+        return self.explore(None)

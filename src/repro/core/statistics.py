@@ -1,0 +1,72 @@
+"""Exploration statistics collected by the reachability engine.
+
+The paper discusses verification effort (state-space sizes, the event models
+for which exhaustive search becomes infeasible, the fall-back to depth-first
+"structured testing").  These counters are what the corresponding benchmark
+(``benchmarks/bench_exploration_effort.py``) reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["ExplorationStatistics"]
+
+
+@dataclass
+class ExplorationStatistics:
+    """Counters describing one exploration run."""
+
+    #: symbolic states popped from the waiting list and expanded
+    states_explored: int = 0
+    #: symbolic states currently retained in the passed list
+    states_stored: int = 0
+    #: discrete successor transitions generated
+    transitions: int = 0
+    #: successors discarded because an already-stored zone included them
+    inclusions: int = 0
+    #: maximum length reached by the waiting list
+    peak_waiting: int = 0
+    #: wall-clock duration of the exploration in seconds
+    elapsed_seconds: float = 0.0
+    #: why the exploration stopped: "exhausted", "goal", "state-budget",
+    #: "time-budget"
+    termination: str = "exhausted"
+    #: search order that was used
+    search_order: str = "bfs"
+
+    _started_at: float | None = field(default=None, repr=False, compare=False)
+
+    # -- timing helpers -----------------------------------------------------
+    def start_timer(self) -> None:
+        self._started_at = time.perf_counter()
+
+    def stop_timer(self) -> None:
+        if self._started_at is not None:
+            self.elapsed_seconds = time.perf_counter() - self._started_at
+
+    @property
+    def exhaustive(self) -> bool:
+        """True when the whole reachable state space was explored."""
+        return self.termination in ("exhausted", "goal")
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by report formatting and benchmarks."""
+        return {
+            "states_explored": self.states_explored,
+            "states_stored": self.states_stored,
+            "transitions": self.transitions,
+            "inclusions": self.inclusions,
+            "peak_waiting": self.peak_waiting,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "termination": self.termination,
+            "search_order": self.search_order,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.states_explored} states explored, {self.states_stored} stored, "
+            f"{self.transitions} transitions, {self.elapsed_seconds:.3f}s "
+            f"({self.termination}, {self.search_order})"
+        )

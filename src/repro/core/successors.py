@@ -1,0 +1,359 @@
+"""Symbolic (zone-graph) semantics of a compiled network of timed automata.
+
+A symbolic state is a triple ``(location vector, variable vector, zone)``
+where the zone is a canonical DBM that is *delay-closed*: it contains every
+clock valuation reachable from an entry valuation by letting time pass as far
+as the invariants (and urgency) allow.  This is the standard UPPAAL
+exploration representation.
+
+:class:`SuccessorGenerator` produces, for a symbolic state, all discrete
+successors together with :class:`TransitionLabel` records used for traces.
+Supported synchronisation semantics:
+
+* internal (``tau``) edges,
+* binary channels: one sender and one receiver from different instances,
+* broadcast channels: one sender plus *all* instances with an enabled
+  receiving edge (receivers may not have clock guards),
+* urgent channels: time may not elapse while a synchronisation on the channel
+  is enabled (this implements the paper's ``hurry!`` greedy-behaviour trick),
+* urgent and committed locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Sequence
+
+from repro.core.dbm import DBM, bound
+from repro.core.network import CompiledEdge, CompiledNetwork
+from repro.util.errors import ModelError
+
+__all__ = ["SymbolicState", "TransitionLabel", "SuccessorGenerator", "SemanticsOptions"]
+
+
+@dataclass(frozen=True)
+class SymbolicState:
+    """A symbolic state of the zone graph."""
+
+    locations: tuple[int, ...]
+    variables: tuple[int, ...]
+    zone: DBM
+
+    def discrete_key(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """The discrete part, used to index the passed/waiting lists."""
+        return (self.locations, self.variables)
+
+    def key(self) -> tuple:
+        """A full hashable key including the zone."""
+        return (self.locations, self.variables, self.zone.key())
+
+    def describe(self, network: CompiledNetwork) -> str:
+        """Human-readable one-line description."""
+        locations = ", ".join(network.location_vector_names(self.locations))
+        variables = ", ".join(
+            f"{name}={value}"
+            for name, value in zip(network.variable_names, self.variables)
+            if value != 0
+        )
+        return f"<{locations}> {{{variables}}} {self.zone}"
+
+
+@dataclass(frozen=True)
+class TransitionLabel:
+    """Description of the discrete transition taken between symbolic states.
+
+    ``edges`` stores (instance name, edge object) pairs; the human-readable
+    rendering is produced lazily by :meth:`__str__` so that label creation in
+    the exploration inner loop stays cheap.
+    """
+
+    kind: str  # "internal" | "binary" | "broadcast"
+    channel: str | None
+    edges: tuple[tuple[str, object], ...]  # (instance name, Edge)
+
+    def __str__(self) -> str:
+        if self.kind == "internal":
+            instance, edge = self.edges[0]
+            return f"{instance}: {edge}"
+        participants = "; ".join(f"{instance}: {edge}" for instance, edge in self.edges)
+        return f"[{self.channel}] {participants}"
+
+
+@dataclass
+class SemanticsOptions:
+    """Options controlling the symbolic semantics.
+
+    extrapolation
+        ``"max"`` (classical per-clock maximal-constant extrapolation,
+        default), ``"lu"`` (lower/upper bound extrapolation -- currently the
+        same bounds are used for L and U), or ``"none"`` (termination is then
+        only guaranteed for models whose zone graph is finite without
+        abstraction).
+    check_ranges
+        verify after every update that integer variables stay inside their
+        declared domains (UPPAAL run-time semantics).
+    """
+
+    extrapolation: str = "max"
+    check_ranges: bool = True
+
+    def __post_init__(self):
+        if self.extrapolation not in ("max", "lu", "none"):
+            raise ModelError(f"unknown extrapolation mode {self.extrapolation!r}")
+
+
+class SuccessorGenerator:
+    """Computes initial and successor symbolic states of a compiled network."""
+
+    def __init__(self, network: CompiledNetwork, options: SemanticsOptions | None = None):
+        self.network = network
+        self.options = options or SemanticsOptions()
+        self._build_edge_tables()
+
+    # ------------------------------------------------------------------ setup
+    def _build_edge_tables(self) -> None:
+        """Pre-sort outgoing edges of every location by synchronisation role."""
+        net = self.network
+        # internal[i][l]  -> list of edges
+        # send[i][l]      -> {channel: [edges]}
+        # recv[i][l]      -> {channel: [edges]}
+        self._internal: list[list[list[CompiledEdge]]] = []
+        self._send: list[list[dict[str, list[CompiledEdge]]]] = []
+        self._recv: list[list[dict[str, list[CompiledEdge]]]] = []
+        for instance in net.instances:
+            internal_rows, send_rows, recv_rows = [], [], []
+            for edges in instance.outgoing:
+                internal, send, recv = [], {}, {}
+                for edge in edges:
+                    if edge.channel is None:
+                        internal.append(edge)
+                    elif edge.direction == "!":
+                        send.setdefault(edge.channel.name, []).append(edge)
+                    else:
+                        recv.setdefault(edge.channel.name, []).append(edge)
+                internal_rows.append(internal)
+                send_rows.append(send)
+                recv_rows.append(recv)
+            self._internal.append(internal_rows)
+            self._send.append(send_rows)
+            self._recv.append(recv_rows)
+
+    # ------------------------------------------------------------- basic helpers
+    def _max_bounds(self) -> list[int]:
+        return self.network.max_constants
+
+    def _apply_constraints(
+        self, zone: DBM, constraints: Iterable, variables: Sequence[int]
+    ) -> bool:
+        """Conjoin compiled clock constraints; returns False when empty."""
+        for constraint in constraints:
+            value = constraint.sign * int(constraint.rhs(variables))
+            raw = 2 * value + (0 if constraint.strict else 1)
+            if not zone.constrain(constraint.i, constraint.j, raw):
+                return False
+        return True
+
+    def _apply_invariants(self, zone: DBM, locations: Sequence[int], variables: Sequence[int]) -> bool:
+        for instance, loc in zip(self.network.instances, locations):
+            if not self._apply_constraints(zone, instance.locations[loc].invariant, variables):
+                return False
+        return True
+
+    def _is_urgent_discrete(self, locations: Sequence[int], variables: Sequence[int]) -> bool:
+        """True when time may not elapse in this discrete state.
+
+        Time is frozen when (i) some instance is in an urgent or committed
+        location, or (ii) a synchronisation over an urgent channel is enabled
+        (judged on data guards only -- clock guards are disallowed on urgent
+        channels).
+        """
+        net = self.network
+        for instance, loc in zip(net.instances, locations):
+            location = instance.locations[loc]
+            if location.urgent or location.committed:
+                return True
+        # urgent channel synchronisations
+        for i, instance in enumerate(net.instances):
+            send_table = self._send[i][locations[i]]
+            for channel_name, edges in send_table.items():
+                channel = net.channels[channel_name]
+                if not channel.urgent:
+                    continue
+                if not any(edge.data_enabled(variables) for edge in edges):
+                    continue
+                if channel.kind == "broadcast":
+                    return True  # broadcast senders never block
+                # binary: need an enabled receiver in another instance
+                for j, other in enumerate(net.instances):
+                    if i == j:
+                        continue
+                    recv_edges = self._recv[j][locations[j]].get(channel_name, ())
+                    if any(edge.data_enabled(variables) for edge in recv_edges):
+                        return True
+        return False
+
+    def _committed_instances(self, locations: Sequence[int]) -> set[int]:
+        out = set()
+        for idx, (instance, loc) in enumerate(zip(self.network.instances, locations)):
+            if instance.locations[loc].committed:
+                out.add(idx)
+        return out
+
+    def _finalize(
+        self,
+        locations: tuple[int, ...],
+        variables: tuple[int, ...],
+        zone: DBM,
+    ) -> SymbolicState | None:
+        """Apply invariants, optional delay closure and extrapolation."""
+        if not self._apply_invariants(zone, locations, variables):
+            return None
+        if not self._is_urgent_discrete(locations, variables):
+            # ``up`` preserves the canonical form and ``constrain`` re-closes
+            # incrementally, so no full closure is needed here.
+            zone.up()
+            if not self._apply_invariants(zone, locations, variables):
+                return None
+        mode = self.options.extrapolation
+        if mode != "none":
+            bounds_vector = self._max_bounds()
+            if mode == "max":
+                zone.extrapolate_max_bounds(bounds_vector)
+            else:
+                zone.extrapolate_lu_bounds(bounds_vector, bounds_vector)
+        if zone.is_empty():
+            return None
+        return SymbolicState(locations, variables, zone)
+
+    # --------------------------------------------------------------- initial state
+    def initial_state(self) -> SymbolicState:
+        """The delay-closed initial symbolic state."""
+        net = self.network
+        locations = net.initial_locations()
+        variables = net.initial_variables
+        zone = DBM.zero(net.dim)
+        state = self._finalize(locations, variables, zone)
+        if state is None:
+            raise ModelError(
+                "the initial state violates an invariant; the model admits no behaviour"
+            )
+        return state
+
+    # ----------------------------------------------------------------- transitions
+    def _fire(
+        self,
+        state: SymbolicState,
+        participating: Sequence[CompiledEdge],
+    ) -> SymbolicState | None:
+        """Fire the given edges (already checked for data-enabledness)."""
+        net = self.network
+        zone = state.zone.copy()
+        variables = state.variables
+
+        # 1. clock guards of every participant against the *current* valuation
+        for edge in participating:
+            if not self._apply_constraints(zone, edge.clock_constraints, variables):
+                return None
+
+        # 2. variable updates, sender first then receivers (list order)
+        new_variables = variables
+        for edge in participating:
+            if edge.update is not None:
+                new_variables = edge.update(new_variables)
+        if self.options.check_ranges and new_variables is not variables:
+            net.check_variable_ranges(new_variables)
+
+        # 3. clock resets (reset values are evaluated on the updated variables)
+        for edge in participating:
+            for clock, value_fn in edge.resets:
+                zone.reset(clock, int(value_fn(new_variables)))
+
+        # 4. move locations
+        new_locations = list(state.locations)
+        for edge in participating:
+            new_locations[edge.instance] = edge.target
+        new_locations = tuple(new_locations)
+
+        return self._finalize(new_locations, tuple(new_variables), zone)
+
+    def _label(self, kind: str, channel: str | None, edges: Sequence[CompiledEdge]) -> TransitionLabel:
+        net = self.network
+        return TransitionLabel(
+            kind=kind,
+            channel=channel,
+            edges=tuple((net.instances[edge.instance].name, edge.original) for edge in edges),
+        )
+
+    def successors(self, state: SymbolicState) -> list[tuple[TransitionLabel, SymbolicState]]:
+        """All discrete successors of *state* (each already delay-closed)."""
+        net = self.network
+        locations, variables = state.locations, state.variables
+        committed = self._committed_instances(locations)
+        results: list[tuple[TransitionLabel, SymbolicState]] = []
+
+        def allowed(edges: Sequence[CompiledEdge]) -> bool:
+            """Committed-location filter."""
+            if not committed:
+                return True
+            return any(edge.instance in committed for edge in edges)
+
+        # ---- internal edges -------------------------------------------------
+        for i, instance in enumerate(net.instances):
+            for edge in self._internal[i][locations[i]]:
+                if not edge.data_enabled(variables):
+                    continue
+                if not allowed((edge,)):
+                    continue
+                successor = self._fire(state, (edge,))
+                if successor is not None:
+                    results.append((self._label("internal", None, (edge,)), successor))
+
+        # ---- synchronisations ------------------------------------------------
+        for i, instance in enumerate(net.instances):
+            send_table = self._send[i][locations[i]]
+            for channel_name, send_edges in send_table.items():
+                channel = net.channels[channel_name]
+                for send_edge in send_edges:
+                    if not send_edge.data_enabled(variables):
+                        continue
+                    if channel.kind == "binary":
+                        for j, other in enumerate(net.instances):
+                            if i == j:
+                                continue
+                            for recv_edge in self._recv[j][locations[j]].get(channel_name, ()):
+                                if not recv_edge.data_enabled(variables):
+                                    continue
+                                pair = (send_edge, recv_edge)
+                                if not allowed(pair):
+                                    continue
+                                successor = self._fire(state, pair)
+                                if successor is not None:
+                                    results.append(
+                                        (self._label("binary", channel_name, pair), successor)
+                                    )
+                    else:  # broadcast
+                        receiver_choices: list[list[CompiledEdge]] = []
+                        for j, other in enumerate(net.instances):
+                            if i == j:
+                                continue
+                            enabled = [
+                                edge
+                                for edge in self._recv[j][locations[j]].get(channel_name, ())
+                                if edge.data_enabled(variables)
+                            ]
+                            if enabled:
+                                receiver_choices.append(enabled)
+                        for combination in product(*receiver_choices) if receiver_choices else [()]:
+                            participants = (send_edge, *combination)
+                            if not allowed(participants):
+                                continue
+                            successor = self._fire(state, participants)
+                            if successor is not None:
+                                results.append(
+                                    (
+                                        self._label("broadcast", channel_name, participants),
+                                        successor,
+                                    )
+                                )
+        return results

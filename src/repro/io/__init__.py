@@ -1,0 +1,15 @@
+"""Interchange and reporting: DOT rendering, UPPAAL XML export, result tables."""
+
+from repro.io.dot import automaton_to_dot, network_to_dot
+from repro.io.report import format_table, format_table1, format_table2
+from repro.io.uppaal_xml import network_to_xml, query_file
+
+__all__ = [
+    "automaton_to_dot",
+    "network_to_dot",
+    "network_to_xml",
+    "query_file",
+    "format_table",
+    "format_table1",
+    "format_table2",
+]

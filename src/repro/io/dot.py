@@ -1,0 +1,82 @@
+"""Graphviz DOT rendering of timed automata and networks.
+
+The paper presents its modelling patterns as automaton figures (Figs. 4–9);
+this module regenerates equivalent pictures from the generated models so that
+they can be inspected (``dot -Tpdf``) and diffed against the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core.automaton import TimedAutomaton
+from repro.core.network import Network
+
+__all__ = ["automaton_to_dot", "network_to_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _edge_label(edge) -> str:
+    parts = []
+    if not edge.guard.is_trivially_true:
+        parts.append(str(edge.guard))
+    if edge.sync is not None:
+        parts.append(str(edge.sync))
+    actions = [str(update) for update in edge.updates]
+    actions += [f"{clock} := {value}" for clock, value in edge.resets]
+    if actions:
+        parts.append(", ".join(actions))
+    return "\\n".join(_escape(part) for part in parts)
+
+
+def automaton_to_dot(automaton: TimedAutomaton, graph_name: str | None = None) -> str:
+    """Render one automaton as a DOT digraph string."""
+    name = graph_name or automaton.name
+    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=LR;", '  node [shape=ellipse, fontsize=10];',
+             '  edge [fontsize=9];']
+    for location in automaton.locations.values():
+        attributes = []
+        label = location.name
+        if not location.invariant.is_trivially_true:
+            label += f"\\n{_escape(str(location.invariant))}"
+        attributes.append(f'label="{label}"')
+        if location.urgent:
+            attributes.append('style=dashed')
+        if location.committed:
+            attributes.append('style=bold')
+        if location.name == automaton.initial_location:
+            attributes.append('peripheries=2')
+        lines.append(f'  "{_escape(location.name)}" [{", ".join(attributes)}];')
+    for edge in automaton.edges:
+        label = _edge_label(edge)
+        lines.append(
+            f'  "{_escape(edge.source)}" -> "{_escape(edge.target)}" [label="{label}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def network_to_dot(network: Network) -> str:
+    """Render a whole network as one DOT digraph with one cluster per instance."""
+    lines = [f'digraph "{_escape(network.name)}" {{', "  rankdir=LR;",
+             '  node [shape=ellipse, fontsize=10];', '  edge [fontsize=9];']
+    for index, (instance_name, automaton) in enumerate(network.instances):
+        lines.append(f'  subgraph "cluster_{index}" {{')
+        lines.append(f'    label="{_escape(instance_name)}";')
+        for location in automaton.locations.values():
+            node_id = f"{instance_name}.{location.name}"
+            label = location.name
+            if not location.invariant.is_trivially_true:
+                label += f"\\n{_escape(str(location.invariant))}"
+            peripheries = ", peripheries=2" if location.name == automaton.initial_location else ""
+            lines.append(f'    "{_escape(node_id)}" [label="{label}"{peripheries}];')
+        for edge in automaton.edges:
+            source = f"{instance_name}.{edge.source}"
+            target = f"{instance_name}.{edge.target}"
+            lines.append(
+                f'    "{_escape(source)}" -> "{_escape(target)}" [label="{_edge_label(edge)}"];'
+            )
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)

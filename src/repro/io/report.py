@@ -1,0 +1,93 @@
+"""Plain-text result tables in the layout of the paper's Tables 1 and 2.
+
+These helpers are shared by the benchmark harnesses and the examples: they
+take the per-cell results produced by the analyses and print rows/columns in
+the same arrangement as the paper, so that a visual diff against the
+published tables is straightforward.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_table1", "format_table2"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str | None = None,
+) -> str:
+    """Format a simple fixed-width text table."""
+    columns = len(headers)
+    widths = [len(str(header)) for header in headers]
+    for row in rows:
+        for index in range(columns):
+            cell = str(row[index]) if index < len(row) else ""
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(header).ljust(widths[index]) for index, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                (str(row[index]) if index < len(row) else "").ljust(widths[index])
+                for index in range(columns)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(value, lower_bound: bool = False) -> str:
+    if value is None:
+        return "-"
+    prefix = "> " if lower_bound else ""
+    return f"{prefix}{value:.3f}"
+
+
+def format_table1(
+    results: Mapping[str, Mapping[str, tuple[float | None, bool]]],
+    configurations: Sequence[str],
+    paper: Mapping[tuple[str, str], float] | None = None,
+) -> str:
+    """Format Table 1: rows = requirements, columns = event configurations.
+
+    ``results[row][config]`` is a ``(milliseconds, is_lower_bound)`` pair.
+    When ``paper`` is given, the published value is shown in brackets next to
+    the reproduced one.
+    """
+    headers = ["Requirement / Event model", *configurations]
+    rows = []
+    for row_label, cells in results.items():
+        row = [row_label]
+        for config in configurations:
+            value, lower = cells.get(config, (None, False))
+            cell = _format_cell(value, lower)
+            if paper and (row_label, config) in paper:
+                cell += f" [{paper[(row_label, config)]:.3f}]"
+            row.append(cell)
+        rows.append(row)
+    return format_table(headers, rows, title="Table 1 — worst-case response times (ms), [paper value]")
+
+
+def format_table2(
+    results: Mapping[str, Mapping[str, float | None]],
+    tools: Sequence[str],
+    paper: Mapping[str, Mapping[str, float]] | None = None,
+) -> str:
+    """Format Table 2: rows = requirements, columns = analysis techniques."""
+    headers = ["Requirement / Tool", *tools]
+    rows = []
+    for row_label, cells in results.items():
+        row = [row_label]
+        for tool in tools:
+            value = cells.get(tool)
+            cell = "-" if value is None else f"{value:.3f}"
+            if paper and row_label in paper and tool in paper[row_label]:
+                cell += f" [{paper[row_label][tool]:.3f}]"
+            row.append(cell)
+        rows.append(row)
+    return format_table(headers, rows, title="Table 2 — comparison of techniques (ms), [paper value]")

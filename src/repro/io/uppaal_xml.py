@@ -1,0 +1,134 @@
+"""Export of networks to the UPPAAL 4.x XML format.
+
+The export makes the generated models usable with the real UPPAAL tool (when
+one is available) and doubles as a human-readable serialisation.  The
+inverse direction (importing UPPAAL XML) is intentionally out of scope: the
+library's own builder API plays that role.
+
+The exported dialect uses:
+
+* one ``<template>`` per automaton instance (already flattened: local
+  constants inlined by the library would lose their names, so constants and
+  variables are re-declared in the template's local declarations),
+* ``<system>`` instantiating every template once,
+* queries written separately by :func:`queries_to_xml` / :func:`query_file`.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.core.automaton import TimedAutomaton
+from repro.core.declarations import BROADCAST
+from repro.core.network import Network
+
+__all__ = ["network_to_xml", "query_file"]
+
+
+def _template_declarations(automaton: TimedAutomaton) -> str:
+    lines = []
+    if automaton.clocks:
+        lines.append("clock " + ", ".join(automaton.clocks) + ";")
+    for constant in automaton.constants.values():
+        lines.append(f"const int {constant.name} = {constant.value};")
+    for variable in automaton.variables.values():
+        lines.append(
+            f"int[{variable.domain.lo},{variable.domain.hi}] {variable.name} = {variable.initial};"
+        )
+    return "\n".join(lines)
+
+
+def _location_id(instance: str, location: str) -> str:
+    return f"id_{instance}_{location}"
+
+
+def _template_xml(instance_name: str, automaton: TimedAutomaton) -> list[str]:
+    lines = [f"  <template>", f"    <name>{escape(instance_name)}</name>"]
+    declarations = _template_declarations(automaton)
+    if declarations:
+        lines.append(f"    <declaration>{escape(declarations)}</declaration>")
+    for location in automaton.locations.values():
+        loc_id = _location_id(instance_name, location.name)
+        lines.append(f'    <location id="{loc_id}">')
+        lines.append(f"      <name>{escape(location.name)}</name>")
+        if not location.invariant.is_trivially_true:
+            lines.append(
+                f'      <label kind="invariant">{escape(str(location.invariant))}</label>'
+            )
+        if location.urgent:
+            lines.append("      <urgent/>")
+        if location.committed:
+            lines.append("      <committed/>")
+        lines.append("    </location>")
+    initial = automaton.initial_location or next(iter(automaton.locations))
+    lines.append(f'    <init ref="{_location_id(instance_name, initial)}"/>')
+    for edge in automaton.edges:
+        lines.append("    <transition>")
+        lines.append(f'      <source ref="{_location_id(instance_name, edge.source)}"/>')
+        lines.append(f'      <target ref="{_location_id(instance_name, edge.target)}"/>')
+        if not edge.guard.is_trivially_true:
+            lines.append(f'      <label kind="guard">{escape(str(edge.guard))}</label>')
+        if edge.sync is not None:
+            lines.append(f'      <label kind="synchronisation">{escape(str(edge.sync))}</label>')
+        assignments = [str(update) for update in edge.updates]
+        assignments += [f"{clock} = {value}" for clock, value in edge.resets]
+        if assignments:
+            lines.append(
+                f'      <label kind="assignment">{escape(", ".join(assignments))}</label>'
+            )
+        lines.append("    </transition>")
+    lines.append("  </template>")
+    return lines
+
+
+def network_to_xml(network: Network) -> str:
+    """Serialise a network to an UPPAAL 4.x ``.xml`` document string."""
+    lines = [
+        '<?xml version="1.0" encoding="utf-8"?>',
+        "<!DOCTYPE nta PUBLIC '-//Uppaal Team//DTD Flat System 1.1//EN' "
+        "'http://www.it.uu.se/research/group/darts/uppaal/flat-1_2.dtd'>",
+        "<nta>",
+    ]
+    declarations = []
+    for channel in network.channels.values():
+        qualifiers = ""
+        if channel.urgent:
+            qualifiers += "urgent "
+        if channel.kind == BROADCAST:
+            qualifiers += "broadcast "
+        declarations.append(f"{qualifiers}chan {channel.name};")
+    for constant in network.constants.values():
+        declarations.append(f"const int {constant.name} = {constant.value};")
+    for variable in network.variables.values():
+        declarations.append(
+            f"int[{variable.domain.lo},{variable.domain.hi}] {variable.name} = {variable.initial};"
+        )
+    for clock in network.clocks.values():
+        declarations.append(f"clock {clock.name};")
+    lines.append(f"  <declaration>{escape(chr(10).join(declarations))}</declaration>")
+
+    system_lines = []
+    for instance_name, automaton in network.instances:
+        lines.extend(_template_xml(instance_name, automaton))
+        system_lines.append(instance_name)
+    lines.append(
+        "  <system>" + escape("system " + ", ".join(system_lines) + ";") + "</system>"
+    )
+    lines.append("</nta>")
+    return "\n".join(lines)
+
+
+def query_file(queries: list[str], comments: list[str] | None = None) -> str:
+    """Render a UPPAAL ``.q`` query file.
+
+    ``queries`` are requirement strings such as
+    ``"A[] (obs.seen imply obs.y < 200000)"``; ``comments`` (same length, or
+    ``None``) are attached as ``//`` lines above each query.
+    """
+    lines: list[str] = []
+    for index, query in enumerate(queries):
+        if comments and index < len(comments) and comments[index]:
+            lines.append(f"// {comments[index]}")
+        lines.append(query)
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Small shared utilities used across the :mod:`repro` packages."""
+
+from repro.util.errors import (
+    ReproError,
+    ModelError,
+    AnalysisError,
+    ParseError,
+    BoundExceededError,
+)
+from repro.util.intervals import IntInterval
+from repro.util.naming import check_identifier, qualify
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "AnalysisError",
+    "ParseError",
+    "BoundExceededError",
+    "IntInterval",
+    "check_identifier",
+    "qualify",
+]

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError` so that callers can distinguish library errors from
+programming errors (``TypeError`` and friends).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised intentionally by this library."""
+
+
+class ModelError(ReproError):
+    """A model (timed automaton, network, architecture) is ill-formed.
+
+    Examples: referencing an undeclared clock, synchronising on an unknown
+    channel, a guard that uses disjunction over clock constraints, an
+    architecture scenario step mapped to a resource that does not exist.
+    """
+
+
+class ParseError(ReproError):
+    """An expression or guard string could not be parsed."""
+
+    def __init__(self, message: str, text: str | None = None, position: int | None = None):
+        self.text = text
+        self.position = position
+        if text is not None and position is not None:
+            message = f"{message} (at position {position} in {text!r})"
+        super().__init__(message)
+
+
+class AnalysisError(ReproError):
+    """An analysis could not produce a result.
+
+    Raised, for instance, when a fixed point iteration in the scheduling
+    analysis diverges (the system is not schedulable and no bound exists) or
+    when a query refers to entities that are not part of the analysed network.
+    """
+
+
+class BoundExceededError(AnalysisError):
+    """An exploration exceeded its user-supplied state/time budget.
+
+    The partially computed information (e.g. the best lower bound on a
+    worst-case response time found so far) is attached so that callers can
+    still report it, mirroring the ``> X (df/rdf)`` entries of the paper.
+    """
+
+    def __init__(self, message: str, partial_result=None, statistics=None):
+        super().__init__(message)
+        self.partial_result = partial_result
+        self.statistics = statistics

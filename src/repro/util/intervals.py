@@ -1,0 +1,97 @@
+"""Closed integer intervals with simple interval arithmetic.
+
+Used for two purposes:
+
+* declaring the domain of bounded integer variables of a timed automaton
+  (UPPAAL requires every integer variable to have a finite range), and
+* conservatively bounding the value of integer expressions (e.g. the
+  right-hand side of a clock invariant such as ``x <= D``) when computing
+  clock extrapolation constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IntInterval:
+    """A closed interval ``[lo, hi]`` over the integers.
+
+    The interval must be non-empty (``lo <= hi``).
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # -- queries -----------------------------------------------------------
+    def contains(self, value: int) -> bool:
+        """Return ``True`` when *value* lies inside the interval."""
+        return self.lo <= value <= self.hi
+
+    def clamp(self, value: int) -> int:
+        """Clamp *value* into the interval."""
+        return max(self.lo, min(self.hi, value))
+
+    @property
+    def width(self) -> int:
+        """Number of integers contained in the interval."""
+        return self.hi - self.lo + 1
+
+    # -- interval arithmetic ------------------------------------------------
+    def __add__(self, other: "IntInterval | int") -> "IntInterval":
+        other = _as_interval(other)
+        return IntInterval(self.lo + other.lo, self.hi + other.hi)
+
+    def __sub__(self, other: "IntInterval | int") -> "IntInterval":
+        other = _as_interval(other)
+        return IntInterval(self.lo - other.hi, self.hi - other.lo)
+
+    def __neg__(self) -> "IntInterval":
+        return IntInterval(-self.hi, -self.lo)
+
+    def __mul__(self, other: "IntInterval | int") -> "IntInterval":
+        other = _as_interval(other)
+        products = (
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        )
+        return IntInterval(min(products), max(products))
+
+    def floordiv(self, other: "IntInterval | int") -> "IntInterval":
+        """Conservative interval for integer division.
+
+        Division by an interval containing zero widens the result to the
+        dividend's own magnitude (it can never exceed it for divisors with
+        absolute value >= 1); exact tightness is not required because the
+        result is only used for extrapolation bounds, which merely have to be
+        *upper* bounds on the constants that can appear.
+        """
+        other = _as_interval(other)
+        if other.lo <= 0 <= other.hi:
+            magnitude = max(abs(self.lo), abs(self.hi))
+            return IntInterval(-magnitude, magnitude)
+        candidates = []
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                candidates.append(int(a / b) if (a < 0) != (b < 0) and a % b else a // b)
+        return IntInterval(min(candidates), max(candidates))
+
+    def union(self, other: "IntInterval | int") -> "IntInterval":
+        other = _as_interval(other)
+        return IntInterval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"[{self.lo}, {self.hi}]"
+
+
+def _as_interval(value: "IntInterval | int") -> IntInterval:
+    if isinstance(value, IntInterval):
+        return value
+    return IntInterval(int(value), int(value))

@@ -1,0 +1,42 @@
+"""Identifier validation and qualified-name helpers.
+
+Timed automaton components (clocks, variables, locations, channels) are
+referred to by name throughout the library; within a composed network the
+entities local to an automaton instance are addressed as
+``"<instance>.<name>"`` exactly as in UPPAAL.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.util.errors import ModelError
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def check_identifier(name: str, kind: str = "identifier") -> str:
+    """Validate that *name* is a legal identifier and return it.
+
+    Raises :class:`~repro.util.errors.ModelError` otherwise.  ``kind`` is only
+    used to produce a helpful error message ("clock", "variable", ...).
+    """
+    if not isinstance(name, str) or not _IDENTIFIER_RE.match(name):
+        raise ModelError(f"invalid {kind} name: {name!r}")
+    return name
+
+
+def qualify(instance: str, name: str) -> str:
+    """Return the fully qualified name of a local entity of an instance."""
+    return f"{instance}.{name}"
+
+
+def split_qualified(name: str) -> tuple[str | None, str]:
+    """Split ``"instance.local"`` into ``(instance, local)``.
+
+    Unqualified names return ``(None, name)``.
+    """
+    if "." in name:
+        instance, local = name.split(".", 1)
+        return instance, local
+    return None, name

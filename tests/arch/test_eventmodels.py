@@ -1,0 +1,140 @@
+"""Tests of the event arrival models (Figs. 7 and 8)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.eventmodels import Bursty, Periodic, PeriodicJitter, PeriodicOffset, Sporadic
+from repro.util.errors import ModelError
+
+MODELS = [
+    PeriodicOffset(1000, 0),
+    PeriodicOffset(1000, 250),
+    Periodic(1000),
+    Sporadic(1000),
+    PeriodicJitter(1000, 400),
+    PeriodicJitter(1000, 1000),
+    Bursty(1000, 2000, 0),
+    Bursty(1000, 2000, 50),
+]
+
+
+class TestAnalyticCharacterisation:
+    @pytest.mark.parametrize("model", MODELS, ids=str)
+    def test_eta_plus_matches_delta_min_definition(self, model):
+        """The closed-form eta_plus equals max{n : delta_min(n) < delta}."""
+        for delta in (1, 500, 999, 1000, 1001, 2500, 5000, 10000):
+            reference = 1
+            while model.delta_min(reference + 1) < delta:
+                reference += 1
+            assert model.eta_plus(delta) == reference, (model, delta)
+
+    @pytest.mark.parametrize("model", MODELS, ids=str)
+    def test_eta_plus_zero_window(self, model):
+        assert model.eta_plus(0) == 0
+        assert model.eta_plus(-5) == 0
+
+    @pytest.mark.parametrize("model", MODELS, ids=str)
+    def test_delta_min_monotone(self, model):
+        values = [model.delta_min(n) for n in range(1, 20)]
+        assert values == sorted(values)
+
+    @pytest.mark.parametrize("model", MODELS, ids=str)
+    def test_delta_min_below_delta_max(self, model):
+        for n in range(1, 15):
+            assert model.delta_min(n) <= model.delta_max(n)
+
+    def test_jitter_properties(self):
+        assert PeriodicJitter(1000, 300).jitter == 300
+        assert Bursty(1000, 2500, 10).jitter == 2500
+        assert Periodic(1000).jitter == 0
+
+    def test_pjd(self):
+        assert Bursty(1000, 2000, 25).pjd() == (1000, 2000, 25)
+        assert Periodic(100).pjd()[0] == 100
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelError):
+            Periodic(0)
+        with pytest.raises(ModelError):
+            PeriodicJitter(1000, 1500)  # J > P needs Bursty
+        with pytest.raises(ModelError):
+            PeriodicOffset(1000, -1)
+        with pytest.raises(ModelError):
+            Bursty(1000, -1)
+
+    @given(period=st.integers(1, 10_000), delta=st.integers(1, 100_000))
+    @settings(max_examples=200, deadline=None)
+    def test_property_periodic_eta(self, period, delta):
+        """For a strictly periodic stream eta+(Δ) = ceil stuff: (Δ-1)//P + 1."""
+        model = Periodic(period)
+        assert model.eta_plus(delta) == (delta - 1) // period + 1
+
+    @given(
+        period=st.integers(1, 1000),
+        jitter=st.integers(0, 5000),
+        n=st.integers(2, 30),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_bursty_delta_min_consistent_with_eta(self, period, jitter, n):
+        model = Bursty(period, jitter, 0)
+        delta = model.delta_min(n)
+        # a window barely longer than delta_min(n) can hold at least n events
+        assert model.eta_plus(delta + 1) >= n
+
+
+class TestAutomataGeneration:
+    @pytest.mark.parametrize("model", MODELS, ids=str)
+    def test_automaton_builds_and_validates(self, model):
+        ta = model.build_automaton("env", "evt", "q++")
+        ta.validate()
+        assert ta.initial_location is not None
+        # every inject edge synchronises on the broadcast channel
+        inject_edges = [e for e in ta.edges if e.sync is not None and e.sync.channel == "evt"]
+        assert inject_edges, model
+
+    def test_periodic_offset_zero_has_offset_constant(self):
+        ta = PeriodicOffset(1000, 0).build_automaton("env", "evt", "q++")
+        assert ta.constants["F"].value == 0
+
+    def test_bursty_has_backlog_counters(self):
+        ta = Bursty(1000, 3000, 0).build_automaton("env", "evt", "q++")
+        assert "pending" in ta.variables and "snd" in ta.variables
+        assert "z" not in ta.clocks  # D == 0: separation clock omitted
+
+    def test_bursty_with_separation_has_third_clock(self):
+        ta = Bursty(1000, 3000, 10).build_automaton("env", "evt", "q++")
+        assert "z" in ta.clocks
+
+
+class TestSampling:
+    @pytest.mark.parametrize("model", MODELS, ids=str)
+    def test_sampled_arrivals_sorted_and_in_horizon(self, model):
+        rng = random.Random(1)
+        arrivals = model.sample_arrivals(rng, 50_000)
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t for t in arrivals)
+
+    def test_periodic_offset_sampling_is_deterministic(self):
+        model = PeriodicOffset(1000, 200)
+        assert model.sample_arrivals(random.Random(1), 5000) == [200, 1200, 2200, 3200, 4200]
+
+    def test_sporadic_sampling_respects_min_interarrival(self):
+        model = Sporadic(1000)
+        arrivals = model.sample_arrivals(random.Random(3), 200_000)
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert all(gap >= 1000 for gap in gaps)
+
+    def test_bursty_sampling_respects_separation(self):
+        model = Bursty(1000, 5000, 100)
+        arrivals = model.sample_arrivals(random.Random(5), 100_000)
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert all(gap >= 100 for gap in gaps)
+
+    def test_jitter_sampling_stays_within_jitter_window(self):
+        model = PeriodicJitter(1000, 200)
+        arrivals = model.sample_arrivals(random.Random(7), 100_000)
+        # consecutive arrivals can never be closer than P - J
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert all(gap >= 800 for gap in gaps)

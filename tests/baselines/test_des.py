@@ -1,0 +1,167 @@
+"""Tests of the discrete-event simulation baseline."""
+
+import pytest
+
+from repro.arch import (
+    ArchitectureModel,
+    Bus,
+    Execute,
+    FIXED_PRIORITY_NONPREEMPTIVE,
+    FIXED_PRIORITY_PREEMPTIVE,
+    LatencyRequirement,
+    Message,
+    Operation,
+    PeriodicOffset,
+    Processor,
+    Scenario,
+    Sporadic,
+    Transfer,
+)
+from repro.baselines.des import Job, ResourceServer, SimulationSettings, Simulator, simulate
+from repro.util.errors import AnalysisError
+
+
+class TestSimulatorKernel:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(30, lambda: fired.append("c"))
+        sim.schedule(10, lambda: fired.append("a"))
+        sim.schedule(20, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 30
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5, lambda: fired.append(1))
+        sim.schedule(5, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_cancelled_event_is_skipped(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(5, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5, lambda: fired.append("a"))
+        sim.schedule(50, lambda: fired.append("b"))
+        sim.run_until(10)
+        assert fired == ["a"]
+        assert sim.now == 10
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(AnalysisError):
+            Simulator().schedule(-1, lambda: None)
+
+
+class TestResourceServer:
+    def _completed(self):
+        done = []
+        return done, (lambda name: (lambda: done.append(name)))
+
+    def test_fifo_non_priority(self):
+        sim = Simulator()
+        server = ResourceServer(sim, "cpu", preemptive=False, priority_based=False)
+        done, complete = self._completed()
+        server.submit(Job("a", 10, priority=2, on_complete=complete("a")))
+        server.submit(Job("b", 5, priority=1, on_complete=complete("b")))
+        sim.run()
+        assert done == ["a", "b"]  # FIFO ignores priority
+        assert sim.now == 15
+
+    def test_priority_non_preemptive(self):
+        sim = Simulator()
+        server = ResourceServer(sim, "cpu", preemptive=False, priority_based=True)
+        done, complete = self._completed()
+        server.submit(Job("low", 10, priority=2, on_complete=complete("low")))
+        sim.schedule(2, lambda: server.submit(Job("high", 5, priority=1, on_complete=complete("high"))))
+        sim.run()
+        # the low job already started and is not interrupted
+        assert done == ["low", "high"]
+        assert sim.now == 15
+
+    def test_priority_preemptive(self):
+        sim = Simulator()
+        server = ResourceServer(sim, "cpu", preemptive=True, priority_based=True)
+        done, complete = self._completed()
+        finish_times = {}
+        def complete_and_stamp(name):
+            def fn():
+                finish_times[name] = sim.now
+            return fn
+        server.submit(Job("low", 10, priority=2, on_complete=complete_and_stamp("low")))
+        sim.schedule(2, lambda: server.submit(Job("high", 5, priority=1, on_complete=complete_and_stamp("high"))))
+        sim.run()
+        # high preempts at t=2, finishes at 7; low resumes and finishes at 15
+        assert finish_times == {"high": 7, "low": 15}
+
+    def test_utilisation_accounting(self):
+        sim = Simulator()
+        server = ResourceServer(sim, "cpu")
+        server.submit(Job("a", 10, priority=1, on_complete=lambda: None))
+        sim.run_until(20)
+        assert server.utilisation(20) == pytest.approx(0.5)
+
+    def test_invalid_job_rejected(self):
+        with pytest.raises(AnalysisError):
+            Job("bad", 0, priority=1, on_complete=lambda: None)
+
+
+def _pipeline_model():
+    model = ArchitectureModel("pipe")
+    model.add_processor(Processor("P1", 1.0, FIXED_PRIORITY_PREEMPTIVE))
+    model.add_processor(Processor("P2", 1.0, FIXED_PRIORITY_NONPREEMPTIVE))
+    model.add_bus(Bus("B", 8.0))
+    model.add_scenario(Scenario(
+        "C",
+        (
+            Execute(Operation("Produce", 100), "P1"),
+            Transfer(Message("Data", 1), "B"),
+            Execute(Operation("Consume", 200), "P2"),
+        ),
+        PeriodicOffset(10_000, 0),
+    ))
+    model.add_requirement(LatencyRequirement("E2E", "C", 1_000_000))
+    model.add_requirement(LatencyRequirement("Tail", "C", 1_000_000, start_after="Produce"))
+    return model
+
+
+class TestArchitectureSimulation:
+    def test_unloaded_pipeline_observes_exact_chain_latency(self):
+        model = _pipeline_model()
+        result = simulate(model, SimulationSettings(horizon=100_000, runs=2, seed=1))
+        observation = result.observations["E2E"]
+        assert observation.count > 0
+        # no contention: every observed latency equals the chain duration
+        assert observation.maximum == 100 + 1000 + 200
+        assert observation.average == pytest.approx(1300)
+        assert result.observations["Tail"].maximum == 1200
+
+    def test_quantile_and_utilisation(self):
+        model = _pipeline_model()
+        result = simulate(model, SimulationSettings(horizon=100_000, runs=1, seed=2))
+        observation = result.observations["E2E"]
+        assert observation.quantile(0.5) == 1300
+        assert 0 < result.utilisation["P1"] < 0.1
+
+    def test_simulation_never_exceeds_model_checked_wcrt(self):
+        """Simulation is an under-approximation of the exact worst case."""
+        from repro.arch import analyze_wcrt
+
+        model = _pipeline_model()
+        exact = analyze_wcrt(model, "E2E")
+        simulated = simulate(model, SimulationSettings(horizon=200_000, runs=3, seed=3))
+        assert simulated.observations["E2E"].maximum <= exact.wcrt_ticks
+
+    def test_sporadic_sampling_varies_between_runs(self):
+        model = _pipeline_model().with_event_models({"C": Sporadic(10_000)})
+        result = simulate(model, SimulationSettings(horizon=200_000, runs=4, seed=5))
+        assert result.observations["E2E"].count > 10

@@ -1,0 +1,223 @@
+"""Tests of the SymTA/S-style and MPA/RTC baselines, including the
+cross-technique soundness property the paper's Table 2 illustrates:
+simulation <= exact model checking <= analytic bounds."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import (
+    ArchitectureModel,
+    Bus,
+    Execute,
+    FIXED_PRIORITY_NONPREEMPTIVE,
+    FIXED_PRIORITY_PREEMPTIVE,
+    LatencyRequirement,
+    Message,
+    Operation,
+    Periodic,
+    Processor,
+    Scenario,
+    Sporadic,
+    Transfer,
+    analyze_wcrt,
+)
+from repro.baselines import mpa, symta
+from repro.baselines.des import SimulationSettings, simulate
+from repro.baselines.mpa import StaircaseCurve, delay_bound, full_service, leftover_service, rate_latency
+from repro.baselines.symta import AnalysedTask, response_time
+from repro.util.errors import AnalysisError
+
+
+# ---------------------------------------------------------------------------
+# SymTA/S busy-window analysis on textbook task sets
+# ---------------------------------------------------------------------------
+
+class TestBusyWindow:
+    def _tasks(self):
+        return [
+            AnalysedTask("t1", wcet=1, priority=1, event_model=Sporadic(4), group="a"),
+            AnalysedTask("t2", wcet=2, priority=2, event_model=Sporadic(6), group="b"),
+            AnalysedTask("t3", wcet=3, priority=3, event_model=Sporadic(12), group="c"),
+        ]
+
+    def test_rate_monotonic_preemptive_response_times(self):
+        """The classic example: R1 = 1, R2 = 3, R3 = 3 + 1 + 2 = ... = 10."""
+        t1, t2, t3 = self._tasks()
+        assert response_time(t1, [t2, t3], preemptive=True).wcrt == 1
+        assert response_time(t2, [t1, t3], preemptive=True).wcrt == 3
+        assert response_time(t3, [t1, t2], preemptive=True).wcrt == 10
+
+    def test_non_preemptive_adds_blocking(self):
+        t1, t2, t3 = self._tasks()
+        result = response_time(t1, [t2, t3], preemptive=False)
+        # one lower-priority job (wcet 3) may have just started
+        assert result.wcrt == 1 + 3
+
+    def test_output_jitter_is_response_time_variation(self):
+        t1, t2, t3 = self._tasks()
+        result = response_time(t3, [t1, t2], preemptive=True)
+        assert result.output_jitter == result.wcrt - t3.wcet
+
+    def test_overload_detected(self):
+        heavy = AnalysedTask("h", wcet=10, priority=1, event_model=Sporadic(5))
+        other = AnalysedTask("o", wcet=10, priority=2, event_model=Sporadic(5))
+        with pytest.raises(AnalysisError):
+            response_time(other, [heavy], preemptive=True)
+
+    def test_jitter_increases_interference(self):
+        base = AnalysedTask("hp", wcet=2, priority=1, event_model=Sporadic(10))
+        jittery = AnalysedTask("hp", wcet=2, priority=1, event_model=Sporadic(10), extra_jitter=10)
+        victim = AnalysedTask("lp", wcet=5, priority=2, event_model=Sporadic(100))
+        calm = response_time(victim, [base], preemptive=True).wcrt
+        stressed = response_time(victim, [jittery], preemptive=True).wcrt
+        assert stressed > calm
+
+
+# ---------------------------------------------------------------------------
+# MPA curves
+# ---------------------------------------------------------------------------
+
+class TestCurves:
+    def test_staircase_counts_events(self):
+        curve = StaircaseCurve(period=10, jitter=0, min_separation=0, weight=1)
+        assert curve.events(0) == 1     # closed window: one event may sit at the edge
+        assert curve.events(10) == 2
+        assert curve.events(25) == 3
+
+    def test_staircase_with_jitter(self):
+        curve = StaircaseCurve(period=10, jitter=10, min_separation=0, weight=1)
+        assert curve.events(1) == 2
+        assert curve.events(11) == 3
+
+    def test_staircase_with_separation(self):
+        curve = StaircaseCurve(period=10, jitter=100, min_separation=4, weight=1)
+        assert curve.events(1) == 1
+        assert curve.events(4) == 2
+        assert curve.events(8) == 3
+
+    def test_full_service_and_rate_latency(self):
+        beta = full_service(1.0)
+        assert beta(10) == 10
+        rl = rate_latency(0.5, 4)
+        assert rl(4) == 0
+        assert rl(8) == pytest.approx(2)
+        assert rl.inverse(2) == pytest.approx(8)
+
+    def test_shift_right_models_blocking(self):
+        beta = full_service(1.0).shift_right(5)
+        assert beta(5) == 0
+        assert beta(15) == pytest.approx(10)
+
+    def test_leftover_service_is_below_full_service(self):
+        alpha = StaircaseCurve(period=100, jitter=0, min_separation=0, weight=30)
+        beta = full_service(1.0)
+        left = leftover_service(beta, [alpha], horizon=1000)
+        for delta in (0, 10, 50, 100, 250, 900):
+            assert left(delta) <= beta(delta) + 1e-6
+            assert left(delta) >= 0
+
+    def test_leftover_service_is_monotone(self):
+        alpha = StaircaseCurve(period=100, jitter=50, min_separation=0, weight=40)
+        left = leftover_service(full_service(1.0), [alpha], horizon=2000)
+        values = [left(d) for d in range(0, 2000, 37)]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_delay_bound_single_stream(self):
+        # a 30-unit job served by a unit-rate resource: delay 30
+        alpha = StaircaseCurve(period=100, jitter=0, min_separation=0, weight=30)
+        result = delay_bound(alpha, full_service(1.0))
+        assert result.delay == 30
+        assert result.backlog == 30
+
+    def test_delay_bound_with_interference(self):
+        # low priority 30-unit job behind a 30-unit high-priority job
+        high = StaircaseCurve(period=100, jitter=0, min_separation=0, weight=30)
+        low = StaircaseCurve(period=200, jitter=0, min_separation=0, weight=30)
+        left = leftover_service(full_service(1.0), [high], horizon=2000)
+        result = delay_bound(low, left)
+        assert result.delay == 60
+
+    def test_overload_detected(self):
+        alpha = StaircaseCurve(period=10, jitter=0, min_separation=0, weight=20)
+        with pytest.raises(AnalysisError):
+            delay_bound(alpha, rate_latency(1.0, 0).shift_right(0).shift_right(0), )
+
+    @given(
+        period=st.integers(5, 200),
+        jitter=st.integers(0, 400),
+        weight=st.integers(1, 50),
+        delta=st.integers(0, 2000),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_staircase_superadditive_bound(self, period, jitter, weight, delta):
+        """alpha(a + b) <= alpha(a) + alpha(b): valid for upper arrival curves."""
+        curve = StaircaseCurve(period=period, jitter=jitter, min_separation=0, weight=weight)
+        a, b = delta // 2, delta - delta // 2
+        assert curve(delta) <= curve(a) + curve(b)
+
+
+# ---------------------------------------------------------------------------
+# Cross-technique integration on a small, fully tractable system
+# ---------------------------------------------------------------------------
+
+def _small_system():
+    model = ArchitectureModel("small")
+    model.add_processor(Processor("CPU", 1.0, FIXED_PRIORITY_PREEMPTIVE))
+    model.add_processor(Processor("DSP", 1.0, FIXED_PRIORITY_NONPREEMPTIVE))
+    model.add_bus(Bus("LINK", 8.0))
+    model.add_scenario(Scenario(
+        "Control",
+        (
+            Execute(Operation("Sense", 50), "CPU"),
+            Transfer(Message("Cmd", 1), "LINK"),
+            Execute(Operation("Act", 100), "DSP"),
+        ),
+        Periodic(5_000), priority=1,
+    ))
+    model.add_scenario(Scenario(
+        "Logging",
+        (
+            Execute(Operation("Collect", 200), "CPU"),
+            Transfer(Message("Record", 2), "LINK"),
+            Execute(Operation("Store", 300), "DSP"),
+        ),
+        Periodic(20_000), priority=2,
+    ))
+    model.add_requirement(LatencyRequirement("ControlE2E", "Control", 50_000))
+    model.add_requirement(LatencyRequirement("LoggingE2E", "Logging", 100_000))
+    return model
+
+
+class TestCrossTechnique:
+    def test_ordering_simulation_exact_analytic(self):
+        """The Table 2 shape: observed <= exact <= busy-window and RTC bounds."""
+        model = _small_system()
+        tb = model.timebase
+        symta_result = symta.analyze(model)
+        mpa_result = mpa.analyze(model)
+        sim_result = simulate(model, SimulationSettings(horizon=200_000, runs=3, seed=11))
+        for requirement in ("ControlE2E", "LoggingE2E"):
+            exact = analyze_wcrt(model, requirement)
+            observed = sim_result.observations[requirement].maximum
+            assert observed is not None
+            assert observed <= exact.wcrt_ticks
+            assert symta_result.latencies[requirement] >= exact.wcrt_ticks
+            assert mpa_result.latencies[requirement] >= exact.wcrt_ticks
+
+    def test_symta_converges_and_reports_steps(self):
+        result = symta.analyze(_small_system())
+        assert result.converged
+        assert ("Control", "Sense") in result.steps
+        assert result.steps[("Control", "Sense")].wcrt >= 50
+
+    def test_mpa_converges_and_reports_steps(self):
+        result = mpa.analyze(_small_system())
+        assert result.converged
+        assert result.steps[("Logging", "Store")].delay >= 300
+
+    def test_mpa_latency_in_milliseconds(self):
+        model = _small_system()
+        result = mpa.analyze(model)
+        assert result.latency_ms("ControlE2E", model.timebase) == pytest.approx(
+            result.latencies["ControlE2E"] / 1000.0
+        )

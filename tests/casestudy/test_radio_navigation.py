@@ -1,0 +1,123 @@
+"""Tests of the in-car radio navigation case study."""
+
+import pytest
+
+from repro.arch import FIXED_PRIORITY_PREEMPTIVE, PeriodicOffset, analyze_wcrt
+from repro.casestudy import (
+    COMBINATIONS,
+    EVENT_CONFIGURATIONS,
+    TABLE1_ROWS,
+    TABLE1_UPPAAL_MS,
+    TABLE2_MS,
+    build_radio_navigation,
+    configure,
+)
+from repro.util.errors import ModelError
+
+
+class TestModelStructure:
+    def test_resources(self):
+        model = build_radio_navigation()
+        assert set(model.processors) == {"MMI", "RAD", "NAV"}
+        assert set(model.buses) == {"BUS"}
+        assert model.processors["MMI"].mips == 22.0
+        assert model.processors["RAD"].policy is FIXED_PRIORITY_PREEMPTIVE
+        assert model.buses["BUS"].kbps == 72.0
+
+    def test_scenarios_and_requirements(self):
+        model = build_radio_navigation()
+        assert set(model.scenarios) == {"ChangeVolume", "HandleTMC", "AddressLookup"}
+        assert set(model.requirements) == {"K2V", "K2A", "A2V", "TMC", "ALK2V"}
+        assert model.scenario("HandleTMC").priority > model.scenario("ChangeVolume").priority
+
+    def test_step_durations_match_paper_constants(self):
+        """The derived execution/transfer times are the paper's constants (µs)."""
+        model = build_radio_navigation()
+        cv = model.scenario("ChangeVolume")
+        assert model.step_duration(cv.step("HandleKeyPress")) == 4545
+        assert model.step_duration(cv.step("SetVolume")) == 444
+        assert model.step_duration(cv.step("AdjustVolume")) == 9091
+        assert model.step_duration(cv.step("UpdateScreen")) == 22727
+        tmc = model.scenario("HandleTMC")
+        assert model.step_duration(tmc.step("HandleTMC")) == 90909
+        assert model.step_duration(tmc.step("TMCMessage")) == 7111
+        assert model.step_duration(tmc.step("DecodeTMC")) == 44248
+        al = model.scenario("AddressLookup")
+        assert model.step_duration(al.step("DatabaseLookup")) == 44248
+
+    def test_chain_durations(self):
+        """Isolated chain latencies: AddressLookup reproduces the 79.075 ms figure."""
+        model = build_radio_navigation()
+        assert model.chain_duration("AddressLookup") == 79075
+        assert model.chain_duration("HandleTMC") == 172106
+        assert model.chain_duration("ChangeVolume") == 37251
+
+    def test_event_periods(self):
+        model = build_radio_navigation()
+        assert model.scenario("ChangeVolume").event_model.period == 31250
+        assert model.scenario("HandleTMC").event_model.period == 3_000_000
+        assert model.scenario("AddressLookup").event_model.period == 1_000_000
+
+    def test_utilisation_below_one(self):
+        model = build_radio_navigation()
+        for resource in ("MMI", "RAD", "NAV", "BUS"):
+            assert model.utilisation(resource) < 1.0
+
+
+class TestConfigurations:
+    def test_all_configurations_build(self):
+        model = build_radio_navigation()
+        for combo in COMBINATIONS:
+            for config in EVENT_CONFIGURATIONS:
+                configured = configure(model, combo, config)
+                assert len(configured.scenarios) == 2
+                configured.validate()
+
+    def test_po_uses_zero_offsets(self):
+        model = build_radio_navigation()
+        configured = configure(model, "CV+TMC", "po")
+        for scenario in configured.scenarios.values():
+            assert scenario.event_model.kind == "po"
+
+    def test_bur_only_affects_radio_station(self):
+        model = build_radio_navigation()
+        configured = configure(model, "CV+TMC", "bur")
+        assert configured.scenario("HandleTMC").event_model.kind == "bur"
+        assert configured.scenario("ChangeVolume").event_model.kind == "sp"
+
+    def test_unknown_combination_rejected(self):
+        model = build_radio_navigation()
+        with pytest.raises(ModelError):
+            configure(model, "CV+AL", "po")
+        with pytest.raises(ModelError):
+            configure(model, "CV+TMC", "zigzag")
+
+    def test_table_metadata_is_consistent(self):
+        requirement_names = {row.requirement for row in TABLE1_ROWS}
+        assert requirement_names <= {"TMC", "K2A", "A2V", "ALK2V"}
+        for row in TABLE1_ROWS:
+            assert row.combination in COMBINATIONS
+        assert set(TABLE2_MS) == {row.label for row in TABLE1_ROWS}
+        for (label, config) in TABLE1_UPPAAL_MS:
+            assert config in EVENT_CONFIGURATIONS
+
+
+class TestReproducedNumbers:
+    """Model-checking results that are fast enough for the unit-test suite."""
+
+    def test_address_lookup_isolation_is_79_075_ms(self):
+        model = build_radio_navigation()
+        isolated = model.restrict(["AddressLookup"]).with_event_models(
+            {"AddressLookup": PeriodicOffset(1_000_000, 0)}
+        )
+        result = analyze_wcrt(isolated, "ALK2V")
+        assert result.wcrt_ticks == 79075
+        assert result.satisfied is True
+
+    def test_handle_tmc_with_address_lookup_po_is_172_106_ms(self):
+        model = build_radio_navigation()
+        configured = configure(model, "AL+TMC", "po")
+        result = analyze_wcrt(configured, "TMC")
+        assert result.wcrt_ticks == 172106
+        paper = TABLE1_UPPAAL_MS[("HandleTMC (+ AddressLookup)", "po")]
+        assert abs(result.wcrt_ms - paper) < 0.001

@@ -1,0 +1,311 @@
+"""Tests of the DBM (zone) library."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dbm import (
+    DBM,
+    INFINITY_RAW,
+    LE_ZERO,
+    add_raw,
+    bound,
+    bound_as_tuple,
+    bound_is_strict,
+    bound_value,
+    get_close_backend,
+    negate_weak,
+    set_close_backend,
+)
+from repro.util.errors import ModelError
+
+
+class TestBoundEncoding:
+    def test_roundtrip_weak(self):
+        raw = bound(5)
+        assert bound_value(raw) == 5
+        assert not bound_is_strict(raw)
+
+    def test_roundtrip_strict(self):
+        raw = bound(-3, strict=True)
+        assert bound_value(raw) == -3
+        assert bound_is_strict(raw)
+
+    def test_ordering_tighter_is_smaller(self):
+        assert bound(3, strict=True) < bound(3) < bound(4, strict=True)
+
+    def test_add_raw(self):
+        # (2, <=) + (3, <=) = (5, <=)
+        assert add_raw(bound(2), bound(3)) == bound(5)
+        # (2, <) + (3, <=) = (5, <)
+        assert add_raw(bound(2, strict=True), bound(3)) == bound(5, strict=True)
+        assert add_raw(bound(2), INFINITY_RAW) == INFINITY_RAW
+
+    def test_negate_weak(self):
+        assert negate_weak(bound(4)) == bound(-4, strict=True)
+        assert negate_weak(bound(4, strict=True)) == bound(-4)
+
+    def test_infinity_decodes_to_none(self):
+        assert bound_as_tuple(INFINITY_RAW) == (None, True)
+
+
+class TestBasicZones:
+    def test_zero_zone_contains_origin_only(self):
+        zone = DBM.zero(3)
+        assert zone.contains_point([0, 0, 0])
+        assert not zone.contains_point([0, 1, 0])
+
+    def test_universal_zone_contains_everything_nonnegative(self):
+        zone = DBM.universal(3)
+        assert zone.contains_point([0, 5, 100])
+        assert zone.contains_point([0, 0, 0])
+
+    def test_default_constructor_is_universal(self):
+        assert DBM(3).close() == DBM.universal(3).close()
+
+    def test_empty_after_contradictory_constraints(self):
+        zone = DBM.universal(2)
+        assert zone.constrain(1, 0, bound(5))     # x <= 5
+        assert not zone.constrain(0, 1, bound(-6))  # x >= 6
+        assert zone.is_empty()
+
+    def test_up_removes_upper_bounds(self):
+        zone = DBM.zero(2)
+        zone.up()
+        assert zone.contains_point([0, 1000])
+        # lower bounds (here x >= 0) survive delay
+        assert not zone.contains_point([0, -1])
+
+    def test_up_preserves_canonical_form(self):
+        zone = DBM.zero(3)
+        zone.constrain(1, 0, bound(5))
+        zone.up()
+        copy = zone.copy()
+        copy.close()
+        assert copy == zone
+
+    def test_down_allows_smaller_values(self):
+        zone = DBM.zero(2)
+        zone.reset(1, 10)
+        zone.down()
+        assert zone.contains_point([0, 3])
+        assert zone.contains_point([0, 10])
+
+    def test_reset(self):
+        zone = DBM.universal(3)
+        zone.constrain(1, 0, bound(7))
+        zone.reset(1, 0)
+        assert zone.contains_point([0, 0, 50])
+        assert not zone.contains_point([0, 1, 0])
+
+    def test_reset_to_value(self):
+        zone = DBM.zero(2)
+        zone.up()
+        zone.reset(1, 5)
+        assert zone.contains_point([0, 5])
+        assert not zone.contains_point([0, 6])
+
+    def test_copy_clock(self):
+        zone = DBM.zero(3)
+        zone.up()
+        zone.constrain(1, 0, bound(4))  # x <= 4 (and x == y from zero+up diag 0)
+        zone.copy_clock(2, 1)
+        # now y == x everywhere in the zone
+        assert zone.contains_point([0, 3, 3])
+        assert not zone.contains_point([0, 3, 2])
+
+    def test_free_removes_all_constraints_on_clock(self):
+        zone = DBM.zero(3)
+        zone.free(1)
+        assert zone.contains_point([0, 99, 0])
+        assert not zone.contains_point([0, 99, 1])
+
+    def test_intersect(self):
+        a = DBM.universal(2)
+        a.constrain(1, 0, bound(10))
+        b = DBM.universal(2)
+        b.constrain(0, 1, bound(-5))  # x >= 5
+        a.intersect(b)
+        assert a.contains_point([0, 7])
+        assert not a.contains_point([0, 4])
+        assert not a.contains_point([0, 11])
+
+    def test_constraints_pretty_printing(self):
+        zone = DBM.universal(2)
+        zone.constrain(1, 0, bound(10))
+        text = zone.constraints(["t0", "x"])
+        assert "x <= 10" in text
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ModelError):
+            DBM.universal(2).intersect(DBM.universal(3))
+
+    def test_key_is_stable(self):
+        a = DBM.zero(3)
+        b = DBM.zero(3)
+        assert a.key() == b.key()
+        b.up()
+        assert a.key() != b.key()
+
+
+class TestRelations:
+    def test_subset_reflexive(self):
+        zone = DBM.universal(3)
+        zone.constrain(1, 0, bound(5))
+        assert zone.is_subset_of(zone)
+
+    def test_zero_subset_of_universal(self):
+        assert DBM.zero(3).is_subset_of(DBM.universal(3))
+        assert not DBM.universal(3).is_subset_of(DBM.zero(3))
+
+    def test_superset(self):
+        assert DBM.universal(3).is_superset_of(DBM.zero(3))
+
+    def test_intersects(self):
+        a = DBM.universal(2)
+        a.constrain(1, 0, bound(5))
+        b = DBM.universal(2)
+        b.constrain(0, 1, bound(-3))
+        assert a.intersects(b)
+        c = DBM.universal(2)
+        c.constrain(0, 1, bound(-6, strict=True))
+        assert not a.intersects(c)
+
+
+class TestExtrapolation:
+    def test_extrapolation_removes_large_upper_bounds(self):
+        zone = DBM.universal(2)
+        zone.constrain(1, 0, bound(1000))
+        zone.extrapolate_max_bounds([0, 10])
+        # the upper bound 1000 > 10 is abstracted away
+        assert zone.upper_bound(1) >= INFINITY_RAW
+
+    def test_extrapolation_keeps_small_bounds(self):
+        zone = DBM.universal(2)
+        zone.constrain(1, 0, bound(7))
+        zone.extrapolate_max_bounds([0, 10])
+        assert zone.upper_bound(1) == bound(7)
+
+    def test_extrapolation_relaxes_large_lower_bounds(self):
+        zone = DBM.universal(2)
+        zone.constrain(0, 1, bound(-1000))  # x >= 1000
+        zone.extrapolate_max_bounds([0, 10])
+        value, strict = bound_as_tuple(zone.lower_bound(1))
+        assert value == -10 and strict
+
+    def test_extrapolated_zone_is_superset(self):
+        zone = DBM.universal(3)
+        zone.constrain(1, 0, bound(500))
+        zone.constrain(0, 2, bound(-700))
+        original = zone.copy()
+        zone.extrapolate_max_bounds([0, 10, 10])
+        assert original.is_subset_of(zone)
+
+    def test_lu_extrapolation_is_superset(self):
+        zone = DBM.universal(3)
+        zone.constrain(1, 0, bound(500))
+        zone.constrain(0, 2, bound(-700))
+        original = zone.copy()
+        zone.extrapolate_lu_bounds([0, 10, 10], [0, 20, 20])
+        assert original.is_subset_of(zone)
+
+    def test_wrong_bound_vector_length(self):
+        with pytest.raises(ModelError):
+            DBM.universal(2).extrapolate_max_bounds([0])
+
+
+class TestBackends:
+    def test_backend_switch_roundtrip(self):
+        assert get_close_backend() == "python"
+        try:
+            set_close_backend("numpy")
+            zone = DBM.universal(4)
+            zone.constrain(1, 0, bound(5))
+            zone.constrain(2, 1, bound(3))
+            zone.constrain(3, 2, bound(2))
+            numpy_result = zone.copy().close()
+        finally:
+            set_close_backend("python")
+        python_result = zone.copy().close()
+        assert numpy_result == python_result
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ModelError):
+            set_close_backend("fortran")
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests: random constraint sets
+# ---------------------------------------------------------------------------
+
+constraint_strategy = st.tuples(
+    st.integers(0, 3),                 # i
+    st.integers(0, 3),                 # j
+    st.integers(-20, 20),              # value
+    st.booleans(),                     # strict
+)
+
+
+def _build_zone(constraints) -> DBM:
+    zone = DBM.universal(4)
+    for i, j, value, strict in constraints:
+        if i == j:
+            continue
+        if not zone.constrain(i, j, bound(value, strict)):
+            break
+    return zone
+
+
+class TestZoneProperties:
+    @given(st.lists(constraint_strategy, max_size=8))
+    @settings(max_examples=150, deadline=None)
+    def test_close_is_idempotent(self, constraints):
+        zone = _build_zone(constraints)
+        if zone.is_empty():
+            return
+        once = zone.copy().close()
+        twice = once.copy().close()
+        assert once == twice
+
+    @given(st.lists(constraint_strategy, max_size=8))
+    @settings(max_examples=150, deadline=None)
+    def test_incremental_constrain_matches_full_close(self, constraints):
+        """constrain()'s incremental closure equals a full Floyd-Warshall."""
+        zone = _build_zone(constraints)
+        if zone.is_empty():
+            return
+        reclosed = zone.copy().close()
+        assert zone == reclosed
+
+    @given(st.lists(constraint_strategy, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_up_gives_superset(self, constraints):
+        zone = _build_zone(constraints)
+        if zone.is_empty():
+            return
+        delayed = zone.copy().up()
+        assert zone.is_subset_of(delayed)
+
+    @given(st.lists(constraint_strategy, max_size=6), st.integers(0, 3), st.integers(0, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_reset_point_membership(self, constraints, clock, value):
+        """After reset(clock, v) every member point has clock == v."""
+        if clock == 0:
+            return
+        zone = _build_zone(constraints)
+        if zone.is_empty():
+            return
+        zone.reset(clock, value)
+        assert not zone.is_empty()
+        raw_upper = zone.upper_bound(clock)
+        raw_lower = zone.lower_bound(clock)
+        assert raw_upper == bound(value)
+        assert raw_lower == bound(-value)
+
+    @given(st.lists(constraint_strategy, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_extrapolation_gives_superset(self, constraints):
+        zone = _build_zone(constraints)
+        if zone.is_empty():
+            return
+        extrapolated = zone.copy().extrapolate_max_bounds([0, 5, 5, 5])
+        assert zone.is_subset_of(extrapolated)

@@ -1,0 +1,182 @@
+"""Tests of the expression language: parsing, evaluation, compilation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import expressions as ex
+from repro.util.errors import ModelError, ParseError
+from repro.util.intervals import IntInterval
+
+
+class TestParsing:
+    def test_integer_literal(self):
+        assert ex.parse_expression("42").evaluate({}) == 42
+
+    def test_boolean_literals(self):
+        assert ex.parse_expression("true").evaluate({}) is True
+        assert ex.parse_expression("false").evaluate({}) is False
+
+    def test_variable_reference(self):
+        assert ex.parse_expression("rec").evaluate({"rec": 7}) == 7
+
+    def test_qualified_variable_reference(self):
+        assert ex.parse_expression("RAD.x").evaluate({"RAD.x": 3}) == 3
+
+    def test_arithmetic_precedence(self):
+        assert ex.parse_expression("2 + 3 * 4").evaluate({}) == 14
+        assert ex.parse_expression("(2 + 3) * 4").evaluate({}) == 20
+
+    def test_unary_minus(self):
+        assert ex.parse_expression("-5 + 2").evaluate({}) == -3
+
+    def test_division_truncates_towards_zero(self):
+        assert ex.parse_expression("7 / 2").evaluate({}) == 3
+        assert ex.parse_expression("-7 / 2").evaluate({}) == -3
+
+    def test_modulo_c_semantics(self):
+        assert ex.parse_expression("7 % 3").evaluate({}) == 1
+        assert ex.parse_expression("-7 % 3").evaluate({}) == -1
+
+    def test_comparison_operators(self):
+        env = {"a": 3, "b": 5}
+        assert ex.parse_expression("a < b").evaluate(env) is True
+        assert ex.parse_expression("a >= b").evaluate(env) is False
+        assert ex.parse_expression("a != b").evaluate(env) is True
+        assert ex.parse_expression("a == 3").evaluate(env) is True
+
+    def test_logical_operators(self):
+        env = {"a": 1, "b": 0}
+        assert ex.parse_expression("a > 0 && b == 0").evaluate(env) is True
+        assert ex.parse_expression("a > 1 || b == 0").evaluate(env) is True
+        assert ex.parse_expression("!(a > 0)").evaluate(env) is False
+
+    def test_ternary_conditional(self):
+        # the Fig. 9 observer uses m = (m < 0 ? m : m - 1)
+        expr = ex.parse_expression("m < 0 ? m : m - 1")
+        assert expr.evaluate({"m": -1}) == -1
+        assert expr.evaluate({"m": 3}) == 2
+
+    def test_parse_error_reports_position(self):
+        with pytest.raises(ParseError):
+            ex.parse_expression("a + + ")
+        with pytest.raises(ParseError):
+            ex.parse_expression("a ~ b")
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            ex.parse_expression("a + 1 b")
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(ModelError):
+            ex.parse_expression("unknown").evaluate({})
+
+
+class TestUpdates:
+    def test_simple_assignment(self):
+        updates = ex.parse_updates("a = 3")
+        env = {"a": 0}
+        updates[0].apply(env)
+        assert env["a"] == 3
+
+    def test_increment_decrement(self):
+        updates = ex.parse_updates("a++, b--")
+        env = {"a": 1, "b": 1}
+        for update in updates:
+            update.apply(env)
+        assert env == {"a": 2, "b": 0}
+
+    def test_compound_assignment(self):
+        updates = ex.parse_updates("a += 2, b -= a")
+        env = {"a": 1, "b": 10}
+        for update in updates:
+            update.apply(env)
+        assert env == {"a": 3, "b": 7}
+
+    def test_sequential_semantics(self):
+        # later updates see the effect of earlier ones (UPPAAL comma lists)
+        updates = ex.parse_updates("a = 1, b = a + 1")
+        env = {"a": 0, "b": 0}
+        for update in updates:
+            update.apply(env)
+        assert env == {"a": 1, "b": 2}
+
+    def test_empty_update_list(self):
+        assert ex.parse_updates("") == []
+        assert ex.parse_updates("   ") == []
+
+    def test_invalid_update_rejected(self):
+        with pytest.raises(ParseError):
+            ex.parse_updates("3 = a")
+
+
+class TestCompilation:
+    def test_compiled_int_matches_interpreted(self):
+        expr = ex.parse_expression("(a + 2) * b - c / 2")
+        index = {"a": 0, "b": 1, "c": 2}
+        fn = ex.compile_int_expr(expr, index)
+        env = {"a": 4, "b": 3, "c": 9}
+        assert fn((4, 3, 9)) == expr.evaluate(env)
+
+    def test_compiled_bool_matches_interpreted(self):
+        expr = ex.parse_expression("a > 0 && (b == 2 || c != 0)")
+        index = {"a": 0, "b": 1, "c": 2}
+        fn = ex.compile_bool_expr(expr, index)
+        for vector in [(1, 2, 0), (0, 2, 0), (1, 0, 5), (1, 0, 0)]:
+            env = dict(zip(index, vector))
+            assert fn(vector) == expr.evaluate(env)
+
+    def test_compiled_updates(self):
+        updates = ex.parse_updates("a = b + 1, b = a")
+        index = {"a": 0, "b": 1}
+        fn = ex.compile_updates(updates, index)
+        assert fn((0, 5)) == (6, 6)
+
+    def test_compiled_update_unknown_variable(self):
+        with pytest.raises(ModelError):
+            ex.compile_updates(ex.parse_updates("zz = 1"), {"a": 0})
+
+    @given(
+        a=st.integers(-1000, 1000),
+        b=st.integers(-1000, 1000),
+        c=st.integers(1, 50),
+    )
+    def test_property_compiled_equals_interpreted(self, a, b, c):
+        """The compiled closure and the interpreter agree on random inputs."""
+        expr = ex.parse_expression("(a - b) * 2 + a / c + (a > b ? 1 : 0)")
+        index = {"a": 0, "b": 1, "c": 2}
+        fn = ex.compile_int_expr(expr, index)
+        assert fn((a, b, c)) == expr.evaluate({"a": a, "b": b, "c": c})
+
+
+class TestAnalysis:
+    def test_variables_collected(self):
+        expr = ex.parse_expression("a + b * c > d")
+        assert expr.variables() == {"a", "b", "c", "d"}
+
+    def test_bounds_of_linear_expression(self):
+        expr = ex.parse_expression("a + 2 * b")
+        domains = {"a": IntInterval(0, 10), "b": IntInterval(-5, 5)}
+        bounds = expr.bounds(domains)
+        assert bounds.lo == -10
+        assert bounds.hi == 20
+
+    def test_bounds_of_conditional(self):
+        expr = ex.parse_expression("c > 0 ? a : b")
+        domains = {"a": IntInterval(1, 2), "b": IntInterval(10, 20), "c": IntInterval(0, 1)}
+        bounds = expr.bounds(domains)
+        assert bounds.lo == 1 and bounds.hi == 20
+
+    def test_rename(self):
+        expr = ex.parse_expression("x + y")
+        renamed = expr.rename({"x": "RAD.x"})
+        assert renamed.variables() == {"RAD.x", "y"}
+
+    def test_substitute_constants(self):
+        expr = ex.parse_expression("x <= P && n < MAX")
+        inlined = ex.substitute(expr, {"P": 10, "MAX": 3})
+        assert inlined.evaluate({"x": 10, "n": 2}) is True
+        assert "P" not in inlined.variables()
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ModelError):
+            ex.parse_expression("1 / 0").evaluate({})

@@ -1,0 +1,200 @@
+"""Tests of the automaton builder and network compilation."""
+
+import pytest
+
+from repro.core.automaton import Sync, TimedAutomaton
+from repro.core.network import Network
+from repro.util.errors import ModelError
+
+
+def _simple_automaton(name="A"):
+    ta = TimedAutomaton(name)
+    ta.add_clock("x")
+    ta.add_constant("P", 10)
+    ta.add_variable("count", 0, 0, 5)
+    ta.add_location("idle", initial=True)
+    ta.add_location("busy", invariant="x <= P")
+    ta.add_edge("idle", "busy", guard="count < 5", updates="count++", resets="x")
+    ta.add_edge("busy", "idle", guard="x == P")
+    return ta
+
+
+class TestAutomatonBuilder:
+    def test_structure(self):
+        ta = _simple_automaton()
+        assert ta.initial_location == "idle"
+        assert set(ta.location_names()) == {"idle", "busy"}
+        assert len(ta.outgoing("idle")) == 1
+
+    def test_duplicate_location_rejected(self):
+        ta = _simple_automaton()
+        with pytest.raises(ModelError):
+            ta.add_location("idle")
+
+    def test_two_initial_locations_rejected(self):
+        ta = _simple_automaton()
+        with pytest.raises(ModelError):
+            ta.add_location("other", initial=True)
+
+    def test_duplicate_declaration_rejected(self):
+        ta = TimedAutomaton("B")
+        ta.add_clock("x")
+        with pytest.raises(ModelError):
+            ta.add_variable("x")
+
+    def test_edge_to_unknown_location_rejected(self):
+        ta = _simple_automaton()
+        with pytest.raises(ModelError):
+            ta.add_edge("idle", "nowhere")
+
+    def test_reset_of_unknown_clock_rejected(self):
+        ta = _simple_automaton()
+        with pytest.raises(ModelError):
+            ta.add_edge("idle", "busy", resets="z")
+
+    def test_committed_location_with_invariant_rejected(self):
+        ta = TimedAutomaton("C")
+        ta.add_clock("x")
+        with pytest.raises(ModelError):
+            ta.add_location("c", invariant="x <= 3", committed=True)
+
+    def test_sync_parsing(self):
+        assert Sync.parse("go!") == Sync("go", "!")
+        assert Sync.parse("go?") == Sync("go", "?")
+        assert Sync.parse(None) is None
+        with pytest.raises(ModelError):
+            Sync.parse("go")
+
+    def test_reset_with_value_string(self):
+        ta = TimedAutomaton("D")
+        ta.add_clock("x")
+        ta.add_location("a", initial=True)
+        edge = ta.add_edge("a", "a", resets="x = 3")
+        assert edge.resets[0][0] == "x"
+
+    def test_validate_requires_initial_location(self):
+        ta = TimedAutomaton("E")
+        ta.add_location("only")
+        with pytest.raises(ModelError):
+            ta.validate()
+
+
+class TestNetworkCompilation:
+    def _network(self):
+        net = Network("system")
+        net.add_variable("shared", 0, 0, 10)
+        net.add_constant("LIMIT", 3)
+        net.add_channel("go")
+        a = _simple_automaton("A")
+        b = TimedAutomaton("B")
+        b.add_clock("y")
+        b.add_location("wait", initial=True)
+        b.add_location("done")
+        b.add_edge("wait", "done", guard="shared < LIMIT", sync="go?", updates="shared++")
+        net.add_instance(a, "a1")
+        net.add_instance(b, "b1")
+        # make the binary channel well-formed: add a sender on instance a1
+        a.add_edge("idle", "idle", sync="go!")
+        return net
+
+    def test_compiles(self):
+        compiled = self._network().compile()
+        assert compiled.dim == 1 + 2  # reference + a1.x + b1.y
+        assert "a1.x" in compiled.clock_index
+        assert "b1.y" in compiled.clock_index
+        assert "shared" in compiled.variable_index
+        assert "a1.count" in compiled.variable_index
+
+    def test_constants_are_inlined(self):
+        compiled = self._network().compile()
+        # no variable slot is allocated for constants
+        assert "LIMIT" not in compiled.variable_index
+        assert "a1.P" not in compiled.variable_index
+
+    def test_initial_state_vectors(self):
+        compiled = self._network().compile()
+        assert compiled.initial_locations() == (0, 0)
+        assert compiled.initial_variables == (0, 0)
+
+    def test_location_and_instance_lookup(self):
+        compiled = self._network().compile()
+        instance, location = compiled.location_id("b1", "done")
+        assert compiled.instances[instance].locations[location].name == "done"
+        with pytest.raises(ModelError):
+            compiled.location_id("b1", "nope")
+        with pytest.raises(ModelError):
+            compiled.instance_id("zz")
+
+    def test_max_constants_cover_invariants(self):
+        compiled = self._network().compile()
+        assert compiled.max_constants[compiled.clock_id("a1.x")] >= 10
+
+    def test_register_query_constant(self):
+        compiled = self._network().compile()
+        clock = compiled.clock_id("a1.x")
+        before = compiled.max_constants[clock]
+        compiled.register_query_constant("a1.x", before + 500)
+        assert compiled.max_constants[clock] == before + 500
+        compiled.clear_query_constants()
+        assert compiled.max_constants[clock] == before
+
+    def test_duplicate_instance_name_rejected(self):
+        net = Network("n")
+        a = _simple_automaton("A")
+        net.add_instance(a, "x1")
+        with pytest.raises(ModelError):
+            net.add_instance(a, "x1")
+
+    def test_duplicate_global_rejected(self):
+        net = Network("n")
+        net.add_variable("v")
+        with pytest.raises(ModelError):
+            net.add_channel("v")
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ModelError):
+            Network("empty").compile()
+
+    def test_undeclared_channel_rejected(self):
+        net = Network("n")
+        ta = TimedAutomaton("A")
+        ta.add_location("l", initial=True)
+        ta.add_edge("l", "l", sync="nochannel!")
+        net.add_instance(ta)
+        with pytest.raises(ModelError):
+            net.compile()
+
+    def test_binary_channel_without_receiver_rejected(self):
+        net = Network("n")
+        net.add_channel("c")
+        ta = TimedAutomaton("A")
+        ta.add_location("l", initial=True)
+        ta.add_edge("l", "l", sync="c!")
+        net.add_instance(ta)
+        with pytest.raises(ModelError):
+            net.compile()
+
+    def test_clock_guard_on_urgent_channel_rejected(self):
+        net = Network("n")
+        net.add_broadcast_channel("hurry", urgent=True)
+        ta = TimedAutomaton("A")
+        ta.add_clock("x")
+        ta.add_location("l", initial=True)
+        ta.add_edge("l", "l", guard="x <= 3", sync="hurry!")
+        net.add_instance(ta)
+        with pytest.raises(ModelError):
+            net.compile()
+
+    def test_assignment_to_unknown_variable_rejected(self):
+        net = Network("n")
+        ta = TimedAutomaton("A")
+        ta.add_location("l", initial=True)
+        ta.add_edge("l", "l", updates="ghost = 1")
+        net.add_instance(ta)
+        with pytest.raises(ModelError):
+            net.compile()
+
+    def test_variable_range_check(self):
+        compiled = self._network().compile()
+        with pytest.raises(ModelError):
+            compiled.check_variable_ranges((100, 0))

@@ -1,0 +1,194 @@
+"""Tests of the reachability engine, queries and WCRT extraction."""
+
+import pytest
+
+from repro.core import (
+    AG,
+    EF,
+    DataProp,
+    Explorer,
+    LocationProp,
+    Network,
+    Not,
+    Or,
+    SearchOptions,
+    Sup,
+    TimedAutomaton,
+    wcrt_binary_search,
+    wcrt_sup,
+)
+from repro.core.properties import ClockProp, parse_atom
+from repro.util.errors import AnalysisError, ModelError
+
+
+def _counter_network(limit=3, period=10):
+    """A single automaton counting to `limit`, one tick every `period`."""
+    ta = TimedAutomaton("Ticker")
+    ta.add_clock("x")
+    ta.add_constant("P", period)
+    ta.add_location("run", invariant="x <= P", initial=True)
+    ta.add_edge("run", "run", guard=f"x == P && n < {limit}", updates="n++", resets="x")
+    net = Network("ticker")
+    net.add_variable("n", 0, 0, limit + 1)
+    net.add_instance(ta, "T")
+    return net.compile()
+
+
+def _request_response_network(delay=5, deadline=20):
+    """A request/response pair used for WCRT checks: response after `delay`."""
+    net = Network("reqresp")
+    net.add_broadcast_channel("req")
+    net.add_broadcast_channel("resp")
+    env = TimedAutomaton("Env")
+    env.add_clock("x")
+    env.add_constant("P", 50)
+    env.add_location("idle", invariant="x <= P", initial=True)
+    env.add_location("wait", invariant="x <= P")
+    env.add_edge("idle", "wait", sync="req!", resets="x")
+    env.add_edge("wait", "wait", guard="x == P", sync="req!", resets="x")
+    server = TimedAutomaton("Server")
+    server.add_clock("c")
+    server.add_constant("D", delay)
+    server.add_location("free", initial=True)
+    server.add_location("busy", invariant="c <= D")
+    server.add_edge("free", "busy", sync="req?", resets="c")
+    server.add_edge("busy", "free", guard="c == D", sync="resp!")
+    obs = TimedAutomaton("Obs")
+    obs.add_clock("y")
+    obs.add_location("idle", initial=True)
+    obs.add_location("measuring")
+    obs.add_location("seen", committed=True)
+    obs.add_edge("idle", "measuring", sync="req?", resets="y")
+    obs.add_edge("measuring", "seen", sync="resp?")
+    obs.add_edge("seen", "idle")
+    net.add_instance(env, "env")
+    net.add_instance(server, "srv")
+    net.add_instance(obs, "obs")
+    return net.compile()
+
+
+class TestQueries:
+    def test_ef_reachable(self):
+        compiled = _counter_network()
+        result = Explorer(compiled).check(EF(DataProp.parse("n == 3")))
+        assert result.holds is True
+        assert result.trace is not None
+        assert len(result.trace) == 4  # initial + three ticks
+
+    def test_ef_unreachable(self):
+        compiled = _counter_network()
+        result = Explorer(compiled).check(EF(DataProp.parse("n == 5")))
+        assert result.holds is False
+
+    def test_ag_holds(self):
+        compiled = _counter_network()
+        result = Explorer(compiled).check(AG(DataProp.parse("n <= 3")))
+        assert result.holds is True
+        assert result.trace is None
+
+    def test_ag_violated_with_counterexample(self):
+        compiled = _counter_network()
+        result = Explorer(compiled).check(AG(DataProp.parse("n < 3")))
+        assert result.holds is False
+        assert result.trace is not None
+        final = result.trace.final_state
+        assert final.variables[compiled.variable_id("n")] == 3
+
+    def test_ag_with_clock_atom(self):
+        compiled = _counter_network()
+        formula = Or(Not(LocationProp("T", "run")), ClockProp.parse("T.x <= 10", compiled.clock_index))
+        result = Explorer(compiled).check(AG(formula))
+        assert result.holds is True
+
+    def test_location_prop(self):
+        compiled = _request_response_network()
+        result = Explorer(compiled).check(EF(LocationProp("obs", "seen")))
+        assert result.holds is True
+
+    def test_parse_atom(self):
+        compiled = _counter_network()
+        atom = parse_atom("T.run", compiled)
+        assert isinstance(atom, LocationProp)
+        atom2 = parse_atom("n == 2", compiled)
+        assert isinstance(atom2, DataProp)
+        atom3 = parse_atom("T.x <= 5", compiled)
+        assert isinstance(atom3, ClockProp)
+
+    def test_trace_formatting(self):
+        compiled = _counter_network()
+        result = Explorer(compiled).check(EF(DataProp.parse("n == 2")))
+        text = result.trace.format(compiled)
+        assert "T.run" in text
+
+
+class TestSearchOptions:
+    def test_dfs_and_rdfs_reach_goal(self):
+        compiled = _counter_network()
+        for order in ("dfs", "rdfs"):
+            explorer = Explorer(compiled, search=SearchOptions(order=order, seed=7))
+            result = explorer.check(EF(DataProp.parse("n == 3")))
+            assert result.holds is True, order
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ModelError):
+            SearchOptions(order="zigzag")
+
+    def test_state_budget_gives_undecided(self):
+        compiled = _counter_network(limit=5)
+        explorer = Explorer(compiled, search=SearchOptions(max_states=1))
+        result = explorer.check(AG(DataProp.parse("n < 100")))
+        assert result.holds is None
+        assert result.statistics.termination == "state-budget"
+
+    def test_statistics_counters(self):
+        compiled = _counter_network()
+        stats = Explorer(compiled).count_states()
+        assert stats.states_explored == 4
+        assert stats.transitions == 3
+        assert stats.exhaustive
+
+    def test_reachable_discrete_states(self):
+        compiled = _counter_network()
+        states = Explorer(compiled).reachable_discrete_states()
+        assert len(states) == 4
+
+
+class TestSupAndWCRT:
+    def test_sup_without_condition(self):
+        compiled = _counter_network()
+        result = Explorer(compiled).sup(Sup("T.x", None, ceiling=100))
+        assert result.value == 10
+        assert not result.is_lower_bound
+
+    def test_sup_with_condition(self):
+        compiled = _counter_network()
+        result = Explorer(compiled).sup(Sup("T.x", DataProp.parse("n == 0"), ceiling=100))
+        assert result.value == 10
+
+    def test_sup_no_matching_state(self):
+        compiled = _counter_network()
+        result = Explorer(compiled).sup(Sup("T.x", DataProp.parse("n == 99"), ceiling=100))
+        assert result.value is None
+
+    def test_wcrt_sup_on_request_response(self):
+        compiled = _request_response_network(delay=5)
+        result = wcrt_sup(compiled, "obs.y", LocationProp("obs", "seen"), ceiling=100)
+        assert result.value == 5
+        assert result.attained
+        assert not result.is_lower_bound
+
+    def test_wcrt_binary_search_matches_sup(self):
+        compiled = _request_response_network(delay=7)
+        by_sup = wcrt_sup(compiled, "obs.y", LocationProp("obs", "seen"), ceiling=64)
+        by_search = wcrt_binary_search(compiled, "obs.y", LocationProp("obs", "seen"), lo=0, hi=64)
+        assert by_sup.value == by_search.value == 7
+
+    def test_wcrt_binary_search_interval_too_small(self):
+        compiled = _request_response_network(delay=9)
+        with pytest.raises(AnalysisError):
+            wcrt_binary_search(compiled, "obs.y", LocationProp("obs", "seen"), lo=0, hi=5)
+
+    def test_unknown_clock_in_sup(self):
+        compiled = _counter_network()
+        with pytest.raises(ModelError):
+            Explorer(compiled).sup(Sup("T.zzz", None, ceiling=10))

@@ -1,0 +1,270 @@
+"""Tests of the symbolic (zone-graph) semantics: delays, urgency, syncs."""
+
+import pytest
+
+from repro.core.automaton import TimedAutomaton
+from repro.core.dbm import INFINITY_RAW, bound
+from repro.core.network import Network
+from repro.core.successors import SemanticsOptions, SuccessorGenerator
+from repro.util.errors import ModelError
+
+
+def _single(ta: TimedAutomaton, **network_kwargs) -> SuccessorGenerator:
+    net = Network("test")
+    for name, value in network_kwargs.get("variables", {}).items():
+        net.add_variable(name, *value)
+    for name, (kind, urgent) in network_kwargs.get("channels", {}).items():
+        net.add_channel(name, kind=kind, urgent=urgent)
+    net.add_instance(ta, "A")
+    return SuccessorGenerator(net.compile())
+
+
+class TestDelayAndInvariants:
+    def test_initial_state_is_delay_closed(self):
+        ta = TimedAutomaton("T")
+        ta.add_clock("x")
+        ta.add_location("l", invariant="x <= 5", initial=True)
+        gen = _single(ta)
+        state = gen.initial_state()
+        assert state.zone.upper_bound(1) == bound(5)
+
+    def test_initial_state_without_invariant_is_unbounded(self):
+        ta = TimedAutomaton("T")
+        ta.add_clock("x")
+        ta.add_location("l", initial=True)
+        gen = _single(ta)
+        state = gen.initial_state()
+        assert state.zone.upper_bound(1) >= INFINITY_RAW
+
+    def test_urgent_location_freezes_time(self):
+        ta = TimedAutomaton("T")
+        ta.add_clock("x")
+        ta.add_location("l", urgent=True, initial=True)
+        gen = _single(ta)
+        state = gen.initial_state()
+        assert state.zone.upper_bound(1) == bound(0)
+
+    def test_committed_location_freezes_time(self):
+        ta = TimedAutomaton("T")
+        ta.add_clock("x")
+        ta.add_location("l", committed=True, initial=True)
+        gen = _single(ta)
+        assert gen.initial_state().zone.upper_bound(1) == bound(0)
+
+    def test_guard_restricts_successor(self):
+        ta = TimedAutomaton("T")
+        ta.add_clock("x")
+        ta.add_location("a", invariant="x <= 10", initial=True)
+        ta.add_location("b")
+        ta.add_edge("a", "b", guard="x == 10", resets="x")
+        gen = _single(ta)
+        successors = gen.successors(gen.initial_state())
+        assert len(successors) == 1
+        _label, state = successors[0]
+        assert state.locations == (1,)
+        # x was reset and may delay arbitrarily in b
+        assert state.zone.lower_bound(1) == bound(0)
+
+    def test_unsatisfiable_clock_guard_prunes_edge(self):
+        ta = TimedAutomaton("T")
+        ta.add_clock("x")
+        ta.add_location("a", invariant="x <= 3", initial=True)
+        ta.add_location("b")
+        ta.add_edge("a", "b", guard="x > 5")
+        gen = _single(ta)
+        assert gen.successors(gen.initial_state()) == []
+
+    def test_initial_invariant_violation_raises(self):
+        ta = TimedAutomaton("T")
+        ta.add_clock("x")
+        ta.add_location("a", invariant="x < 0", initial=True)
+        gen = _single(ta)
+        with pytest.raises(ModelError):
+            gen.initial_state()
+
+
+class TestDataAndUpdates:
+    def test_data_guard_disables_edge(self):
+        ta = TimedAutomaton("T")
+        ta.add_variable("n", 0, 0, 3)
+        ta.add_location("a", initial=True)
+        ta.add_location("b")
+        ta.add_edge("a", "b", guard="n > 0")
+        gen = _single(ta)
+        assert gen.successors(gen.initial_state()) == []
+
+    def test_update_changes_variables(self):
+        ta = TimedAutomaton("T")
+        ta.add_variable("n", 0, 0, 3)
+        ta.add_location("a", initial=True)
+        ta.add_edge("a", "a", guard="n < 3", updates="n++")
+        gen = _single(ta)
+        _label, state = gen.successors(gen.initial_state())[0]
+        assert state.variables[0] == 1
+
+    def test_range_violation_detected(self):
+        ta = TimedAutomaton("T")
+        ta.add_variable("n", 0, 0, 1)
+        ta.add_location("a", initial=True)
+        ta.add_edge("a", "a", updates="n = 5")
+        gen = _single(ta)
+        with pytest.raises(ModelError):
+            gen.successors(gen.initial_state())
+
+    def test_range_check_can_be_disabled(self):
+        ta = TimedAutomaton("T")
+        ta.add_variable("n", 0, 0, 1)
+        ta.add_location("a", initial=True)
+        ta.add_edge("a", "a", updates="n = 5")
+        net = Network("t")
+        net.add_instance(ta, "A")
+        gen = SuccessorGenerator(net.compile(), SemanticsOptions(check_ranges=False))
+        _label, state = gen.successors(gen.initial_state())[0]
+        assert state.variables[0] == 5
+
+    def test_reset_value_uses_updated_variables(self):
+        ta = TimedAutomaton("T")
+        ta.add_clock("x")
+        ta.add_variable("n", 0, 0, 10)
+        ta.add_location("a", initial=True)
+        ta.add_edge("a", "a", updates="n = 4", resets="x = n")
+        net = Network("t")
+        net.add_instance(ta, "A")
+        # disable extrapolation so the concrete reset value stays observable
+        gen = SuccessorGenerator(net.compile(), SemanticsOptions(extrapolation="none"))
+        _label, state = gen.successors(gen.initial_state())[0]
+        assert state.zone.lower_bound(1) == bound(-4)
+
+
+class TestSynchronisation:
+    def _pair_network(self, kind="binary", urgent=False):
+        net = Network("pair")
+        net.add_channel("c", kind=kind, urgent=urgent)
+        net.add_variable("done", 0, 0, 5)
+        sender = TimedAutomaton("S")
+        sender.add_location("s0", initial=True)
+        sender.add_location("s1")
+        sender.add_edge("s0", "s1", sync="c!", updates="done++")
+        receiver = TimedAutomaton("R")
+        receiver.add_location("r0", initial=True)
+        receiver.add_location("r1")
+        receiver.add_edge("r0", "r1", sync="c?", updates="done++")
+        net.add_instance(sender, "S")
+        net.add_instance(receiver, "R")
+        return net
+
+    def test_binary_sync_moves_both(self):
+        gen = SuccessorGenerator(self._pair_network().compile())
+        successors = gen.successors(gen.initial_state())
+        assert len(successors) == 1
+        label, state = successors[0]
+        assert label.kind == "binary" and label.channel == "c"
+        assert state.locations == (1, 1)
+        assert state.variables[0] == 2  # sender update then receiver update
+
+    def test_binary_sync_requires_partner(self):
+        net = self._pair_network()
+        # move the receiver away so no partner is available
+        compiled = net.compile()
+        gen = SuccessorGenerator(compiled)
+        initial = gen.initial_state()
+        moved = initial.__class__(locations=(0, 1), variables=initial.variables, zone=initial.zone)
+        assert gen.successors(moved) == []
+
+    def test_broadcast_sender_fires_without_receivers(self):
+        net = Network("b")
+        net.add_broadcast_channel("c")
+        sender = TimedAutomaton("S")
+        sender.add_location("s0", initial=True)
+        sender.add_location("s1")
+        sender.add_edge("s0", "s1", sync="c!")
+        net.add_instance(sender, "S")
+        gen = SuccessorGenerator(net.compile())
+        successors = gen.successors(gen.initial_state())
+        assert len(successors) == 1
+        assert successors[0][1].locations == (1,)
+
+    def test_broadcast_all_enabled_receivers_participate(self):
+        net = Network("b")
+        net.add_broadcast_channel("c")
+        net.add_variable("count", 0, 0, 10)
+        sender = TimedAutomaton("S")
+        sender.add_location("s0", initial=True)
+        sender.add_edge("s0", "s0", sync="c!")
+        net.add_instance(sender, "S")
+        for name in ("R1", "R2"):
+            receiver = TimedAutomaton(name)
+            receiver.add_location("r0", initial=True)
+            receiver.add_edge("r0", "r0", sync="c?", updates="count++")
+            net.add_instance(receiver, name)
+        gen = SuccessorGenerator(net.compile())
+        successors = gen.successors(gen.initial_state())
+        assert len(successors) == 1
+        assert successors[0][1].variables[0] == 2
+
+    def test_broadcast_receiver_choice_branches(self):
+        net = Network("b")
+        net.add_broadcast_channel("c")
+        net.add_variable("which", 0, 0, 10)
+        sender = TimedAutomaton("S")
+        sender.add_location("s0", initial=True)
+        sender.add_edge("s0", "s0", sync="c!")
+        receiver = TimedAutomaton("R")
+        receiver.add_location("r0", initial=True)
+        receiver.add_edge("r0", "r0", sync="c?", updates="which = 1")
+        receiver.add_edge("r0", "r0", sync="c?", updates="which = 2")
+        net.add_instance(sender, "S")
+        net.add_instance(receiver, "R")
+        gen = SuccessorGenerator(net.compile())
+        successors = gen.successors(gen.initial_state())
+        values = sorted(state.variables[0] for _l, state in successors)
+        assert values == [1, 2]
+
+    def test_urgent_channel_freezes_time_when_enabled(self):
+        net = self._pair_network(urgent=True)
+        clocked = TimedAutomaton("C")
+        clocked.add_clock("z")
+        clocked.add_location("l", initial=True)
+        net.add_instance(clocked, "C")
+        gen = SuccessorGenerator(net.compile())
+        state = gen.initial_state()
+        clock = gen.network.clock_id("C.z")
+        assert state.zone.upper_bound(clock) == bound(0)
+
+    def test_urgent_channel_allows_time_when_disabled(self):
+        net = Network("u")
+        net.add_channel("c", urgent=True)
+        net.add_variable("go", 0, 0, 1)
+        sender = TimedAutomaton("S")
+        sender.add_clock("z")
+        sender.add_location("s0", initial=True)
+        sender.add_location("s1")
+        sender.add_edge("s0", "s1", guard="go > 0", sync="c!")
+        receiver = TimedAutomaton("R")
+        receiver.add_location("r0", initial=True)
+        receiver.add_edge("r0", "r0", sync="c?")
+        net.add_instance(sender, "S")
+        net.add_instance(receiver, "R")
+        gen = SuccessorGenerator(net.compile())
+        state = gen.initial_state()
+        assert state.zone.upper_bound(1) >= INFINITY_RAW
+
+
+class TestCommittedLocations:
+    def test_committed_instance_moves_first(self):
+        net = Network("c")
+        net.add_variable("other", 0, 0, 5)
+        committed = TimedAutomaton("C")
+        committed.add_location("c0", committed=True, initial=True)
+        committed.add_location("c1")
+        committed.add_edge("c0", "c1")
+        free = TimedAutomaton("F")
+        free.add_location("f0", initial=True)
+        free.add_edge("f0", "f0", updates="other++")
+        net.add_instance(committed, "C")
+        net.add_instance(free, "F")
+        gen = SuccessorGenerator(net.compile())
+        successors = gen.successors(gen.initial_state())
+        # only the committed automaton may move
+        assert len(successors) == 1
+        assert successors[0][1].locations[0] == 1

@@ -1,0 +1,146 @@
+"""Tests of the shared utilities (intervals, naming, errors) and the federation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dbm import DBM, bound
+from repro.core.federation import Federation
+from repro.util.errors import BoundExceededError, ModelError, ReproError
+from repro.util.intervals import IntInterval
+from repro.util.naming import check_identifier, qualify, split_qualified
+
+
+class TestIntervals:
+    def test_contains_and_clamp(self):
+        interval = IntInterval(-3, 7)
+        assert interval.contains(0) and interval.contains(-3) and interval.contains(7)
+        assert not interval.contains(8)
+        assert interval.clamp(100) == 7
+        assert interval.clamp(-100) == -3
+        assert interval.width == 11
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IntInterval(3, 2)
+
+    def test_arithmetic(self):
+        a, b = IntInterval(1, 2), IntInterval(-1, 3)
+        assert a + b == IntInterval(0, 5)
+        assert a - b == IntInterval(-2, 3)
+        assert -a == IntInterval(-2, -1)
+        assert a * b == IntInterval(-2, 6)
+        assert a.union(b) == IntInterval(-1, 3)
+
+    def test_division_conservative(self):
+        assert IntInterval(10, 20).floordiv(IntInterval(2, 5)).contains(10 // 2)
+        widened = IntInterval(-4, 4).floordiv(IntInterval(-1, 1))
+        assert widened.contains(-4) and widened.contains(4)
+
+    @given(
+        a=st.integers(-50, 50), b=st.integers(-50, 50),
+        c=st.integers(-50, 50), d=st.integers(-50, 50),
+        x=st.integers(-50, 50), y=st.integers(-50, 50),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_interval_arithmetic_is_sound(self, a, b, c, d, x, y):
+        lo1, hi1 = sorted((a, b))
+        lo2, hi2 = sorted((c, d))
+        i1, i2 = IntInterval(lo1, hi1), IntInterval(lo2, hi2)
+        x = i1.clamp(x)
+        y = i2.clamp(y)
+        assert (i1 + i2).contains(x + y)
+        assert (i1 - i2).contains(x - y)
+        assert (i1 * i2).contains(x * y)
+
+
+class TestNaming:
+    def test_valid_identifiers(self):
+        assert check_identifier("abc_123") == "abc_123"
+        assert check_identifier("_private") == "_private"
+
+    def test_invalid_identifiers(self):
+        for bad in ("1abc", "a b", "", "a-b", None):
+            with pytest.raises(ModelError):
+                check_identifier(bad)
+
+    def test_qualify_and_split(self):
+        assert qualify("RAD", "x") == "RAD.x"
+        assert split_qualified("RAD.x") == ("RAD", "x")
+        assert split_qualified("x") == (None, "x")
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ModelError, ReproError)
+        assert issubclass(BoundExceededError, ReproError)
+
+    def test_bound_exceeded_carries_partial_result(self):
+        error = BoundExceededError("budget", partial_result=42)
+        assert error.partial_result == 42
+
+
+class TestFederation:
+    def test_add_and_cover(self):
+        federation = Federation(2)
+        small = DBM.universal(2)
+        small.constrain(1, 0, bound(5))
+        big = DBM.universal(2)
+        big.constrain(1, 0, bound(10))
+        assert federation.add(small)
+        assert federation.covers(small)
+        assert not federation.covers(big)
+        # adding the bigger zone replaces the smaller one
+        assert federation.add(big)
+        assert len(federation) == 1
+        assert federation.covers(small)
+
+    def test_duplicate_not_added(self):
+        federation = Federation(2)
+        zone = DBM.universal(2)
+        zone.constrain(1, 0, bound(5))
+        assert federation.add(zone)
+        assert not federation.add(zone.copy())
+
+    def test_empty_zone_not_added(self):
+        federation = Federation(2)
+        empty = DBM.universal(2)
+        empty.constrain(1, 0, bound(2))
+        empty.constrain(0, 1, bound(-5))
+        assert not federation.add(empty)
+        assert federation.is_empty()
+
+    def test_incomparable_zones_coexist(self):
+        federation = Federation(3)
+        a = DBM.universal(3)
+        a.constrain(1, 0, bound(5))
+        b = DBM.universal(3)
+        b.constrain(2, 0, bound(5))
+        assert federation.add(a)
+        assert federation.add(b)
+        assert len(federation) == 2
+
+    def test_upper_bound_over_members(self):
+        federation = Federation(2)
+        a = DBM.universal(2)
+        a.constrain(1, 0, bound(5))
+        b = DBM.universal(2)
+        b.constrain(1, 0, bound(9))
+        federation.add(a)
+        federation.add(b)
+        assert federation.upper_bound(1) == bound(9)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ModelError):
+            Federation(2).add(DBM.universal(3))
+
+    @given(st.lists(st.integers(1, 30), min_size=1, max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_property_federation_is_redundancy_free(self, uppers):
+        """After adding a set of nested zones only the maximal one remains."""
+        federation = Federation(2)
+        for upper in uppers:
+            zone = DBM.universal(2)
+            zone.constrain(1, 0, bound(upper))
+            federation.add(zone)
+        assert len(federation) == 1
+        assert federation.upper_bound(1) == bound(max(uppers))

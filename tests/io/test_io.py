@@ -1,0 +1,113 @@
+"""Tests of the DOT / UPPAAL-XML export and the report formatting."""
+
+import xml.etree.ElementTree as ET
+
+from repro.arch import build_model
+from repro.casestudy import build_radio_navigation, configure
+from repro.io import (
+    automaton_to_dot,
+    format_table,
+    format_table1,
+    format_table2,
+    network_to_dot,
+    network_to_xml,
+    query_file,
+)
+from repro.core.automaton import TimedAutomaton
+from repro.core.network import Network
+
+
+def _small_network():
+    ta = TimedAutomaton("Worker")
+    ta.add_clock("x")
+    ta.add_constant("P", 10)
+    ta.add_variable("n", 0, 0, 3)
+    ta.add_location("idle", initial=True)
+    ta.add_location("busy", invariant="x <= P")
+    ta.add_edge("idle", "busy", guard="n < 3", sync="go?", updates="n++", resets="x")
+    ta.add_edge("busy", "idle", guard="x == P")
+    driver = TimedAutomaton("Driver")
+    driver.add_location("d", initial=True)
+    driver.add_edge("d", "d", sync="go!")
+    net = Network("demo")
+    net.add_channel("go")
+    net.add_instance(ta, "W")
+    net.add_instance(driver, "D")
+    return net
+
+
+class TestDot:
+    def test_automaton_dot_contains_locations_and_edges(self):
+        ta = _small_network().instances[0][1]
+        dot = automaton_to_dot(ta)
+        assert dot.startswith("digraph")
+        assert '"idle"' in dot and '"busy"' in dot
+        assert "x <= P" in dot
+        assert "go?" in dot
+
+    def test_network_dot_has_one_cluster_per_instance(self):
+        dot = network_to_dot(_small_network())
+        assert dot.count("subgraph") == 2
+        assert "cluster_0" in dot and "cluster_1" in dot
+
+    def test_case_study_network_renders(self):
+        generated = build_model(configure(build_radio_navigation(), "AL+TMC", "po"), "TMC")
+        dot = network_to_dot(generated.network)
+        assert "exec_HandleTMC_DecodeTMC" in dot
+
+
+class TestUppaalXml:
+    def test_xml_is_well_formed_and_complete(self):
+        xml = network_to_xml(_small_network())
+        root = ET.fromstring(xml)
+        assert root.tag == "nta"
+        templates = root.findall("template")
+        assert [t.findtext("name") for t in templates] == ["W", "D"]
+        assert "chan go;" in root.findtext("declaration")
+        system = root.findtext("system")
+        assert "system W, D;" in system
+
+    def test_xml_preserves_guards_syncs_and_invariants(self):
+        xml = network_to_xml(_small_network())
+        assert "x &lt;= P" in xml or "x <= P" in ET.canonicalize(xml)
+        root = ET.fromstring(xml)
+        labels = [label.get("kind") for label in root.iter("label")]
+        assert {"guard", "synchronisation", "assignment", "invariant"} <= set(labels)
+
+    def test_case_study_exports(self):
+        generated = build_model(configure(build_radio_navigation(), "CV+TMC", "pno"), "K2A")
+        root = ET.fromstring(network_to_xml(generated.network))
+        names = [t.findtext("name") for t in root.findall("template")]
+        assert "obs" in names and "MMI" in names and "BUS" in names
+
+    def test_query_file(self):
+        text = query_file(
+            ["A[] (obs.seen imply obs.y < 200000)"],
+            ["Property 1 for the K2V requirement"],
+        )
+        assert text.splitlines()[0].startswith("//")
+        assert "A[]" in text
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table1_marks_lower_bounds_and_paper_values(self):
+        text = format_table1(
+            {"K2A (ChangeVolume + HandleTMC)": {"po": (27.716, False), "pj": (27.0, True)}},
+            ["po", "pj"],
+            paper={("K2A (ChangeVolume + HandleTMC)", "po"): 27.716},
+        )
+        assert "27.716 [27.716]" in text
+        assert "> 27.000" in text
+
+    def test_format_table2(self):
+        text = format_table2(
+            {"AddressLookup (+ HandleTMC)": {"Uppaal (pno)": 79.075, "MPA (pno)": 84.0}},
+            ["Uppaal (pno)", "MPA (pno)"],
+        )
+        assert "79.075" in text and "84.000" in text
