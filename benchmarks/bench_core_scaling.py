@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Core zone-engine scaling benchmark on the radio-navigation case study.
+
+Runs the full (exhaustive) zone-graph exploration behind the paper's
+``AddressLookup + HandleTMC`` WCRT analysis under three event-model
+configurations of increasing state-space size (``po`` ~2.3e2, ``pno``
+~9.3e3, ``sp`` ~3.0e4 symbolic states) and reports exploration throughput
+in states/second.
+
+Correctness is cross-checked on every run: the WCRT verdict and the exact
+state/transition counts must match the values recorded with the seed engine
+(``benchmarks/baselines/bench_core_seed.json``) -- an optimisation that
+changes what is explored is a bug, not a speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_core_scaling.py            # run + write BENCH_core.json
+    PYTHONPATH=src python benchmarks/bench_core_scaling.py --check    # also fail (exit 1) on >25% regression
+    PYTHONPATH=src python benchmarks/bench_core_scaling.py --update-baseline
+    PYTHONPATH=src python benchmarks/bench_core_scaling.py --quick    # po + pno only, 1 rep
+
+Exit codes: 0 ok, 1 throughput regression (``--check``), 2 correctness
+mismatch.  The committed baseline records the *seed* engine, so the speedup
+column doubles as the before/after comparison of the vectorised engine; see
+``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(_HERE, "..", "src")
+if os.path.abspath(_SRC) not in [os.path.abspath(p) for p in sys.path]:
+    sys.path.insert(0, os.path.abspath(_SRC))
+
+from repro.arch import TimedAutomataSettings, analyze_wcrt  # noqa: E402
+from repro.casestudy import build_radio_navigation, configure  # noqa: E402
+from repro.perf import Timer, check_regression, load_bench_json, write_bench_json  # noqa: E402
+
+#: (combination, configuration) cells; exhaustive and deterministic (bfs)
+CELLS: tuple[tuple[str, str], ...] = (("AL+TMC", "po"), ("AL+TMC", "pno"), ("AL+TMC", "sp"))
+
+DEFAULT_BASELINE = os.path.join(_HERE, "baselines", "bench_core_seed.json")
+DEFAULT_OUTPUT = os.path.join(_HERE, "..", "BENCH_core.json")
+
+#: the requirement measured in every cell (Table 1's HandleTMC rows)
+REQUIREMENT = "TMC"
+
+
+def run_cell(model, combination: str, configuration: str, reps: int) -> dict:
+    """Run one cell *reps* times; returns metrics with the best throughput."""
+    configured = configure(model, combination, configuration)
+    settings = TimedAutomataSettings(search_order="bfs", max_states=None, seed=1)
+    best = None
+    for _ in range(max(1, reps)):
+        with Timer() as timer:
+            result = analyze_wcrt(configured, REQUIREMENT, settings)
+        stats = result.detail.statistics
+        point = {
+            "states_per_second": round(stats.states_per_second, 1),
+            "wcrt_ticks": result.wcrt_ticks,
+            "is_lower_bound": result.is_lower_bound,
+            "states_explored": stats.states_explored,
+            "states_stored": stats.states_stored,
+            "transitions": stats.transitions,
+            "explore_seconds": round(stats.elapsed_seconds, 4),
+            "wall_seconds": round(timer.seconds, 4),
+        }
+        if best is None or point["states_per_second"] > best["states_per_second"]:
+            best = point
+    return best
+
+
+def verify_cell(name: str, point: dict, baseline_points: dict) -> list[str]:
+    """Check the machine-independent correctness anchors of one cell."""
+    expected = baseline_points.get(name, {})
+    problems = []
+    checks = (
+        ("expected_wcrt_ticks", "wcrt_ticks"),
+        ("expected_states_explored", "states_explored"),
+        ("expected_states_stored", "states_stored"),
+        ("expected_transitions", "transitions"),
+    )
+    for expected_key, actual_key in checks:
+        if expected_key in expected and point[actual_key] != expected[expected_key]:
+            problems.append(
+                f"{name}: {actual_key} = {point[actual_key]} differs from seed "
+                f"value {expected[expected_key]}"
+            )
+    if point["is_lower_bound"]:
+        problems.append(f"{name}: exhaustive run reported a lower bound")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) on >25%% throughput regression vs the baseline")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional throughput drop for --check (default 0.25)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline trajectory JSON (default: committed seed baseline)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="where to write the BENCH_core.json trajectory")
+    parser.add_argument("--reps", type=int, default=2,
+                        help="repetitions per cell, best throughput wins (default 2)")
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the two smaller cells once (smoke mode)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="re-record the baseline file from this run")
+    args = parser.parse_args(argv)
+    if args.quick and args.update_baseline:
+        parser.error("--update-baseline needs a full run; drop --quick")
+
+    cells = CELLS[:2] if args.quick else CELLS
+    reps = 1 if args.quick else args.reps
+
+    baseline = load_bench_json(args.baseline) if os.path.exists(args.baseline) else None
+    baseline_points = baseline["points"] if baseline else {}
+
+    model = build_radio_navigation()
+    points: dict[str, dict] = {}
+    problems: list[str] = []
+    total_states = 0
+    total_seconds = 0.0
+
+    # warm the process (numpy ufunc dispatch, zone pool, compiled-model
+    # caches) so the first, smallest cell is not measured cold
+    run_cell(model, *cells[0], reps=1)
+
+    print(f"core scaling benchmark ({len(cells)} cells, reps={reps})")
+    for combination, configuration in cells:
+        name = f"{combination}/{configuration}"
+        point = run_cell(model, combination, configuration, reps)
+        points[name] = point
+        problems.extend(verify_cell(name, point, baseline_points))
+        total_states += point["states_explored"]
+        total_seconds += point["states_explored"] / point["states_per_second"]
+        base = baseline_points.get(name, {}).get("states_per_second")
+        speedup = f"  ({point['states_per_second'] / base:.2f}x vs baseline)" if base else ""
+        print(
+            f"  {name:12s} {point['states_explored']:7d} states  "
+            f"{point['states_per_second']:9.1f} states/s{speedup}"
+        )
+
+    aggregate = round(total_states / total_seconds, 1) if total_seconds else 0.0
+    # a partial (--quick) run must not be compared against the full-run
+    # aggregate of the baseline, so it records under a different point name
+    aggregate_name = "aggregate_quick" if args.quick else "aggregate"
+    points[aggregate_name] = {"states_per_second": aggregate, "states_explored": total_states}
+    base_aggregate = baseline_points.get(aggregate_name, {}).get("states_per_second")
+    if base_aggregate:
+        print(f"  {aggregate_name:12s} {total_states:7d} states  {aggregate:9.1f} states/s"
+              f"  ({aggregate / base_aggregate:.2f}x vs baseline)")
+    else:
+        print(f"  {aggregate_name:12s} {total_states:7d} states  {aggregate:9.1f} states/s")
+
+    if problems:
+        print("CORRECTNESS MISMATCH against the seed baseline:")
+        for line in problems:
+            print(f"  {line}")
+        return 2
+
+    write_bench_json(args.output, "core_scaling", points, engine="current",
+                     meta={"cells": [f"{c}/{k}" for c, k in cells], "reps": reps})
+    print(f"wrote {os.path.relpath(args.output)}")
+
+    if args.update_baseline:
+        for name, point in points.items():
+            if name == "aggregate":
+                continue
+            point.update({
+                "expected_wcrt_ticks": point["wcrt_ticks"],
+                "expected_states_explored": point["states_explored"],
+                "expected_states_stored": point["states_stored"],
+                "expected_transitions": point["transitions"],
+            })
+        write_bench_json(args.baseline, "core_scaling", points, engine="current",
+                         meta={"harness": "bench_core_scaling.py --update-baseline"})
+        print(f"updated baseline {os.path.relpath(args.baseline)}")
+
+    if args.check:
+        if baseline is None:
+            print(f"--check: baseline {args.baseline} not found", file=sys.stderr)
+            return 1
+        failures = check_regression(points, baseline_points,
+                                    max_regression=args.max_regression)
+        if failures:
+            print("THROUGHPUT REGRESSION:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print(f"--check ok: no cell regressed by more than {args.max_regression:.0%}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest wiring (collected only when this file is targeted explicitly, e.g.
+# ``pytest benchmarks/bench_core_scaling.py``): asserts the machine-
+# independent correctness anchors on the quick cells.
+# ---------------------------------------------------------------------------
+
+def test_core_scaling_quick(core_scaling_baseline):
+    model = build_radio_navigation()
+    baseline_points = core_scaling_baseline["points"]
+    for combination, configuration in CELLS[:2]:
+        name = f"{combination}/{configuration}"
+        point = run_cell(model, combination, configuration, reps=1)
+        assert verify_cell(name, point, baseline_points) == []
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

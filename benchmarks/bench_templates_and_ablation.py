@@ -228,13 +228,13 @@ def _dbm_workload() -> None:
     zone.extrapolate_max_bounds([0] + [900] * 11)
 
 
-@pytest.mark.parametrize("backend", ["python", "numpy"])
+@pytest.mark.parametrize("backend", ["python", "numpy", "auto"])
 def test_ablation_dbm_backend(benchmark, backend):
     set_close_backend(backend)
     try:
         benchmark.pedantic(_dbm_workload, rounds=30, iterations=5)
     finally:
-        set_close_backend("python")
+        set_close_backend("auto")
     benchmark.extra_info["backend"] = backend
 
 

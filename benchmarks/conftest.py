@@ -33,6 +33,16 @@ def radio_navigation_model():
     return build_radio_navigation()
 
 
+@pytest.fixture(scope="session")
+def core_scaling_baseline():
+    """The committed core-scaling baseline (seed-engine throughputs plus the
+    machine-independent expected state counts / WCRT verdicts)."""
+    from repro.perf import load_bench_json
+
+    path = os.path.join(os.path.dirname(__file__), "baselines", "bench_core_seed.json")
+    return load_bench_json(path)
+
+
 def state_budget(default: int | None) -> int | None:
     """Exploration budget: ``None`` (exhaustive) when REPRO_FULL_SCALE is set."""
     return None if full_scale() else default

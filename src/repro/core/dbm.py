@@ -18,19 +18,42 @@ With this encoding a smaller raw value is always a *tighter* constraint,
 which makes minimisation, comparison and inclusion checks plain integer
 comparisons.
 
+Storage
+-------
+The matrix lives in one flat, row-major ``int64`` numpy buffer (``DBM.m``);
+``DBM.m2`` is the same memory viewed as an ``n x n`` array for the vectorised
+operations.  Buffers are acquired from the process-wide
+:class:`~repro.core.zonepool.ZonePool`, so the copy/discard churn of the
+exploration inner loop (one copy per fired transition, most of them thrown
+away) recycles a small set of buffers instead of hammering the allocator.
+Call :meth:`DBM.discard` when a zone is known to be dead to return its buffer
+to the pool; a zone that is never discarded is reclaimed by the garbage
+collector as usual.
+
+The bulk operations (``up``, ``reset``, ``intersect``, ``is_subset_of``, the
+extrapolations and the partial closures) are vectorised over the buffer;
+entry-level operations (``constrain``) stay scalar because they touch only a
+handful of cells.
+
 Canonical form
 --------------
 All public operations keep the DBM *closed* (canonical): every entry is the
 length of the shortest path in the constraint graph.  Closure is computed
-with Floyd-Warshall; incremental variants (``constrain_and_close``) touch
-only the rows/columns affected by a single new constraint.
+with Floyd-Warshall; incremental variants (``constrain`` via
+``close_touched``) touch only the rows/columns affected by a modification.
+Extrapolation re-closes with a Floyd-Warshall sweep restricted to the touched
+clocks (the ``closex`` optimisation of the UPPAAL DBM library) instead of a
+full cubic pass.
 
-Two closure backends are provided: a pure-Python triple loop and a
-vectorised numpy implementation.  For the small dimensions used by the case
-study (about ten clocks) the pure-Python backend is typically faster because
-it avoids array-creation overhead, but the numpy backend wins for larger
-dimensions; the choice is benchmarked in ``benchmarks/bench_ablation_core.py``
-and can be switched globally via :func:`set_close_backend`.
+Three closure backends are provided for the *full* closure: a pure-Python
+triple loop (``"python"``), a per-k vectorised numpy sweep (``"numpy"``) and
+``"auto"`` (the default), which closes by repeated min-plus squaring for
+small dimensions and falls back to the per-k sweep for large ones.  All
+backends agree bit-for-bit on satisfiable zones; for unsatisfiable inputs
+the auto backend additionally guarantees that :meth:`DBM.is_empty` holds
+afterwards.  The choice can be pinned globally via
+:func:`set_close_backend`; ``docs/performance.md`` describes how the
+backends were calibrated.
 """
 
 from __future__ import annotations
@@ -39,6 +62,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.zonepool import global_zone_pool
 from repro.util.errors import ModelError
 
 __all__ = [
@@ -61,6 +85,13 @@ __all__ = [
 # (about 1e7); sums of two bounds stay far below this sentinel.
 INFINITY_RAW: int = 2**40
 
+# Clamp threshold for the vectorised raw additions: any sum at or above this
+# is the result of an INFINITY_RAW operand and is clamped back to infinity.
+# Sound as long as finite raw bounds stay within +-2**38 (|constants| up to
+# ~3.4e10, far beyond the ~1e7 of the models), because then
+# INFINITY_RAW - 2**38 > _INF_GUARD > 2 * max_finite_raw.
+_INF_GUARD: int = 2**39
+
 #: raw encoding of the bound (0, <=)
 LE_ZERO: int = 1
 #: raw encoding of the bound (0, <)
@@ -74,7 +105,7 @@ def bound(value: int, strict: bool = False) -> int:
 
 def bound_value(raw: int) -> int:
     """Decode the numeric part of a raw bound (undefined for infinity)."""
-    return raw >> 1
+    return int(raw) >> 1
 
 
 def bound_is_strict(raw: int) -> bool:
@@ -109,6 +140,9 @@ def negate_weak(raw: int) -> int:
     return bound(-value, strict=not strict)
 
 
+_POOL = global_zone_pool()
+
+
 # ---------------------------------------------------------------------------
 # Closure backends
 # ---------------------------------------------------------------------------
@@ -134,39 +168,143 @@ def _close_python(m: list[int], dim: int) -> None:
                     m[row_i + j] = candidate
 
 
-def _close_numpy(m: list[int], dim: int) -> None:
-    """Vectorised Floyd-Warshall closure using numpy, in place on the list."""
-    a = np.array(m, dtype=np.int64).reshape(dim, dim)
+def _sweep_k(a: np.ndarray, k: int) -> None:
+    """One Floyd-Warshall sweep of intermediate *k* on a 2-D view, in place.
+
+    Raw addition: values add, strictness = AND of the weak bits.  The single
+    place this rule is vectorised per-k; both the full per-k closure and
+    :meth:`DBM.close_touched` go through it.
+    """
     inf = INFINITY_RAW
+    col = a[:, k : k + 1]
+    row = a[k : k + 1, :]
+    cand = (col & ~1) + (row & ~1) + ((col & 1) & (row & 1))
+    np.copyto(cand, inf, where=(col >= inf) | (row >= inf))
+    np.minimum(a, cand, out=a)
+
+
+def _close_numpy_inplace(a: np.ndarray, dim: int) -> None:
+    """Vectorised Floyd-Warshall on a 2-D int64 view, in place."""
     for k in range(dim):
-        col = a[:, k : k + 1]
-        row = a[k : k + 1, :]
-        # raw addition: values add, strictness = AND of weak bits
-        cand = (col & ~1) + (row & ~1) + ((col & 1) & (row & 1))
-        cand = np.where((col >= inf) | (row >= inf), inf, cand)
-        np.minimum(a, cand, out=a)
-    m[:] = a.reshape(-1).tolist()
+        _sweep_k(a, k)
 
 
-_CLOSE_BACKENDS = {"python": _close_python, "numpy": _close_numpy}
-_close = _close_python
+#: largest dimension for which the auto backend uses min-plus squaring (the
+#: squaring tensor is dim^3 entries; beyond this the per-k sweep wins)
+_SQUARING_MAX_DIM = 24
+
+
+class _Scratch:
+    """Preallocated work buffers for the vectorised kernels, one per dim.
+
+    The closure and the incremental re-closures run hundreds of thousands of
+    times per exploration on matrices of ~100 entries; at that size numpy's
+    allocation overhead rivals the arithmetic, so every kernel writes into
+    these shared buffers via ``out=``.  Single-threaded by design, like the
+    zone pool.
+    """
+
+    __slots__ = ("t3", "w3", "m3", "c2", "e2", "w2", "m2", "v1", "u1", "b1")
+
+    def __init__(self, dim: int):
+        if dim <= _SQUARING_MAX_DIM:
+            self.t3 = np.empty((dim, dim, dim), dtype=np.int64)
+            self.w3 = np.empty((dim, dim, dim), dtype=np.int64)
+            self.m3 = np.empty((dim, dim, dim), dtype=bool)
+        else:  # the squaring kernel is not used at these dimensions
+            self.t3 = self.w3 = self.m3 = None
+        self.c2 = np.empty((dim, dim), dtype=np.int64)
+        self.e2 = np.empty((dim, dim), dtype=bool)
+        self.w2 = np.empty((dim, dim), dtype=np.int64)
+        self.m2 = np.empty((dim, dim), dtype=bool)
+        self.v1 = np.empty(dim, dtype=np.int64)
+        self.u1 = np.empty(dim, dtype=np.int64)
+        self.b1 = np.empty(dim, dtype=bool)
+
+
+_SCRATCH_CACHE: dict[int, _Scratch] = {}
+
+
+def _scratch(dim: int) -> _Scratch:
+    scratch = _SCRATCH_CACHE.get(dim)
+    if scratch is None:
+        scratch = _Scratch(dim)
+        _SCRATCH_CACHE[dim] = scratch
+    return scratch
+
+
+def _close_squaring(a: np.ndarray, dim: int) -> None:
+    """Closure by repeated min-plus squaring, in place.
+
+    Each round replaces ``a`` with ``min(a, a (+) a)`` (min-plus product in
+    the raw-bound algebra), doubling the path length covered; the fixpoint is
+    the all-pairs-shortest-path closure.  For the small matrices of zone
+    graphs this needs one or two rounds in practice and runs as a handful of
+    whole-matrix numpy operations, which beats both the Python triple loop
+    and the per-k vectorised sweep (see docs/performance.md).
+
+    A satisfiable zone reaches the exact Floyd-Warshall fixpoint.  An
+    unsatisfiable one (negative cycle) is detected via the diagonal and
+    marked empty, which is all the callers ever inspect.
+    """
+    s = _scratch(dim)
+    t, w, mask, cand, eq = s.t3, s.w3, s.m3, s.c2, s.e2
+    rounds = max(1, int(dim - 1).bit_length())
+    for round_index in range(rounds):
+        p = a[:, :, None]
+        q = a[None, :, :]
+        # raw addition a (+) b == a + b - ((a | b) & 1); sums involving an
+        # infinite operand land above _INF_GUARD and are clamped back
+        np.add(p, q, out=t)
+        np.bitwise_or(p, q, out=w)
+        np.bitwise_and(w, 1, out=w)
+        np.subtract(t, w, out=t)
+        np.greater_equal(t, _INF_GUARD, out=mask)
+        np.copyto(t, INFINITY_RAW, where=mask)
+        np.minimum.reduce(t, axis=1, out=cand)
+        np.minimum(a, cand, out=cand)
+        if round_index:  # a non-canonical input never converges in one round
+            np.equal(cand, a, out=eq)
+            if eq.all():
+                break
+        a[:] = cand
+    if (np.diagonal(a) < LE_ZERO).any():
+        a[0, 0] = LT_ZERO - 2  # mark empty
+
+
+_BACKEND_NAMES = ("python", "numpy", "auto")
+_backend = "auto"
 
 
 def set_close_backend(name: str) -> None:
-    """Select the Floyd-Warshall backend: ``"python"`` or ``"numpy"``."""
-    global _close
-    try:
-        _close = _CLOSE_BACKENDS[name]
-    except KeyError as exc:
-        raise ModelError(f"unknown DBM close backend {name!r}") from exc
+    """Select the Floyd-Warshall backend: ``"python"``, ``"numpy"`` or ``"auto"``."""
+    global _backend
+    if name not in _BACKEND_NAMES:
+        raise ModelError(f"unknown DBM close backend {name!r}")
+    _backend = name
 
 
 def get_close_backend() -> str:
     """Return the name of the currently selected closure backend."""
-    for name, fn in _CLOSE_BACKENDS.items():
-        if fn is _close:
-            return name
-    raise AssertionError("unreachable")  # pragma: no cover
+    return _backend
+
+
+def _close_buffer(m: np.ndarray, a: np.ndarray, dim: int) -> None:
+    """Full closure of the flat buffer *m* / 2-D view *a* with the active backend."""
+    backend = _backend
+    if backend == "auto":
+        if dim <= _SQUARING_MAX_DIM:
+            _close_squaring(a, dim)
+        else:
+            _close_numpy_inplace(a, dim)
+    elif backend == "numpy":
+        _close_numpy_inplace(a, dim)
+    else:
+        # round-trip through a Python list: scalar loops on ndarrays are much
+        # slower than on lists, and for small dims the loop beats numpy anyway
+        data = m.tolist()
+        _close_python(data, dim)
+        m[:] = data
 
 
 # ---------------------------------------------------------------------------
@@ -180,51 +318,62 @@ class DBM:
     ``1 .. dim-1``.  Instances behave like mutable values: operations modify
     the receiver in place and return ``self`` to allow chaining; use
     :meth:`copy` for persistent snapshots (the model checker copies before
-    mutating).
+    mutating) and :meth:`discard` to recycle the buffer of a dead zone.
     """
 
-    __slots__ = ("dim", "m")
+    __slots__ = ("dim", "m", "m2")
 
     def __init__(self, dim: int, raw: Sequence[int] | None = None):
         if dim < 1:
             raise ModelError("DBM dimension must be at least 1")
         self.dim = dim
+        m = _POOL.acquire(dim)
         if raw is None:
-            # default-construct the universal zone (all clocks >= 0)
-            self.m = [INFINITY_RAW] * (dim * dim)
-            for i in range(dim):
-                self.m[i * dim + i] = LE_ZERO
-                self.m[0 * dim + i] = LE_ZERO
+            # default-construct the universal zone (all clocks >= 0):
+            # no bounds anywhere except the zero diagonal and the zero row
+            # (x_0 - x_i <= 0, i.e. x_i >= 0)
+            m[:] = INFINITY_RAW
+            m[:: dim + 1] = LE_ZERO
+            m[:dim] = LE_ZERO
         else:
-            raw = list(raw)
-            if len(raw) != dim * dim:
+            data = np.asarray(raw, dtype=np.int64).reshape(-1)
+            if data.shape[0] != dim * dim:
+                _POOL.release(dim, m)
                 raise ModelError("raw DBM data has the wrong length")
-            self.m = raw
+            m[:] = data
+        self.m = m
+        self.m2 = m.reshape(dim, dim)
 
     # -- constructors --------------------------------------------------------
     @classmethod
-    def zero(cls, dim: int) -> "DBM":
-        """The zone in which every clock equals zero."""
-        d = cls(dim)
-        d.m = [LE_ZERO] * (dim * dim)
+    def _wrap(cls, dim: int, buffer: np.ndarray) -> "DBM":
+        """Internal: adopt an already-filled pooled buffer."""
+        d = cls.__new__(cls)
+        d.dim = dim
+        d.m = buffer
+        d.m2 = buffer.reshape(dim, dim)
         return d
 
     @classmethod
+    def zero(cls, dim: int) -> "DBM":
+        """The zone in which every clock equals zero."""
+        buffer = _POOL.acquire(dim)
+        buffer[:] = LE_ZERO
+        return cls._wrap(dim, buffer)
+
+    @classmethod
     def universal(cls, dim: int) -> "DBM":
-        """The zone containing every non-negative clock valuation."""
-        d = cls(dim)
-        m = [INFINITY_RAW] * (dim * dim)
-        for i in range(dim):
-            m[i * dim + i] = LE_ZERO
-            m[0 * dim + i] = LE_ZERO  # 0 - x_i <= 0, i.e. x_i >= 0
-        m[0] = LE_ZERO
-        d.m = m
-        return d
+        """The zone containing every non-negative clock valuation.
+
+        Identical to default construction (``DBM(dim)``); kept as an explicit,
+        self-documenting constructor.
+        """
+        return cls(dim)
 
     # -- accessors -------------------------------------------------------------
     def get(self, i: int, j: int) -> int:
         """Raw bound on ``x_i - x_j``."""
-        return self.m[i * self.dim + j]
+        return int(self.m[i * self.dim + j])
 
     def set(self, i: int, j: int, raw: int) -> None:
         """Set the raw bound on ``x_i - x_j`` (does not re-close)."""
@@ -232,22 +381,27 @@ class DBM:
 
     def upper_bound(self, clock: int) -> int:
         """Raw upper bound of ``clock`` (bound on ``x_clock - x_0``)."""
-        return self.get(clock, 0)
+        return int(self.m[clock * self.dim])
 
     def lower_bound(self, clock: int) -> int:
         """Raw bound on ``x_0 - x_clock`` (the negated lower bound)."""
-        return self.get(0, clock)
+        return int(self.m[clock])
 
     def copy(self) -> "DBM":
-        """Return an independent copy."""
-        clone = DBM.__new__(DBM)
-        clone.dim = self.dim
-        clone.m = list(self.m)
-        return clone
+        """Return an independent copy (buffer drawn from the zone pool)."""
+        buffer = _POOL.acquire(self.dim)
+        buffer[:] = self.m
+        return DBM._wrap(self.dim, buffer)
+
+    def discard(self) -> None:
+        """Return the backing buffer to the pool; the DBM must not be used again."""
+        _POOL.release(self.dim, self.m)
+        self.m = None  # type: ignore[assignment]  -- fail loudly on reuse
+        self.m2 = None  # type: ignore[assignment]
 
     def key(self) -> bytes:
         """A hashable canonical key (requires the DBM to be closed)."""
-        return np.array(self.m, dtype=np.int64).tobytes()
+        return self.m.tobytes()
 
     # -- basic predicates --------------------------------------------------------
     def is_empty(self) -> bool:
@@ -276,51 +430,39 @@ class DBM:
     # -- canonicalisation ----------------------------------------------------------
     def close(self) -> "DBM":
         """Compute the canonical (all-pairs-shortest-path) form in place."""
-        _close(self.m, self.dim)
+        _close_buffer(self.m, self.m2, self.dim)
         return self
 
     def close_touched(self, touched: Iterable[int]) -> "DBM":
         """Re-close after modifying only rows/columns in *touched*.
 
-        Runs one Floyd-Warshall sweep per touched index which is sufficient
-        when the matrix was canonical before the modification.
+        Runs one vectorised Floyd-Warshall sweep per touched index, which is
+        sufficient when the matrix was canonical before the modification and
+        every modified entry has its row or column index in *touched* (for
+        loosened entries, both; the ``closex`` lemma of the UPPAAL DBM
+        library).
         """
-        m, dim = self.m, self.dim
-        inf = INFINITY_RAW
+        a = self.m2
         for k in touched:
-            row_k = k * dim
-            for i in range(dim):
-                row_i = i * dim
-                d_ik = m[row_i + k]
-                if d_ik >= inf:
-                    continue
-                base = d_ik & ~1
-                sbit = d_ik & 1
-                for j in range(dim):
-                    d_kj = m[row_k + j]
-                    if d_kj >= inf:
-                        continue
-                    candidate = base + (d_kj & ~1) + (sbit & d_kj & 1)
-                    if candidate < m[row_i + j]:
-                        m[row_i + j] = candidate
+            _sweep_k(a, k)
         return self
 
     # -- zone operations --------------------------------------------------------------
     def up(self) -> "DBM":
         """Delay: remove the upper bounds of all clocks (future closure)."""
-        dim = self.dim
-        for i in range(1, dim):
-            self.m[i * dim + 0] = INFINITY_RAW
+        self.m[self.dim :: self.dim] = INFINITY_RAW
         return self
 
     def down(self) -> "DBM":
         """Past: allow all clocks to have been smaller (used for backwards analysis)."""
-        dim, m = self.dim, self.m
-        for i in range(1, dim):
-            m[0 * dim + i] = LE_ZERO
-            for j in range(1, dim):
-                if m[j * dim + i] < m[0 * dim + i]:
-                    m[0 * dim + i] = m[j * dim + i]
+        a = self.m2
+        dim = self.dim
+        if dim > 1:
+            # new lower bound of each clock: the loosest of (0, <=) and the
+            # tightest difference bound x_j - x_i over the real clocks j
+            mins = a[1:, 1:].min(axis=0)
+            np.minimum(mins, LE_ZERO, out=mins)
+            a[0, 1:] = mins
         return self.close()
 
     def constrain(self, i: int, j: int, raw: int) -> bool:
@@ -335,57 +477,125 @@ class DBM:
             if add_raw(raw, m[j * dim + i]) < LE_ZERO:
                 m[0] = LT_ZERO - 2  # mark empty
                 return False
-            self.close_touched((i, j))
-        return not self.is_empty()
+            # exact rank-1 re-closure: for a canonical DBM tightened at a
+            # single entry (i, j), the new shortest paths are
+            # min(old[a][b], old[a][i] (+) raw (+) old[j][b]) -- one
+            # vectorised outer combination instead of two k-sweeps
+            a = self.m2
+            s = _scratch(dim)
+            via, w1, cand, w2, m2 = s.v1, s.u1, s.c2, s.w2, s.m2
+            col = a[:, i]
+            row = a[j, :]
+            np.add(col, raw, out=via)  # col (+) raw
+            np.bitwise_or(col, raw, out=w1)
+            np.bitwise_and(w1, 1, out=w1)
+            np.subtract(via, w1, out=via)
+            # no intermediate clamp: an infinite operand keeps the total far
+            # above _INF_GUARD (at most two infinities fit in an int64), so a
+            # single clamp of the final sums suffices
+            via = via[:, None]
+            np.add(via, row, out=cand)  # (+) row
+            np.bitwise_or(via, row, out=w2)
+            np.bitwise_and(w2, 1, out=w2)
+            np.subtract(cand, w2, out=cand)
+            np.greater_equal(cand, _INF_GUARD, out=m2)
+            np.copyto(cand, INFINITY_RAW, where=m2)
+            np.minimum(a, cand, out=a)
+        return not (m[0] < LE_ZERO)
+
+    def impose_upper_bounds(self, clocks, raws, pairs) -> bool:
+        """Tighten the upper bounds of several clocks at once and re-close.
+
+        ``pairs`` is a list of ``(clock, raw)`` tuples with ``clock >= 1``;
+        ``clocks``/``raws`` are the same data as numpy index/value arrays.
+        Equivalent to ``constrain(c, 0, raw)`` for every pair (in any order --
+        closure is order-independent), but performs a single batched re-close:
+        every new edge ends in the reference clock, so shortest paths use at
+        most one of them and
+        ``new[a][b] = min(old[a][b], min_c(old[a][c] (+) raw_c) (+) old[0][b])``
+        is the exact closure.  Emptiness is decided exactly by the per-pair
+        negative-cycle check against the (canonical) input matrix.
+
+        Returns ``False`` when the zone became empty.  Used for re-applying
+        location invariants after ``up()``, where each bound is a guaranteed
+        tightening of the just-removed upper bounds.
+        """
+        m, dim = self.m, self.dim
+        for clock, raw in pairs:
+            if add_raw(raw, m[clock]) < LE_ZERO:  # raw (+) m[0][clock]
+                m[0] = LT_ZERO - 2  # mark empty
+                return False
+        if len(pairs) == 1:
+            clock, raw = pairs[0]
+            return self.constrain(clock, 0, raw)
+        if not pairs:
+            return not (m[0] < LE_ZERO)
+        a = self.m2
+        s = _scratch(dim)
+        cols = a[:, clocks]  # (dim, len(pairs)) -- variable width, not pooled
+        t = cols + raws  # candidates  old[a][c] (+) raw_c
+        w = cols | raws
+        w &= 1
+        t -= w
+        u, cand, w2, m2 = s.v1, s.c2, s.w2, s.m2
+        np.minimum.reduce(t, axis=1, out=u)
+        row0 = a[0, :]
+        u = u[:, None]
+        np.add(u, row0, out=cand)  # (+) old[0][b]
+        np.bitwise_or(u, row0, out=w2)
+        np.bitwise_and(w2, 1, out=w2)
+        np.subtract(cand, w2, out=cand)
+        np.greater_equal(cand, _INF_GUARD, out=m2)
+        np.copyto(cand, INFINITY_RAW, where=m2)
+        np.minimum(a, cand, out=a)
+        return True
 
     def free(self, clock: int) -> "DBM":
         """Remove all constraints on *clock* (it may take any value >= 0)."""
-        dim, m = self.dim, self.m
-        for j in range(dim):
-            if j != clock:
-                m[clock * dim + j] = INFINITY_RAW
-                m[j * dim + clock] = m[j * dim + 0]
-        m[0 * dim + clock] = LE_ZERO
-        m[clock * dim + clock] = LE_ZERO
+        a = self.m2
+        a[clock, :] = INFINITY_RAW
+        a[:, clock] = a[:, 0]
+        a[0, clock] = LE_ZERO
+        a[clock, clock] = LE_ZERO
         return self
 
     def reset(self, clock: int, value: int = 0) -> "DBM":
         """Reset *clock* to the constant *value* (must be closed beforehand)."""
-        dim, m = self.dim, self.m
+        a = self.m2
+        inf = INFINITY_RAW
         pos = bound(value)
         neg = bound(-value)
-        for j in range(dim):
-            if j == clock:
-                continue
-            m[clock * dim + j] = add_raw(pos, m[0 * dim + j])
-            m[j * dim + clock] = add_raw(m[j * dim + 0], neg)
-        m[clock * dim + clock] = LE_ZERO
+        # grab both vectors before writing anything (the row write touches
+        # the column-0 entry of the clock's row); list comprehensions beat
+        # numpy at these lengths
+        row0 = a[0, :].tolist()
+        col0 = a[:, 0].tolist()
+        # x_clock - x_j  <=  value + (x_0 - x_j)
+        a[clock, :] = [pos + r - ((pos | r) & 1) if r < inf else inf for r in row0]
+        # x_j - x_clock  <=  (x_j - x_0) - value
+        a[:, clock] = [c + neg - ((c | neg) & 1) if c < inf else inf for c in col0]
+        a[clock, clock] = LE_ZERO
         return self
 
     def copy_clock(self, dst: int, src: int) -> "DBM":
         """Assign clock *dst* := clock *src* (UPPAAL clock copy)."""
-        dim, m = self.dim, self.m
         if dst == src:
             return self
-        for j in range(dim):
-            if j != dst:
-                m[dst * dim + j] = m[src * dim + j]
-                m[j * dim + dst] = m[j * dim + src]
-        m[dst * dim + dst] = LE_ZERO
-        m[dst * dim + src] = LE_ZERO
-        m[src * dim + dst] = LE_ZERO
+        a = self.m2
+        a[dst, :] = a[src, :]
+        a[:, dst] = a[:, src]
+        a[dst, dst] = LE_ZERO
+        a[dst, src] = LE_ZERO
+        a[src, dst] = LE_ZERO
         return self
 
     def intersect(self, other: "DBM") -> "DBM":
         """In-place intersection with *other* (then re-closed)."""
         if other.dim != self.dim:
             raise ModelError("cannot intersect DBMs of different dimension")
-        changed = False
-        for idx, raw in enumerate(other.m):
-            if raw < self.m[idx]:
-                self.m[idx] = raw
-                changed = True
-        if changed:
+        tighter = other.m < self.m
+        if tighter.any():
+            np.copyto(self.m, other.m, where=tighter)
             self.close()
         return self
 
@@ -394,10 +604,7 @@ class DBM:
         """Return ``True`` when this zone is included in *other* (both closed)."""
         if other.dim != self.dim:
             raise ModelError("cannot compare DBMs of different dimension")
-        for a, b in zip(self.m, other.m):
-            if a > b:
-                return False
-        return True
+        return not (self.m > other.m).any()
 
     def is_superset_of(self, other: "DBM") -> bool:
         """Return ``True`` when this zone includes *other* (both closed)."""
@@ -406,16 +613,18 @@ class DBM:
     def __eq__(self, other) -> bool:
         if not isinstance(other, DBM):
             return NotImplemented
-        return self.dim == other.dim and self.m == other.m
+        return self.dim == other.dim and np.array_equal(self.m, other.m)
 
     def __hash__(self) -> int:
-        return hash((self.dim, tuple(self.m)))
+        return hash((self.dim, self.m.tobytes()))
 
     def intersects(self, other: "DBM") -> bool:
         """Return ``True`` if the intersection of the two zones is non-empty."""
         probe = self.copy()
         probe.intersect(other)
-        return not probe.is_empty()
+        empty = probe.is_empty()
+        probe.discard()
+        return not empty
 
     # -- extrapolation ---------------------------------------------------------------------
     def extrapolate_max_bounds(self, max_bounds: Sequence[int]) -> "DBM":
@@ -428,31 +637,10 @@ class DBM:
         guarantees termination of the zone-graph exploration while preserving
         reachability (Behrmann et al., "A Tutorial on UPPAAL").
         """
-        dim, m = self.dim, self.m
-        if len(max_bounds) != dim:
+        if len(max_bounds) != self.dim:
             raise ModelError("max_bounds must have one entry per clock")
-        upper_raw = [bound(value) for value in max_bounds]
-        lower_raw = [bound(-value, strict=True) for value in max_bounds]
-        changed = False
-        for i in range(dim):
-            row = i * dim
-            max_raw_i = upper_raw[i]
-            for j in range(dim):
-                if i == j:
-                    continue
-                raw = m[row + j]
-                if raw >= INFINITY_RAW:
-                    continue
-                if i != 0 and raw > max_raw_i:
-                    m[row + j] = INFINITY_RAW
-                    changed = True
-                elif max_bounds[j] >= 0 and raw < lower_raw[j]:
-                    # classical Extra_M: relax bounds below -M(x_j) to (-M(x_j), <)
-                    m[row + j] = lower_raw[j]
-                    changed = True
-        if changed:
-            self.close()
-        return self
+        upper_grid, lower_grid = _extrapolation_grids(tuple(max_bounds), tuple(max_bounds))
+        return self._extrapolate_raw(upper_grid, lower_grid)
 
     def extrapolate_lu_bounds(self, lower: Sequence[int], upper: Sequence[int]) -> "DBM":
         """LU-extrapolation (Behrmann/Bouyer/Larsen/Pelanek).
@@ -463,26 +651,35 @@ class DBM:
         ``x_i <= c``).  Coarser than max-bounds extrapolation, still exact for
         reachability of location/data properties.
         """
-        dim, m = self.dim, self.m
-        if len(lower) != dim or len(upper) != dim:
+        if len(lower) != self.dim or len(upper) != self.dim:
             raise ModelError("LU bound vectors must have one entry per clock")
-        changed = False
-        for i in range(dim):
-            for j in range(dim):
-                if i == j:
-                    continue
-                raw = m[i * dim + j]
-                if raw >= INFINITY_RAW:
-                    continue
-                if i != 0 and raw > bound(lower[i]):
-                    m[i * dim + j] = INFINITY_RAW
-                    changed = True
-                elif upper[j] >= 0 and raw < bound(-upper[j], strict=True):
-                    m[i * dim + j] = bound(-upper[j], strict=True)
-                    changed = True
-        if changed:
-            self.close()
-        return self
+        upper_grid, lower_grid = _extrapolation_grids(tuple(lower), tuple(upper))
+        return self._extrapolate_raw(upper_grid, lower_grid)
+
+    def _extrapolate_raw(self, upper_grid: np.ndarray, lower_grid: np.ndarray) -> "DBM":
+        """Shared vectorised extrapolation core.
+
+        The grids come from :func:`_extrapolation_grids`: finite entries above
+        ``upper_grid`` are abstracted to infinity, entries below
+        ``lower_grid`` are relaxed to the grid value.  Row 0, the diagonal and
+        disabled clocks are excluded via grid sentinels, so the hot path is a
+        handful of whole-matrix operations with no per-call mask building.
+        """
+        a = self.m2
+        s = _scratch(self.dim)
+        raise_mask, relax_mask = s.m2, s.e2
+        np.greater(a, upper_grid, out=raise_mask)
+        np.less(a, INFINITY_RAW, out=relax_mask)  # reused as the finite filter
+        np.logical_and(raise_mask, relax_mask, out=raise_mask)
+        np.less(a, lower_grid, out=relax_mask)
+        if not (raise_mask.any() or relax_mask.any()):
+            return self
+        np.copyto(a, INFINITY_RAW, where=raise_mask)
+        np.copyto(a, lower_grid, where=relax_mask)
+        # a full re-closure is required: a loosened entry can be tightened
+        # back through *any* pair of untouched entries (restricting the sweep
+        # to the touched clocks is unsound here, unlike for `constrain`)
+        return self.close()
 
     # -- pretty printing ------------------------------------------------------------------
     def constraints(self, clock_names: Sequence[str] | None = None) -> list[str]:
@@ -515,3 +712,43 @@ class DBM:
 
     def __repr__(self) -> str:
         return f"DBM(dim={self.dim}, {self})"
+
+
+# cache of raw extrapolation grids per (lower, upper) bound vectors; the same
+# vectors are used for every symbolic state of an exploration, so building the
+# thresholds per call (as the scalar implementation did) would dominate
+_EXTRA_CACHE: dict[tuple[tuple[int, ...], tuple[int, ...]], tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _extrapolation_grids(
+    lower_bounds: tuple[int, ...], upper_bounds: tuple[int, ...]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Raw threshold grids for :meth:`DBM._extrapolate_raw` (cached).
+
+    ``lower_bounds`` feeds the row thresholds (entries above ``(L_i, <=)``
+    become infinite), ``upper_bounds`` the column relaxations (entries below
+    ``(-U_j, <)`` become ``(-U_j, <)``; clocks with negative ``U_j`` are
+    disabled).  For classical max-bounds extrapolation both vectors are the
+    same ``M``.  Row 0 and the diagonal are masked out with sentinel values
+    (``INFINITY_RAW`` / ``-INFINITY_RAW``) that no matrix entry can cross.
+    """
+    cached = _EXTRA_CACHE.get((lower_bounds, upper_bounds))
+    if cached is not None:
+        return cached
+    dim = len(lower_bounds)
+    upper_raw = np.array([2 * int(v) + 1 for v in lower_bounds], dtype=np.int64)
+    lower_raw = np.array(
+        [2 * -int(v) if v >= 0 else -INFINITY_RAW for v in upper_bounds], dtype=np.int64
+    )
+    upper_grid = np.repeat(upper_raw[:, None], dim, axis=1)
+    upper_grid[0, :] = INFINITY_RAW  # the reference-clock row is never raised
+    lower_grid = np.repeat(lower_raw[None, :], dim, axis=0)
+    diagonal = np.arange(dim)
+    upper_grid[diagonal, diagonal] = INFINITY_RAW
+    lower_grid[diagonal, diagonal] = -INFINITY_RAW
+    upper_grid.setflags(write=False)
+    lower_grid.setflags(write=False)
+    if len(_EXTRA_CACHE) > 256:  # bound the cache; query constants vary per run
+        _EXTRA_CACHE.clear()
+    _EXTRA_CACHE[(lower_bounds, upper_bounds)] = (upper_grid, lower_grid)
+    return upper_grid, lower_grid

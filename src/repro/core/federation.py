@@ -5,6 +5,17 @@ under union or complement.  A :class:`Federation` keeps a list of
 non-redundant DBMs and is used where a union naturally appears, e.g. for the
 set of zones stored per discrete state in the passed list and for reporting
 the clock valuations that witness a property violation.
+
+Storage
+-------
+The raw-bound matrices of the member zones are kept stacked row-wise in one
+preallocated numpy buffer that grows by doubling, so the passed-list
+inclusion check (the hottest operation of the reachability engine) is a
+single vectorised comparison against all stored zones at once, and inserting
+``N`` zones performs only ``O(N)`` total row copies (the seed implementation
+re-stacked the whole array on every insert, i.e. ``O(N^2)``).  The
+``stack_copies`` counter records the row copies actually performed; the test
+suite uses it to pin down the amortised bound.
 """
 
 from __future__ import annotations
@@ -18,34 +29,33 @@ from repro.util.errors import ModelError
 
 __all__ = ["Federation"]
 
+_MIN_CAPACITY = 4
+
 
 class Federation:
-    """A finite, redundancy-reduced union of :class:`~repro.core.dbm.DBM` zones.
+    """A finite, redundancy-reduced union of :class:`~repro.core.dbm.DBM` zones."""
 
-    Internally the raw-bound matrices of the member zones are also kept
-    stacked in one numpy array so that the passed-list inclusion check (the
-    hottest operation of the reachability engine) is a single vectorised
-    comparison instead of a Python loop per stored zone.
-    """
-
-    __slots__ = ("dim", "_zones", "_stack")
+    __slots__ = ("dim", "_zones", "_buf", "_n", "stack_copies")
 
     def __init__(self, dim: int, zones: Iterable[DBM] = ()):
         self.dim = dim
         self._zones: list[DBM] = []
-        self._stack: np.ndarray = np.empty((0, dim * dim), dtype=np.int64)
-        for zone in zones:
-            self.add(zone)
+        #: row-stacked raw matrices of the member zones; rows ``[0:_n]`` valid
+        self._buf: np.ndarray = np.empty((0, dim * dim), dtype=np.int64)
+        self._n: int = 0
+        #: total member-zone rows copied while growing/compacting the stack
+        self.stack_copies: int = 0
+        self.add_many(zones)
 
     # -- collection protocol ---------------------------------------------------
     def __len__(self) -> int:
-        return len(self._zones)
+        return self._n
 
     def __iter__(self) -> Iterator[DBM]:
         return iter(self._zones)
 
     def __bool__(self) -> bool:
-        return bool(self._zones)
+        return self._n > 0
 
     @property
     def zones(self) -> tuple[DBM, ...]:
@@ -65,33 +75,93 @@ class Federation:
             raise ModelError("zone dimension does not match federation dimension")
         if zone.is_empty():
             return False
-        candidate = np.asarray(zone.m, dtype=np.int64)
-        if len(self._zones):
-            # covered by an existing zone?  (element-wise <= against the stack)
-            if bool(np.any(np.all(candidate <= self._stack, axis=1))):
-                return False
-            # drop stored zones that the new zone covers
-            covered = np.all(self._stack <= candidate, axis=1)
-            if bool(covered.any()):
-                keep = ~covered
-                self._zones = [z for z, k in zip(self._zones, keep) if k]
-                self._stack = self._stack[keep]
-        self._zones.append(zone)
-        self._stack = np.vstack([self._stack, candidate[None, :]])
+        candidate = zone.m
+        if self._n:
+            stack = self._buf[: self._n]
+            # one batched pass against every stored zone: the sign of
+            # (stored - candidate) decides both directions of the inclusion
+            diff = stack - candidate
+            if (diff >= 0).all(axis=1).any():
+                return False  # covered by an existing zone
+            self._evict_covered((diff <= 0).all(axis=1))
+        self._append(zone, candidate)
         return True
 
+    def add_uncovered(self, zone: DBM) -> None:
+        """Append *zone*, which the caller knows is non-empty and not covered.
+
+        The reachability engine establishes non-coverage with :meth:`covers`
+        on the raw successor zone before paying for extrapolation (see
+        ``Explorer._store``), so re-testing it here would be wasted work.
+        Stored zones that the new zone covers are still evicted.
+        """
+        candidate = zone.m
+        if self._n:
+            stack = self._buf[: self._n]
+            self._evict_covered((stack <= candidate).all(axis=1))
+        self._append(zone, candidate)
+
+    def _evict_covered(self, covered: np.ndarray) -> None:
+        """Drop the stored zones flagged in the boolean row mask *covered*."""
+        if covered.any():
+            keep = ~covered
+            kept = int(keep.sum())
+            self._buf[:kept] = self._buf[: self._n][keep]
+            self.stack_copies += kept
+            self._zones = [z for z, k in zip(self._zones, keep) if k]
+            self._n = kept
+
+    def _append(self, zone: DBM, candidate: np.ndarray) -> None:
+        n = self._n
+        if n == len(self._buf):
+            self._grow(n + 1)
+        self._buf[n] = candidate
+        self._zones.append(zone)
+        self._n = n + 1
+
+    def add_many(self, zones: Iterable[DBM]) -> int:
+        """Add every zone in *zones*; returns how many actually grew the union.
+
+        Semantically identical to calling :meth:`add` in order, but reserves
+        stack capacity for the whole batch up front.
+        """
+        zones = list(zones)
+        if not zones:
+            return 0
+        if any(z.dim != self.dim for z in zones):
+            raise ModelError("zone dimension does not match federation dimension")
+        self._grow(self._n + len(zones))
+        return sum(1 for zone in zones if self.add(zone))
+
+    def _grow(self, needed: int) -> None:
+        """Ensure stack capacity for *needed* rows (amortised doubling)."""
+        capacity = len(self._buf)
+        if needed <= capacity:
+            return
+        new_capacity = max(_MIN_CAPACITY, capacity * 2, needed)
+        new_buf = np.empty((new_capacity, self.dim * self.dim), dtype=np.int64)
+        if self._n:
+            new_buf[: self._n] = self._buf[: self._n]
+            self.stack_copies += self._n
+        self._buf = new_buf
+
+    # -- queries ----------------------------------------------------------------------
     def covers(self, zone: DBM) -> bool:
         """Return ``True`` if some member zone includes *zone* entirely.
 
         Note this is inclusion in a *single* member (the standard passed-list
         check), not inclusion in the union.
         """
-        return any(zone.is_subset_of(existing) for existing in self._zones)
+        n = self._n
+        if not n:
+            return False
+        if n == 1:  # the overwhelmingly common federation size
+            return bool((zone.m <= self._buf[0]).all())
+        return bool((zone.m <= self._buf[:n]).all(axis=1).any())
 
-    # -- queries ----------------------------------------------------------------------
     def is_empty(self) -> bool:
         """True when the federation contains no zone."""
-        return not self._zones
+        return self._n == 0
 
     def intersects(self, zone: DBM) -> bool:
         """True when at least one member zone intersects *zone*."""
@@ -103,9 +173,17 @@ class Federation:
 
     def upper_bound(self, clock: int) -> int:
         """Largest raw upper bound of *clock* over all member zones."""
-        if not self._zones:
+        if not self._n:
             raise ModelError("empty federation has no bounds")
-        return max(zone.upper_bound(clock) for zone in self._zones)
+        return int(self._buf[: self._n, clock * self.dim].max())
+
+    # -- invariants --------------------------------------------------------------------
+    def check_consistent(self) -> None:
+        """Raise ``AssertionError`` when zone list and stack disagree (tests)."""
+        assert self._n == len(self._zones), "stack row count != zone count"
+        assert self._n <= len(self._buf), "stack row count exceeds capacity"
+        for row, zone in zip(self._buf[: self._n], self._zones):
+            assert np.array_equal(row, zone.m), "stack row diverged from its zone"
 
     def __str__(self) -> str:
         return " U ".join(str(zone) for zone in self._zones) or "(empty)"

@@ -256,6 +256,9 @@ class CompiledNetwork:
         self._max_constants: list[int] = [0] * self.dim
         #: extra constants registered by queries (e.g. WCRT bound being tested)
         self._extra_constants: dict[int, int] = {}
+        #: bumped whenever the effective extrapolation bounds change, so that
+        #: consumers (the successor generator) can cache derived vectors
+        self._bounds_version: int = 0
 
         # ---- compile locations and edges ---------------------------------------
         domains_by_name = {
@@ -480,11 +483,51 @@ class CompiledNetwork:
         when computing maximal bounds.
         """
         idx = clock if isinstance(clock, int) else self.clock_id(clock)
-        self._extra_constants[idx] = max(self._extra_constants.get(idx, 0), int(value))
+        previous = self._extra_constants.get(idx, 0)
+        merged = max(previous, int(value))
+        if merged != previous:
+            self._extra_constants[idx] = merged
+            self._bounds_version += 1
 
     def clear_query_constants(self) -> None:
         """Remove all constants registered via :meth:`register_query_constant`."""
-        self._extra_constants.clear()
+        if self._extra_constants:
+            self._extra_constants.clear()
+            self._bounds_version += 1
+
+    @property
+    def max_constants_version(self) -> int:
+        """Monotone counter identifying the current extrapolation bounds.
+
+        Changes whenever :meth:`register_query_constant`,
+        :meth:`clear_query_constants` or :meth:`restore_query_constants`
+        alters the effective bounds; consumers may cache bound-derived data
+        keyed by this version.
+        """
+        return self._bounds_version
+
+    def query_constants_snapshot(self) -> dict[int, int]:
+        """Snapshot of the query-registered constants (see below).
+
+        Queries that raise extrapolation ceilings must not leak those
+        constants into later, unrelated queries on the same network (leaked
+        constants silently coarsen the abstraction and inflate state spaces).
+        Callers take a snapshot before registering and restore it afterwards::
+
+            saved = network.query_constants_snapshot()
+            try:
+                network.register_query_constant(...)
+                ...explore...
+            finally:
+                network.restore_query_constants(saved)
+        """
+        return dict(self._extra_constants)
+
+    def restore_query_constants(self, snapshot: Mapping[int, int]) -> None:
+        """Restore the query constants captured by :meth:`query_constants_snapshot`."""
+        if dict(snapshot) != self._extra_constants:
+            self._extra_constants = dict(snapshot)
+            self._bounds_version += 1
 
     def clock_id(self, name: str) -> int:
         """DBM index of a clock by (possibly qualified) name."""

@@ -201,14 +201,19 @@ class Explorer:
         stats.start_timer()
         rng = random.Random(options.seed)
 
-        passed: dict[tuple, Federation] = {}
+        # the passed list is keyed by the *interned* discrete part (location
+        # and variable vectors packed into one bytes object): bytes hash and
+        # compare in C, unlike the nested int tuples they replace
+        passed: dict[bytes, Federation] = {}
         waiting: deque[_SearchNode] = deque()
+        record_traces = options.record_traces
 
         initial = self.generator.initial_state()
         root = _SearchNode(initial, None, None)
         self._store(passed, initial)
         stats.states_stored += 1
         waiting.append(root)
+        stats.peak_waiting = 1
 
         if visit is not None and visit(initial, root):
             stats.termination = "goal"
@@ -218,60 +223,80 @@ class Explorer:
         deadline = (
             time.perf_counter() + options.max_seconds if options.max_seconds is not None else None
         )
+        max_states = options.max_states
+        breadth_first = options.order == "bfs"
+        randomised = options.order == "rdfs"
+        generate = self.generator.successors
 
         while waiting:
-            stats.peak_waiting = max(stats.peak_waiting, len(waiting))
-            if options.order == "bfs":
-                node = waiting.popleft()
-            else:
-                node = waiting.pop()
-            stats.states_explored += 1
-
-            if options.max_states is not None and stats.states_explored > options.max_states:
+            # budgets are checked *before* popping, so an exhausted budget
+            # neither drops a pending node nor overshoots states_explored
+            if max_states is not None and stats.states_explored >= max_states:
                 stats.termination = "state-budget"
                 break
             if deadline is not None and time.perf_counter() > deadline:
                 stats.termination = "time-budget"
                 break
+            node = waiting.popleft() if breadth_first else waiting.pop()
+            stats.states_explored += 1
 
-            successors = self.generator.successors(node.state)
-            if options.order == "rdfs":
+            successors = generate(node.state, with_labels=record_traces, extrapolate=False)
+            if randomised:
                 rng.shuffle(successors)
             for label, successor in successors:
                 stats.transitions += 1
                 if options.inclusion_checking:
                     if not self._store(passed, successor):
                         stats.inclusions += 1
+                        successor.zone.discard()
                         continue
                 else:
-                    key = (successor.discrete_key(), successor.zone.key())
+                    self.generator.extrapolate(successor.zone)
+                    key = (successor.discrete_bytes(), successor.zone.key())
                     federation = passed.setdefault(key, Federation(successor.zone.dim))
                     if len(federation):
                         stats.inclusions += 1
+                        successor.zone.discard()
                         continue
                     federation.add(successor.zone)
                 stats.states_stored += 1
                 child = _SearchNode(
-                    successor, node if options.record_traces else None, label
+                    successor, node if record_traces else None, label
                 )
                 if visit is not None and visit(successor, child):
                     stats.termination = "goal"
                     stats.stop_timer()
                     return stats
                 waiting.append(child)
+                if len(waiting) > stats.peak_waiting:
+                    stats.peak_waiting = len(waiting)
 
         stats.stop_timer()
         return stats
 
-    @staticmethod
-    def _store(passed: dict, state: SymbolicState) -> bool:
-        """Insert into the passed list; False when an existing zone covers it."""
-        key = state.discrete_key()
+    def _store(self, passed: dict, state: SymbolicState) -> bool:
+        """Insert into the passed list; False when an existing zone covers it.
+
+        The passed list is keyed by the interned bytes form of the discrete
+        state (precomputed by the successor plans).  The coverage check runs
+        on the *raw* delay-closed zone; extrapolation is applied only to
+        states that are actually kept.  The two decisions coincide: for
+        canonical zones ``Z ⊆ W`` iff ``Extra(Z) ⊆ W`` whenever ``W`` is a
+        stored (extrapolated, hence Extra-fixpoint) zone, because
+        extrapolation is monotone, idempotent and extensive.  Skipping
+        ``Extra`` (a full Floyd-Warshall re-closure) for every covered
+        successor is one of the main wins of the exploration hot path.
+        """
+        key = state.discrete_bytes()
         federation = passed.get(key)
         if federation is None:
             federation = Federation(state.zone.dim)
             passed[key] = federation
-        return federation.add(state.zone)
+        elif federation.covers(state.zone):
+            return False
+        self.generator.extrapolate(state.zone)
+        federation.add_uncovered(state.zone)
+        return True
 
     # ------------------------------------------------------------------ queries
     def check(self, query: Query) -> ReachabilityResult:
@@ -283,94 +308,115 @@ class Explorer:
         raise ModelError(f"unsupported query {query!r}")
 
     def _check_ef(self, query: EF) -> ReachabilityResult:
-        bound_formula = query.bind(self.network)
-        found: list[_SearchNode] = []
+        # query.bind registers the formula's clock constants with the
+        # network; scope them to this run like _check_ag and sup do
+        saved_constants = self.network.query_constants_snapshot()
+        try:
+            bound_formula = query.bind(self.network)
+            found: list[_SearchNode] = []
 
-        def visit(state: SymbolicState, node: _SearchNode) -> bool:
-            if bound_formula.possibly(state):
-                found.append(node)
-                return True
-            return False
+            def visit(state: SymbolicState, node: _SearchNode) -> bool:
+                if bound_formula.possibly(state):
+                    found.append(node)
+                    return True
+                return False
 
-        stats = self.explore(visit)
-        if found:
-            return ReachabilityResult(query, True, found[0].trace() if self.search.record_traces else None, stats)
-        holds: bool | None = False if stats.exhaustive else None
-        return ReachabilityResult(query, holds, None, stats)
+            stats = self.explore(visit)
+            if found:
+                return ReachabilityResult(query, True, found[0].trace() if self.search.record_traces else None, stats)
+            holds: bool | None = False if stats.exhaustive else None
+            return ReachabilityResult(query, holds, None, stats)
+        finally:
+            self.network.restore_query_constants(saved_constants)
 
     def _check_ag(self, query: AG) -> ReachabilityResult:
         bound_formula = BoundFormula(query.formula, self.network)
         # A[] φ is violated when ¬φ is possibly satisfied somewhere.
         negated = BoundFormula(query.formula.negate(), self.network)
-        for clock, constant in negated.max_clock_constant().items():
-            self.network.register_query_constant(clock, constant)
-        for clock, constant in bound_formula.max_clock_constant().items():
-            self.network.register_query_constant(clock, constant)
-        violations: list[_SearchNode] = []
+        # clock constants mentioned by the property must be visible to the
+        # extrapolation during *this* run only: scope them so that repeated
+        # queries on one explorer do not coarsen each other's abstractions
+        saved_constants = self.network.query_constants_snapshot()
+        try:
+            for clock, constant in negated.max_clock_constant().items():
+                self.network.register_query_constant(clock, constant)
+            for clock, constant in bound_formula.max_clock_constant().items():
+                self.network.register_query_constant(clock, constant)
+            violations: list[_SearchNode] = []
 
-        def visit(state: SymbolicState, node: _SearchNode) -> bool:
-            if negated.possibly(state):
-                violations.append(node)
-                return True
-            return False
+            def visit(state: SymbolicState, node: _SearchNode) -> bool:
+                if negated.possibly(state):
+                    violations.append(node)
+                    return True
+                return False
 
-        stats = self.explore(visit)
-        if violations:
-            return ReachabilityResult(
-                query, False, violations[0].trace() if self.search.record_traces else None, stats
-            )
-        holds: bool | None = True if stats.exhaustive else None
-        return ReachabilityResult(query, holds, None, stats)
+            stats = self.explore(visit)
+            if violations:
+                return ReachabilityResult(
+                    query, False, violations[0].trace() if self.search.record_traces else None, stats
+                )
+            holds: bool | None = True if stats.exhaustive else None
+            return ReachabilityResult(query, holds, None, stats)
+        finally:
+            self.network.restore_query_constants(saved_constants)
 
     def sup(self, query: Sup) -> SupResult:
-        """Evaluate a :class:`Sup` query by a single exhaustive exploration."""
+        """Evaluate a :class:`Sup` query by a single exhaustive exploration.
+
+        The query's ceiling and condition constants are registered with the
+        network only for the duration of the run (scoped, like ``A[]``).
+        """
         network = self.network
         clock_id = network.clock_id(query.clock)
-        if query.ceiling is not None:
-            network.register_query_constant(clock_id, int(query.ceiling))
-        condition = (
-            BoundFormula(query.condition, network) if query.condition is not None else None
-        )
-        if condition is not None:
-            for clock, constant in condition.max_clock_constant().items():
-                network.register_query_constant(clock, constant)
+        saved_constants = network.query_constants_snapshot()
+        try:
+            if query.ceiling is not None:
+                network.register_query_constant(clock_id, int(query.ceiling))
+            condition = (
+                BoundFormula(query.condition, network) if query.condition is not None else None
+            )
+            if condition is not None:
+                for clock, constant in condition.max_clock_constant().items():
+                    network.register_query_constant(clock, constant)
 
-        best_raw = None
-        best_node: list[_SearchNode | None] = [None]
+            best_raw = None
+            best_node: list[_SearchNode | None] = [None]
 
-        def visit(state: SymbolicState, node: _SearchNode) -> bool:
-            nonlocal best_raw
-            if condition is not None and not condition.possibly(state):
+            def visit(state: SymbolicState, node: _SearchNode) -> bool:
+                nonlocal best_raw
+                if condition is not None and not condition.possibly(state):
+                    return False
+                raw = state.zone.upper_bound(clock_id)
+                if best_raw is None or raw > best_raw:
+                    best_raw = raw
+                    best_node[0] = node
                 return False
-            raw = state.zone.upper_bound(clock_id)
-            if best_raw is None or raw > best_raw:
-                best_raw = raw
-                best_node[0] = node
-            return False
 
-        stats = self.explore(visit)
+            stats = self.explore(visit)
 
-        if best_raw is None:
-            return SupResult(query, None, False, not stats.exhaustive, stats)
+            if best_raw is None:
+                return SupResult(query, None, False, not stats.exhaustive, stats)
 
-        value, strict = bound_as_tuple(best_raw)
-        hit_ceiling = best_raw >= INFINITY_RAW or (
-            query.ceiling is not None and value is not None and value >= query.ceiling
-        )
-        if value is None:
-            # the bound was abstracted to infinity: report the ceiling as a
-            # lower bound (mirrors the paper's "> x" entries)
-            ceiling = query.ceiling if query.ceiling is not None else network.max_constants[clock_id]
-            return SupResult(query, int(ceiling), False, True, stats,
-                             best_node[0].trace() if best_node[0] and self.search.record_traces else None)
-        return SupResult(
-            query,
-            int(value),
-            not strict,
-            bool(hit_ceiling or not stats.exhaustive),
-            stats,
-            best_node[0].trace() if best_node[0] and self.search.record_traces else None,
-        )
+            value, strict = bound_as_tuple(best_raw)
+            hit_ceiling = best_raw >= INFINITY_RAW or (
+                query.ceiling is not None and value is not None and value >= query.ceiling
+            )
+            if value is None:
+                # the bound was abstracted to infinity: report the ceiling as a
+                # lower bound (mirrors the paper's "> x" entries)
+                ceiling = query.ceiling if query.ceiling is not None else network.max_constants[clock_id]
+                return SupResult(query, int(ceiling), False, True, stats,
+                                 best_node[0].trace() if best_node[0] and self.search.record_traces else None)
+            return SupResult(
+                query,
+                int(value),
+                not strict,
+                bool(hit_ceiling or not stats.exhaustive),
+                stats,
+                best_node[0].trace() if best_node[0] and self.search.record_traces else None,
+            )
+        finally:
+            network.restore_query_constants(saved_constants)
 
     # ------------------------------------------------------------------ convenience
     def reachable_discrete_states(self) -> set[tuple]:

@@ -51,6 +51,23 @@ class ExplorationStatistics:
         """True when the whole reachable state space was explored."""
         return self.termination in ("exhausted", "goal")
 
+    @property
+    def states_per_second(self) -> float:
+        """Exploration throughput (0.0 when no time was measured)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.states_explored / self.elapsed_seconds
+
+    def merge(self, other: "ExplorationStatistics") -> None:
+        """Accumulate the counters of another run (used by multi-run queries
+        such as the WCRT binary search); timing adds up, peaks take the max."""
+        self.states_explored += other.states_explored
+        self.states_stored += other.states_stored
+        self.transitions += other.transitions
+        self.inclusions += other.inclusions
+        self.elapsed_seconds += other.elapsed_seconds
+        self.peak_waiting = max(self.peak_waiting, other.peak_waiting)
+
     def as_dict(self) -> dict:
         """Plain-dict view used by report formatting and benchmarks."""
         return {
@@ -60,6 +77,7 @@ class ExplorationStatistics:
             "inclusions": self.inclusions,
             "peak_waiting": self.peak_waiting,
             "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "states_per_second": round(self.states_per_second, 1),
             "termination": self.termination,
             "search_order": self.search_order,
         }

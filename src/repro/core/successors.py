@@ -17,19 +17,52 @@ Supported synchronisation semantics:
 * urgent channels: time may not elapse while a synchronisation on the channel
   is enabled (this implements the paper's ``hurry!`` greedy-behaviour trick),
 * urgent and committed locations.
+
+Performance
+-----------
+Everything that depends only on the *discrete* part of a state is memoised
+per ``(locations, variables)`` key in a :class:`_DiscreteInfo` record: the
+committed set, the urgency verdict, the evaluated invariant bounds, and the
+full list of :class:`_Plan` firing combinations.  A plan carries the
+*evaluated* guard bounds, the updated variable vector, the concrete reset
+values and the target location vector -- all pure functions of the discrete
+key -- so firing a plan against a zone is nothing but copy / constrain /
+reset.  Zone graphs revisit the same discrete state with many different
+zones, which makes these caches the difference between re-running the
+compiled guard closures per transition and a handful of integer operations.
+
+Transition labels are likewise built once per plan and only when the caller
+records traces.  The extrapolation step can be deferred by the caller
+(``extrapolate=False``): the reachability engine checks passed-list coverage
+on the raw delay-closed zone first and extrapolates only the states it
+actually keeps (the two decisions provably coincide, see
+``Explorer._store``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from array import array
+from dataclasses import dataclass, field
 from itertools import product
 from typing import Iterable, Sequence
 
-from repro.core.dbm import DBM, bound
+import numpy as np
+
+from repro.core.dbm import DBM, INFINITY_RAW, LE_ZERO
 from repro.core.network import CompiledEdge, CompiledNetwork
 from repro.util.errors import ModelError
 
 __all__ = ["SymbolicState", "TransitionLabel", "SuccessorGenerator", "SemanticsOptions"]
+
+
+def pack_discrete(locations: tuple[int, ...], variables: tuple[int, ...]) -> bytes:
+    """Pack a discrete state into the flat bytes key used by passed lists.
+
+    The single canonical packing: :class:`SymbolicState` and the successor
+    plans must agree on it, or identical discrete states would hash to
+    different federations.
+    """
+    return array("q", locations + variables).tobytes()
 
 
 @dataclass(frozen=True)
@@ -39,10 +72,17 @@ class SymbolicState:
     locations: tuple[int, ...]
     variables: tuple[int, ...]
     zone: DBM
+    #: interned bytes form of the discrete part, precomputed by the successor
+    #: generator's plans (None when the state was built by hand)
+    dkey: bytes | None = field(default=None, compare=False, repr=False)
 
     def discrete_key(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
         """The discrete part, used to index the passed/waiting lists."""
         return (self.locations, self.variables)
+
+    def discrete_bytes(self) -> bytes:
+        """The discrete part packed into one flat bytes key (interned form)."""
+        return self.dkey or pack_discrete(self.locations, self.variables)
 
     def key(self) -> tuple:
         """A full hashable key including the zone."""
@@ -103,6 +143,68 @@ class SemanticsOptions:
             raise ModelError(f"unknown extrapolation mode {self.extrapolation!r}")
 
 
+class _Plan:
+    """One fireable edge combination of a discrete state, fully evaluated.
+
+    Everything except the clock work is resolved at construction: the guard
+    bounds are concrete raw DBM constraints, the variable updates have been
+    applied, the reset values computed and the target locations determined.
+    ``error`` carries a deferred evaluation error (range violation, or any
+    exception a guard/update/reset expression raised): it is raised only
+    when the plan's evaluated clock guards are actually satisfiable,
+    mirroring the run-time semantics of the unmemoised implementation.
+    """
+
+    __slots__ = ("kind", "channel", "participants", "guards", "resets",
+                 "locations", "variables", "key_bytes", "error")
+
+    def __init__(self, kind, channel, participants, guards, resets, locations, variables, error):
+        self.kind = kind
+        self.channel = channel
+        self.participants = participants
+        #: evaluated clock guards as raw (i, j, bound) triples
+        self.guards: tuple[tuple[int, int, int], ...] = guards
+        #: evaluated resets as (clock, value) pairs
+        self.resets: tuple[tuple[int, int], ...] = resets
+        #: target location vector
+        self.locations: tuple[int, ...] = locations
+        #: updated variable vector
+        self.variables: tuple[int, ...] = variables
+        #: interned passed-list key of the target discrete state
+        self.key_bytes: bytes = pack_discrete(locations, variables)
+        #: deferred evaluation error (raised when the guards pass)
+        self.error: Exception | None = error
+
+
+class _DiscreteInfo:
+    """Memoised discrete-only facts about one ``(locations, variables)`` key.
+
+    ``plans`` and ``labels`` are filled lazily: urgency and the invariant
+    bounds are needed for every state that merely gets *stored*, while plans
+    are only needed when a state is actually *expanded*, and labels only when
+    traces are recorded.
+    """
+
+    __slots__ = ("urgent", "committed", "invariants", "upper_pairs",
+                 "upper_clocks", "upper_raws", "other_invariants", "plans", "labels")
+
+    def __init__(self, urgent: bool, committed: frozenset[int],
+                 invariants: tuple[tuple[int, int, int], ...]):
+        self.urgent = urgent
+        self.committed = committed
+        #: evaluated invariant constraints as raw (i, j, bound) triples
+        self.invariants = invariants
+        # split for the post-delay re-application: plain upper bounds
+        # (j == 0) go through the batched DBM kernel, the rest (difference
+        # or lower-bound invariants, rare) through per-constraint closure
+        self.upper_pairs = [(i, raw) for i, j, raw in invariants if j == 0]
+        self.upper_clocks = np.array([i for i, _ in self.upper_pairs], dtype=np.intp)
+        self.upper_raws = np.array([raw for _, raw in self.upper_pairs], dtype=np.int64)
+        self.other_invariants = tuple(t for t in invariants if t[1] != 0)
+        self.plans: tuple[_Plan, ...] | None = None
+        self.labels: list[TransitionLabel | None] | None = None
+
+
 class SuccessorGenerator:
     """Computes initial and successor symbolic states of a compiled network."""
 
@@ -110,6 +212,13 @@ class SuccessorGenerator:
         self.network = network
         self.options = options or SemanticsOptions()
         self._build_edge_tables()
+        #: discrete memo: (locations, variables) -> _DiscreteInfo
+        self._discrete: dict[tuple[tuple[int, ...], tuple[int, ...]], _DiscreteInfo] = {}
+        #: flattened invariant constraint objects per location vector
+        self._invariant_constraints: dict[tuple[int, ...], tuple] = {}
+        #: cached raw extrapolation grids, keyed by the network bounds version
+        self._extra_version: int = -1
+        self._extra_grids = None
 
     # ------------------------------------------------------------------ setup
     def _build_edge_tables(self) -> None:
@@ -143,22 +252,63 @@ class SuccessorGenerator:
     def _max_bounds(self) -> list[int]:
         return self.network.max_constants
 
+    def _extrapolation_vectors(self):
+        """Raw threshold grids for the current network bounds (cached)."""
+        version = self.network.max_constants_version
+        if version != self._extra_version:
+            from repro.core.dbm import _extrapolation_grids
+
+            bounds = tuple(self.network.max_constants)
+            self._extra_grids = _extrapolation_grids(bounds, bounds)
+            self._extra_version = version
+        return self._extra_grids
+
+    def extrapolate(self, zone: DBM) -> DBM:
+        """Apply the configured extrapolation to *zone* in place."""
+        if self.options.extrapolation != "none":
+            upper_grid, lower_grid = self._extrapolation_vectors()
+            # "max" and "lu" currently share the same bounds vector, so both
+            # modes resolve to the same raw thresholds
+            zone._extrapolate_raw(upper_grid, lower_grid)
+        return zone
+
+    @staticmethod
+    def _evaluate_constraints(
+        constraints: Iterable, variables: Sequence[int]
+    ) -> tuple[tuple[int, int, int], ...]:
+        """Evaluate compiled clock constraints into raw (i, j, bound) triples."""
+        return tuple(
+            (
+                c.i,
+                c.j,
+                2 * (c.sign * int(c.rhs(variables))) + (0 if c.strict else 1),
+            )
+            for c in constraints
+        )
+
     def _apply_constraints(
         self, zone: DBM, constraints: Iterable, variables: Sequence[int]
     ) -> bool:
         """Conjoin compiled clock constraints; returns False when empty."""
-        for constraint in constraints:
-            value = constraint.sign * int(constraint.rhs(variables))
-            raw = 2 * value + (0 if constraint.strict else 1)
-            if not zone.constrain(constraint.i, constraint.j, raw):
+        for i, j, raw in self._evaluate_constraints(constraints, variables):
+            if not zone.constrain(i, j, raw):
                 return False
         return True
 
+    def _invariant_constraints_for(self, locations: tuple[int, ...]) -> tuple:
+        """Flattened invariant constraint objects of a location vector (cached)."""
+        cached = self._invariant_constraints.get(locations)
+        if cached is None:
+            collected: list = []
+            for instance, loc in zip(self.network.instances, locations):
+                collected.extend(instance.locations[loc].invariant)
+            cached = tuple(collected)
+            self._invariant_constraints[locations] = cached
+        return cached
+
     def _apply_invariants(self, zone: DBM, locations: Sequence[int], variables: Sequence[int]) -> bool:
-        for instance, loc in zip(self.network.instances, locations):
-            if not self._apply_constraints(zone, instance.locations[loc].invariant, variables):
-                return False
-        return True
+        constraints = self._invariant_constraints_for(tuple(locations))
+        return self._apply_constraints(zone, constraints, variables)
 
     def _is_urgent_discrete(self, locations: Sequence[int], variables: Sequence[int]) -> bool:
         """True when time may not elapse in this discrete state.
@@ -200,103 +350,96 @@ class SuccessorGenerator:
                 out.add(idx)
         return out
 
-    def _finalize(
-        self,
-        locations: tuple[int, ...],
-        variables: tuple[int, ...],
-        zone: DBM,
-    ) -> SymbolicState | None:
-        """Apply invariants, optional delay closure and extrapolation."""
-        if not self._apply_invariants(zone, locations, variables):
-            return None
-        if not self._is_urgent_discrete(locations, variables):
-            # ``up`` preserves the canonical form and ``constrain`` re-closes
-            # incrementally, so no full closure is needed here.
-            zone.up()
-            if not self._apply_invariants(zone, locations, variables):
-                return None
-        mode = self.options.extrapolation
-        if mode != "none":
-            bounds_vector = self._max_bounds()
-            if mode == "max":
-                zone.extrapolate_max_bounds(bounds_vector)
-            else:
-                zone.extrapolate_lu_bounds(bounds_vector, bounds_vector)
-        if zone.is_empty():
-            return None
-        return SymbolicState(locations, variables, zone)
-
-    # --------------------------------------------------------------- initial state
-    def initial_state(self) -> SymbolicState:
-        """The delay-closed initial symbolic state."""
-        net = self.network
-        locations = net.initial_locations()
-        variables = net.initial_variables
-        zone = DBM.zero(net.dim)
-        state = self._finalize(locations, variables, zone)
-        if state is None:
-            raise ModelError(
-                "the initial state violates an invariant; the model admits no behaviour"
+    # ------------------------------------------------------------- discrete memo
+    def _discrete_info(
+        self, locations: tuple[int, ...], variables: tuple[int, ...]
+    ) -> _DiscreteInfo:
+        key = (locations, variables)
+        info = self._discrete.get(key)
+        if info is None:
+            info = _DiscreteInfo(
+                urgent=self._is_urgent_discrete(locations, variables),
+                committed=frozenset(self._committed_instances(locations)),
+                invariants=self._evaluate_constraints(
+                    self._invariant_constraints_for(locations), variables
+                ),
             )
-        return state
+            self._discrete[key] = info
+        return info
 
-    # ----------------------------------------------------------------- transitions
-    def _fire(
+    def _make_plan(
         self,
-        state: SymbolicState,
-        participating: Sequence[CompiledEdge],
-    ) -> SymbolicState | None:
-        """Fire the given edges (already checked for data-enabledness)."""
+        kind: str,
+        channel: str | None,
+        participants: tuple[CompiledEdge, ...],
+        source_locations: tuple[int, ...],
+        variables: tuple[int, ...],
+    ) -> _Plan:
+        """Evaluate the discrete half of firing *participants* once.
+
+        Evaluation errors (range violations, but also anything a guard,
+        update or reset expression raises) are *deferred*: the unmemoised
+        engine evaluated these lazily per fire and never reached them when
+        an earlier clock guard was unsatisfiable, so the plan records the
+        first error together with the guards evaluated before it, and
+        :meth:`_fire` re-raises only when those guards actually pass.
+        """
         net = self.network
-        zone = state.zone.copy()
-        variables = state.variables
-
-        # 1. clock guards of every participant against the *current* valuation
-        for edge in participating:
-            if not self._apply_constraints(zone, edge.clock_constraints, variables):
-                return None
-
-        # 2. variable updates, sender first then receivers (list order)
+        guards: list[tuple[int, int, int]] = []
+        resets: list[tuple[int, int]] = []
         new_variables = variables
-        for edge in participating:
-            if edge.update is not None:
-                new_variables = edge.update(new_variables)
-        if self.options.check_ranges and new_variables is not variables:
-            net.check_variable_ranges(new_variables)
+        error: Exception | None = None
+        try:
+            for edge in participants:
+                guards.extend(self._evaluate_constraints(edge.clock_constraints, variables))
+            # variable updates, sender first then receivers (list order)
+            for edge in participants:
+                if edge.update is not None:
+                    new_variables = edge.update(new_variables)
+            if self.options.check_ranges and new_variables is not variables:
+                net.check_variable_ranges(new_variables)
+            # clock resets (reset values are evaluated on the updated variables)
+            for edge in participants:
+                for clock, value_fn in edge.resets:
+                    resets.append((clock, int(value_fn(new_variables))))
+        except Exception as exc:
+            error = exc
 
-        # 3. clock resets (reset values are evaluated on the updated variables)
-        for edge in participating:
-            for clock, value_fn in edge.resets:
-                zone.reset(clock, int(value_fn(new_variables)))
-
-        # 4. move locations
-        new_locations = list(state.locations)
-        for edge in participating:
+        new_locations = list(source_locations)
+        for edge in participants:
             new_locations[edge.instance] = edge.target
-        new_locations = tuple(new_locations)
 
-        return self._finalize(new_locations, tuple(new_variables), zone)
-
-    def _label(self, kind: str, channel: str | None, edges: Sequence[CompiledEdge]) -> TransitionLabel:
-        net = self.network
-        return TransitionLabel(
-            kind=kind,
-            channel=channel,
-            edges=tuple((net.instances[edge.instance].name, edge.original) for edge in edges),
+        return _Plan(
+            kind,
+            channel,
+            participants,
+            tuple(guards),
+            tuple(resets),
+            tuple(new_locations),
+            tuple(new_variables),
+            error,
         )
 
-    def successors(self, state: SymbolicState) -> list[tuple[TransitionLabel, SymbolicState]]:
-        """All discrete successors of *state* (each already delay-closed)."""
+    def _build_plans(
+        self, info: _DiscreteInfo, locations: tuple[int, ...], variables: tuple[int, ...]
+    ) -> None:
+        """Enumerate the data-enabled, committedness-respecting firing plans.
+
+        The enumeration order matches per-state generation so that search
+        orders (and hence traces and rdfs runs) are unchanged.
+        """
         net = self.network
-        locations, variables = state.locations, state.variables
-        committed = self._committed_instances(locations)
-        results: list[tuple[TransitionLabel, SymbolicState]] = []
+        committed = info.committed
+        plans: list[_Plan] = []
 
         def allowed(edges: Sequence[CompiledEdge]) -> bool:
             """Committed-location filter."""
             if not committed:
                 return True
             return any(edge.instance in committed for edge in edges)
+
+        def plan(kind: str, channel: str | None, participants: tuple[CompiledEdge, ...]) -> None:
+            plans.append(self._make_plan(kind, channel, participants, locations, variables))
 
         # ---- internal edges -------------------------------------------------
         for i, instance in enumerate(net.instances):
@@ -305,9 +448,7 @@ class SuccessorGenerator:
                     continue
                 if not allowed((edge,)):
                     continue
-                successor = self._fire(state, (edge,))
-                if successor is not None:
-                    results.append((self._label("internal", None, (edge,)), successor))
+                plan("internal", None, (edge,))
 
         # ---- synchronisations ------------------------------------------------
         for i, instance in enumerate(net.instances):
@@ -327,11 +468,7 @@ class SuccessorGenerator:
                                 pair = (send_edge, recv_edge)
                                 if not allowed(pair):
                                     continue
-                                successor = self._fire(state, pair)
-                                if successor is not None:
-                                    results.append(
-                                        (self._label("binary", channel_name, pair), successor)
-                                    )
+                                plan("binary", channel_name, pair)
                     else:  # broadcast
                         receiver_choices: list[list[CompiledEdge]] = []
                         for j, other in enumerate(net.instances):
@@ -348,12 +485,128 @@ class SuccessorGenerator:
                             participants = (send_edge, *combination)
                             if not allowed(participants):
                                 continue
-                            successor = self._fire(state, participants)
-                            if successor is not None:
-                                results.append(
-                                    (
-                                        self._label("broadcast", channel_name, participants),
-                                        successor,
-                                    )
-                                )
+                            plan("broadcast", channel_name, participants)
+
+        info.plans = tuple(plans)
+        info.labels = [None] * len(plans)
+
+    def _plan_label(self, info: _DiscreteInfo, index: int) -> TransitionLabel:
+        label = info.labels[index]
+        if label is None:
+            plan = info.plans[index]
+            label = self._label(plan.kind, plan.channel, plan.participants)
+            info.labels[index] = label
+        return label
+
+    def _finalize(
+        self,
+        locations: tuple[int, ...],
+        variables: tuple[int, ...],
+        zone: DBM,
+        extrapolate: bool,
+        dkey: bytes | None = None,
+    ) -> SymbolicState | None:
+        """Apply invariants and, unless urgent, the delay closure.
+
+        Takes ownership of *zone*: its buffer is returned to the pool when
+        the state dies here.  With ``extrapolate=False`` the caller is
+        expected to run :meth:`extrapolate` on the zones it keeps.
+        """
+        info = self._discrete_info(locations, variables)
+        m, dim = zone.m, zone.dim
+        for i, j, raw in info.invariants:
+            # cheap no-op filter: the fired zone usually satisfies the target
+            # invariants already (constrain would re-check and return True)
+            if raw < m[i * dim + j] and not zone.constrain(i, j, raw):
+                zone.discard()
+                return None
+        if not info.urgent:
+            # ``up`` preserves the canonical form; the upper-bound invariants
+            # it loosened are re-imposed in one batched exact re-closure,
+            # difference/lower-bound invariants (rare) close incrementally
+            zone.up()
+            if not zone.impose_upper_bounds(info.upper_clocks, info.upper_raws, info.upper_pairs):
+                zone.discard()
+                return None
+            for i, j, raw in info.other_invariants:
+                if not zone.constrain(i, j, raw):
+                    zone.discard()
+                    return None
+        if extrapolate:
+            self.extrapolate(zone)
+        return SymbolicState(locations, variables, zone, dkey)
+
+    # --------------------------------------------------------------- initial state
+    def initial_state(self) -> SymbolicState:
+        """The delay-closed, extrapolated initial symbolic state."""
+        net = self.network
+        locations = net.initial_locations()
+        variables = net.initial_variables
+        zone = DBM.zero(net.dim)
+        state = self._finalize(locations, variables, zone, extrapolate=True)
+        if state is None:
+            raise ModelError(
+                "the initial state violates an invariant; the model admits no behaviour"
+            )
+        return state
+
+    # ----------------------------------------------------------------- transitions
+    def _fire(self, state: SymbolicState, plan: _Plan, extrapolate: bool) -> SymbolicState | None:
+        """Fire a prepared plan: pure clock work against the state's zone."""
+        source = state.zone
+        m0, dim = source.m, source.dim
+        # reject infeasible fires before paying for a zone copy: a guard bound
+        # that forms a negative cycle with the stored opposite bound can never
+        # be satisfied (and for a canonical zone this check is exact per guard);
+        # inlined add_raw -- guard bounds are always finite
+        for i, j, raw in plan.guards:
+            opposite = m0[j * dim + i]
+            if opposite < INFINITY_RAW and raw + opposite - ((raw | opposite) & 1) < LE_ZERO:
+                return None
+        zone = source.copy()
+        for i, j, raw in plan.guards:
+            if not zone.constrain(i, j, raw):
+                zone.discard()
+                return None
+        if plan.error is not None:
+            zone.discard()
+            # reset the cached instance's traceback so repeated fires do not
+            # accumulate frames from earlier raises
+            raise plan.error.with_traceback(None)
+        for clock, value in plan.resets:
+            zone.reset(clock, value)
+        return self._finalize(plan.locations, plan.variables, zone, extrapolate, plan.key_bytes)
+
+    def _label(self, kind: str, channel: str | None, edges: Sequence[CompiledEdge]) -> TransitionLabel:
+        net = self.network
+        return TransitionLabel(
+            kind=kind,
+            channel=channel,
+            edges=tuple((net.instances[edge.instance].name, edge.original) for edge in edges),
+        )
+
+    def successors(
+        self,
+        state: SymbolicState,
+        with_labels: bool = True,
+        extrapolate: bool = True,
+    ) -> list[tuple[TransitionLabel | None, SymbolicState]]:
+        """All discrete successors of *state* (each already delay-closed).
+
+        With ``with_labels=False`` the label slot of every pair is ``None``;
+        callers that do not record traces skip label construction entirely.
+        With ``extrapolate=False`` the returned zones are *not* extrapolated
+        yet -- the reachability engine uses this to extrapolate only the
+        states that survive its inclusion check.
+        """
+        info = self._discrete_info(state.locations, state.variables)
+        if info.plans is None:
+            self._build_plans(info, state.locations, state.variables)
+        results: list[tuple[TransitionLabel | None, SymbolicState]] = []
+        for index, plan in enumerate(info.plans):
+            successor = self._fire(state, plan, extrapolate)
+            if successor is None:
+                continue
+            label = self._plan_label(info, index) if with_labels else None
+            results.append((label, successor))
         return results

@@ -122,36 +122,36 @@ def wcrt_binary_search(
         ))
         explorer = Explorer(network, semantics, search)
         outcome = explorer.check(AG(formula))
-        total_stats.states_explored += outcome.statistics.states_explored
-        total_stats.states_stored += outcome.statistics.states_stored
-        total_stats.transitions += outcome.statistics.transitions
-        total_stats.elapsed_seconds += outcome.statistics.elapsed_seconds
-        total_stats.peak_waiting = max(
-            total_stats.peak_waiting, outcome.statistics.peak_waiting
-        )
+        total_stats.merge(outcome.statistics)
         return outcome.holds
 
-    network.register_query_constant(observer_clock, hi)
+    # the observer ceiling is only meaningful for this search: scope it so
+    # later queries on the same network see the original abstraction
+    saved_constants = network.query_constants_snapshot()
+    try:
+        network.register_query_constant(observer_clock, hi)
 
-    upper_ok = property_holds(hi)
-    if upper_ok is False:
-        raise AnalysisError(
-            f"WCRT exceeds the search interval: A[] ({condition} => {observer_clock} < {hi}) is violated"
-        )
-    if upper_ok is None:
-        undecided = True
-
-    low, high = lo, hi  # invariant: property fails at `low` (or unknown), holds at `high`
-    while high - low > 1:
-        mid = (low + high) // 2
-        verdict = property_holds(mid)
-        if verdict is True:
-            high = mid
-        elif verdict is False:
-            low = mid
-        else:
+        upper_ok = property_holds(hi)
+        if upper_ok is False:
+            raise AnalysisError(
+                f"WCRT exceeds the search interval: A[] ({condition} => {observer_clock} < {hi}) is violated"
+            )
+        if upper_ok is None:
             undecided = True
-            low = mid  # treat as "not yet proven": keep searching upwards
+
+        low, high = lo, hi  # invariant: property fails at `low` (or unknown), holds at `high`
+        while high - low > 1:
+            mid = (low + high) // 2
+            verdict = property_holds(mid)
+            if verdict is True:
+                high = mid
+            elif verdict is False:
+                low = mid
+            else:
+                undecided = True
+                low = mid  # treat as "not yet proven": keep searching upwards
+    finally:
+        network.restore_query_constants(saved_constants)
 
     total_stats.termination = "exhausted" if not undecided else "state-budget"
     return WCRTResult(

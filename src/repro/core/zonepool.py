@@ -1,0 +1,95 @@
+"""Pooled allocation of DBM backing buffers.
+
+The reachability engine copies a zone for every transition it fires and
+throws most of those copies away almost immediately (guard failures, empty
+intersections, inclusion-checked successors).  Allocating a fresh numpy
+buffer for each copy makes the allocator the bottleneck of the hot path, so
+:class:`ZonePool` keeps a per-dimension free list of flat ``int64`` buffers:
+
+* :meth:`ZonePool.acquire` hands out a buffer of ``dim * dim`` raw bounds
+  (contents are *undefined* -- callers must fill it),
+* :meth:`ZonePool.release` returns a buffer to the free list so the next
+  ``copy()`` can reuse it without touching the allocator.
+
+:class:`~repro.core.dbm.DBM` instances acquire their buffer here and give it
+back through :meth:`~repro.core.dbm.DBM.discard` when the engine knows the
+zone is dead.  A buffer that is never discarded is simply garbage-collected
+with its DBM; the pool holds no reference to buffers in use, so forgetting to
+discard can never cause aliasing.  Discarding twice (or using a DBM after
+discarding it) is a bug; ``discard`` therefore severs the DBM from its buffer
+so that any later access fails loudly.
+
+The pool is intentionally not thread-safe: the exploration engine is
+single-threaded and a lock on every zone copy would cost more than the pool
+saves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ZonePool", "global_zone_pool"]
+
+
+class ZonePool:
+    """A per-dimension free list of flat ``(dim * dim,)`` int64 buffers."""
+
+    __slots__ = ("max_per_dim", "_free", "acquired", "reused", "released", "dropped")
+
+    def __init__(self, max_per_dim: int = 4096):
+        #: free-list capacity per dimension; excess released buffers are dropped
+        self.max_per_dim = max_per_dim
+        self._free: dict[int, list[np.ndarray]] = {}
+        # counters (observability; also used by the pool tests)
+        self.acquired = 0
+        self.reused = 0
+        self.released = 0
+        self.dropped = 0
+
+    def acquire(self, dim: int) -> np.ndarray:
+        """Return a flat ``(dim * dim,)`` int64 buffer with undefined contents."""
+        self.acquired += 1
+        free = self._free.get(dim)
+        if free:
+            self.reused += 1
+            return free.pop()
+        return np.empty(dim * dim, dtype=np.int64)
+
+    def release(self, dim: int, buffer: np.ndarray) -> None:
+        """Return *buffer* (previously acquired for *dim*) to the free list."""
+        free = self._free.setdefault(dim, [])
+        if len(free) < self.max_per_dim:
+            free.append(buffer)
+            self.released += 1
+        else:
+            self.dropped += 1
+
+    def free_count(self, dim: int) -> int:
+        """Number of buffers currently pooled for *dim* (for tests/metrics)."""
+        return len(self._free.get(dim, ()))
+
+    def clear(self) -> None:
+        """Drop every pooled buffer (does not reset the counters)."""
+        self._free.clear()
+
+    def stats(self) -> dict:
+        """Counter snapshot for benchmarks and diagnostics."""
+        return {
+            "acquired": self.acquired,
+            "reused": self.reused,
+            "released": self.released,
+            "dropped": self.dropped,
+            "pooled": {dim: len(buffers) for dim, buffers in self._free.items() if buffers},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ZonePool(acquired={self.acquired}, reused={self.reused})"
+
+
+#: the process-wide pool used by :class:`~repro.core.dbm.DBM`
+_GLOBAL_POOL = ZonePool()
+
+
+def global_zone_pool() -> ZonePool:
+    """The process-wide zone pool (single-threaded use only)."""
+    return _GLOBAL_POOL

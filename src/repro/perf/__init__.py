@@ -1,0 +1,33 @@
+"""Lightweight performance instrumentation and benchmark trajectories.
+
+Two small pieces:
+
+* :mod:`repro.perf.metrics` -- wall-clock timers and counters used by the
+  benchmark harnesses (and usable ad hoc around any engine call).
+* :mod:`repro.perf.trajectory` -- a tiny JSON schema (``repro-bench-v1``)
+  for recording benchmark runs to ``BENCH_*.json`` files, loading committed
+  baselines and guarding against throughput regressions.
+
+See ``docs/performance.md`` for the workflow and
+``benchmarks/bench_core_scaling.py`` for the main consumer.
+"""
+
+from repro.perf.metrics import Counter, StageRecorder, Timer
+from repro.perf.trajectory import (
+    BENCH_SCHEMA,
+    bench_payload,
+    check_regression,
+    load_bench_json,
+    write_bench_json,
+)
+
+__all__ = [
+    "Timer",
+    "Counter",
+    "StageRecorder",
+    "BENCH_SCHEMA",
+    "bench_payload",
+    "write_bench_json",
+    "load_bench_json",
+    "check_regression",
+]

@@ -1,0 +1,113 @@
+"""Benchmark trajectory files: the ``repro-bench-v1`` JSON schema.
+
+A trajectory records one benchmark run as a set of named *points*, each a
+flat dict of metrics (throughputs, state counts, verdicts).  Files are named
+``BENCH_<kind>.json`` by convention; committed baselines live under
+``benchmarks/baselines/``.
+
+The schema::
+
+    {
+      "schema": "repro-bench-v1",
+      "kind": "core_scaling",
+      "engine": "<free-form engine/build label>",
+      "meta": {...},
+      "points": {"AL+TMC/sp": {"states_per_second": 5311.2, ...}, ...}
+    }
+
+:func:`check_regression` compares two trajectories point by point on one
+metric and reports the points whose value regressed by more than the allowed
+fraction -- the benchmark harness turns a non-empty report into a non-zero
+exit code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "bench_payload",
+    "write_bench_json",
+    "load_bench_json",
+    "check_regression",
+]
+
+BENCH_SCHEMA = "repro-bench-v1"
+
+
+def bench_payload(
+    kind: str,
+    points: Mapping[str, Mapping],
+    engine: str = "current",
+    meta: Mapping | None = None,
+) -> dict:
+    """Assemble a schema-conformant trajectory dict."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": kind,
+        "engine": engine,
+        "meta": dict(meta or {}),
+        "points": {name: dict(values) for name, values in points.items()},
+    }
+
+
+def write_bench_json(
+    path: str,
+    kind: str,
+    points: Mapping[str, Mapping],
+    engine: str = "current",
+    meta: Mapping | None = None,
+) -> dict:
+    """Write a trajectory to *path*; returns the payload that was written."""
+    payload = bench_payload(kind, points, engine, meta)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def load_bench_json(path: str) -> dict:
+    """Load a trajectory, validating the schema marker."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"{path}: not a {BENCH_SCHEMA} file")
+    if not isinstance(payload.get("points"), dict):
+        raise ValueError(f"{path}: missing points table")
+    return payload
+
+
+def check_regression(
+    current: Mapping[str, Mapping],
+    baseline: Mapping[str, Mapping],
+    key: str = "states_per_second",
+    max_regression: float = 0.25,
+) -> list[str]:
+    """Compare *current* against *baseline* on one metric.
+
+    Returns a list of human-readable failure lines, one per point present in
+    both trajectories whose metric dropped by more than ``max_regression``
+    (a fraction of the baseline value).  Points missing from either side are
+    skipped: baselines may be recorded on a subset of cells.
+    """
+    failures: list[str] = []
+    floor = 1.0 - max_regression
+    for name, base_values in baseline.items():
+        if name not in current or key not in base_values:
+            continue
+        base = float(base_values[key])
+        if base <= 0:
+            continue
+        now = float(current[name].get(key, 0.0))
+        ratio = now / base
+        if ratio < floor:
+            failures.append(
+                f"{name}: {key} {now:.1f} is {ratio:.2f}x of baseline {base:.1f} "
+                f"(allowed >= {floor:.2f}x)"
+            )
+    return failures

@@ -214,8 +214,11 @@ class TestExtrapolation:
 
 
 class TestBackends:
+    def test_default_backend_is_auto(self):
+        assert get_close_backend() == "auto"
+
     def test_backend_switch_roundtrip(self):
-        assert get_close_backend() == "python"
+        original = get_close_backend()
         try:
             set_close_backend("numpy")
             zone = DBM.universal(4)
@@ -223,9 +226,10 @@ class TestBackends:
             zone.constrain(2, 1, bound(3))
             zone.constrain(3, 2, bound(2))
             numpy_result = zone.copy().close()
-        finally:
             set_close_backend("python")
-        python_result = zone.copy().close()
+            python_result = zone.copy().close()
+        finally:
+            set_close_backend(original)
         assert numpy_result == python_result
 
     def test_unknown_backend_rejected(self):

@@ -1,0 +1,100 @@
+"""Tests of the amortised federation stack (growth, eviction, bulk adds)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dbm import DBM, bound
+from repro.core.federation import Federation
+from repro.util.errors import ModelError
+
+
+def _box(dim: int, uppers: list[int]) -> DBM:
+    """A box zone with the given per-clock upper bounds."""
+    zone = DBM.universal(dim)
+    for clock, upper in enumerate(uppers, start=1):
+        assert zone.constrain(clock, 0, bound(upper))
+    return zone
+
+
+def _incomparable(n: int) -> list[DBM]:
+    """n pairwise-incomparable zones: {x <= i, y <= n - i}."""
+    return [_box(3, [i, n - i]) for i in range(1, n + 1)]
+
+
+class TestAmortisedGrowth:
+    def test_insert_n_zones_costs_linear_stack_copies(self):
+        """Growing the stack must be amortised O(N) row copies, not O(N^2).
+
+        With doubling, inserting N pairwise-incomparable zones copies each
+        stored row only at the capacity doublings: 4 + 8 + ... < 2N rows in
+        total.  The seed implementation re-stacked every row on every insert
+        (N^2 / 2 copies); this counter-based bound would catch that reliably.
+        """
+        n = 64
+        federation = Federation(3)
+        for zone in _incomparable(n):
+            assert federation.add(zone)
+        assert len(federation) == n
+        assert federation.stack_copies <= 2 * n  # doubling: 4+8+16+32+64 = 124
+        federation.check_consistent()
+
+    def test_eviction_copies_are_counted(self):
+        federation = Federation(2)
+        for upper in range(1, 11):
+            federation.add(_box(2, [upper]))
+        # every add covered the previous zone: exactly one member remains
+        assert len(federation) == 1
+        federation.check_consistent()
+
+    def test_add_many_matches_sequential_add(self):
+        zones = _incomparable(6) + [_box(3, [2, 2])] + _incomparable(3)
+        sequential = Federation(3)
+        grown = sum(1 for z in zones if sequential.add(z.copy()))
+        bulk = Federation(3)
+        assert bulk.add_many(z.copy() for z in zones) == grown
+        assert [z.key() for z in bulk] == [z.key() for z in sequential]
+        bulk.check_consistent()
+
+    def test_add_many_on_construction(self):
+        federation = Federation(3, _incomparable(4))
+        assert len(federation) == 4
+        federation.check_consistent()
+
+    def test_add_many_dimension_mismatch(self):
+        with pytest.raises(ModelError):
+            Federation(2).add_many([DBM.universal(3)])
+
+    def test_add_uncovered_skips_covered_check_but_still_evicts(self):
+        federation = Federation(2)
+        federation.add(_box(2, [3]))
+        big = _box(2, [10])
+        federation.add_uncovered(big)
+        assert len(federation) == 1  # the smaller zone was evicted
+        assert federation.covers(_box(2, [3]))
+        federation.check_consistent()
+
+    @given(st.lists(st.tuples(st.integers(1, 12), st.integers(1, 12)), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_property_stack_and_zone_list_stay_consistent(self, boxes):
+        """After any add sequence the numpy stack mirrors the zone list."""
+        federation = Federation(3)
+        for x_upper, y_upper in boxes:
+            federation.add(_box(3, [x_upper, y_upper]))
+        federation.check_consistent()
+        # no stored zone covers another (redundancy-freedom)
+        zones = federation.zones
+        for a_index, a in enumerate(zones):
+            for b_index, b in enumerate(zones):
+                if a_index != b_index:
+                    assert not a.is_subset_of(b)
+
+    @given(st.lists(st.tuples(st.integers(1, 12), st.integers(1, 12)), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_property_covers_matches_member_subset(self, boxes):
+        federation = Federation(3)
+        for x_upper, y_upper in boxes:
+            federation.add(_box(3, [x_upper, y_upper]))
+        probe = _box(3, [boxes[0][0], boxes[0][1]])
+        expected = any(probe.is_subset_of(member) for member in federation)
+        assert federation.covers(probe) == expected

@@ -140,6 +140,25 @@ class TestSearchOptions:
         assert result.holds is None
         assert result.statistics.termination == "state-budget"
 
+    def test_state_budget_is_exact(self):
+        """The budget is checked before popping: no overshoot, no dropped node."""
+        compiled = _counter_network(limit=10)
+        for budget in (1, 2, 3):
+            stats = Explorer(compiled, search=SearchOptions(max_states=budget)).explore()
+            assert stats.states_explored == budget
+            assert stats.termination == "state-budget"
+
+    def test_budget_larger_than_state_space_is_exhaustive(self):
+        compiled = _counter_network(limit=3)
+        stats = Explorer(compiled, search=SearchOptions(max_states=100)).explore()
+        assert stats.states_explored == 4
+        assert stats.termination == "exhausted"
+
+    def test_peak_waiting_is_tracked(self):
+        compiled = _counter_network(limit=3)
+        stats = Explorer(compiled).explore()
+        assert stats.peak_waiting >= 1
+
     def test_statistics_counters(self):
         compiled = _counter_network()
         stats = Explorer(compiled).count_states()
@@ -192,3 +211,61 @@ class TestSupAndWCRT:
         compiled = _counter_network()
         with pytest.raises(ModelError):
             Explorer(compiled).sup(Sup("T.zzz", None, ceiling=10))
+
+
+class TestQueryConstantScoping:
+    """Query-registered extrapolation constants must not leak between runs."""
+
+    def test_sup_restores_extrapolation_constants(self):
+        compiled = _counter_network()
+        before = list(compiled.max_constants)
+        version = compiled.max_constants_version
+        Explorer(compiled).sup(Sup("T.x", None, ceiling=100_000))
+        assert compiled.max_constants == before
+        # the version moved (register + restore), so bound caches refresh
+        assert compiled.max_constants_version > version
+
+    def test_ef_with_clock_atom_restores_constants(self):
+        compiled = _counter_network()
+        before = list(compiled.max_constants)
+        formula = ClockProp.parse("T.x <= 5000", compiled.clock_index)
+        Explorer(compiled).check(EF(formula))
+        assert compiled.max_constants == before
+
+    def test_ag_with_clock_atom_restores_constants(self):
+        compiled = _counter_network()
+        before = list(compiled.max_constants)
+        formula = Or(Not(LocationProp("T", "run")), ClockProp.parse("T.x <= 5000", compiled.clock_index))
+        Explorer(compiled).check(AG(formula))
+        assert compiled.max_constants == before
+
+    def test_wcrt_binary_search_restores_constants(self):
+        compiled = _request_response_network(delay=7)
+        before = list(compiled.max_constants)
+        wcrt_binary_search(compiled, "obs.y", LocationProp("obs", "seen"), lo=0, hi=64)
+        assert compiled.max_constants == before
+
+    def test_repeated_sup_queries_do_not_coarsen_each_other(self):
+        """A huge first ceiling must not change the verdict of a second query.
+
+        Before scoping, the first query's ceiling stayed registered and the
+        second exploration ran with a needlessly fine abstraction (different
+        state counts); with scoping, both queries behave as on a fresh
+        explorer.
+        """
+        fresh = Explorer(_counter_network())
+        expected = fresh.sup(Sup("T.x", None, ceiling=20))
+
+        shared = Explorer(_counter_network())
+        shared.sup(Sup("T.x", None, ceiling=1_000_000))
+        second = shared.sup(Sup("T.x", None, ceiling=20))
+        assert second.value == expected.value
+        assert second.statistics.states_explored == expected.statistics.states_explored
+
+    def test_explicit_registration_survives_queries(self):
+        """Constants registered by the caller (not the query) are kept."""
+        compiled = _counter_network()
+        compiled.register_query_constant("T.x", 777)
+        Explorer(compiled).sup(Sup("T.x", None, ceiling=100))
+        clock = compiled.clock_id("T.x")
+        assert compiled.max_constants[clock] >= 777

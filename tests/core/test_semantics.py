@@ -268,3 +268,29 @@ class TestCommittedLocations:
         # only the committed automaton may move
         assert len(successors) == 1
         assert successors[0][1].locations[0] == 1
+
+
+class TestDeferredPlanErrors:
+    """Discrete-plan memoisation must keep the lazy error semantics of the
+    per-fire implementation: evaluation errors behind an unsatisfiable clock
+    guard are never raised."""
+
+    def _network(self, guard):
+        ta = TimedAutomaton("T")
+        ta.add_clock("x")
+        ta.add_variable("n", 0, 0, 1)
+        ta.add_location("a", initial=True, invariant="x <= 3")
+        ta.add_edge("a", "a", guard=guard, updates="n = 5")  # range violation
+        net = Network("t")
+        net.add_instance(ta, "A")
+        return SuccessorGenerator(net.compile())
+
+    def test_range_violation_behind_dead_guard_is_silent(self):
+        # x == 10 can never hold under the invariant x <= 3
+        gen = self._network("x == 10")
+        assert gen.successors(gen.initial_state()) == []
+
+    def test_range_violation_behind_live_guard_raises(self):
+        gen = self._network("x == 2")
+        with pytest.raises(ModelError):
+            gen.successors(gen.initial_state())

@@ -1,0 +1,77 @@
+"""Tests of the pooled DBM buffer allocation."""
+
+import numpy as np
+
+from repro.core.dbm import DBM, bound
+from repro.core.zonepool import ZonePool, global_zone_pool
+
+
+class TestZonePool:
+    def test_acquire_release_roundtrip_reuses_buffer(self):
+        pool = ZonePool()
+        buffer = pool.acquire(4)
+        assert buffer.shape == (16,)
+        pool.release(4, buffer)
+        again = pool.acquire(4)
+        assert again is buffer
+        assert pool.reused == 1
+
+    def test_dimensions_are_segregated(self):
+        pool = ZonePool()
+        small = pool.acquire(2)
+        pool.release(2, small)
+        other = pool.acquire(3)
+        assert other is not small
+        assert other.shape == (9,)
+        assert pool.free_count(2) == 1
+
+    def test_capacity_cap_drops_excess(self):
+        pool = ZonePool(max_per_dim=2)
+        buffers = [pool.acquire(2) for _ in range(4)]
+        for buffer in buffers:
+            pool.release(2, buffer)
+        assert pool.free_count(2) == 2
+        assert pool.dropped == 2
+
+    def test_stats_shape(self):
+        pool = ZonePool()
+        pool.release(2, pool.acquire(2))
+        stats = pool.stats()
+        assert stats["acquired"] == 1
+        assert stats["released"] == 1
+        assert stats["pooled"] == {2: 1}
+
+    def test_clear_empties_free_lists(self):
+        pool = ZonePool()
+        pool.release(2, pool.acquire(2))
+        pool.clear()
+        assert pool.free_count(2) == 0
+
+
+class TestDBMPoolIntegration:
+    def test_discard_returns_buffer_for_reuse(self):
+        pool = global_zone_pool()
+        zone = DBM.universal(7)  # odd dimension: unlikely to collide with other tests
+        buffer = zone.m
+        zone.discard()
+        assert zone.m is None  # use-after-discard must fail loudly
+        clone = DBM.universal(7)
+        assert clone.m is buffer  # the freed buffer was recycled
+
+    def test_copy_is_independent(self):
+        zone = DBM.zero(3)
+        clone = zone.copy()
+        clone.constrain(1, 0, bound(5))
+        assert zone == DBM.zero(3)
+        assert not np.shares_memory(zone.m, clone.m)
+
+    def test_discarded_copy_does_not_alias_original(self):
+        zone = DBM.universal(3)
+        zone.constrain(1, 0, bound(9))
+        snapshot = zone.copy()
+        probe = zone.copy()
+        probe.discard()
+        # allocate a new zone (likely reusing probe's buffer) and mutate it
+        other = DBM.zero(3)
+        other.up()
+        assert zone == snapshot
