@@ -12,12 +12,19 @@ state/transition counts must match the values recorded with the seed engine
 (``benchmarks/baselines/bench_core_seed.json``) -- an optimisation that
 changes what is explored is a bug, not a speedup.
 
+After the serial cells, the same grid is fanned across worker processes via
+:mod:`repro.sweep` (``--workers N``, default 2; ``--workers 1`` skips the
+sweep stage) and recorded as a ``sweep/workersN`` trajectory point -- every
+sweep cell is cross-checked against the same seed anchors, so a parallel
+run that explores a different state space fails exactly like a serial one.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_core_scaling.py            # run + write BENCH_core.json
     PYTHONPATH=src python benchmarks/bench_core_scaling.py --check    # also fail (exit 1) on >25% regression
     PYTHONPATH=src python benchmarks/bench_core_scaling.py --update-baseline
     PYTHONPATH=src python benchmarks/bench_core_scaling.py --quick    # po + pno only, 1 rep
+    PYTHONPATH=src python benchmarks/bench_core_scaling.py --workers 4
 
 Exit codes: 0 ok, 1 throughput regression (``--check``), 2 correctness
 mismatch.  The committed baseline records the *seed* engine, so the speedup
@@ -38,7 +45,13 @@ if os.path.abspath(_SRC) not in [os.path.abspath(p) for p in sys.path]:
 
 from repro.arch import TimedAutomataSettings, analyze_wcrt  # noqa: E402
 from repro.casestudy import build_radio_navigation, configure  # noqa: E402
-from repro.perf import Timer, check_regression, load_bench_json, write_bench_json  # noqa: E402
+from repro.perf import (  # noqa: E402
+    Timer,
+    check_regression,
+    load_bench_json,
+    verify_anchors,
+    write_bench_json,
+)
 
 #: (combination, configuration) cells; exhaustive and deterministic (bfs)
 CELLS: tuple[tuple[str, str], ...] = (("AL+TMC", "po"), ("AL+TMC", "pno"), ("AL+TMC", "sp"))
@@ -76,20 +89,7 @@ def run_cell(model, combination: str, configuration: str, reps: int) -> dict:
 
 def verify_cell(name: str, point: dict, baseline_points: dict) -> list[str]:
     """Check the machine-independent correctness anchors of one cell."""
-    expected = baseline_points.get(name, {})
-    problems = []
-    checks = (
-        ("expected_wcrt_ticks", "wcrt_ticks"),
-        ("expected_states_explored", "states_explored"),
-        ("expected_states_stored", "states_stored"),
-        ("expected_transitions", "transitions"),
-    )
-    for expected_key, actual_key in checks:
-        if expected_key in expected and point[actual_key] != expected[expected_key]:
-            problems.append(
-                f"{name}: {actual_key} = {point[actual_key]} differs from seed "
-                f"value {expected[expected_key]}"
-            )
+    problems = verify_anchors(name, point, baseline_points.get(name, {}))
     if point["is_lower_bound"]:
         problems.append(f"{name}: exhaustive run reported a lower bound")
     return problems
@@ -109,6 +109,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="repetitions per cell, best throughput wins (default 2)")
     parser.add_argument("--quick", action="store_true",
                         help="run only the two smaller cells once (smoke mode)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes of the parallel sweep stage "
+                             "(default 2; 1 skips the sweep)")
+    parser.add_argument("--start-method", choices=("spawn", "fork", "forkserver"),
+                        default="spawn", help="sweep start method (default spawn)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="re-record the baseline file from this run")
     args = parser.parse_args(argv)
@@ -158,6 +163,24 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print(f"  {aggregate_name:12s} {total_states:7d} states  {aggregate:9.1f} states/s")
 
+    if args.workers > 1:
+        # parallel sweep stage: the same cells fanned across processes, each
+        # result cross-checked against the identical seed anchors
+        from repro.sweep import core_scaling_cells, run_sweep, verify_cells
+
+        wanted = {f"{c}/{k}" for c, k in cells}
+        sweep_cells = [cell for cell in core_scaling_cells() if cell.name in wanted]
+        sweep = run_sweep(sweep_cells, workers=args.workers,
+                          start_method=args.start_method)
+        problems.extend(verify_cells(sweep.results, baseline_points))
+        sweep_point = sweep.points()["sweep"]
+        points[f"sweep/workers{sweep.workers}"] = sweep_point
+        print(
+            f"  {'sweep':12s} {sweep.total_states:7d} states  "
+            f"{sweep_point['sweep_states_per_second']:9.1f} states/s wall  "
+            f"({sweep.workers} workers, {sweep.start_method})"
+        )
+
     if problems:
         print("CORRECTNESS MISMATCH against the seed baseline:")
         for line in problems:
@@ -165,11 +188,18 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     write_bench_json(args.output, "core_scaling", points, engine="current",
-                     meta={"cells": [f"{c}/{k}" for c, k in cells], "reps": reps})
+                     meta={"cells": [f"{c}/{k}" for c, k in cells], "reps": reps,
+                           "sweep_workers": args.workers if args.workers > 1 else None})
     print(f"wrote {os.path.relpath(args.output)}")
 
     if args.update_baseline:
-        for name, point in points.items():
+        # the sweep point is machine- and core-count-specific wall-clock
+        # throughput; recording it would turn it into a future --check gate
+        baseline_points_out = {
+            name: point for name, point in points.items()
+            if not name.startswith("sweep/")
+        }
+        for name, point in baseline_points_out.items():
             if name == "aggregate":
                 continue
             point.update({
@@ -178,7 +208,8 @@ def main(argv: list[str] | None = None) -> int:
                 "expected_states_stored": point["states_stored"],
                 "expected_transitions": point["transitions"],
             })
-        write_bench_json(args.baseline, "core_scaling", points, engine="current",
+        write_bench_json(args.baseline, "core_scaling", baseline_points_out,
+                         engine="current",
                          meta={"harness": "bench_core_scaling.py --update-baseline"})
         print(f"updated baseline {os.path.relpath(args.baseline)}")
 

@@ -8,13 +8,18 @@ By default the exploration of the heavy ChangeVolume+HandleTMC rows and of
 the jitter/burst columns is bounded (the result is then a lower bound,
 printed with a ``>`` prefix — the paper itself reports such entries); set
 ``REPRO_FULL_SCALE=1`` for exhaustive runs of the tractable cells.
+
+With ``pytest benchmarks/bench_table1_wcrt.py --workers N`` the whole grid
+is precomputed by the parallel scenario-sweep runner (see
+``benchmarks/conftest.py``) and each cell below just consumes its result;
+budgets, search orders and seeds match the serial path exactly.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from conftest import state_budget
+from conftest import sweep_cell_settings
 from repro.arch import TimedAutomataSettings, analyze_wcrt
 from repro.casestudy import (
     EVENT_CONFIGURATIONS,
@@ -28,42 +33,39 @@ from repro.io import format_table1
 #: collected cells: row label -> {config -> (ms, is_lower_bound)}
 _RESULTS: dict[str, dict[str, tuple[float | None, bool]]] = {}
 
-#: combinations of (combination, configuration) that explode the state space
-#: and therefore always run with a budget and a depth-first order (the paper
-#: reports lower bounds for exactly these cells)
-_HEAVY = {("CV+TMC", "pj"), ("CV+TMC", "bur"), ("AL+TMC", "pj"), ("AL+TMC", "bur")}
-
 
 def _settings(row, configuration) -> TimedAutomataSettings:
-    heavy = (row.combination, configuration) in _HEAVY
-    cv_combo = row.combination == "CV+TMC"
-    if heavy:
-        budget = state_budget(4_000)
-        order = "rdfs"
-    elif cv_combo:
-        budget = state_budget(4_000)
-        order = "bfs"
-    else:
-        budget = state_budget(25_000)
-        order = "bfs"
-    return TimedAutomataSettings(search_order=order, max_states=budget, seed=1)
+    """Serial settings of one cell, from the Table 1 sweep grid (see
+    ``conftest.sweep_cell_settings``: one budget-policy source for serial
+    and ``--workers N`` precomputed runs)."""
+    name = f"{row.combination}/{configuration}/{row.requirement}"
+    return TimedAutomataSettings(**sweep_cell_settings("table1", name))
 
 
 @pytest.mark.parametrize("configuration", EVENT_CONFIGURATIONS)
 @pytest.mark.parametrize("row", TABLE1_ROWS, ids=[r.label for r in TABLE1_ROWS])
-def test_table1_cell(benchmark, radio_navigation_model, row, configuration):
+def test_table1_cell(benchmark, radio_navigation_model, row, configuration, table1_sweep):
     """One cell of Table 1."""
-    model = configure(radio_navigation_model, row.combination, configuration)
-    settings = _settings(row, configuration)
-
-    result = benchmark.pedantic(
-        lambda: analyze_wcrt(model, row.requirement, settings), rounds=1, iterations=1
+    precomputed = (
+        table1_sweep.get(f"{row.combination}/{configuration}/{row.requirement}")
+        if table1_sweep is not None
+        else None
     )
+    if precomputed is not None:
+        result = benchmark.pedantic(lambda: precomputed, rounds=1, iterations=1)
+        states_explored = precomputed.states_explored
+    else:
+        model = configure(radio_navigation_model, row.combination, configuration)
+        settings = _settings(row, configuration)
+        result = benchmark.pedantic(
+            lambda: analyze_wcrt(model, row.requirement, settings), rounds=1, iterations=1
+        )
+        states_explored = result.detail.statistics.states_explored
 
     _RESULTS.setdefault(row.label, {})[configuration] = (result.wcrt_ms, result.is_lower_bound)
     benchmark.extra_info["wcrt_ms"] = result.wcrt_ms
     benchmark.extra_info["lower_bound"] = result.is_lower_bound
-    benchmark.extra_info["states"] = result.detail.statistics.states_explored
+    benchmark.extra_info["states"] = states_explored
     paper = TABLE1_UPPAAL_MS.get((row.label, configuration))
     if paper is not None:
         benchmark.extra_info["paper_ms"] = paper

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import state_budget
+from conftest import sweep_cell_settings
 from repro.arch import TimedAutomataSettings, analyze_wcrt
 from repro.baselines import mpa, symta
 from repro.baselines.des import SimulationSettings, simulate
@@ -27,23 +27,41 @@ from repro.io import format_table2
 _RESULTS: dict[str, dict[str, float | None]] = {}
 
 
-def _ta_wcrt(model, requirement, combination) -> tuple[float | None, bool]:
-    budget = state_budget(4_000 if combination == "CV+TMC" else 25_000)
-    settings = TimedAutomataSettings(max_states=budget)
+def _ta_wcrt(model, requirement, combination, configuration) -> tuple[float | None, bool]:
+    """Serial timed-automata cell, with settings from the Table 2 sweep grid
+    (see ``conftest.sweep_cell_settings``: one budget-policy source for
+    serial and ``--workers N`` precomputed runs)."""
+    name = f"{combination}/{configuration}/{requirement}"
+    settings = TimedAutomataSettings(**sweep_cell_settings("table2", name))
     result = analyze_wcrt(model, requirement, settings)
     return result.wcrt_ms, result.is_lower_bound
 
 
 @pytest.mark.parametrize("row", TABLE1_ROWS, ids=[r.label for r in TABLE1_ROWS])
-def test_table2_row(benchmark, radio_navigation_model, row):
-    """One row of Table 2 (all five techniques)."""
+def test_table2_row(benchmark, radio_navigation_model, row, table2_sweep):
+    """One row of Table 2 (all five techniques).
+
+    With ``--workers N`` the two timed-automata columns come from the
+    precomputed parallel sweep (identical budgets); the baseline techniques
+    always run inline -- they are orders of magnitude cheaper.
+    """
     timebase = radio_navigation_model.timebase
     po_model = configure(radio_navigation_model, row.combination, "po")
     pno_model = configure(radio_navigation_model, row.combination, "pno")
 
+    def ta_cell(model, configuration):
+        precomputed = (
+            table2_sweep.get(f"{row.combination}/{configuration}/{row.requirement}")
+            if table2_sweep is not None
+            else None
+        )
+        if precomputed is not None:
+            return precomputed.wcrt_ms, precomputed.is_lower_bound
+        return _ta_wcrt(model, row.requirement, row.combination, configuration)
+
     def run_row():
-        uppaal_po, po_lower = _ta_wcrt(po_model, row.requirement, row.combination)
-        uppaal_pno, pno_lower = _ta_wcrt(pno_model, row.requirement, row.combination)
+        uppaal_po, po_lower = ta_cell(po_model, "po")
+        uppaal_pno, pno_lower = ta_cell(pno_model, "pno")
         sim = simulate(pno_model, SimulationSettings(horizon=30_000_000, runs=4, seed=7))
         symta_result = symta.analyze(pno_model)
         mpa_result = mpa.analyze(pno_model)

@@ -9,8 +9,14 @@ exactly like the paper does).
 Results are printed to stdout in the layout of the paper's tables so that
 ``pytest benchmarks/ --benchmark-only -s`` produces a directly comparable
 report; EXPERIMENTS.md records one such run.
+
+``--workers N`` (N > 1) precomputes every timed-automata table cell through
+the parallel scenario-sweep runner (:mod:`repro.sweep`) in one session-level
+fan-out; the Table 1 / Table 2 benchmarks then consume the precomputed
+results instead of exploring serially inside each test.
 """
 
+import functools
 import os
 import sys
 
@@ -24,6 +30,66 @@ import pytest
 def full_scale() -> bool:
     """True when the user asked for the unbounded, paper-scale runs."""
     return os.environ.get("REPRO_FULL_SCALE", "0") not in ("0", "", "false")
+
+
+@functools.lru_cache(maxsize=4)
+def _cells_by_name(grid: str, scale: bool) -> dict:
+    from repro.sweep import table1_cells, table2_cells
+
+    builder = {"table1": table1_cells, "table2": table2_cells}[grid]
+    return {cell.name: cell for cell in builder(full_scale=scale)}
+
+
+def sweep_cell_settings(grid: str, name: str) -> dict:
+    """Serial settings of one table cell, from the sweep grid.
+
+    The sweep grids (:mod:`repro.sweep.cells`) are the single source of the
+    budget/search-order policy, so serial benchmark runs and ``--workers N``
+    precomputed runs can never drift apart.
+    """
+    return dict(_cells_by_name(grid, full_scale())[name].settings)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers", type=int, default=1,
+        help="fan the timed-automata table cells across N worker processes "
+             "before the table benchmarks run (1 = serial, the default)",
+    )
+
+
+def _sweep_grid(request, grid_builder):
+    """Precompute one table grid across ``--workers`` processes.
+
+    Returns ``None`` in serial mode (``--workers 1``), else a dict keyed
+    ``combination/configuration/requirement``.  The serial benchmark paths
+    take their settings from the *same* grid builders, so precomputed and
+    serial per-cell results are identical -- only the wall-clock
+    distribution changes.
+    """
+    workers = request.config.getoption("--workers")
+    if workers <= 1:
+        return None
+    from repro.sweep import run_sweep
+
+    sweep = run_sweep(grid_builder(full_scale=full_scale()), workers=workers)
+    return sweep.by_name()
+
+
+@pytest.fixture(scope="session")
+def table1_sweep(request):
+    """Precomputed Table 1 cells (``None`` in serial mode)."""
+    from repro.sweep import table1_cells
+
+    return _sweep_grid(request, table1_cells)
+
+
+@pytest.fixture(scope="session")
+def table2_sweep(request):
+    """Precomputed Table 2 timed-automata cells (``None`` in serial mode)."""
+    from repro.sweep import table2_cells
+
+    return _sweep_grid(request, table2_cells)
 
 
 @pytest.fixture(scope="session")

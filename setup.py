@@ -1,10 +1,30 @@
-"""Setup shim for environments without PEP 660 editable-install support.
+"""Setuptools configuration.
 
-The project is fully described by ``pyproject.toml``; this file only exists
-so that ``pip install -e .`` / ``python setup.py develop`` also work with the
-older setuptools tool-chains found on air-gapped machines.
+Kept as a plain ``setup.py`` (no PEP 660 requirement) so that
+``pip install -e .`` and ``python setup.py develop`` also work with the
+older setuptools tool-chains found on air-gapped machines.  The test and
+benchmark suites run without installation (``PYTHONPATH=src``, see
+``conftest.py``); installing additionally provides the ``repro-sweep``
+console entry point for parallel scenario sweeps.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-timed-automata-architectures",
+    version="1.0.0",
+    description=(
+        "Timed-automata based analysis of embedded system architectures "
+        "(reproduction of Hendriks & Verhoef, IPPS 2006)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={
+        "console_scripts": [
+            "repro-sweep = repro.sweep.cli:main",
+        ],
+    },
+)

@@ -12,7 +12,11 @@ Embedded System Architectures* (IPPS 2006).  The library contains
 * :mod:`repro.baselines` — the comparison techniques of Table 2
   (discrete-event simulation, compositional scheduling analysis, and
   modular performance analysis / real-time calculus),
-* :mod:`repro.io` — DOT / UPPAAL-XML export and result reporting.
+* :mod:`repro.io` — DOT / UPPAAL-XML export and result reporting,
+* :mod:`repro.sweep` — parallel scenario sweeps over the paper's tables and
+  user-defined configuration grids (the ``repro-sweep`` CLI),
+* :mod:`repro.perf` — timers, counters and ``repro-bench-v1`` benchmark
+  trajectories.
 
 Quickstart
 ----------
@@ -22,4 +26,7 @@ See ``examples/quickstart.py`` for a complete walk-through, or start from
 
 __version__ = "1.0.0"
 
-__all__ = ["core", "arch", "casestudy", "baselines", "io", "util", "__version__"]
+__all__ = [
+    "core", "arch", "casestudy", "baselines", "io", "util", "sweep", "perf",
+    "__version__",
+]

@@ -58,11 +58,12 @@ backends were calibrated.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.core.zonepool import global_zone_pool
+from repro.core.zonepool import _block_capacity, global_zone_pool
 from repro.util.errors import ModelError
 
 __all__ = [
@@ -76,8 +77,10 @@ __all__ = [
     "add_raw",
     "negate_weak",
     "DBM",
+    "DBMStack",
     "set_close_backend",
     "get_close_backend",
+    "reset_process_caches",
 ]
 
 # A raw value larger than any bound that can arise from model constants.
@@ -752,3 +755,346 @@ def _extrapolation_grids(
         _EXTRA_CACHE.clear()
     _EXTRA_CACHE[(lower_bounds, upper_bounds)] = (upper_grid, lower_grid)
     return upper_grid, lower_grid
+
+
+# ---------------------------------------------------------------------------
+# Batched (stacked) kernels
+# ---------------------------------------------------------------------------
+
+#: raw value written to entry (0, 0) to mark a zone empty (matches the scalar
+#: kernels, which use the same sentinel inline)
+_EMPTY_RAW: int = LT_ZERO - 2
+
+
+class _StackScratch:
+    """Preallocated work buffers for the stacked kernels, per (capacity, dim).
+
+    The batched pipeline runs a handful of whole-stack ufuncs per kernel;
+    letting each call allocate its ``(count, dim, dim[, dim])`` temporaries
+    would put the allocator back on the hot path that the batching removed.
+    Buffers are sized to the pooled block *capacity* (a power of two, see
+    :func:`~repro.core.zonepool._block_capacity`) and sliced to the live
+    count, so one scratch entry serves every stack in its size class.
+    """
+
+    __slots__ = ("t4", "w4", "m4", "c3", "w3", "m3", "e3", "v2", "u2", "w2", "b2")
+
+    def __init__(self, capacity: int, dim: int):
+        if dim <= _SQUARING_MAX_DIM:
+            self.t4 = np.empty((capacity, dim, dim, dim), dtype=np.int64)
+            self.w4 = np.empty((capacity, dim, dim, dim), dtype=np.int64)
+            self.m4 = np.empty((capacity, dim, dim, dim), dtype=bool)
+        else:  # the squaring kernel is not used at these dimensions
+            self.t4 = self.w4 = self.m4 = None
+        self.c3 = np.empty((capacity, dim, dim), dtype=np.int64)
+        self.w3 = np.empty((capacity, dim, dim), dtype=np.int64)
+        self.m3 = np.empty((capacity, dim, dim), dtype=bool)
+        self.e3 = np.empty((capacity, dim, dim), dtype=bool)
+        self.v2 = np.empty((capacity, dim), dtype=np.int64)
+        self.u2 = np.empty((capacity, dim), dtype=np.int64)
+        self.w2 = np.empty((capacity, dim), dtype=np.int64)
+        self.b2 = np.empty((capacity, dim), dtype=bool)
+
+
+_STACK_SCRATCH: dict[tuple[int, int], _StackScratch] = {}
+
+
+def _stack_scratch(count: int, dim: int) -> _StackScratch:
+    key = (_block_capacity(count), dim)
+    scratch = _STACK_SCRATCH.get(key)
+    if scratch is None:
+        scratch = _StackScratch(*key)
+        _STACK_SCRATCH[key] = scratch
+    return scratch
+
+
+class DBMStack:
+    """A stack of ``count`` DBMs over the same ``dim`` clocks in one buffer.
+
+    The batched counterpart of :class:`DBM` used by the frontier-block
+    exploration: the member matrices live in a single pooled
+    ``(count, dim, dim)`` int64 buffer (``DBMStack.a``) and every kernel is
+    one set of whole-stack numpy operations, amortising the per-call
+    dispatch overhead of the scalar kernels over the whole block.
+
+    Semantics: each kernel is element-wise identical to applying its
+    single-zone counterpart to every layer, with one deliberate exception --
+    a layer that becomes *empty* is only guaranteed to be flagged empty
+    (``entry (0, 0) < LE_ZERO``, see :meth:`empties`); its remaining entries
+    are unspecified, exactly like the scalar kernels leave an empty zone's
+    matrix behind.  Dead layers are carried along (flagged, not compacted);
+    callers filter with :meth:`empties` or drop layers via :meth:`compress`.
+    The property-based test suite pins the element-wise agreement on random
+    zone stacks.
+
+    Layers of an exhausted stack are lifted back into pooled single-zone
+    DBMs with :meth:`layer_dbm`; :meth:`discard` returns the block buffer to
+    the pool.
+    """
+
+    __slots__ = ("count", "dim", "a", "_base")
+
+    def __init__(self, count: int, dim: int):
+        if count < 1:
+            raise ModelError("DBMStack needs at least one layer")
+        self.count = count
+        self.dim = dim
+        self._base = _POOL.acquire_block(count, dim)
+        self.a = self._base[: count * dim * dim].reshape(count, dim, dim)
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_zones(cls, zones: Sequence[DBM]) -> "DBMStack":
+        """Stack copies of *zones* (which must share one dimension)."""
+        if not zones:
+            raise ModelError("cannot stack zero zones")
+        dim = zones[0].dim
+        if any(z.dim != dim for z in zones):
+            raise ModelError("cannot stack DBMs of different dimensions")
+        stack = cls(len(zones), dim)
+        flat = stack.a.reshape(len(zones), dim * dim)
+        for k, zone in enumerate(zones):
+            flat[k] = zone.m
+        return stack
+
+    def copy(self) -> "DBMStack":
+        """An independent copy of the whole stack (pooled buffer)."""
+        out = DBMStack(self.count, self.dim)
+        np.copyto(out.a, self.a)
+        return out
+
+    def compress(self, indices: np.ndarray) -> "DBMStack":
+        """A new stack holding only the layers selected by *indices*."""
+        out = DBMStack(len(indices), self.dim)
+        np.copyto(out.a, self.a[indices])
+        return out
+
+    def layer_dbm(self, k: int) -> DBM:
+        """Lift layer *k* into an independent pooled :class:`DBM`."""
+        buffer = _POOL.acquire(self.dim)
+        buffer[:] = self.a[k].reshape(-1)
+        return DBM._wrap(self.dim, buffer)
+
+    def discard(self) -> None:
+        """Return the block buffer to the pool; the stack must not be reused."""
+        _POOL.release_block(self.dim, self._base)
+        self._base = None  # type: ignore[assignment]  -- fail loudly on reuse
+        self.a = None  # type: ignore[assignment]
+
+    # -- predicates ----------------------------------------------------------
+    def empties(self) -> np.ndarray:
+        """Boolean mask of the layers whose zone is empty."""
+        return self.a[:, 0, 0] < LE_ZERO
+
+    def keys(self) -> list[bytes]:
+        """Per-layer canonical keys (each layer must be closed)."""
+        a = self.a
+        return [a[k].tobytes() for k in range(self.count)]
+
+    def guard_feasible(self, i: int, j: int, raw: int) -> np.ndarray:
+        """Per-layer exactness precheck of ``constrain(i, j, raw)``.
+
+        For a canonical layer the constraint is unsatisfiable iff it forms a
+        negative cycle with the stored opposite bound -- the same rejection
+        the scalar engine performs before paying for a zone copy.
+        """
+        opp = self.a[:, j, i]
+        tight = raw + opp - ((raw | opp) & 1)
+        return ~((opp < INFINITY_RAW) & (tight < LE_ZERO))
+
+    # -- kernels -------------------------------------------------------------
+    def up(self) -> "DBMStack":
+        """Batched delay: remove the upper bounds of all clocks, every layer."""
+        self.a[:, 1:, 0] = INFINITY_RAW
+        return self
+
+    def constrain(self, i: int, j: int, raw: int) -> "DBMStack":
+        """Add ``x_i - x_j (raw)`` to every layer; exact rank-1 re-closure.
+
+        Identical to :meth:`DBM.constrain` per layer (layers the bound does
+        not tighten are provably unchanged by the shared rank-1 update, so
+        no per-layer branching is needed); layers that become empty are
+        flagged via entry ``(0, 0)``.
+        """
+        a = self.a
+        s = _stack_scratch(self.count, self.dim)
+        count = self.count
+        opp = a[:, j, i]
+        bad = (opp < INFINITY_RAW) & (raw + opp - ((raw | opp) & 1) < LE_ZERO)
+        np.minimum(a[:, i, j], raw, out=a[:, i, j])
+        col = a[:, :, i]
+        via, w1 = s.v2[:count], s.u2[:count]
+        np.add(col, raw, out=via)  # col (+) raw, per layer
+        np.bitwise_or(col, raw, out=w1)
+        np.bitwise_and(w1, 1, out=w1)
+        np.subtract(via, w1, out=via)
+        via = via[:, :, None]
+        row = a[:, j, :][:, None, :]
+        cand, w, mask = s.c3[:count], s.w3[:count], s.m3[:count]
+        np.add(via, row, out=cand)
+        np.bitwise_or(via, row, out=w)
+        np.bitwise_and(w, 1, out=w)
+        np.subtract(cand, w, out=cand)
+        np.greater_equal(cand, _INF_GUARD, out=mask)
+        np.copyto(cand, INFINITY_RAW, where=mask)
+        np.minimum(a, cand, out=a)
+        if bad.any():
+            a[bad, 0, 0] = _EMPTY_RAW
+        return self
+
+    def impose_upper_bounds(self, clocks: np.ndarray, raws: np.ndarray) -> "DBMStack":
+        """Batched :meth:`DBM.impose_upper_bounds` across every layer.
+
+        ``clocks``/``raws`` are the index/value arrays of the ``(clock,
+        raw)`` pairs (all with ``clock >= 1``).  One exact re-closure for the
+        whole stack; emptiness is decided per layer by the same per-pair
+        negative-cycle check the scalar kernel uses.
+        """
+        if not len(clocks):
+            return self
+        a = self.a
+        s = _stack_scratch(self.count, self.dim)
+        count = self.count
+        lowers = a[:, 0, clocks]  # (count, pairs) -- variable width, not pooled
+        sums = lowers + raws - ((lowers | raws) & 1)
+        bad = ((lowers < INFINITY_RAW) & (sums < LE_ZERO)).any(axis=1)
+        cols = a[:, :, clocks]  # (count, dim, pairs)
+        t = cols + raws - ((cols | raws) & 1)
+        u = s.v2[:count]
+        np.min(t, axis=2, out=u)  # min_c (old[a][c] (+) raw_c)
+        u = u[:, :, None]
+        row0 = a[:, 0, :][:, None, :]
+        cand, w, mask = s.c3[:count], s.w3[:count], s.m3[:count]
+        np.add(u, row0, out=cand)
+        np.bitwise_or(u, row0, out=w)
+        np.bitwise_and(w, 1, out=w)
+        np.subtract(cand, w, out=cand)
+        np.greater_equal(cand, _INF_GUARD, out=mask)
+        np.copyto(cand, INFINITY_RAW, where=mask)
+        np.minimum(a, cand, out=a)
+        if bad.any():
+            a[bad, 0, 0] = _EMPTY_RAW
+        return self
+
+    def reset(self, clock: int, value: int = 0) -> "DBMStack":
+        """Batched clock reset ``clock := value`` on every (closed) layer."""
+        a = self.a
+        s = _stack_scratch(self.count, self.dim)
+        count = self.count
+        pos = bound(value)
+        neg = bound(-value)
+        row0 = a[:, 0, :]
+        col0 = a[:, :, 0]
+        # compute both updates before writing: the row write touches the
+        # column-0 entry of the clock's row (mirrors the scalar snapshotting)
+        new_row, new_col, w1, inf_mask = s.v2[:count], s.u2[:count], s.w2[:count], s.b2[:count]
+        np.add(row0, pos, out=new_row)
+        np.bitwise_or(row0, pos, out=w1)
+        np.bitwise_and(w1, 1, out=w1)
+        np.subtract(new_row, w1, out=new_row)
+        np.greater_equal(row0, INFINITY_RAW, out=inf_mask)
+        np.copyto(new_row, INFINITY_RAW, where=inf_mask)
+        np.add(col0, neg, out=new_col)
+        np.bitwise_or(col0, neg, out=w1)
+        np.bitwise_and(w1, 1, out=w1)
+        np.subtract(new_col, w1, out=new_col)
+        np.greater_equal(col0, INFINITY_RAW, out=inf_mask)
+        np.copyto(new_col, INFINITY_RAW, where=inf_mask)
+        a[:, clock, :] = new_row
+        a[:, :, clock] = new_col
+        a[:, clock, clock] = LE_ZERO
+        return self
+
+    def close(self) -> "DBMStack":
+        """Batched full closure of every layer (min-plus squaring / per-k).
+
+        Mirrors the ``auto`` backend of :meth:`DBM.close`: exact
+        Floyd-Warshall fixpoint for satisfiable layers, guaranteed empty
+        flag for unsatisfiable ones.
+        """
+        a = self.a
+        dim = self.dim
+        count = self.count
+        s = _stack_scratch(count, dim)
+        if dim <= _SQUARING_MAX_DIM:
+            t, w, mask, cand = s.t4[:count], s.w4[:count], s.m4[:count], s.c3[:count]
+            rounds = max(1, int(dim - 1).bit_length())
+            for round_index in range(rounds):
+                p = a[:, :, :, None]
+                q = a[:, None, :, :]
+                np.add(p, q, out=t)  # t[b, i, k, j] = a[b,i,k] (+) a[b,k,j]
+                np.bitwise_or(p, q, out=w)
+                np.bitwise_and(w, 1, out=w)
+                np.subtract(t, w, out=t)
+                np.greater_equal(t, _INF_GUARD, out=mask)
+                np.copyto(t, INFINITY_RAW, where=mask)
+                np.minimum.reduce(t, axis=2, out=cand)
+                np.minimum(a, cand, out=cand)
+                if round_index and np.array_equal(cand, a):
+                    break
+                a[:] = cand
+        else:
+            cand, mask3 = s.c3[:count], s.m3[:count]
+            for k in range(dim):
+                col = a[:, :, k : k + 1]
+                row = a[:, k : k + 1, :]
+                np.add(col, row, out=cand)
+                np.bitwise_or(col, row, out=s.w3[:count])
+                np.bitwise_and(s.w3[:count], 1, out=s.w3[:count])
+                np.subtract(cand, s.w3[:count], out=cand)
+                np.greater_equal(cand, _INF_GUARD, out=mask3)
+                np.copyto(cand, INFINITY_RAW, where=mask3)
+                np.minimum(a, cand, out=a)
+        diag = a[:, np.arange(dim), np.arange(dim)]
+        bad = (diag < LE_ZERO).any(axis=1)
+        if bad.any():
+            a[bad, 0, 0] = _EMPTY_RAW
+        return self
+
+    def extrapolate(self, upper_grid: np.ndarray, lower_grid: np.ndarray) -> "DBMStack":
+        """Batched :meth:`DBM._extrapolate_raw` across every layer.
+
+        Only the layers an extrapolation mask actually touched are re-closed
+        (untouched layers are bit-identical to their scalar counterpart,
+        which skips the re-closure in exactly the same case).
+        """
+        a = self.a
+        count = self.count
+        s = _stack_scratch(count, self.dim)
+        raise_mask, relax_mask = s.m3[:count], s.e3[:count]
+        np.greater(a, upper_grid, out=raise_mask)
+        np.less(a, INFINITY_RAW, out=relax_mask)  # reused as the finite filter
+        np.logical_and(raise_mask, relax_mask, out=raise_mask)
+        np.less(a, lower_grid, out=relax_mask)
+        changed = raise_mask.any(axis=(1, 2))
+        changed |= relax_mask.any(axis=(1, 2))
+        if not changed.any():
+            return self
+        np.copyto(a, INFINITY_RAW, where=raise_mask)
+        np.copyto(a, np.broadcast_to(lower_grid, a.shape), where=relax_mask)
+        if changed.all():
+            return self.close()
+        touched = np.flatnonzero(changed)
+        sub = self.compress(touched)
+        sub.close()
+        a[touched] = sub.a
+        sub.discard()
+        return self
+
+
+def reset_process_caches() -> None:
+    """Drop the module's shared scratch buffers and extrapolation grids.
+
+    The caches are plain value caches, so an inherited copy is never wrong --
+    but a fork taken mid-insert can leave the dicts inconsistent, and the
+    scratch buffers of a forked worker would keep parent-sized arrays alive.
+    Registered as an ``os.register_at_fork`` child hook (``spawn`` workers
+    re-import the module instead); safe to call at any quiescent point.
+    """
+    _SCRATCH_CACHE.clear()
+    _STACK_SCRATCH.clear()
+    _EXTRA_CACHE.clear()
+
+
+if hasattr(os, "register_at_fork"):  # not available on Windows
+    os.register_at_fork(after_in_child=reset_process_caches)

@@ -20,7 +20,7 @@ suite uses it to pin down the amortised bound.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -30,6 +30,10 @@ from repro.util.errors import ModelError
 __all__ = ["Federation"]
 
 _MIN_CAPACITY = 4
+
+#: element budget for a single broadcast comparison intermediate (~4M bools);
+#: larger batched coverage checks are chunked along the candidate axis
+_COMPARE_BUDGET = 1 << 22
 
 
 class Federation:
@@ -101,6 +105,49 @@ class Federation:
             self._evict_covered((stack <= candidate).all(axis=1))
         self._append(zone, candidate)
 
+    def add_many_uncovered(self, zones: "Sequence[DBM]") -> None:
+        """Batched :meth:`add_uncovered` for a run of pre-screened zones.
+
+        Semantically identical to calling ``add_uncovered`` on each zone in
+        list order: the caller certifies (as for :meth:`add_uncovered`) that
+        each zone was non-empty and not covered by any member present *at
+        its turn* -- including the earlier zones of the batch.  Eviction is
+        collapsed into one pass: previously stored members covered by any
+        batch zone are dropped, and a batch zone covered by a *later* batch
+        zone is dropped before insertion (exactly the members sequential
+        adds would have evicted; relative order is preserved on both sides).
+
+        Used by the block replay of the batched frontier engine, which
+        screens candidates with :meth:`covers_many` + per-block bookkeeping
+        and then flushes each target federation once.
+        """
+        if not zones:
+            return
+        if len(zones) == 1:
+            self.add_uncovered(zones[0])
+            return
+        rows = np.stack([zone.m for zone in zones])  # (k, dim * dim)
+        if self._n:
+            stack = self._buf[: self._n]
+            # chunk the (k, n, dim^2) broadcast like covers_many does, so a
+            # large batch against a grown federation cannot spike memory
+            chunk = max(1, _COMPARE_BUDGET // (self._n * rows.shape[1]))
+            doomed_members = np.zeros(self._n, dtype=bool)
+            for start in range(0, len(rows), chunk):
+                block = rows[start : start + chunk]
+                doomed_members |= (
+                    (stack[None, :, :] <= block[:, None, :]).all(axis=2).any(axis=0)
+                )
+            self._evict_covered(doomed_members)
+        # within the batch: zone i is evicted by any *later* zone that covers
+        # it (earlier zones cannot cover later ones -- the caller screened)
+        includes = (rows[:, None, :] <= rows[None, :, :]).all(axis=2)
+        doomed = np.triu(includes, 1).any(axis=1)
+        self._grow(self._n + int(len(zones) - doomed.sum()))
+        for zone, dead in zip(zones, doomed):
+            if not dead:
+                self._append(zone, zone.m)
+
     def _evict_covered(self, covered: np.ndarray) -> None:
         """Drop the stored zones flagged in the boolean row mask *covered*."""
         if covered.any():
@@ -158,6 +205,51 @@ class Federation:
         if n == 1:  # the overwhelmingly common federation size
             return bool((zone.m <= self._buf[0]).all())
         return bool((zone.m <= self._buf[:n]).all(axis=1).any())
+
+    def covers_many(self, stack: np.ndarray) -> np.ndarray:
+        """Batched :meth:`covers` over a stack of candidate zones.
+
+        ``stack`` holds one raw-bound matrix per candidate, either as a
+        ``(k, dim, dim)`` stack (a :attr:`~repro.core.dbm.DBMStack.a` view)
+        or already flattened to ``(k, dim * dim)``.  Returns a boolean mask:
+        entry ``c`` is ``True`` when some *single* member zone includes
+        candidate ``c`` entirely -- the passed-list check of the batched
+        frontier exploration, one vectorised comparison for the whole block.
+
+        The verdict only depends on the *set* of member zones, not on their
+        insertion order: redundancy eviction removes a stored zone only when
+        the evicting zone includes it, so anything the evicted zone covered
+        stays covered.  For the same reason verdicts are monotone under
+        later insertions (``True`` can never revert to ``False``): callers
+        caching a mask across mutations may keep trusting positive entries
+        and need only re-check negative ones against the zones stored since
+        (see ``Explorer._expand_block``).
+        """
+        if not len(stack):
+            return np.zeros(0, dtype=bool)
+        flat = stack.reshape(len(stack), -1)
+        if flat.shape[1] != self.dim * self.dim:
+            raise ModelError("stack dimension does not match federation dimension")
+        n = self._n
+        if not n:
+            return np.zeros(len(flat), dtype=bool)
+        if n == 1:
+            return (flat <= self._buf[0]).all(axis=1)
+        members = self._buf[:n][None, :, :]
+        count = len(flat)
+        # the broadcast materialises a (count, n, dim^2) boolean intermediate;
+        # chunk the candidate axis so a large federation times a large block
+        # cannot spike transient memory (identical verdicts either way)
+        chunk = max(1, _COMPARE_BUDGET // (n * flat.shape[1]))
+        if count <= chunk:
+            return (flat[:, None, :] <= members).all(axis=2).any(axis=1)
+        out = np.empty(count, dtype=bool)
+        for start in range(0, count, chunk):
+            block = flat[start : start + chunk]
+            out[start : start + chunk] = (
+                (block[:, None, :] <= members).all(axis=2).any(axis=1)
+            )
+        return out
 
     def is_empty(self) -> bool:
         """True when the federation contains no zone."""

@@ -30,6 +30,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+import numpy as np
+
 from repro.core.dbm import INFINITY_RAW, bound_as_tuple
 from repro.core.federation import Federation
 from repro.core.network import CompiledNetwork
@@ -69,10 +71,17 @@ class SearchOptions:
     inclusion_checking: bool = True
     #: keep parent pointers so that witness/counterexample traces can be built
     record_traces: bool = True
+    #: largest run of waiting states sharing a discrete key that the breadth-
+    #: first engine pops as one block and pushes through the batched DBM
+    #: kernels; 1 disables frontier batching (dfs/rdfs always run scalar,
+    #: their pop order is incompatible with popping runs)
+    block_size: int = 128
 
     def __post_init__(self):
         if self.order not in ("bfs", "dfs", "rdfs"):
             raise ModelError(f"unknown search order {self.order!r}")
+        if self.block_size < 1:
+            raise ModelError("block_size must be at least 1")
 
 
 @dataclass(frozen=True)
@@ -227,6 +236,11 @@ class Explorer:
         breadth_first = options.order == "bfs"
         randomised = options.order == "rdfs"
         generate = self.generator.successors
+        # frontier blocking: breadth-first only (popping a run from the head
+        # preserves the FIFO expansion order; dfs/rdfs pop from the tail and
+        # would interleave differently), and only with inclusion checking
+        # (the no-inclusion bookkeeping has no batched counterpart)
+        block_cap = options.block_size if breadth_first and options.inclusion_checking else 1
 
         while waiting:
             # budgets are checked *before* popping, so an exhausted budget
@@ -237,6 +251,28 @@ class Explorer:
             if deadline is not None and time.perf_counter() > deadline:
                 stats.termination = "time-budget"
                 break
+            if block_cap > 1 and len(waiting) > 1:
+                # measure the run of consecutive waiting states that share
+                # the head's discrete key (interned bytes compare in C)
+                head_key = waiting[0].state.discrete_bytes()
+                limit = min(len(waiting), block_cap)
+                if max_states is not None:
+                    limit = min(limit, max_states - stats.states_explored)
+                if deadline is not None:
+                    # the deadline is only re-checked between blocks; keep
+                    # blocks small under a time budget so the overshoot past
+                    # the deadline stays bounded
+                    limit = min(limit, 8)
+                run = 1
+                while run < limit and waiting[run].state.discrete_bytes() == head_key:
+                    run += 1
+                if run > 1:
+                    block = [waiting.popleft() for _ in range(run)]
+                    if self._expand_block(block, passed, waiting, stats, visit, record_traces):
+                        stats.termination = "goal"
+                        stats.stop_timer()
+                        return stats
+                    continue
             node = waiting.popleft() if breadth_first else waiting.pop()
             stats.states_explored += 1
 
@@ -273,6 +309,157 @@ class Explorer:
 
         stats.stop_timer()
         return stats
+
+    def _expand_block(
+        self,
+        nodes: list[_SearchNode],
+        passed: dict,
+        waiting: deque,
+        stats: ExplorationStatistics,
+        visit: Callable[[SymbolicState, "_SearchNode"], bool] | None,
+        record_traces: bool,
+    ) -> bool:
+        """Expand a run of waiting nodes sharing one discrete key as a block.
+
+        The clock work runs batched (:meth:`SuccessorGenerator.
+        block_successors` plus one :meth:`Federation.covers_many` coverage
+        pass and one batched extrapolation per fired plan), while the
+        passed-list updates, statistics and ``visit`` calls replay in the
+        exact scalar order (node-major, plans in firing order) -- so the
+        stored states, counters and traces are identical to expanding the
+        nodes one by one.  Returns ``True`` when *visit* found a goal.
+
+        The pre-computed coverage verdicts stay exact under the replay:
+        coverage is monotone (``covers_many``), so a candidate covered
+        before the block is still covered at its turn, and a ``False``
+        verdict can only be flipped by a zone *stored during this block* --
+        eviction never shrinks coverage (the evictor includes the evicted
+        zone).  The replay therefore tracks the zones it stores per target
+        key and re-checks pending candidates against just those, instead of
+        re-running the full federation pass.  That re-check may equivalently
+        run on the extrapolated candidate because ``Z ⊆ W  ⟺  Extra(Z) ⊆ W``
+        for stored zones ``W`` (see :meth:`_store`).
+        """
+        states = [node.state for node in nodes]
+        info, fires = self.generator.block_successors(states)
+        count = len(nodes)
+
+        # per-fire preparation: pre-block coverage pass, batched
+        # extrapolation of the surviving layers, layer lookup tables
+        prepared = []
+        errors = []
+        for fire in fires:
+            if fire.error is not None:
+                has_node = np.zeros(count, dtype=bool)
+                has_node[fire.node_indices] = True
+                errors.append((fire, has_node))
+                continue
+            plan = fire.plan
+            layer_of = np.full(count, -1, dtype=np.intp)
+            layer_of[fire.node_indices] = np.arange(len(fire.node_indices))
+            federation = passed.get(plan.key_bytes)
+            if federation is not None:
+                covered = federation.covers_many(fire.stack.a)
+            else:
+                covered = np.zeros(len(fire.node_indices), dtype=bool)
+            kept = np.flatnonzero(~covered)
+            if len(kept) < len(fire.node_indices):
+                stack = fire.stack.compress(kept) if len(kept) else None
+                fire.stack.discard()
+            else:
+                stack = fire.stack
+            if stack is not None:
+                self.generator.extrapolate_stack(stack)
+                flat = stack.a.reshape(len(kept), -1)
+            else:
+                flat = None
+            kept_layer = np.full(len(fire.node_indices), -1, dtype=np.intp)
+            kept_layer[kept] = np.arange(len(kept))
+            label = self.generator._plan_label(info, fire.plan_index) if record_traces else None
+            prepared.append((fire, layer_of, covered, kept_layer, stack, flat, label))
+
+        try:
+            return self._replay_block(
+                nodes, prepared, errors, passed, waiting, stats, visit,
+                record_traces,
+            )
+        finally:
+            # also reached when a deferred plan error propagates mid-replay:
+            # the pooled block buffers must go back either way
+            for _fire, _layer_of, _covered, _kept_layer, stack, _flat, _label in prepared:
+                if stack is not None:
+                    stack.discard()
+
+    def _replay_block(
+        self, nodes, prepared, errors, passed, waiting, stats, visit,
+        record_traces,
+    ) -> bool:
+        """The scalar-order replay of :meth:`_expand_block` (see there).
+
+        ``pending`` collects the zones stored per target key while the block
+        replays -- they are the only zones that can invalidate a negative
+        pre-block coverage verdict, so later candidates re-check against
+        just them, and each federation is flushed once at block end
+        (``add_many_uncovered``), not once per stored zone.
+        """
+        count = len(nodes)
+        pending: dict[bytes, list] = {}
+        goal = False
+        for position, node in enumerate(nodes):
+            if goal:
+                break
+            stats.states_explored += 1
+            for fire, has_node in errors:
+                if has_node[position]:
+                    # scalar generation raises before yielding any successor
+                    # of this state; earlier nodes of the block are done
+                    raise fire.error.with_traceback(None)
+            for fire, layer_of, covered, kept_layer, stack, flat, label in prepared:
+                layer = layer_of[position]
+                if layer < 0:
+                    continue
+                stats.transitions += 1
+                if covered[layer]:
+                    stats.inclusions += 1
+                    continue
+                plan = fire.plan
+                row = flat[kept_layer[layer]]
+                stored_here = pending.get(plan.key_bytes)
+                if stored_here is not None and any(
+                    (row <= zone.m).all() for zone in stored_here
+                ):
+                    stats.inclusions += 1
+                    continue
+                zone = stack.layer_dbm(kept_layer[layer])
+                if stored_here is None:
+                    pending[plan.key_bytes] = [zone]
+                else:
+                    stored_here.append(zone)
+                stats.states_stored += 1
+                successor = SymbolicState(plan.locations, plan.variables, zone, plan.key_bytes)
+                child = _SearchNode(successor, node if record_traces else None, label)
+                if visit is not None and visit(successor, child):
+                    goal = True
+                    break
+                waiting.append(child)
+                # the scalar engine would still hold this block's unprocessed
+                # tail in the waiting list at this point; account for it so
+                # the peak matches the scalar run exactly
+                virtual_length = len(waiting) + (count - position - 1)
+                if virtual_length > stats.peak_waiting:
+                    stats.peak_waiting = virtual_length
+
+        # flush the block's stores, one batched federation update per key (on
+        # a goal return the flush is skipped: the passed list dies with the
+        # search, and the statistics were already updated during the replay)
+        if not goal:
+            for key, zones in pending.items():
+                federation = passed.get(key)
+                if federation is None:
+                    federation = Federation(zones[0].dim)
+                    passed[key] = federation
+                federation.add_many_uncovered(zones)
+        return goal
 
     def _store(self, passed: dict, state: SymbolicState) -> bool:
         """Insert into the passed list; False when an existing zone covers it.

@@ -48,11 +48,17 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.core.dbm import DBM, INFINITY_RAW, LE_ZERO
+from repro.core.dbm import DBM, DBMStack, INFINITY_RAW, LE_ZERO
 from repro.core.network import CompiledEdge, CompiledNetwork
 from repro.util.errors import ModelError
 
-__all__ = ["SymbolicState", "TransitionLabel", "SuccessorGenerator", "SemanticsOptions"]
+__all__ = [
+    "SymbolicState",
+    "TransitionLabel",
+    "SuccessorGenerator",
+    "SemanticsOptions",
+    "BlockFire",
+]
 
 
 def pack_discrete(locations: tuple[int, ...], variables: tuple[int, ...]) -> bytes:
@@ -203,6 +209,29 @@ class _DiscreteInfo:
         self.other_invariants = tuple(t for t in invariants if t[1] != 0)
         self.plans: tuple[_Plan, ...] | None = None
         self.labels: list[TransitionLabel | None] | None = None
+
+
+class BlockFire:
+    """One plan fired against a whole block of same-discrete-key states.
+
+    Produced by :meth:`SuccessorGenerator.block_successors`.  ``stack`` holds
+    the surviving delay-closed (not yet extrapolated) successor zones, one
+    layer per entry of ``node_indices`` (positions within the input block).
+    When the plan carries a deferred evaluation error, ``stack`` is ``None``
+    and ``node_indices`` lists the block positions whose guards passed --
+    expanding any of those states must re-raise ``error``, mirroring the
+    scalar generator.
+    """
+
+    __slots__ = ("plan", "plan_index", "stack", "node_indices", "error")
+
+    def __init__(self, plan: _Plan, plan_index: int, stack: DBMStack | None,
+                 node_indices: np.ndarray, error: Exception | None):
+        self.plan = plan
+        self.plan_index = plan_index
+        self.stack = stack
+        self.node_indices = node_indices
+        self.error = error
 
 
 class SuccessorGenerator:
@@ -610,3 +639,103 @@ class SuccessorGenerator:
             label = self._plan_label(info, index) if with_labels else None
             results.append((label, successor))
         return results
+
+    # ------------------------------------------------------------- block firing
+    def extrapolate_stack(self, stack: DBMStack) -> DBMStack:
+        """Batched :meth:`extrapolate` over a whole zone stack, in place."""
+        if self.options.extrapolation != "none":
+            upper_grid, lower_grid = self._extrapolation_vectors()
+            stack.extrapolate(upper_grid, lower_grid)
+        return stack
+
+    def block_successors(
+        self, states: Sequence[SymbolicState]
+    ) -> tuple[_DiscreteInfo, list[BlockFire]]:
+        """Fire every plan against a block of states sharing one discrete key.
+
+        All *states* must have identical ``(locations, variables)`` -- the
+        caller pops them as one run from the waiting list -- so they share
+        the memoised plan list, and each plan's clock work (guards, resets,
+        target invariants, delay closure) runs as stacked whole-block numpy
+        kernels instead of one zone at a time.  Per fired plan the result
+        lists the surviving block positions and their delay-closed zones;
+        extrapolation is deferred exactly like ``successors(...,
+        extrapolate=False)`` (the engine extrapolates only the states it
+        keeps, via :meth:`extrapolate_stack`).
+
+        The per-layer results are bit-identical to firing the scalar
+        pipeline on each state: every batched kernel matches its scalar
+        counterpart element-wise, and layers whose zone dies anywhere along
+        the pipeline are dropped just like the scalar ``None`` returns.
+        """
+        first = states[0]
+        info = self._discrete_info(first.locations, first.variables)
+        if info.plans is None:
+            self._build_plans(info, first.locations, first.variables)
+        fires: list[BlockFire] = []
+        if not info.plans:
+            return info, fires
+        count = len(states)
+        source = DBMStack.from_zones([s.zone for s in states])
+        all_indices = np.arange(count, dtype=np.intp)
+        for index, plan in enumerate(info.plans):
+            # reject infeasible fires before paying for the stack copy (the
+            # batched form of the scalar negative-cycle precheck)
+            indices = all_indices
+            feasible: np.ndarray | None = None
+            for i, j, raw in plan.guards:
+                mask = source.guard_feasible(i, j, raw)
+                feasible = mask if feasible is None else (feasible & mask)
+            if feasible is not None and not feasible.all():
+                indices = np.flatnonzero(feasible)
+                if not len(indices):
+                    continue
+                work = source.compress(indices)
+            else:
+                work = source.copy()
+            for i, j, raw in plan.guards:
+                work.constrain(i, j, raw)
+            alive = ~work.empties()
+            if plan.error is not None:
+                # deferred evaluation error: fires whose guards pass must
+                # re-raise when their state is expanded (scalar semantics)
+                passing = np.flatnonzero(alive)
+                work.discard()
+                if len(passing):
+                    fires.append(BlockFire(plan, index, None, indices[passing], plan.error))
+                continue
+            if not alive.all():
+                survivors = np.flatnonzero(alive)
+                if not len(survivors):
+                    work.discard()
+                    continue
+                compacted = work.compress(survivors)
+                work.discard()
+                work = compacted
+                indices = indices[survivors]
+            for clock, value in plan.resets:
+                work.reset(clock, value)
+            # target invariants + delay closure (the batched _finalize)
+            target = self._discrete_info(plan.locations, plan.variables)
+            for i, j, raw in target.invariants:
+                # cheap no-op filter, matching the scalar pipeline
+                if (raw < work.a[:, i, j]).any():
+                    work.constrain(i, j, raw)
+            if not target.urgent:
+                work.up()
+                work.impose_upper_bounds(target.upper_clocks, target.upper_raws)
+                for i, j, raw in target.other_invariants:
+                    work.constrain(i, j, raw)
+            alive = ~work.empties()
+            if not alive.all():
+                survivors = np.flatnonzero(alive)
+                if not len(survivors):
+                    work.discard()
+                    continue
+                compacted = work.compress(survivors)
+                work.discard()
+                work = compacted
+                indices = indices[survivors]
+            fires.append(BlockFire(plan, index, work, indices, None))
+        source.discard()
+        return info, fires

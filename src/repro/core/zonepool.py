@@ -19,27 +19,59 @@ discard can never cause aliasing.  Discarding twice (or using a DBM after
 discarding it) is a bug; ``discard`` therefore severs the DBM from its buffer
 so that any later access fails loudly.
 
+Besides single-zone buffers the pool also recycles the *stacked* block
+buffers of the batched frontier kernels (:class:`~repro.core.dbm.DBMStack`):
+:meth:`ZonePool.acquire_block` hands out a flat buffer able to hold a whole
+block of ``dim x dim`` matrices (capacities are rounded up to powers of two
+so the free lists stay small) and :meth:`ZonePool.release_block` takes it
+back.
+
 The pool is intentionally not thread-safe: the exploration engine is
 single-threaded and a lock on every zone copy would cost more than the pool
 saves.
+
+Process safety
+--------------
+The pool is *per process*.  Sweep workers started with the ``spawn`` start
+method import this module afresh and therefore get their own pool; workers
+started with ``fork`` inherit a copy-on-write snapshot of the parent's free
+lists, which is memory-safe (buffers live in separate address spaces after
+the fork) but may be *inconsistent* if the fork happened while another
+thread was mutating a free list.  :func:`reset_global_pool` restores the
+invariants by dropping every pooled buffer and is registered with
+``os.register_at_fork`` so that forked children always start from a clean
+pool; :mod:`repro.core.dbm` registers the analogous reset for its scratch
+and extrapolation-grid caches.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-__all__ = ["ZonePool", "global_zone_pool"]
+__all__ = ["ZonePool", "global_zone_pool", "reset_global_pool"]
+
+
+def _block_capacity(rows: int) -> int:
+    """Round a block row count up to the pooled capacity (power of two)."""
+    return max(4, 1 << (int(rows) - 1).bit_length())
 
 
 class ZonePool:
     """A per-dimension free list of flat ``(dim * dim,)`` int64 buffers."""
 
-    __slots__ = ("max_per_dim", "_free", "acquired", "reused", "released", "dropped")
+    __slots__ = ("max_per_dim", "max_blocks_per_key", "_free", "_free_blocks",
+                 "acquired", "reused", "released", "dropped")
 
-    def __init__(self, max_per_dim: int = 4096):
+    def __init__(self, max_per_dim: int = 4096, max_blocks_per_key: int = 64):
         #: free-list capacity per dimension; excess released buffers are dropped
         self.max_per_dim = max_per_dim
+        #: free-list capacity per (dim, block capacity); excess is dropped
+        self.max_blocks_per_key = max_blocks_per_key
         self._free: dict[int, list[np.ndarray]] = {}
+        #: stacked block buffers keyed by (dim, row capacity)
+        self._free_blocks: dict[tuple[int, int], list[np.ndarray]] = {}
         # counters (observability; also used by the pool tests)
         self.acquired = 0
         self.reused = 0
@@ -64,13 +96,62 @@ class ZonePool:
         else:
             self.dropped += 1
 
+    def acquire_block(self, rows: int, dim: int) -> np.ndarray:
+        """Return a flat int64 buffer holding at least ``rows`` ``dim x dim``
+        matrices (undefined contents).
+
+        The buffer's capacity is ``rows`` rounded up to a power of two (at
+        least 4), so its true row capacity can be recovered from its size;
+        callers view the leading ``rows`` matrices and hand the whole buffer
+        back through :meth:`release_block`.
+        """
+        capacity = _block_capacity(rows)
+        self.acquired += 1
+        free = self._free_blocks.get((dim, capacity))
+        if free:
+            self.reused += 1
+            return free.pop()
+        return np.empty(capacity * dim * dim, dtype=np.int64)
+
+    def release_block(self, dim: int, buffer: np.ndarray) -> None:
+        """Return a block buffer previously acquired for *dim* to the pool."""
+        capacity = buffer.shape[0] // (dim * dim)
+        free = self._free_blocks.setdefault((dim, capacity), [])
+        if len(free) < self.max_blocks_per_key:
+            free.append(buffer)
+            self.released += 1
+        else:
+            self.dropped += 1
+
     def free_count(self, dim: int) -> int:
         """Number of buffers currently pooled for *dim* (for tests/metrics)."""
         return len(self._free.get(dim, ()))
 
+    def free_block_count(self, dim: int) -> int:
+        """Number of block buffers currently pooled for *dim* (tests/metrics)."""
+        return sum(
+            len(buffers) for (d, _cap), buffers in self._free_blocks.items() if d == dim
+        )
+
     def clear(self) -> None:
         """Drop every pooled buffer (does not reset the counters)."""
         self._free.clear()
+        self._free_blocks.clear()
+
+    def reset(self) -> None:
+        """Drop every pooled buffer and zero the counters.
+
+        Used to re-initialise the process-wide pool in freshly forked sweep
+        workers: the inherited free lists are memory-safe but may have been
+        snapshotted mid-mutation, and the inherited counters describe the
+        parent process, not this one.
+        """
+        self._free.clear()
+        self._free_blocks.clear()
+        self.acquired = 0
+        self.reused = 0
+        self.released = 0
+        self.dropped = 0
 
     def stats(self) -> dict:
         """Counter snapshot for benchmarks and diagnostics."""
@@ -80,6 +161,11 @@ class ZonePool:
             "released": self.released,
             "dropped": self.dropped,
             "pooled": {dim: len(buffers) for dim, buffers in self._free.items() if buffers},
+            "pooled_blocks": {
+                f"{dim}x{cap}": len(buffers)
+                for (dim, cap), buffers in self._free_blocks.items()
+                if buffers
+            },
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
@@ -93,3 +179,20 @@ _GLOBAL_POOL = ZonePool()
 def global_zone_pool() -> ZonePool:
     """The process-wide zone pool (single-threaded use only)."""
     return _GLOBAL_POOL
+
+
+def reset_global_pool() -> ZonePool:
+    """Re-initialise the process-wide pool in place and return it.
+
+    The pool object itself is kept (modules hold direct references to it),
+    only its free lists and counters are reset.  Registered as an
+    ``os.register_at_fork`` child hook so forked sweep workers never run on
+    free lists snapshotted mid-mutation; ``spawn`` workers re-import the
+    module and need no reset.
+    """
+    _GLOBAL_POOL.reset()
+    return _GLOBAL_POOL
+
+
+if hasattr(os, "register_at_fork"):  # not available on Windows
+    os.register_at_fork(after_in_child=reset_global_pool)

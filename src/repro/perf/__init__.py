@@ -14,10 +14,12 @@ See ``docs/performance.md`` for the workflow and
 
 from repro.perf.metrics import Counter, StageRecorder, Timer
 from repro.perf.trajectory import (
+    ANCHOR_CHECKS,
     BENCH_SCHEMA,
     bench_payload,
     check_regression,
     load_bench_json,
+    verify_anchors,
     write_bench_json,
 )
 
@@ -25,9 +27,11 @@ __all__ = [
     "Timer",
     "Counter",
     "StageRecorder",
+    "ANCHOR_CHECKS",
     "BENCH_SCHEMA",
     "bench_payload",
     "write_bench_json",
     "load_bench_json",
     "check_regression",
+    "verify_anchors",
 ]

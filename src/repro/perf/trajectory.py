@@ -29,13 +29,42 @@ from typing import Mapping
 
 __all__ = [
     "BENCH_SCHEMA",
+    "ANCHOR_CHECKS",
     "bench_payload",
     "write_bench_json",
     "load_bench_json",
     "check_regression",
+    "verify_anchors",
 ]
 
 BENCH_SCHEMA = "repro-bench-v1"
+
+#: machine-independent correctness anchors a baseline point may carry,
+#: as (expected key in the baseline, actual key in the measured values)
+ANCHOR_CHECKS: tuple[tuple[str, str], ...] = (
+    ("expected_wcrt_ticks", "wcrt_ticks"),
+    ("expected_states_explored", "states_explored"),
+    ("expected_states_stored", "states_stored"),
+    ("expected_transitions", "transitions"),
+)
+
+
+def verify_anchors(name: str, values: Mapping, expected: Mapping) -> list[str]:
+    """Compare one measured point against a baseline's ``expected_*`` anchors.
+
+    Returns human-readable mismatch lines (empty = every anchor present in
+    *expected* was reproduced exactly).  The single implementation behind
+    the benchmark harnesses and the sweep runner: an optimisation (or a
+    parallel run) that changes what is explored is a bug, not a speed-up.
+    """
+    problems = []
+    for expected_key, actual_key in ANCHOR_CHECKS:
+        if expected_key in expected and values.get(actual_key) != expected[expected_key]:
+            problems.append(
+                f"{name}: {actual_key} = {values.get(actual_key)} differs from "
+                f"baseline value {expected[expected_key]}"
+            )
+    return problems
 
 
 def bench_payload(

@@ -1,0 +1,45 @@
+"""Parallel scenario sweeps: the paper's tables as a fan-out workload.
+
+The paper's headline result is a *table* of analyses -- many (architecture,
+event-model, requirement) cells checked one after another.  The cells are
+independent, so this package runs them as a multiprocess sweep:
+
+* :mod:`repro.sweep.cells` -- picklable cell descriptions and grid builders
+  (Table 1, Table 2, the core-scaling cells, user-defined grids),
+* :mod:`repro.sweep.runner` -- the spawn-safe worker pool, flat results and
+  ``repro-bench-v1`` trajectory aggregation,
+* :mod:`repro.sweep.cli` -- the ``repro-sweep`` console entry point.
+
+See ``docs/performance.md`` ("Batched frontier & parallel sweeps") for the
+workflow and the safety notes on per-worker zone pools.
+"""
+
+from repro.sweep.cells import (
+    DEFAULT_MODEL_FACTORY,
+    SweepCell,
+    core_scaling_cells,
+    grid_cells,
+    table1_cells,
+    table2_cells,
+)
+from repro.sweep.runner import (
+    CellResult,
+    SweepResult,
+    run_cell,
+    run_sweep,
+    verify_cells,
+)
+
+__all__ = [
+    "DEFAULT_MODEL_FACTORY",
+    "SweepCell",
+    "CellResult",
+    "SweepResult",
+    "core_scaling_cells",
+    "table1_cells",
+    "table2_cells",
+    "grid_cells",
+    "run_cell",
+    "run_sweep",
+    "verify_cells",
+]

@@ -1,0 +1,188 @@
+"""Sweep cells: picklable descriptions of one analysis each.
+
+A :class:`SweepCell` names everything a worker process needs to reproduce
+one cell of the paper's tables (or of a user-defined grid): the model
+factory to call, the scenario combination and event configuration to apply,
+the requirement to measure, and the flat
+:class:`~repro.arch.analysis.TimedAutomataSettings` keyword arguments.
+Cells carry only primitives (strings, ints, dicts), so they cross the
+``spawn`` process boundary without dragging compiled networks or zone
+buffers along -- each worker rebuilds its models from the factory and keeps
+them cached for the cells it receives.
+
+The grid builders mirror the paper's experiments:
+
+* :func:`core_scaling_cells` -- the three exhaustive ``AL+TMC`` cells of the
+  core scaling benchmark,
+* :func:`table1_cells` -- the 5 x 5 requirement/event-model grid of Table 1
+  with the benchmark suite's budget policy,
+* :func:`table2_cells` -- the timed-automata columns (po, pno) of Table 2,
+* :func:`grid_cells` -- arbitrary user-defined combination x configuration x
+  requirement products over :mod:`repro.casestudy.configurations` (or any
+  other model factory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.casestudy.configurations import (
+    COMBINATIONS,
+    EVENT_CONFIGURATIONS,
+    TABLE1_ROWS,
+)
+from repro.util.errors import ModelError
+
+__all__ = [
+    "DEFAULT_MODEL_FACTORY",
+    "SweepCell",
+    "core_scaling_cells",
+    "table1_cells",
+    "table2_cells",
+    "grid_cells",
+]
+
+#: dotted path of the default architecture-model factory (the case study)
+DEFAULT_MODEL_FACTORY = "repro.casestudy.build_radio_navigation"
+
+#: (combination, configuration) pairs whose state space explodes; the paper
+#: (and the benchmark suite) analyses them with a budgeted random
+#: depth-first search and reports lower bounds
+HEAVY_CELLS = {("CV+TMC", "pj"), ("CV+TMC", "bur"), ("AL+TMC", "pj"), ("AL+TMC", "bur")}
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One cell of a scenario sweep (picklable, primitives only)."""
+
+    #: display / trajectory-point name, e.g. ``"AL+TMC/pno/TMC"``
+    name: str
+    #: requirement to measure (a requirement name of the model)
+    requirement: str
+    #: scenario combination key (see ``COMBINATIONS``); None = use the
+    #: factory's model as-is
+    combination: str | None = None
+    #: event configuration key (see ``EVENT_CONFIGURATIONS``)
+    configuration: str | None = None
+    #: keyword arguments for :class:`~repro.arch.analysis.TimedAutomataSettings`
+    settings: Mapping[str, object] = field(default_factory=dict)
+    #: dotted path of a zero-argument callable returning the architecture model
+    model_factory: str = DEFAULT_MODEL_FACTORY
+
+    def __post_init__(self):
+        if (self.combination is None) != (self.configuration is None):
+            raise ModelError(
+                "combination and configuration must be given together (or neither)"
+            )
+
+
+def _cell_name(combination: str, configuration: str, requirement: str) -> str:
+    return f"{combination}/{configuration}/{requirement}"
+
+
+def core_scaling_cells() -> list[SweepCell]:
+    """The three exhaustive cells of ``benchmarks/bench_core_scaling.py``."""
+    return [
+        SweepCell(
+            name=f"AL+TMC/{configuration}",
+            requirement="TMC",
+            combination="AL+TMC",
+            configuration=configuration,
+            settings={"search_order": "bfs", "max_states": None, "seed": 1},
+        )
+        for configuration in ("po", "pno", "sp")
+    ]
+
+
+def table1_cells(full_scale: bool = False) -> list[SweepCell]:
+    """The 25 cells of Table 1 under the benchmark suite's budget policy.
+
+    ``full_scale`` mirrors ``REPRO_FULL_SCALE=1`` on the serial benchmark
+    path (``benchmarks/conftest.state_budget``): every default state budget
+    is dropped; the jitter/burst cells keep their random depth-first order.
+    """
+    cells = []
+    for row in TABLE1_ROWS:
+        for configuration in EVENT_CONFIGURATIONS:
+            heavy = (row.combination, configuration) in HEAVY_CELLS
+            if heavy:
+                budget, order = None if full_scale else 4_000, "rdfs"
+            elif row.combination == "CV+TMC":
+                budget, order = None if full_scale else 4_000, "bfs"
+            else:
+                budget, order = None if full_scale else 25_000, "bfs"
+            cells.append(
+                SweepCell(
+                    name=_cell_name(row.combination, configuration, row.requirement),
+                    requirement=row.requirement,
+                    combination=row.combination,
+                    configuration=configuration,
+                    settings={"search_order": order, "max_states": budget, "seed": 1},
+                )
+            )
+    return cells
+
+
+def table2_cells(full_scale: bool = False) -> list[SweepCell]:
+    """The timed-automata cells of Table 2 (po and pno per requirement row)."""
+    cells = []
+    for row in TABLE1_ROWS:
+        budget = None if full_scale else (4_000 if row.combination == "CV+TMC" else 25_000)
+        for configuration in ("po", "pno"):
+            cells.append(
+                SweepCell(
+                    name=_cell_name(row.combination, configuration, row.requirement),
+                    requirement=row.requirement,
+                    combination=row.combination,
+                    configuration=configuration,
+                    settings={"max_states": budget},
+                )
+            )
+    return cells
+
+
+def grid_cells(
+    combinations: Sequence[str] | None = None,
+    configurations: Sequence[str] | None = None,
+    requirements: Iterable[str] | None = None,
+    settings: Mapping[str, object] | None = None,
+    model_factory: str = DEFAULT_MODEL_FACTORY,
+) -> list[SweepCell]:
+    """A user-defined cartesian sweep grid over the case-study vocabulary.
+
+    Defaults cover the full product: every scenario combination, every event
+    configuration and (per combination) the requirements Table 1 measures in
+    it.  ``settings`` applies to every cell.
+    """
+    combinations = list(combinations) if combinations is not None else list(COMBINATIONS)
+    configurations = (
+        list(configurations) if configurations is not None else list(EVENT_CONFIGURATIONS)
+    )
+    for combination in combinations:
+        if combination not in COMBINATIONS:
+            raise ModelError(f"unknown scenario combination {combination!r}")
+    for configuration in configurations:
+        if configuration not in EVENT_CONFIGURATIONS:
+            raise ModelError(f"unknown event configuration {configuration!r}")
+    wanted = list(requirements) if requirements is not None else None
+    cells = []
+    for combination in combinations:
+        row_requirements = (
+            wanted
+            if wanted is not None
+            else [row.requirement for row in TABLE1_ROWS if row.combination == combination]
+        )
+        for configuration in configurations:
+            for requirement in row_requirements:
+                cells.append(
+                    SweepCell(
+                        name=_cell_name(combination, configuration, requirement),
+                        requirement=requirement,
+                        combination=combination,
+                        configuration=configuration,
+                        settings=dict(settings or {}),
+                        model_factory=model_factory,
+                    )
+                )
+    return cells

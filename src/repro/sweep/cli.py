@@ -1,0 +1,123 @@
+"""``repro-sweep`` -- the command-line scenario-sweep runner.
+
+Fans the paper's table cells (or a user-defined grid) across worker
+processes and writes a ``repro-bench-v1`` trajectory::
+
+    repro-sweep --grid core --workers 4                 # the 3 scaling cells
+    repro-sweep --grid table1 --output BENCH_table1.json
+    repro-sweep --grid table2 --workers 2 --start-method fork
+    repro-sweep --combination AL+TMC --configuration pno sp --requirement TMC
+
+``--check`` cross-validates the sweep against a committed baseline's
+machine-independent anchors (exact WCRT ticks and state counts) and exits
+non-zero on any mismatch -- a parallel run that explores a different state
+space is a bug, not a speed-up.  Without an installed package the module
+also runs as ``PYTHONPATH=src python -m repro.sweep.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf import load_bench_json
+from repro.sweep.cells import (
+    core_scaling_cells,
+    grid_cells,
+    table1_cells,
+    table2_cells,
+)
+from repro.sweep.runner import run_sweep, verify_cells
+
+__all__ = ["main"]
+
+
+def _build_cells(args) -> list:
+    if args.combination or args.configuration or args.requirement:  # custom grid
+        return grid_cells(
+            combinations=args.combination or None,
+            configurations=args.configuration or None,
+            requirements=args.requirement or None,
+            settings={"max_states": args.max_states} if args.max_states is not None else None,
+        )
+    if args.grid == "core":
+        return core_scaling_cells()
+    if args.grid == "table1":
+        return table1_cells(full_scale=args.full_scale)
+    return table2_cells(full_scale=args.full_scale)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--grid", choices=("core", "table1", "table2"), default="core",
+                        help="predefined cell grid (default: core scaling cells)")
+    parser.add_argument("--combination", action="append", metavar="NAME",
+                        help="restrict a custom grid to this scenario combination "
+                             "(repeatable; overrides --grid)")
+    parser.add_argument("--configuration", nargs="*", default=None, metavar="KIND",
+                        help="event configurations of a custom grid (po pno sp pj bur)")
+    parser.add_argument("--requirement", nargs="*", default=None, metavar="NAME",
+                        help="requirements of a custom grid")
+    parser.add_argument("--max-states", type=int, default=None,
+                        help="state budget applied to every custom-grid cell")
+    parser.add_argument("--full-scale", action="store_true",
+                        help="drop the default budgets of the tractable table cells")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: all cores; 1 = serial)")
+    parser.add_argument("--start-method", choices=("spawn", "fork", "forkserver"),
+                        default="spawn", help="multiprocessing start method")
+    parser.add_argument("--output", default="BENCH_sweep.json",
+                        help="trajectory output path (default BENCH_sweep.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline trajectory with expected_* anchors for --check")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on any mismatch against the baseline anchors")
+    args = parser.parse_args(argv)
+    custom_grid = bool(args.combination or args.configuration or args.requirement)
+    if args.max_states is not None and not custom_grid:
+        parser.error("--max-states only applies to custom grids "
+                     "(--combination/--configuration/--requirement); the "
+                     "predefined --grid cells carry their own budgets")
+    if args.check and not args.baseline:
+        # fail before the (potentially multi-minute) sweep runs
+        print("--check needs --baseline", file=sys.stderr)
+        return 2
+
+    cells = _build_cells(args)
+    print(f"sweeping {len(cells)} cells "
+          f"(workers={args.workers or 'auto'}, start_method={args.start_method})")
+    sweep = run_sweep(cells, workers=args.workers, start_method=args.start_method)
+
+    for result in sweep:
+        prefix = ">" if result.is_lower_bound else "="
+        wcrt = "?" if result.wcrt_ms is None else f"{result.wcrt_ms:.3f}"
+        print(f"  {result.name:24s} wcrt {prefix} {wcrt:>10s} ms  "
+              f"{result.states_explored:7d} states  "
+              f"{result.states_per_second:9.1f} states/s  [pid {result.worker_pid}]")
+    print(f"  {'sweep total':24s} {sweep.total_states} states in "
+          f"{sweep.wall_seconds:.2f}s wall "
+          f"({sweep.sweep_states_per_second:.1f} states/s across "
+          f"{sweep.workers} worker{'s' if sweep.workers != 1 else ''})")
+
+    sweep.write(args.output, meta={
+        "grid": "custom" if custom_grid else args.grid,
+        "cells": [cell.name for cell in cells],
+    })
+    print(f"wrote {args.output}")
+
+    if args.check:
+        baseline = load_bench_json(args.baseline)
+        problems = verify_cells(sweep.results, baseline["points"])
+        if problems:
+            print("SWEEP MISMATCH against the baseline anchors:")
+            for line in problems:
+                print(f"  {line}")
+            return 1
+        print("--check ok: every anchored cell reproduced the baseline exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,254 @@
+"""The parallel scenario-sweep runner.
+
+Fans a list of :class:`~repro.sweep.cells.SweepCell` analyses across worker
+processes and aggregates the results into a ``repro-bench-v1`` trajectory
+(:mod:`repro.perf.trajectory`).  Design points:
+
+* **Spawn-safe workers.**  The default start method is ``spawn``: workers
+  import :mod:`repro` afresh, so every process owns a private zone pool,
+  scratch-buffer cache and discrete-plan memo -- nothing is shared, nothing
+  can alias.  ``fork`` (cheaper on Linux) is also supported; the worker
+  initialiser then re-initialises the process-wide pool and kernel caches
+  (:func:`repro.core.zonepool.reset_global_pool`,
+  :func:`repro.core.dbm.reset_process_caches` -- both also registered as
+  ``os.register_at_fork`` hooks) so a worker never runs on free lists
+  snapshotted mid-mutation from the parent.
+* **Cells in, primitives out.**  Cells carry only strings and ints; results
+  come back as flat :class:`CellResult` records (verdicts, state counts,
+  throughput), never compiled networks or zones.  Workers cache the model
+  built by each cell's factory, so a worker that receives several cells of
+  one sweep pays the architecture generation once.
+* **Serial fallback.**  ``workers=1`` (or a single cell) runs in-process
+  with identical semantics -- the mode the correctness tests pin against
+  the parallel runs.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.arch.analysis import TimedAutomataSettings, analyze_wcrt
+from repro.casestudy.configurations import configure
+from repro.perf import verify_anchors, write_bench_json
+from repro.sweep.cells import SweepCell
+from repro.util.errors import AnalysisError
+
+__all__ = ["CellResult", "SweepResult", "run_cell", "run_sweep", "verify_cells"]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Flat, picklable outcome of one sweep cell."""
+
+    name: str
+    requirement: str
+    combination: str | None
+    configuration: str | None
+    #: WCRT in model ticks (or best lower bound); None when unobserved
+    wcrt_ticks: int | None
+    #: the same value in milliseconds
+    wcrt_ms: float | None
+    #: True when the WCRT is only a lower bound (budgeted exploration)
+    is_lower_bound: bool
+    #: requirement verdict (None when undecidable from a lower bound)
+    satisfied: bool | None
+    states_explored: int
+    states_stored: int
+    transitions: int
+    inclusions: int
+    explore_seconds: float
+    states_per_second: float
+    termination: str
+    #: wall-clock seconds of the whole cell (generation + exploration)
+    wall_seconds: float
+    #: pid of the worker that ran the cell (observability)
+    worker_pid: int
+
+    def point(self) -> dict:
+        """The cell as a ``repro-bench-v1`` trajectory point."""
+        out = asdict(self)
+        for dropped in ("name", "requirement", "combination", "configuration"):
+            out.pop(dropped)
+        out["states_per_second"] = round(self.states_per_second, 1)
+        out["explore_seconds"] = round(self.explore_seconds, 4)
+        out["wall_seconds"] = round(self.wall_seconds, 4)
+        return out
+
+
+#: per-process cache of architecture models, keyed by factory dotted path
+_MODEL_CACHE: dict[str, object] = {}
+
+
+def _resolve_factory(path: str) -> Callable:
+    module_name, _, attribute = path.rpartition(".")
+    if not module_name:
+        raise AnalysisError(f"model factory {path!r} is not a dotted path")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attribute)
+    except AttributeError as exc:
+        raise AnalysisError(f"model factory {path!r} not found") from exc
+
+
+def _worker_model(path: str):
+    model = _MODEL_CACHE.get(path)
+    if model is None:
+        model = _resolve_factory(path)()
+        _MODEL_CACHE[path] = model
+    return model
+
+
+def _worker_init() -> None:
+    """Initialise a sweep worker: private pool, empty kernel caches.
+
+    Under ``spawn`` this is a cheap no-op (the fresh interpreter starts
+    empty); under ``fork`` it re-establishes the invariants of the inherited
+    module state, complementing the ``os.register_at_fork`` hooks for pool
+    implementations spawned through other entry points.
+    """
+    from repro.core.dbm import reset_process_caches
+    from repro.core.zonepool import reset_global_pool
+
+    reset_global_pool()
+    reset_process_caches()
+    _MODEL_CACHE.clear()
+
+
+def run_cell(cell: SweepCell) -> CellResult:
+    """Run one cell in the current process and return its flat result."""
+    started = time.perf_counter()
+    model = _worker_model(cell.model_factory)
+    if cell.combination is not None:
+        model = configure(model, cell.combination, cell.configuration)
+    settings = TimedAutomataSettings(**dict(cell.settings))
+    analysis = analyze_wcrt(model, cell.requirement, settings)
+    stats = analysis.detail.statistics
+    return CellResult(
+        name=cell.name,
+        requirement=cell.requirement,
+        combination=cell.combination,
+        configuration=cell.configuration,
+        wcrt_ticks=analysis.wcrt_ticks,
+        wcrt_ms=analysis.wcrt_ms,
+        is_lower_bound=analysis.is_lower_bound,
+        satisfied=analysis.satisfied,
+        states_explored=stats.states_explored,
+        states_stored=stats.states_stored,
+        transitions=stats.transitions,
+        inclusions=stats.inclusions,
+        explore_seconds=stats.elapsed_seconds,
+        states_per_second=stats.states_per_second,
+        termination=stats.termination,
+        wall_seconds=time.perf_counter() - started,
+        worker_pid=os.getpid(),
+    )
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a sweep: per-cell results plus run-level metadata."""
+
+    results: list[CellResult]
+    workers: int
+    start_method: str
+    wall_seconds: float
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def by_name(self) -> dict[str, CellResult]:
+        return {result.name: result for result in self.results}
+
+    @property
+    def total_states(self) -> int:
+        return sum(result.states_explored for result in self.results)
+
+    @property
+    def aggregate_states_per_second(self) -> float:
+        """Total states over total *exploration* seconds (work throughput)."""
+        seconds = sum(result.explore_seconds for result in self.results)
+        return self.total_states / seconds if seconds > 0 else 0.0
+
+    @property
+    def sweep_states_per_second(self) -> float:
+        """Total states over sweep *wall* time -- the parallel speed-up view."""
+        return self.total_states / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def points(self) -> dict[str, dict]:
+        """The sweep as ``repro-bench-v1`` trajectory points."""
+        points = {result.name: result.point() for result in self.results}
+        points["sweep"] = {
+            "workers": self.workers,
+            "start_method": self.start_method,
+            "cells": len(self.results),
+            "states_explored": self.total_states,
+            "states_per_second": round(self.aggregate_states_per_second, 1),
+            "sweep_states_per_second": round(self.sweep_states_per_second, 1),
+            "wall_seconds": round(self.wall_seconds, 4),
+        }
+        return points
+
+    def write(self, path: str, kind: str = "scenario_sweep",
+              meta: Mapping | None = None) -> dict:
+        """Write the sweep as a ``BENCH_*.json`` trajectory file."""
+        return write_bench_json(path, kind, self.points(), meta=dict(meta or {}))
+
+
+def run_sweep(
+    cells: Sequence[SweepCell],
+    workers: int | None = None,
+    start_method: str = "spawn",
+    initializer: Callable[[], None] | None = None,
+) -> SweepResult:
+    """Fan *cells* across *workers* processes and collect the results.
+
+    ``workers=None`` uses ``os.cpu_count()``; ``workers=1`` (or a single
+    cell) runs serially in-process.  Results arrive in cell order
+    regardless of which worker finished first.
+    """
+    cells = list(cells)
+    if not cells:
+        raise AnalysisError("cannot run a sweep without cells")
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = max(1, min(int(workers), len(cells)))
+    started = time.perf_counter()
+    if workers == 1:
+        results = [run_cell(cell) for cell in cells]
+    else:
+        import multiprocessing
+
+        context = multiprocessing.get_context(start_method)
+        with context.Pool(workers, initializer=initializer or _worker_init) as pool:
+            # chunksize 1: cells are coarse (seconds each) and heterogeneous,
+            # dynamic dispatch beats pre-chunking
+            results = pool.map(run_cell, cells, chunksize=1)
+    wall = time.perf_counter() - started
+    return SweepResult(results=results, workers=workers,
+                       start_method=start_method if workers > 1 else "serial",
+                       wall_seconds=wall)
+
+
+def verify_cells(
+    results: Sequence[CellResult], baseline_points: Mapping[str, Mapping]
+) -> list[str]:
+    """Check sweep results against the machine-independent baseline anchors.
+
+    ``baseline_points`` maps point names to dicts that may carry
+    ``expected_*`` entries (:data:`repro.perf.ANCHOR_CHECKS`; the format of
+    ``benchmarks/baselines/*.json``).  Returns human-readable mismatch
+    lines; an empty list means every anchored cell reproduced the recorded
+    exploration exactly.
+    """
+    problems = []
+    for result in results:
+        expected = baseline_points.get(result.name, {})
+        problems.extend(verify_anchors(result.name, asdict(result), expected))
+    return problems

@@ -1,0 +1,206 @@
+"""Batched frontier exploration vs the scalar engine: exact equivalence.
+
+The breadth-first engine pops runs of waiting states that share a discrete
+key and pushes them through the stacked DBM kernels
+(`Explorer._expand_block`).  Everything observable -- verdicts, traces,
+state/transition/inclusion counts, budget behaviour -- must be identical to
+the scalar engine (``block_size=1``): the scaling benchmark enforces this
+against the seed baseline on the case study, these tests pin it on small
+networks where both engines run in milliseconds.
+"""
+
+import pytest
+
+from repro.core import (
+    AG,
+    EF,
+    DataProp,
+    Explorer,
+    Network,
+    SearchOptions,
+    Sup,
+    TimedAutomaton,
+)
+from repro.util.errors import ModelError
+
+
+def _interleaved_network(workers=3, period=7, limit=4):
+    """Several independent tickers: a frontier rich in shared discrete keys."""
+    net = Network("interleaved")
+    net.add_variable("n", 0, 0, workers * limit + 1)
+    for index in range(workers):
+        ta = TimedAutomaton(f"W{index}")
+        ta.add_clock("x")
+        ta.add_constant("P", period + index)
+        ta.add_location("run", invariant="x <= P", initial=True)
+        ta.add_edge("run", "run", guard=f"x == P && n < {workers * limit}",
+                    updates="n++", resets="x")
+        net.add_instance(ta, f"w{index}")
+    return net.compile()
+
+
+def _branching_network(depth=6):
+    """A branching automaton whose zones repeatedly cover one another."""
+    net = Network("branching")
+    net.add_variable("steps", 0, 0, depth + 1)
+    ta = TimedAutomaton("B")
+    ta.add_clock("x")
+    ta.add_clock("y")
+    ta.add_constant("D", depth)
+    ta.add_location("a", invariant="x <= D", initial=True)
+    ta.add_location("b", invariant="y <= D")
+    ta.add_edge("a", "b", guard=f"steps < {depth}", updates="steps++", resets="y")
+    ta.add_edge("a", "b", guard=f"x >= 1 && steps < {depth}", updates="steps++")
+    ta.add_edge("b", "a", resets="x")
+    net.add_instance(ta, "B")
+    return net.compile()
+
+
+def _stat_tuple(stats):
+    return (
+        stats.states_explored,
+        stats.states_stored,
+        stats.transitions,
+        stats.inclusions,
+        stats.peak_waiting,
+        stats.termination,
+    )
+
+
+def _explore_both(compiled, **search_kwargs):
+    blocked = Explorer(compiled, search=SearchOptions(**search_kwargs)).count_states()
+    scalar = Explorer(
+        compiled, search=SearchOptions(block_size=1, **search_kwargs)
+    ).count_states()
+    return blocked, scalar
+
+
+class TestBlockedMatchesScalar:
+    @pytest.mark.parametrize("network", [_interleaved_network, _branching_network])
+    def test_full_exploration_statistics(self, network):
+        compiled = network()
+        blocked, scalar = _explore_both(compiled)
+        assert _stat_tuple(blocked) == _stat_tuple(scalar)
+        assert blocked.states_explored > 0
+
+    def test_discrete_state_sets_are_equal(self):
+        compiled = _interleaved_network()
+        blocked = Explorer(compiled).reachable_discrete_states()
+        scalar = Explorer(
+            compiled, search=SearchOptions(block_size=1)
+        ).reachable_discrete_states()
+        assert blocked == scalar
+
+    @pytest.mark.parametrize("budget", [1, 5, 17, 100])
+    def test_state_budget_is_exact_under_blocking(self, budget):
+        compiled = _interleaved_network()
+        stats = Explorer(
+            compiled, search=SearchOptions(max_states=budget)
+        ).count_states()
+        scalar = Explorer(
+            compiled, search=SearchOptions(max_states=budget, block_size=1)
+        ).count_states()
+        assert stats.states_explored <= budget
+        assert _stat_tuple(stats) == _stat_tuple(scalar)
+
+    def test_sup_queries_agree(self):
+        compiled = _interleaved_network()
+        query = Sup("w0.x")
+        blocked = Explorer(compiled).sup(query)
+        scalar = Explorer(compiled, search=SearchOptions(block_size=1)).sup(query)
+        assert (blocked.value, blocked.attained, blocked.is_lower_bound) == (
+            scalar.value, scalar.attained, scalar.is_lower_bound
+        )
+        assert _stat_tuple(blocked.statistics) == _stat_tuple(scalar.statistics)
+
+    def test_ef_goal_and_trace_agree(self):
+        compiled = _interleaved_network()
+        query = EF(DataProp.parse("n == 5"))
+        blocked = Explorer(compiled).check(query)
+        scalar = Explorer(compiled, search=SearchOptions(block_size=1)).check(query)
+        assert blocked.holds is True and scalar.holds is True
+        # identical witness: same length, same discrete states along the way
+        assert len(blocked.trace) == len(scalar.trace)
+        assert [step.state.discrete_key() for step in blocked.trace.steps] == [
+            step.state.discrete_key() for step in scalar.trace.steps
+        ]
+        assert _stat_tuple(blocked.statistics) == _stat_tuple(scalar.statistics)
+
+    def test_ag_verdicts_agree(self):
+        compiled = _branching_network()
+        query = AG(DataProp.parse("steps <= 6"))
+        blocked = Explorer(compiled).check(query)
+        scalar = Explorer(compiled, search=SearchOptions(block_size=1)).check(query)
+        assert blocked.holds is True and scalar.holds is True
+
+    def test_block_size_validation(self):
+        with pytest.raises(ModelError):
+            SearchOptions(block_size=0)
+
+    def test_dfs_orders_are_untouched_by_block_size(self):
+        compiled = _branching_network()
+        for order in ("dfs", "rdfs"):
+            big = Explorer(
+                compiled, search=SearchOptions(order=order, seed=3)
+            ).count_states()
+            one = Explorer(
+                compiled, search=SearchOptions(order=order, seed=3, block_size=1)
+            ).count_states()
+            assert _stat_tuple(big) == _stat_tuple(one)
+
+    def test_deferred_plan_error_raises_in_both_engines(self, monkeypatch):
+        """A range violation behind a live guard surfaces under blocking too.
+
+        The error plan fires from a discrete state that several frontier
+        states share, so the blocked engine hits it inside a block replay --
+        the deferred error must propagate exactly like the scalar path, and
+        every pooled block buffer must be returned despite the raise.
+        """
+        net = Network("erroneous")
+        net.add_variable("n", 0, 0, 6)
+        for index, period in enumerate((2, 3)):  # interleaving => frontier runs
+            ticker = TimedAutomaton(f"Tick{index}")
+            ticker.add_clock("y")
+            ticker.add_constant("Q", period)
+            ticker.add_location("run", invariant="y <= Q", initial=True)
+            ticker.add_edge("run", "run", guard="y == Q && n < 6", updates="n++", resets="y")
+            net.add_instance(ticker, f"t{index}")
+        bad = TimedAutomaton("Bad")
+        bad.add_clock("x")
+        bad.add_location("a", initial=True, invariant="x <= 9")
+        bad.add_edge("a", "a", guard="x == 9", updates="n = 9")  # range violation
+        net.add_instance(bad, "B")
+        compiled = net.compile()
+
+        from repro.core.zonepool import ZonePool
+
+        balance = {"acquired": 0, "released": 0}
+        original_acquire = ZonePool.acquire_block
+        original_release = ZonePool.release_block
+
+        def counting_acquire(self, rows, dim):
+            balance["acquired"] += 1
+            return original_acquire(self, rows, dim)
+
+        def counting_release(self, dim, buffer):
+            balance["released"] += 1
+            original_release(self, dim, buffer)
+
+        monkeypatch.setattr(ZonePool, "acquire_block", counting_acquire)
+        monkeypatch.setattr(ZonePool, "release_block", counting_release)
+        with pytest.raises(ModelError):
+            Explorer(compiled).count_states()
+        assert balance["acquired"] > 0  # the blocked path actually ran
+        assert balance["acquired"] == balance["released"]
+        with pytest.raises(ModelError):
+            Explorer(compiled, search=SearchOptions(block_size=1)).count_states()
+
+    def test_tiny_block_cap_still_exact(self):
+        compiled = _interleaved_network()
+        capped = Explorer(
+            compiled, search=SearchOptions(block_size=2)
+        ).count_states()
+        scalar = Explorer(
+            compiled, search=SearchOptions(block_size=1)
+        ).count_states()
+        assert _stat_tuple(capped) == _stat_tuple(scalar)

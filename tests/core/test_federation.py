@@ -1,4 +1,5 @@
-"""Tests of the amortised federation stack (growth, eviction, bulk adds)."""
+"""Tests of the amortised federation stack (growth, eviction, bulk adds,
+block-aware coverage)."""
 
 import numpy as np
 import pytest
@@ -98,3 +99,142 @@ class TestAmortisedGrowth:
         probe = _box(3, [boxes[0][0], boxes[0][1]])
         expected = any(probe.is_subset_of(member) for member in federation)
         assert federation.covers(probe) == expected
+
+
+def _stack_of(zones: list[DBM]) -> np.ndarray:
+    return np.stack([zone.m for zone in zones])
+
+
+class TestCoversMany:
+    def test_empty_federation_covers_nothing(self):
+        federation = Federation(3)
+        probes = [_box(3, [1, 1]), _box(3, [5, 5])]
+        verdicts = federation.covers_many(_stack_of(probes))
+        assert verdicts.dtype == bool
+        assert not verdicts.any()
+
+    def test_mixed_dimensions_rejected(self):
+        federation = Federation(3)
+        federation.add(_box(3, [2, 2]))
+        with pytest.raises(ModelError):
+            federation.covers_many(_stack_of([DBM.universal(4)]))
+
+    def test_empty_candidate_stack_gives_empty_mask(self):
+        federation = Federation(3, _incomparable(3))
+        verdicts = federation.covers_many(np.empty((0, 9), dtype=np.int64))
+        assert verdicts.shape == (0,) and verdicts.dtype == bool
+
+    def test_single_member_fast_path_matches_scalar(self):
+        federation = Federation(3)
+        federation.add(_box(3, [4, 4]))
+        probes = [_box(3, [1, 1]), _box(3, [9, 1]), _box(3, [4, 4])]
+        verdicts = federation.covers_many(_stack_of(probes))
+        assert list(verdicts) == [federation.covers(probe) for probe in probes]
+
+    def test_accepts_3d_layer_stacks(self):
+        federation = Federation(3, _incomparable(4))
+        probes = [_box(3, [1, 1]), _box(3, [12, 12])]
+        flat = federation.covers_many(_stack_of(probes))
+        cube = federation.covers_many(
+            _stack_of(probes).reshape(len(probes), 3, 3)
+        )
+        assert np.array_equal(flat, cube)
+
+    @given(
+        st.lists(st.tuples(st.integers(1, 10), st.integers(1, 10)), min_size=0, max_size=12),
+        st.lists(st.tuples(st.integers(1, 10), st.integers(1, 10)), min_size=1, max_size=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_scalar_covers(self, members, probes):
+        federation = Federation(3)
+        for x_upper, y_upper in members:
+            federation.add(_box(3, [x_upper, y_upper]))
+        probe_zones = [_box(3, [x, y]) for x, y in probes]
+        verdicts = federation.covers_many(_stack_of(probe_zones))
+        for verdict, probe in zip(verdicts, probe_zones):
+            assert verdict == federation.covers(probe)
+
+    @given(st.permutations(list(range(5))))
+    @settings(max_examples=30, deadline=None)
+    def test_subsumption_is_insertion_order_independent(self, order):
+        """covers_many depends on the stored *set*, not the insertion order.
+
+        Inserting the same zones in any order (with redundancy eviction
+        running in between) must produce identical coverage verdicts.
+        """
+        zones = _incomparable(3) + [_box(3, [2, 2]), _box(3, [1, 3])]
+        reference = Federation(3)
+        for zone in zones:
+            reference.add(zone.copy())
+        shuffled = Federation(3)
+        for index in order:
+            shuffled.add(zones[index].copy())
+        probes = [_box(3, [x, y]) for x in range(1, 5) for y in range(1, 5)]
+        assert np.array_equal(
+            reference.covers_many(_stack_of(probes)),
+            shuffled.covers_many(_stack_of(probes)),
+        )
+
+    def test_chunked_path_matches_unchunked(self, monkeypatch):
+        import repro.core.federation as federation_module
+
+        federation = Federation(3, _incomparable(6))
+        probes = [_box(3, [x, y]) for x in range(1, 7) for y in range(1, 7)]
+        full = federation.covers_many(_stack_of(probes))
+        monkeypatch.setattr(federation_module, "_COMPARE_BUDGET", 64)
+        chunked = federation.covers_many(_stack_of(probes))
+        assert np.array_equal(full, chunked)
+
+    def test_verdicts_are_monotone_under_insertion(self):
+        """A True covers_many verdict can never revert to False -- the
+        invariant the block replay's cached pre-verdicts rely on."""
+        federation = Federation(2)
+        federation.add(_box(2, [3]))
+        probes = _stack_of([_box(2, [1]), _box(2, [5])])
+        before = federation.covers_many(probes)
+        federation.add(_box(2, [9]))  # evicts the original member
+        after = federation.covers_many(probes)
+        assert (after | ~before).all()  # before => after, entrywise
+
+
+class TestAddManyUncovered:
+    def test_matches_sequential_add_uncovered(self):
+        zones = _incomparable(5)
+        batch_zones = [zone.copy() for zone in zones]
+        sequential = Federation(3)
+        for zone in zones:
+            sequential.add_uncovered(zone)
+        batched = Federation(3)
+        batched.add_many_uncovered(batch_zones)
+        assert [z.key() for z in batched] == [z.key() for z in sequential]
+        batched.check_consistent()
+
+    def test_later_zone_evicts_earlier_batch_zone(self):
+        # z1 ⊆ z3: sequential add_uncovered(z3) would evict z1; the batch
+        # must drop it before insertion
+        z1, z2, z3 = _box(3, [1, 1]), _box(3, [5, 1]), _box(3, [2, 2])
+        batched = Federation(3)
+        batched.add_many_uncovered([z1, z2, z3])
+        sequential = Federation(3)
+        for zone in (_box(3, [1, 1]), _box(3, [5, 1]), _box(3, [2, 2])):
+            sequential.add_uncovered(zone)
+        assert [z.key() for z in batched] == [z.key() for z in sequential]
+        batched.check_consistent()
+
+    def test_batch_evicts_previously_stored_members(self):
+        federation = Federation(3)
+        federation.add(_box(3, [1, 1]))
+        federation.add_many_uncovered([_box(3, [3, 3]), _box(3, [1, 9])])
+        assert not any(zone.is_subset_of(other)
+                       for zone in federation for other in federation
+                       if zone is not other)
+        assert federation.covers(_box(3, [1, 1]))
+        federation.check_consistent()
+
+    def test_empty_and_singleton_batches(self):
+        federation = Federation(3)
+        federation.add_many_uncovered([])
+        assert len(federation) == 0
+        federation.add_many_uncovered([_box(3, [2, 2])])
+        assert len(federation) == 1
+        federation.check_consistent()

@@ -1,9 +1,16 @@
-"""Tests of the pooled DBM buffer allocation."""
+"""Tests of the pooled DBM buffer allocation (single zones and blocks)."""
+
+import os
 
 import numpy as np
 
-from repro.core.dbm import DBM, bound
-from repro.core.zonepool import ZonePool, global_zone_pool
+from repro.core.dbm import DBM, bound, reset_process_caches
+from repro.core.zonepool import (
+    ZonePool,
+    _block_capacity,
+    global_zone_pool,
+    reset_global_pool,
+)
 
 
 class TestZonePool:
@@ -46,6 +53,110 @@ class TestZonePool:
         pool.release(2, pool.acquire(2))
         pool.clear()
         assert pool.free_count(2) == 0
+
+
+class TestBlockPool:
+    def test_block_capacity_rounds_to_powers_of_two(self):
+        assert _block_capacity(1) == 4
+        assert _block_capacity(4) == 4
+        assert _block_capacity(5) == 8
+        assert _block_capacity(64) == 64
+        assert _block_capacity(65) == 128
+
+    def test_acquire_release_block_roundtrip(self):
+        pool = ZonePool()
+        block = pool.acquire_block(6, 3)
+        assert block.shape == (8 * 9,)  # capacity 8, dim 3
+        pool.release_block(3, block)
+        assert pool.free_block_count(3) == 1
+        again = pool.acquire_block(7, 3)  # same capacity class
+        assert again is block
+        assert pool.free_block_count(3) == 0
+
+    def test_block_capacity_classes_are_segregated(self):
+        pool = ZonePool()
+        small = pool.acquire_block(2, 3)
+        pool.release_block(3, small)
+        large = pool.acquire_block(20, 3)
+        assert large is not small
+        assert large.shape == (32 * 9,)
+        assert pool.free_block_count(3) == 1
+
+    def test_block_cap_drops_excess(self):
+        pool = ZonePool(max_blocks_per_key=1)
+        first = pool.acquire_block(4, 2)
+        second = pool.acquire_block(4, 2)
+        pool.release_block(2, first)
+        pool.release_block(2, second)
+        assert pool.free_block_count(2) == 1
+        assert pool.dropped == 1
+
+    def test_clear_and_stats_cover_blocks(self):
+        pool = ZonePool()
+        pool.release_block(3, pool.acquire_block(4, 3))
+        assert pool.stats()["pooled_blocks"] == {"3x4": 1}
+        pool.clear()
+        assert pool.free_block_count(3) == 0
+
+
+class TestProcessSafety:
+    def test_reset_restores_pristine_pool(self):
+        pool = ZonePool()
+        pool.release(3, pool.acquire(3))
+        pool.release_block(3, pool.acquire_block(4, 3))
+        pool.reset()
+        assert pool.free_count(3) == 0
+        assert pool.free_block_count(3) == 0
+        assert pool.acquired == pool.released == pool.reused == pool.dropped == 0
+
+    def test_reset_global_pool_keeps_identity(self):
+        pool = global_zone_pool()
+        pool.release(5, pool.acquire(5))
+        assert reset_global_pool() is pool  # modules hold direct references
+        assert pool.free_count(5) == 0
+        # the pool still works after the reset
+        zone = DBM.universal(5)
+        zone.discard()
+
+    def test_reset_process_caches_clears_kernel_scratch(self):
+        from repro.core import dbm
+
+        DBM.universal(3).close()  # populate the scalar scratch cache
+        from repro.core.dbm import DBMStack
+
+        stack = DBMStack.from_zones([DBM.zero(3)])
+        stack.close()  # populate the stack scratch cache
+        stack.discard()
+        assert dbm._SCRATCH_CACHE and dbm._STACK_SCRATCH
+        reset_process_caches()
+        assert not dbm._SCRATCH_CACHE
+        assert not dbm._STACK_SCRATCH
+        assert not dbm._EXTRA_CACHE
+        # kernels repopulate on demand and stay correct
+        assert DBM.zero(3).up().close().get(1, 0) >= 0
+
+    def test_forked_child_starts_from_a_clean_pool(self):
+        if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only guard
+            return
+        pool = global_zone_pool()
+        pool.release(6, pool.acquire(6))
+        assert pool.free_count(6) >= 1
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child: the at-fork hook must have reset the pool
+            os.close(read_fd)
+            verdict = b"ok" if pool.free_count(6) == 0 and pool.acquired == 0 else b"no"
+            os.write(write_fd, verdict)
+            os.close(write_fd)
+            os._exit(0)
+        os.close(write_fd)
+        try:
+            assert os.read(read_fd, 2) == b"ok"
+        finally:
+            os.close(read_fd)
+            os.waitpid(pid, 0)
+        # the parent's pool is untouched by the child's reset
+        assert pool.free_count(6) >= 1
 
 
 class TestDBMPoolIntegration:

@@ -1,0 +1,232 @@
+"""Tests of the parallel scenario-sweep subsystem.
+
+The expensive invariant -- parallel sweeps reproduce the serial engine's
+exact WCRT and state counts on the full benchmark cells -- is enforced by
+``benchmarks/bench_core_scaling.py`` on every run; here the machinery is
+pinned on the smallest cells (``AL+TMC/po``: 231 states) so the suite stays
+fast: grid construction, serial/parallel agreement, spawn-safety of the
+workers, trajectory aggregation and the CLI.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.arch import TimedAutomataSettings, analyze_wcrt
+from repro.casestudy import build_radio_navigation, configure
+from repro.perf import load_bench_json
+from repro.sweep import (
+    SweepCell,
+    core_scaling_cells,
+    grid_cells,
+    run_cell,
+    run_sweep,
+    table1_cells,
+    table2_cells,
+    verify_cells,
+)
+from repro.sweep.cli import main as sweep_main
+from repro.util.errors import AnalysisError, ModelError
+
+#: the smallest cell of the case study (exhaustive in ~50 ms)
+PO_CELL = SweepCell(
+    name="AL+TMC/po/TMC",
+    requirement="TMC",
+    combination="AL+TMC",
+    configuration="po",
+    settings={"search_order": "bfs", "max_states": None, "seed": 1},
+)
+
+
+class TestGrids:
+    def test_core_scaling_cells_match_benchmark_grid(self):
+        names = [cell.name for cell in core_scaling_cells()]
+        assert names == ["AL+TMC/po", "AL+TMC/pno", "AL+TMC/sp"]
+
+    def test_table1_grid_shape_and_budgets(self):
+        cells = table1_cells()
+        assert len(cells) == 25  # 5 rows x 5 configurations
+        by_name = {cell.name: cell for cell in cells}
+        heavy = by_name["AL+TMC/pj/TMC"]
+        assert heavy.settings["search_order"] == "rdfs"
+        assert heavy.settings["max_states"] == 4_000
+        tractable = by_name["AL+TMC/sp/TMC"]
+        assert tractable.settings["search_order"] == "bfs"
+        assert tractable.settings["max_states"] == 25_000
+        # full scale drops every budget (mirroring state_budget under
+        # REPRO_FULL_SCALE=1) but keeps the rdfs order of the heavy cells
+        full = {cell.name: cell for cell in table1_cells(full_scale=True)}
+        assert full["AL+TMC/sp/TMC"].settings["max_states"] is None
+        assert full["AL+TMC/pj/TMC"].settings["max_states"] is None
+        assert full["AL+TMC/pj/TMC"].settings["search_order"] == "rdfs"
+
+    def test_table2_grid_covers_po_and_pno(self):
+        cells = table2_cells()
+        assert len(cells) == 10  # 5 rows x 2 environments
+        assert {cell.configuration for cell in cells} == {"po", "pno"}
+
+    def test_grid_cells_cartesian_product(self):
+        cells = grid_cells(
+            combinations=["AL+TMC"],
+            configurations=["po", "pno"],
+            requirements=["TMC", "ALK2V"],
+            settings={"max_states": 500},
+        )
+        assert len(cells) == 4
+        assert all(cell.settings == {"max_states": 500} for cell in cells)
+
+    def test_grid_cells_defaults_to_table_requirements(self):
+        cells = grid_cells(combinations=["AL+TMC"], configurations=["po"])
+        assert {cell.requirement for cell in cells} == {"TMC", "ALK2V"}
+
+    def test_grid_cells_rejects_unknown_keys(self):
+        with pytest.raises(ModelError):
+            grid_cells(combinations=["bogus"])
+        with pytest.raises(ModelError):
+            grid_cells(configurations=["bogus"])
+
+    def test_half_configured_cell_rejected(self):
+        with pytest.raises(ModelError):
+            SweepCell(name="x", requirement="TMC", combination="AL+TMC")
+
+
+class TestRunner:
+    def test_run_cell_matches_direct_analysis(self):
+        result = run_cell(PO_CELL)
+        model = configure(build_radio_navigation(), "AL+TMC", "po")
+        direct = analyze_wcrt(
+            model, "TMC",
+            TimedAutomataSettings(search_order="bfs", max_states=None, seed=1),
+        )
+        assert result.wcrt_ticks == direct.wcrt_ticks
+        assert result.wcrt_ms == direct.wcrt_ms
+        assert result.is_lower_bound == direct.is_lower_bound
+        assert result.states_explored == direct.detail.statistics.states_explored
+        assert result.states_stored == direct.detail.statistics.states_stored
+        assert result.transitions == direct.detail.statistics.transitions
+        assert result.worker_pid == os.getpid()
+
+    def test_serial_sweep_preserves_cell_order(self):
+        sweep = run_sweep([PO_CELL, PO_CELL], workers=1)
+        assert sweep.workers == 1
+        assert sweep.start_method == "serial"
+        assert [result.name for result in sweep] == [PO_CELL.name, PO_CELL.name]
+        assert sweep.results[0].wcrt_ticks == sweep.results[1].wcrt_ticks
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_sweep([])
+
+    def test_unknown_model_factory_rejected(self):
+        bad = SweepCell(name="x", requirement="TMC",
+                        model_factory="repro.casestudy.no_such_factory")
+        with pytest.raises(AnalysisError):
+            run_cell(bad)
+
+    def test_points_aggregate_the_sweep(self):
+        sweep = run_sweep([PO_CELL], workers=1)
+        points = sweep.points()
+        assert PO_CELL.name in points
+        assert points[PO_CELL.name]["states_explored"] == 231
+        assert points["sweep"]["cells"] == 1
+        assert points["sweep"]["workers"] == 1
+        assert points["sweep"]["states_explored"] == 231
+
+    def test_verify_cells_reports_mismatches(self):
+        result = run_cell(PO_CELL)
+        anchors = {PO_CELL.name: {"expected_states_explored": result.states_explored,
+                                  "expected_wcrt_ticks": result.wcrt_ticks}}
+        assert verify_cells([result], anchors) == []
+        anchors[PO_CELL.name]["expected_states_explored"] += 1
+        problems = verify_cells([result], anchors)
+        assert len(problems) == 1 and "states_explored" in problems[0]
+
+    def test_write_emits_bench_trajectory(self, tmp_path):
+        sweep = run_sweep([PO_CELL], workers=1)
+        path = tmp_path / "BENCH_test_sweep.json"
+        sweep.write(str(path), meta={"grid": "test"})
+        payload = load_bench_json(str(path))
+        assert payload["kind"] == "scenario_sweep"
+        assert payload["meta"]["grid"] == "test"
+        assert payload["points"][PO_CELL.name]["wcrt_ticks"] == 172106
+
+
+@pytest.mark.skipif(os.cpu_count() is None, reason="no cpu information")
+class TestParallelWorkers:
+    def test_spawned_workers_reproduce_the_serial_results(self):
+        cells = grid_cells(combinations=["AL+TMC"], configurations=["po"],
+                           requirements=["TMC", "ALK2V"])
+        serial = run_sweep(cells, workers=1)
+        parallel = run_sweep(cells, workers=2, start_method="spawn")
+        assert parallel.workers == 2
+        for mine, theirs in zip(serial, parallel):
+            assert mine.name == theirs.name
+            assert mine.wcrt_ticks == theirs.wcrt_ticks
+            assert mine.states_explored == theirs.states_explored
+            assert mine.states_stored == theirs.states_stored
+            assert mine.transitions == theirs.transitions
+        # the cells really ran out of process
+        assert all(result.worker_pid != os.getpid() for result in parallel)
+
+
+class TestCli:
+    def test_cli_custom_grid_writes_trajectory(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_sweep.json"
+        code = sweep_main([
+            "--combination", "AL+TMC",
+            "--configuration", "po",
+            "--requirement", "TMC",
+            "--workers", "1",
+            "--output", str(output),
+        ])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["schema"] == "repro-bench-v1"
+        assert payload["points"]["AL+TMC/po/TMC"]["states_explored"] == 231
+        assert "sweep" in payload["points"]
+
+    def test_cli_check_against_anchors(self, tmp_path):
+        output = tmp_path / "BENCH_sweep.json"
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "schema": "repro-bench-v1",
+            "kind": "scenario_sweep",
+            "engine": "seed",
+            "meta": {},
+            "points": {"AL+TMC/po/TMC": {"expected_wcrt_ticks": 172106,
+                                         "expected_states_explored": 231}},
+        }))
+        code = sweep_main([
+            "--combination", "AL+TMC", "--configuration", "po",
+            "--requirement", "TMC", "--workers", "1",
+            "--output", str(output),
+            "--check", "--baseline", str(baseline),
+        ])
+        assert code == 0
+
+    def test_cli_check_fails_on_wrong_anchor(self, tmp_path):
+        output = tmp_path / "BENCH_sweep.json"
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "schema": "repro-bench-v1",
+            "kind": "scenario_sweep",
+            "engine": "seed",
+            "meta": {},
+            "points": {"AL+TMC/po/TMC": {"expected_states_explored": 9999}},
+        }))
+        code = sweep_main([
+            "--combination", "AL+TMC", "--configuration", "po",
+            "--requirement", "TMC", "--workers", "1",
+            "--output", str(output),
+            "--check", "--baseline", str(baseline),
+        ])
+        assert code == 1
+
+    def test_cli_check_needs_baseline(self, tmp_path):
+        code = sweep_main([
+            "--combination", "AL+TMC", "--configuration", "po",
+            "--requirement", "TMC", "--workers", "1",
+            "--output", str(tmp_path / "out.json"), "--check",
+        ])
+        assert code == 2
