@@ -27,7 +27,8 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_core_scaling.py --workers 4
 
 Exit codes: 0 ok, 1 throughput regression (``--check``), 2 correctness
-mismatch.  The committed baseline records the *seed* engine, so the speedup
+mismatch or missing/unusable baseline (reported before the cells run).
+The committed baseline records the *seed* engine, so the speedup
 column doubles as the before/after comparison of the vectorised engine; see
 ``docs/performance.md``.
 """
@@ -48,7 +49,7 @@ from repro.casestudy import build_radio_navigation, configure  # noqa: E402
 from repro.perf import (  # noqa: E402
     Timer,
     check_regression,
-    load_bench_json,
+    load_baseline_json,
     verify_anchors,
     write_bench_json,
 )
@@ -123,7 +124,22 @@ def main(argv: list[str] | None = None) -> int:
     cells = CELLS[:2] if args.quick else CELLS
     reps = 1 if args.quick else args.reps
 
-    baseline = load_bench_json(args.baseline) if os.path.exists(args.baseline) else None
+    # resolve the baseline *before* the (multi-minute) cells run: a missing
+    # or malformed baseline under --check must fail fast and clearly
+    baseline = None
+    if os.path.exists(args.baseline):
+        try:
+            baseline = load_baseline_json(args.baseline)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    elif args.check:
+        print(
+            f"--check: baseline trajectory {args.baseline} not found; record one "
+            "with --update-baseline on a reference machine (or pass --baseline)",
+            file=sys.stderr,
+        )
+        return 2
     baseline_points = baseline["points"] if baseline else {}
 
     model = build_radio_navigation()
@@ -214,9 +230,6 @@ def main(argv: list[str] | None = None) -> int:
         print(f"updated baseline {os.path.relpath(args.baseline)}")
 
     if args.check:
-        if baseline is None:
-            print(f"--check: baseline {args.baseline} not found", file=sys.stderr)
-            return 1
         failures = check_regression(points, baseline_points,
                                     max_regression=args.max_regression)
         if failures:

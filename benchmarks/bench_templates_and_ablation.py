@@ -41,7 +41,7 @@ from repro.arch import (
     analyze_wcrt,
     build_model,
 )
-from repro.core import Explorer, LocationProp, SearchOptions
+from repro.core import Explorer, SearchOptions
 from repro.core.dbm import DBM, bound, set_close_backend
 from repro.core.wcrt import wcrt_binary_search, wcrt_sup
 

@@ -5,7 +5,8 @@ Kept as a plain ``setup.py`` (no PEP 660 requirement) so that
 older setuptools tool-chains found on air-gapped machines.  The test and
 benchmark suites run without installation (``PYTHONPATH=src``, see
 ``conftest.py``); installing additionally provides the ``repro-sweep``
-console entry point for parallel scenario sweeps.
+(parallel scenario sweeps) and ``repro-diffcheck`` (differential scenario
+fuzzing) console entry points.
 """
 
 from setuptools import find_packages, setup
@@ -25,6 +26,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-sweep = repro.sweep.cli:main",
+            "repro-diffcheck = repro.diffcheck.cli:main",
         ],
     },
 )

@@ -10,7 +10,7 @@ budget cuts the exploration short, the best lower bound found — the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.arch.generator import GeneratedModel, GeneratorOptions, build_model
@@ -85,7 +85,10 @@ class RequirementAnalysis:
         value = "?" if self.wcrt_ms is None else f"{self.wcrt_ms:.3f} ms"
         prefix = "> " if self.is_lower_bound else ""
         status = {True: "OK", False: "VIOLATED", None: "UNDECIDED"}[self.satisfied]
-        return f"{self.requirement}: WCRT {prefix}{value} (bound {self.bound_ticks} ticks) [{status}]"
+        return (
+            f"{self.requirement}: WCRT {prefix}{value} "
+            f"(bound {self.bound_ticks} ticks) [{status}]"
+        )
 
 
 def analyze_wcrt(

@@ -27,7 +27,6 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.core.automaton import TimedAutomaton
 from repro.util.errors import ModelError
@@ -68,8 +67,14 @@ class EventModel:
 
     @property
     def min_separation(self) -> int:
-        """Guaranteed minimal distance between two consecutive events."""
-        return max(1, self.period - self.jitter)
+        """Guaranteed minimal distance between two consecutive events.
+
+        ``0`` when the jitter reaches the period: the jitter intervals of two
+        consecutive periods then touch, so two events may coincide (exactly
+        what the Fig. 7d automaton allows for ``J == P``) -- flooring this at
+        one tick would make the analytic baselines unsound.
+        """
+        return max(0, self.period - self.jitter)
 
     def pjd(self) -> tuple[int, int, int]:
         """(period, jitter, minimal separation) triple."""

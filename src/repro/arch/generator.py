@@ -292,7 +292,9 @@ def build_processor_automaton(
             for high_scenario, high_step in high_steps:
                 high_duration_name = f"ET_{high_scenario.name}_{high_step.name}"
                 high_queue = queue_variable(high_scenario.name, high_step.name)
-                pre_location = f"pre_{scenario.name}_{step.name}_{high_scenario.name}_{high_step.name}"
+                pre_location = (
+                    f"pre_{scenario.name}_{step.name}_{high_scenario.name}_{high_step.name}"
+                )
                 ta.add_location(pre_location, invariant=f"y <= {high_duration_name}")
                 ta.add_edge(
                     exec_location, pre_location,
@@ -392,7 +394,9 @@ def _build_tdma_bus(
     order = bus.slot_order or tuple(step.name for _scenario, step in steps)
     unknown = [name for name in order if name not in by_name]
     if unknown:
-        raise ModelError(f"TDMA slot_order references unknown messages {unknown} on bus {bus.name!r}")
+        raise ModelError(
+            f"TDMA slot_order references unknown messages {unknown} on bus {bus.name!r}"
+        )
     missing = [name for name in by_name if name not in order]
     if missing:
         raise ModelError(f"TDMA slot_order on bus {bus.name!r} misses messages {missing}")

@@ -13,7 +13,7 @@ was the key difficulty of its comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.arch.eventmodels import EventModel

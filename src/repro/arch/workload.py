@@ -15,7 +15,7 @@ ChangeVolume and AddressLookup scenarios priority over HandleTMC).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Union
 
 from repro.arch.eventmodels import EventModel
@@ -35,7 +35,9 @@ class Operation:
     def __post_init__(self):
         check_identifier(self.name, "operation")
         if self.instructions <= 0:
-            raise ModelError(f"operation {self.name!r} must execute a positive number of instructions")
+            raise ModelError(
+                f"operation {self.name!r} must execute a positive number of instructions"
+            )
 
     def __str__(self) -> str:
         return f"{self.name}({self.instructions:g} instr)"

@@ -92,6 +92,11 @@ class ResourceServer:
             return
         candidate = self._pick_next()
         if candidate is not None and candidate.priority < self._running.priority:
+            if self._running.remaining <= self.simulator.now - self._running_since:
+                # the running job completes at this very instant; its completion
+                # event is already queued for the same timestamp, so there is
+                # nothing left to preempt
+                return
             self._preempt_running()
             self._start_next()
 
@@ -129,8 +134,14 @@ class ResourceServer:
         job.completed_at = self.simulator.now
         self._running = None
         self._completion = None
-        self._start_next()
+        # run the completion callback *before* dispatching the next job: a
+        # successor step submitted to this very server at the completion
+        # instant competes for the freed resource (matching the atomic
+        # complete-and-enqueue edge of the timed-automata templates) instead
+        # of queueing behind a lower-priority job that grabbed it first
         job.on_complete()
+        if self._running is None:
+            self._start_next()
 
     # -- introspection ---------------------------------------------------------------
     @property

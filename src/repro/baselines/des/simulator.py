@@ -17,8 +17,7 @@ from dataclasses import dataclass, field
 from statistics import mean
 
 from repro.arch.model import ArchitectureModel
-from repro.arch.requirements import LatencyRequirement
-from repro.arch.workload import Execute, Scenario
+from repro.arch.workload import Scenario
 from repro.baselines.des.engine import Simulator
 from repro.baselines.des.servers import Job, ResourceServer
 from repro.util.errors import AnalysisError
@@ -181,7 +180,9 @@ class _SimulationRun:
             self.samples[name].append(now - start_time)
 
 
-def simulate(model: ArchitectureModel, settings: SimulationSettings | None = None) -> SimulationResult:
+def simulate(
+    model: ArchitectureModel, settings: SimulationSettings | None = None
+) -> SimulationResult:
     """Run a simulation campaign and collect latency observations.
 
     Returns the maximum/average observed latencies per requirement over

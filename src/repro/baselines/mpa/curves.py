@@ -34,7 +34,13 @@ from dataclasses import dataclass
 
 from repro.util.errors import AnalysisError
 
-__all__ = ["StaircaseCurve", "PiecewiseLinearCurve", "full_service", "rate_latency", "leftover_service"]
+__all__ = [
+    "StaircaseCurve",
+    "PiecewiseLinearCurve",
+    "full_service",
+    "rate_latency",
+    "leftover_service",
+]
 
 
 @dataclass(frozen=True)

@@ -15,11 +15,9 @@ conservative) path-latency rule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.arch.model import ArchitectureModel
-from repro.arch.requirements import LatencyRequirement
-from repro.arch.workload import Execute, Scenario, Step
 from repro.baselines.symta.busywindow import AnalysedTask, TaskResult, response_time
 from repro.util.errors import AnalysisError
 

@@ -95,16 +95,33 @@ class TaskResult:
         return max(0, self.wcrt - self.bcrt)
 
 
-def _interference(task: AnalysedTask, higher: Sequence[AnalysedTask], window: int) -> int:
-    return sum(other.eta_plus(window) * other.wcet for other in higher)
+def _interference(
+    task: AnalysedTask, higher: Sequence[AnalysedTask], window: int, closed: bool = False
+) -> int:
+    """Higher-priority demand in a window of length *window*.
+
+    ``closed`` counts arrivals in the *closed* interval ``[0, window]`` --
+    one extra tick of ``eta_plus``.  Non-preemptive start times need the
+    closed form: a higher-priority job released exactly at the instant the
+    resource frees still wins the dispatch (the classical ``+ epsilon`` of
+    CAN-style analyses).  The half-open form is correct for preemptive
+    completion windows.
+    """
+    span = window + 1 if closed else window
+    return sum(other.eta_plus(span) * other.wcet for other in higher)
 
 
-def _fixpoint(task: AnalysedTask, higher: Sequence[AnalysedTask], constant: int) -> int:
+def _fixpoint(
+    task: AnalysedTask,
+    higher: Sequence[AnalysedTask],
+    constant: int,
+    closed: bool = False,
+) -> int:
     """Smallest w satisfying ``w = constant + interference(w)``."""
     window = constant
     ceiling = max(constant, 1) * 1000 + sum(other.wcet for other in higher) * _MAX_ACTIVATIONS
     for _ in range(_MAX_ITERATIONS):
-        demand = constant + _interference(task, higher, window)
+        demand = constant + _interference(task, higher, window, closed)
         if demand == window:
             return window
         window = demand
@@ -168,8 +185,10 @@ def response_time(
             finish = window
         else:
             # the q-th activation starts once the blocking, all earlier own
-            # activations and all higher-priority interference are served ...
-            start = _fixpoint(task, higher, blocking + q * task.wcet)
+            # activations and all higher-priority interference are served;
+            # the closed window also counts jobs released exactly at the
+            # dispatch instant, which beat the task to the freed resource ...
+            start = _fixpoint(task, higher, blocking + q * task.wcet, closed=True)
             # ... and then runs to completion without being preempted
             finish = start + task.wcet
             window = finish

@@ -26,7 +26,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.arch.eventmodels import Bursty, EventModel, Periodic, PeriodicJitter, PeriodicOffset, Sporadic
+from repro.arch.eventmodels import (
+    Bursty,
+    EventModel,
+    Periodic,
+    PeriodicJitter,
+    PeriodicOffset,
+    Sporadic,
+)
 from repro.arch.model import ArchitectureModel
 from repro.util.errors import ModelError
 

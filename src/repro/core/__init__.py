@@ -46,7 +46,12 @@ from repro.core.reachability import (
     TraceStep,
 )
 from repro.core.statistics import ExplorationStatistics
-from repro.core.successors import SemanticsOptions, SuccessorGenerator, SymbolicState, TransitionLabel
+from repro.core.successors import (
+    SemanticsOptions,
+    SuccessorGenerator,
+    SymbolicState,
+    TransitionLabel,
+)
 from repro.core.wcrt import WCRTResult, wcrt_binary_search, wcrt_sup
 
 __all__ = [

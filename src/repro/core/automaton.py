@@ -21,7 +21,7 @@ either as already-constructed objects or as strings in UPPAAL-like syntax::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from repro.core import expressions as ex
@@ -66,7 +66,9 @@ class Location:
 
     def __str__(self) -> str:
         flags = "".join(
-            flag for flag, active in (("(urgent)", self.urgent), ("(committed)", self.committed)) if active
+            flag
+            for flag, active in (("(urgent)", self.urgent), ("(committed)", self.committed))
+            if active
         )
         inv = "" if self.invariant.is_trivially_true else f" inv: {self.invariant}"
         return f"{self.name}{flags}{inv}"
@@ -125,7 +127,9 @@ class Edge:
             parts.append(f"[{self.guard}]")
         if self.sync is not None:
             parts.append(str(self.sync))
-        actions = [str(u) for u in self.updates] + [f"{clock} = {value}" for clock, value in self.resets]
+        actions = [str(u) for u in self.updates] + [
+            f"{clock} = {value}" for clock, value in self.resets
+        ]
         if actions:
             parts.append("{" + ", ".join(actions) + "}")
         return " ".join(parts)

@@ -19,7 +19,7 @@ UPPAAL.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
 from repro.core import expressions as ex
 from repro.core.dbm import DBM, bound
@@ -155,7 +155,9 @@ class Guard:
     @property
     def is_trivially_true(self) -> bool:
         """True for the guard that accepts everything."""
-        return not self.clock_constraints and isinstance(self.data, ex.BoolConst) and self.data.value
+        return (
+            not self.clock_constraints and isinstance(self.data, ex.BoolConst) and self.data.value
+        )
 
     def has_clock_constraints(self) -> bool:
         return bool(self.clock_constraints)
@@ -292,11 +294,16 @@ def compile_guard(guard: "str | ex.Expr | Guard | None", clocks: Iterable[str]) 
     for part in data_parts:
         if isinstance(part, ex.BoolConst) and part.value:
             continue
-        data = part if (isinstance(data, ex.BoolConst) and data.value) else ex.Logical("&&", data, part)
+        data = (
+            part if (isinstance(data, ex.BoolConst) and data.value)
+            else ex.Logical("&&", data, part)
+        )
     return Guard(tuple(clock_constraints), data)
 
 
-def compile_invariant(invariant: "str | ex.Expr | Invariant | None", clocks: Iterable[str]) -> Invariant:
+def compile_invariant(
+    invariant: "str | ex.Expr | Invariant | None", clocks: Iterable[str]
+) -> Invariant:
     """Compile an invariant specification into an :class:`Invariant`."""
     if invariant is None:
         return TRUE_INVARIANT

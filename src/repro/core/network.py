@@ -21,9 +21,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 from repro.core import expressions as ex
-from repro.core.automaton import Edge, Location, Sync, TimedAutomaton
+from repro.core.automaton import Edge, Location, TimedAutomaton
 from repro.core.declarations import BINARY, BROADCAST, Channel, Clock, Constant, IntVariable
-from repro.core.guards import ClockConstraint, Guard, Invariant
+from repro.core.guards import ClockConstraint
 from repro.util.errors import ModelError
 from repro.util.intervals import IntInterval
 from repro.util.naming import check_identifier, qualify
@@ -299,7 +299,9 @@ class CompiledNetwork:
         self._compute_max_constants(domains_by_name)
 
     # -- compilation helpers ----------------------------------------------------------
-    def _resolve_expr(self, expr: ex.Expr, rename: Mapping[str, str], constants: Mapping[str, int]) -> ex.Expr:
+    def _resolve_expr(
+        self, expr: ex.Expr, rename: Mapping[str, str], constants: Mapping[str, int]
+    ) -> ex.Expr:
         return ex.substitute(expr, constants).rename(rename)
 
     def _compile_constraints(
@@ -405,7 +407,9 @@ class CompiledNetwork:
             if qualified not in self.clock_index:
                 raise ModelError(f"edge {edge} of {compiled.name} resets unknown clock {clock!r}")
             value_expr = self._resolve_expr(value, rename, constants)
-            resets.append((self.clock_index[qualified], ex.compile_int_expr(value_expr, self.variable_index)))
+            resets.append(
+                (self.clock_index[qualified], ex.compile_int_expr(value_expr, self.variable_index))
+            )
 
         return CompiledEdge(
             instance=instance_idx,

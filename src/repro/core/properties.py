@@ -32,7 +32,6 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core import expressions as ex
-from repro.core.dbm import DBM
 from repro.core.guards import ClockConstraint, compile_guard
 from repro.core.network import CompiledNetwork
 from repro.core.successors import SymbolicState

@@ -27,15 +27,15 @@ from __future__ import annotations
 import random
 import time
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from repro.core.dbm import INFINITY_RAW, bound_as_tuple
 from repro.core.federation import Federation
 from repro.core.network import CompiledNetwork
-from repro.core.properties import AG, EF, BoundFormula, Query, StateFormula, Sup
+from repro.core.properties import AG, EF, BoundFormula, Query, Sup
 from repro.core.statistics import ExplorationStatistics
 from repro.core.successors import (
     SemanticsOptions,
@@ -166,7 +166,9 @@ class _SearchNode:
 
     __slots__ = ("state", "parent", "label")
 
-    def __init__(self, state: SymbolicState, parent: "_SearchNode | None", label: TransitionLabel | None):
+    def __init__(
+        self, state: SymbolicState, parent: "_SearchNode | None", label: TransitionLabel | None
+    ):
         self.state = state
         self.parent = parent
         self.label = label
@@ -510,7 +512,9 @@ class Explorer:
 
             stats = self.explore(visit)
             if found:
-                return ReachabilityResult(query, True, found[0].trace() if self.search.record_traces else None, stats)
+                return ReachabilityResult(
+                    query, True, found[0].trace() if self.search.record_traces else None, stats
+                )
             holds: bool | None = False if stats.exhaustive else None
             return ReachabilityResult(query, holds, None, stats)
         finally:
@@ -540,7 +544,10 @@ class Explorer:
             stats = self.explore(visit)
             if violations:
                 return ReachabilityResult(
-                    query, False, violations[0].trace() if self.search.record_traces else None, stats
+                    query,
+                    False,
+                    violations[0].trace() if self.search.record_traces else None,
+                    stats,
                 )
             holds: bool | None = True if stats.exhaustive else None
             return ReachabilityResult(query, holds, None, stats)
@@ -591,9 +598,16 @@ class Explorer:
             if value is None:
                 # the bound was abstracted to infinity: report the ceiling as a
                 # lower bound (mirrors the paper's "> x" entries)
-                ceiling = query.ceiling if query.ceiling is not None else network.max_constants[clock_id]
-                return SupResult(query, int(ceiling), False, True, stats,
-                                 best_node[0].trace() if best_node[0] and self.search.record_traces else None)
+                ceiling = (
+                    query.ceiling if query.ceiling is not None
+                    else network.max_constants[clock_id]
+                )
+                trace = (
+                    best_node[0].trace()
+                    if best_node[0] and self.search.record_traces
+                    else None
+                )
+                return SupResult(query, int(ceiling), False, True, stats, trace)
             return SupResult(
                 query,
                 int(value),

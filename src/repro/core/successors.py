@@ -335,7 +335,9 @@ class SuccessorGenerator:
             self._invariant_constraints[locations] = cached
         return cached
 
-    def _apply_invariants(self, zone: DBM, locations: Sequence[int], variables: Sequence[int]) -> bool:
+    def _apply_invariants(
+        self, zone: DBM, locations: Sequence[int], variables: Sequence[int]
+    ) -> bool:
         constraints = self._invariant_constraints_for(tuple(locations))
         return self._apply_constraints(zone, constraints, variables)
 
@@ -606,7 +608,9 @@ class SuccessorGenerator:
             zone.reset(clock, value)
         return self._finalize(plan.locations, plan.variables, zone, extrapolate, plan.key_bytes)
 
-    def _label(self, kind: str, channel: str | None, edges: Sequence[CompiledEdge]) -> TransitionLabel:
+    def _label(
+        self, kind: str, channel: str | None, edges: Sequence[CompiledEdge]
+    ) -> TransitionLabel:
         net = self.network
         return TransitionLabel(
             kind=kind,

@@ -134,7 +134,8 @@ def wcrt_binary_search(
         upper_ok = property_holds(hi)
         if upper_ok is False:
             raise AnalysisError(
-                f"WCRT exceeds the search interval: A[] ({condition} => {observer_clock} < {hi}) is violated"
+                f"WCRT exceeds the search interval: "
+                f"A[] ({condition} => {observer_clock} < {hi}) is violated"
             )
         if upper_ok is None:
             undecided = True

@@ -1,0 +1,59 @@
+"""Differential scenario fuzzing: random architecture models cross-validated
+across all four analysis engines.
+
+The paper's central claim is that the Section-3 modelling strategy is
+systematic enough to analyse *any* architecture model, not just the
+radio-navigation case study.  This package puts that claim under continuous
+test: a seed-deterministic sampler (:mod:`repro.diffcheck.sampler`) draws
+bounded random :class:`~repro.arch.model.ArchitectureModel` instances, the
+oracle (:mod:`repro.diffcheck.oracle`) runs each one through the exact
+timed-automata engine, the SymTA/S-style busy-window analysis, the MPA
+curve analysis and the discrete-event simulation, and asserts the soundness
+ordering
+
+    DES-observed WCRT  <=  exact TA WCRT  <=  SymTA / MPA upper bound
+
+(plus sup-vs-binary-search agreement, the two methods of the TA engine that
+both claim exactness).  Violations are shrunk to minimal counterexamples
+(:mod:`repro.diffcheck.shrink`) and serialised as replayable JSON repros
+(:mod:`repro.diffcheck.serialize`).  Campaigns run serially or on the
+parallel sweep runner (:class:`repro.sweep.DiffCheckCell`); the
+``repro-diffcheck`` CLI (:mod:`repro.diffcheck.cli`) wires it all together.
+"""
+
+from repro.diffcheck.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.diffcheck.oracle import (
+    SMOKE_ORACLE,
+    EngineVerdict,
+    ModelVerdict,
+    OracleConfig,
+    check_model,
+)
+from repro.diffcheck.sampler import DEFAULT_SAMPLER, SMOKE_SAMPLER, SamplerConfig, sample_model
+from repro.diffcheck.serialize import (
+    load_counterexample,
+    model_from_dict,
+    model_to_dict,
+    write_counterexample,
+)
+from repro.diffcheck.shrink import shrink_model
+
+__all__ = [
+    "SamplerConfig",
+    "DEFAULT_SAMPLER",
+    "SMOKE_SAMPLER",
+    "sample_model",
+    "OracleConfig",
+    "SMOKE_ORACLE",
+    "EngineVerdict",
+    "ModelVerdict",
+    "check_model",
+    "shrink_model",
+    "model_to_dict",
+    "model_from_dict",
+    "write_counterexample",
+    "load_counterexample",
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+]

@@ -1,0 +1,180 @@
+"""Differential fuzzing campaigns: seed windows, throughput, repros.
+
+A campaign runs a contiguous seed window through sample -> oracle ->
+(shrink -> serialise on violation) and aggregates counts and throughput.
+The result doubles as a ``repro-bench-v1`` trajectory point recording
+campaign throughput (models/s and TA states/s), so every future perf PR is
+re-validated against thousands of fresh scenarios with the same tooling
+that tracks its speed.
+
+Campaigns are the unit of work of the parallel sweep integration: a
+:class:`repro.sweep.DiffCheckCell` names one seed window plus a serialised
+:class:`CampaignConfig`, and the PR 2 multiprocess runner fans windows
+across workers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.diffcheck.oracle import ModelVerdict, OracleConfig, check_model
+from repro.diffcheck.sampler import SamplerConfig, sample_model
+from repro.diffcheck.serialize import write_counterexample
+from repro.diffcheck.shrink import shrink_model
+from repro.util.errors import ModelError
+
+__all__ = ["CampaignConfig", "CampaignResult", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything a (worker) campaign needs, as picklable primitives."""
+
+    sampler: SamplerConfig = field(default_factory=SamplerConfig)
+    oracle: OracleConfig = field(default_factory=OracleConfig)
+    #: shrink violations before serialising them
+    shrink: bool = True
+    #: oracle-run budget of each shrink
+    shrink_max_checks: int = 150
+    #: directory for counterexample JSONs (None = do not serialise)
+    repro_dir: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "sampler": self.sampler.to_dict(),
+            "oracle": self.oracle.to_dict(),
+            "shrink": self.shrink,
+            "shrink_max_checks": self.shrink_max_checks,
+            "repro_dir": self.repro_dir,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignConfig":
+        return cls(
+            sampler=SamplerConfig.from_dict(data.get("sampler", {})),
+            oracle=OracleConfig.from_dict(data.get("oracle", {})),
+            shrink=bool(data.get("shrink", True)),
+            shrink_max_checks=int(data.get("shrink_max_checks", 150)),
+            repro_dir=data.get("repro_dir"),
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of one seed window."""
+
+    seed_start: int
+    count: int
+    records: list[ModelVerdict]
+    #: counterexample JSON paths written by this campaign
+    counterexamples: list[str]
+    wall_seconds: float
+
+    @property
+    def models_checked(self) -> int:
+        """Models that went through all four engines."""
+        return sum(1 for record in self.records if record.checked)
+
+    @property
+    def exact_checked(self) -> int:
+        return sum(1 for record in self.records if record.status == "checked")
+
+    @property
+    def skipped(self) -> int:
+        return sum(1 for record in self.records if record.status == "skipped")
+
+    @property
+    def violations(self) -> int:
+        return sum(1 for record in self.records if record.status == "violation")
+
+    @property
+    def total_ta_states(self) -> int:
+        return sum(record.ta_states for record in self.records)
+
+    @property
+    def models_per_second(self) -> float:
+        return len(self.records) / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def states_per_second(self) -> float:
+        return self.total_ta_states / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def point(self) -> dict:
+        """The campaign as a ``repro-bench-v1`` trajectory point."""
+        return {
+            "models": len(self.records),
+            "models_checked": self.models_checked,
+            "models_exact": self.exact_checked,
+            "models_skipped": self.skipped,
+            "violations": self.violations,
+            "states_explored": self.total_ta_states,
+            "models_per_second": round(self.models_per_second, 2),
+            "states_per_second": round(self.states_per_second, 1),
+            "wall_seconds": round(self.wall_seconds, 4),
+        }
+
+
+def _counterexample_path(repro_dir: str, seed: int) -> str:
+    return os.path.join(repro_dir, f"counterexample_seed{seed}.json")
+
+
+def run_campaign(
+    seed_start: int,
+    count: int,
+    config: CampaignConfig | None = None,
+) -> CampaignResult:
+    """Fuzz the seed window ``[seed_start, seed_start + count)``."""
+    config = config or CampaignConfig()
+    started = time.perf_counter()
+    records: list[ModelVerdict] = []
+    counterexamples: list[str] = []
+    for seed in range(seed_start, seed_start + count):
+        try:
+            model = sample_model(seed, config.sampler)
+        except ModelError as exc:
+            records.append(
+                ModelVerdict(
+                    seed=seed,
+                    model_name=f"fuzz_{seed}",
+                    status="skipped",
+                    skip_reason=f"sampler: {exc}",
+                )
+            )
+            continue
+        verdict = check_model(model, seed=seed, config=config.oracle)
+        records.append(verdict)
+        if verdict.status != "violation":
+            continue
+        if config.repro_dir:
+            # shrink only when the result gets serialised: a shrink costs up
+            # to shrink_max_checks extra four-engine oracle runs
+            reported_model, reported_verdict = model, verdict
+            if config.shrink:
+                shrunk, shrunk_verdict = shrink_model(
+                    model,
+                    seed=seed,
+                    config=config.oracle,
+                    max_checks=config.shrink_max_checks,
+                )
+                if shrunk_verdict is not None:
+                    reported_model, reported_verdict = shrunk, shrunk_verdict
+            path = _counterexample_path(config.repro_dir, seed)
+            write_counterexample(
+                path,
+                reported_model,
+                seed=seed,
+                violations=reported_verdict.violations,
+                verdicts=reported_verdict.verdict_dicts(),
+                oracle=config.oracle.to_dict(),
+                unshrunk_model=model if reported_model is not model else None,
+            )
+            counterexamples.append(path)
+    return CampaignResult(
+        seed_start=seed_start,
+        count=count,
+        records=records,
+        counterexamples=counterexamples,
+        wall_seconds=time.perf_counter() - started,
+    )

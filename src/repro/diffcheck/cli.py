@@ -1,0 +1,209 @@
+"""``repro-diffcheck`` -- the differential scenario-fuzzing CLI.
+
+Samples seed-deterministic random architecture models, cross-validates all
+four engines on each one and fails loudly when the soundness ordering
+``DES <= exact TA <= SymTA/MPA`` breaks::
+
+    repro-diffcheck --smoke --seed 0            # the ~1 min CI window
+    repro-diffcheck --count 400 --workers 2     # a campaign on the sweep runner
+    repro-diffcheck --count 50 --max-states 50000 --output BENCH_diffcheck.json
+    repro-diffcheck --replay diffcheck-repros/counterexample_seed17.json
+
+Violations are shrunk to minimal models and serialised under ``--repro-dir``
+as replayable JSONs; ``--replay`` re-runs the oracle on such a file and
+exits 1 while the violation persists (0 once it is fixed).  Campaign
+throughput (models/s, TA states/s) is recorded as a ``repro-bench-v1``
+trajectory.  Without an installed package the module also runs as
+``PYTHONPATH=src python -m repro.diffcheck.cli``.
+
+Exit codes: 0 clean, 1 ordering violations (or a reproducing replay),
+2 usage errors, 3 fewer models checked than ``--min-models`` demands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.diffcheck.campaign import CampaignConfig, run_campaign
+from repro.diffcheck.oracle import SMOKE_ORACLE, OracleConfig, check_model
+from repro.diffcheck.sampler import DEFAULT_SAMPLER, SMOKE_SAMPLER
+from repro.diffcheck.serialize import load_counterexample, model_from_dict
+from repro.perf import write_bench_json
+from repro.util.errors import ModelError
+
+__all__ = ["main"]
+
+#: models fuzzed by ``--smoke`` when ``--count`` is not given
+SMOKE_COUNT = 30
+#: models the smoke window must push through all four engines
+SMOKE_MIN_MODELS = 25
+
+
+def _replay(path: str) -> int:
+    try:
+        payload = load_counterexample(path)
+        model = model_from_dict(payload["model"])
+    except (OSError, ModelError, KeyError, ValueError) as exc:
+        print(f"cannot replay {path}: {exc}", file=sys.stderr)
+        return 2
+    config = OracleConfig.from_dict(payload.get("oracle", {}))
+    seed = int(payload.get("seed", 0))
+    print(f"replaying {path} (seed {seed}, recorded violations: "
+          f"{payload.get('violations')})")
+    verdict = check_model(model, seed=seed, config=config)
+    for name, engine_verdict in verdict.verdicts.items():
+        print(f"  {name:10s} value={engine_verdict.value} exact={engine_verdict.exact} "
+              f"{engine_verdict.detail}")
+    if verdict.status == "violation":
+        print("violation REPRODUCED:")
+        for line in verdict.violations:
+            print(f"  {line}")
+        return 1
+    print(f"violation no longer reproduces (status: {verdict.status})")
+    return 0
+
+
+def _campaign_config(args) -> CampaignConfig:
+    sampler = SMOKE_SAMPLER if args.smoke else DEFAULT_SAMPLER
+    oracle = SMOKE_ORACLE if args.smoke else OracleConfig()
+    overrides = {}
+    if args.max_states is not None:
+        overrides["max_states"] = args.max_states
+    if args.max_seconds is not None:
+        overrides["max_seconds"] = args.max_seconds
+    if args.des_runs is not None:
+        overrides["des_runs"] = args.des_runs
+    if overrides:
+        oracle = OracleConfig.from_dict({**oracle.to_dict(), **overrides})
+    return CampaignConfig(
+        sampler=sampler,
+        oracle=oracle,
+        shrink=not args.no_shrink,
+        repro_dir=args.repro_dir,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-diffcheck", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"CI smoke profile: small models, tight budgets, "
+                             f"{SMOKE_COUNT} models, at least {SMOKE_MIN_MODELS} "
+                             f"of them through all four engines")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="first sampler seed of the campaign window (default 0)")
+    parser.add_argument("--count", type=int, default=None,
+                        help="number of random models to fuzz (default 100, smoke 30)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes on the sweep runner (default 1 = serial)")
+    parser.add_argument("--start-method", choices=("spawn", "fork", "forkserver"),
+                        default="spawn", help="multiprocessing start method")
+    parser.add_argument("--batch", type=int, default=25,
+                        help="seeds per sweep cell when --workers > 1 (default 25)")
+    parser.add_argument("--max-states", type=int, default=None,
+                        help="TA state budget per model (overrides the profile)")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        help="TA wall-clock budget per model in seconds")
+    parser.add_argument("--des-runs", type=int, default=None,
+                        help="independent simulation runs per model")
+    parser.add_argument("--min-models", type=int, default=None,
+                        help="fail (exit 3) when fewer models pass through all four "
+                             "engines (smoke default: %d)" % SMOKE_MIN_MODELS)
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="serialise violations without shrinking them first")
+    parser.add_argument("--repro-dir", default="diffcheck-repros",
+                        help="directory for counterexample JSONs "
+                             "(default diffcheck-repros)")
+    parser.add_argument("--output", default="BENCH_diffcheck.json",
+                        help="trajectory output path (default BENCH_diffcheck.json)")
+    parser.add_argument("--replay", metavar="PATH", default=None,
+                        help="re-run the oracle on a counterexample JSON and exit")
+    args = parser.parse_args(argv)
+
+    if args.replay is not None:
+        return _replay(args.replay)
+
+    count = args.count if args.count is not None else (SMOKE_COUNT if args.smoke else 100)
+    min_models = args.min_models
+    if min_models is None and args.smoke:
+        min_models = SMOKE_MIN_MODELS
+    if count <= 0:
+        parser.error("--count must be positive")
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be at least 1")
+    if args.batch <= 0:
+        parser.error("--batch must be positive")
+
+    config = _campaign_config(args)
+    print(f"diffcheck campaign: seeds {args.seed}..{args.seed + count - 1} "
+          f"({'smoke' if args.smoke else 'default'} profile, "
+          f"workers={args.workers})")
+
+    if args.workers == 1:
+        campaign = run_campaign(args.seed, count, config)
+        points = {"campaign": campaign.point()}
+        checked = campaign.models_checked
+        violations = campaign.violations
+        states = campaign.total_ta_states
+        wall = campaign.wall_seconds
+        counterexamples = list(campaign.counterexamples)
+        for record in campaign.records:
+            if record.status == "violation":
+                print(f"  VIOLATION seed={record.seed}: {record.violations}")
+            elif record.status == "skipped":
+                print(f"  skipped seed={record.seed}: {record.skip_reason}")
+    else:
+        from repro.sweep import diffcheck_cells, run_sweep
+
+        cells = diffcheck_cells(args.seed, count, batch=args.batch,
+                                config=config.to_dict())
+        sweep = run_sweep(cells, workers=args.workers, start_method=args.start_method)
+        points = {result.name: result.point() for result in sweep}
+        checked = sum(result.models_checked for result in sweep)
+        violations = sum(result.violations for result in sweep)
+        states = sum(result.states_explored for result in sweep)
+        wall = sweep.wall_seconds
+        counterexamples = [path for result in sweep for path in result.counterexamples]
+        points["campaign"] = {
+            "models": count,
+            "models_checked": checked,
+            "violations": violations,
+            "states_explored": states,
+            "models_per_second": round(count / wall, 2) if wall > 0 else 0.0,
+            "states_per_second": round(states / wall, 1) if wall > 0 else 0.0,
+            "wall_seconds": round(wall, 4),
+            "workers": sweep.workers,
+        }
+
+    print(f"  {count} models in {wall:.1f}s "
+          f"({count / wall if wall > 0 else 0.0:.2f} models/s, "
+          f"{states / wall if wall > 0 else 0.0:.1f} TA states/s): "
+          f"{checked} through all four engines, {violations} violations")
+
+    write_bench_json(args.output, "diffcheck", points, meta={
+        "seed_start": args.seed,
+        "count": count,
+        "profile": "smoke" if args.smoke else "default",
+        "workers": args.workers,
+        "oracle": config.oracle.to_dict(),
+        "sampler": config.sampler.to_dict(),
+    })
+    print(f"wrote {args.output}")
+
+    if violations:
+        print(f"SOUNDNESS VIOLATIONS: {violations} "
+              f"(counterexamples: {counterexamples or 'not serialised'})")
+        return 1
+    if min_models is not None and checked < min_models:
+        print(f"only {checked} models went through all four engines "
+              f"(need {min_models}); loosen the budgets or widen the window",
+              file=sys.stderr)
+        return 3
+    print("diffcheck ok: zero ordering violations")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

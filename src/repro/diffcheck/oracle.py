@@ -1,0 +1,266 @@
+"""The four-engine soundness oracle.
+
+One random model is pushed through all four analysis techniques of the
+paper's comparison, and the results are checked against the partial order
+their soundness claims imply:
+
+* the **DES simulation** observes concrete runs, so its maximum is a lower
+  bound on the true worst case: ``DES <= TA`` (when TA is exact) and
+  ``DES <= SymTA``, ``DES <= MPA`` always;
+* the **timed-automata engine** is exact when the exploration completes
+  within its budget: ``TA <= SymTA`` and ``TA <= MPA``;
+* when the TA exploration is cut short its result is still a sound lower
+  bound, so ``TA-lower-bound > min(SymTA, MPA)`` is also a violation;
+* ``sup`` and **binary search** (Property 1) are two independent WCRT
+  extraction methods of the TA engine that both claim exactness -- on
+  models small enough to afford the extra ``log2`` explorations they must
+  agree exactly.
+
+The requirement bound sampled with the model only scales the observer
+ceiling; the oracle widens the ceiling beyond every analytic upper bound
+(via ``ceiling_factor``) so a sound exact WCRT can never be clipped into a
+spurious lower bound.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.arch.analysis import TimedAutomataSettings, analyze_wcrt
+from repro.arch.model import ArchitectureModel
+from repro.baselines.des.simulator import SimulationSettings, simulate
+from repro.baselines.mpa import analysis as mpa_analysis
+from repro.baselines.symta import analysis as symta_analysis
+from repro.util.errors import AnalysisError, ModelError
+
+__all__ = ["OracleConfig", "EngineVerdict", "ModelVerdict", "check_model"]
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Budgets and knobs of one oracle run (plain primitives, picklable)."""
+
+    #: state budget of the exact TA exploration
+    max_states: int = 20_000
+    #: wall-clock budget of the exact TA exploration in seconds
+    max_seconds: float = 5.0
+    #: independent DES runs per model
+    des_runs: int = 3
+    #: DES horizon as a multiple of the largest scenario period
+    des_horizon_periods: int = 50
+    #: also run the binary-search WCRT extraction and require agreement with
+    #: ``sup`` when the sup exploration stayed below ``binary_state_limit``
+    cross_check_binary: bool = True
+    binary_state_limit: int = 1_500
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OracleConfig":
+        return cls(**data)
+
+
+#: the CI smoke budgets: tight enough that a 30-model window stays ~1 min
+SMOKE_ORACLE = OracleConfig(
+    max_states=6_000,
+    max_seconds=2.0,
+    des_runs=2,
+    des_horizon_periods=30,
+    binary_state_limit=1_000,
+)
+
+
+@dataclass
+class EngineVerdict:
+    """One engine's claim about the WCRT of the measured requirement."""
+
+    engine: str
+    #: WCRT / latency bound / observed maximum in model ticks (None = none)
+    value: int | None
+    #: the engine claims this is the exact worst case
+    exact: bool = False
+    #: the value is a sound upper bound on the worst case
+    upper_bound: bool = False
+    #: the value is a sound lower bound on the worst case
+    lower_bound: bool = False
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class ModelVerdict:
+    """Outcome of one oracle run."""
+
+    seed: int
+    model_name: str
+    #: "checked" (TA exact, full ordering asserted), "checked-inexact"
+    #: (TA budget hit, partial ordering asserted), "skipped" (an analytic
+    #: baseline refused the model) or "violation"
+    status: str
+    verdicts: dict[str, EngineVerdict] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+    skip_reason: str | None = None
+    #: symbolic states explored by the TA engine (sup + binary cross-check)
+    ta_states: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def checked(self) -> bool:
+        """True when the model went through all four engines."""
+        return self.status in ("checked", "checked-inexact", "violation")
+
+    def verdict_dicts(self) -> dict[str, dict]:
+        return {name: verdict.to_dict() for name, verdict in self.verdicts.items()}
+
+
+def _des_seed(seed: int) -> int:
+    """Decorrelate the simulation seed from the sampler seed."""
+    return seed * 7919 + 11
+
+
+def check_model(
+    model: ArchitectureModel,
+    seed: int = 0,
+    config: OracleConfig | None = None,
+) -> ModelVerdict:
+    """Run *model* through all four engines and assert the soundness order."""
+    config = config or OracleConfig()
+    started = time.perf_counter()
+    verdict = ModelVerdict(seed=seed, model_name=model.name, status="skipped")
+    requirement = next(iter(model.requirements.values()))
+
+    # ---- analytic upper bounds ------------------------------------------------
+    try:
+        symta_result = symta_analysis.analyze(model)
+        symta_value = symta_result.latencies[requirement.name]
+    except (AnalysisError, ModelError) as exc:
+        verdict.skip_reason = f"symta: {exc}"
+        verdict.wall_seconds = time.perf_counter() - started
+        return verdict
+    try:
+        mpa_result = mpa_analysis.analyze(model)
+        mpa_value = mpa_result.latencies[requirement.name]
+    except (AnalysisError, ModelError) as exc:
+        verdict.skip_reason = f"mpa: {exc}"
+        verdict.wall_seconds = time.perf_counter() - started
+        return verdict
+    verdict.verdicts["symta"] = EngineVerdict("symta", symta_value, upper_bound=True)
+    verdict.verdicts["mpa"] = EngineVerdict("mpa", mpa_value, upper_bound=True)
+
+    # ---- exact timed automata --------------------------------------------------
+    # widen the observer ceiling beyond both upper bounds: a sound exact WCRT
+    # then always fits below the ceiling, so hitting it is itself a finding
+    ceiling_factor = max(
+        2.0, (max(symta_value, mpa_value) + 2) / requirement.bound + 0.1
+    )
+    settings = TimedAutomataSettings(
+        search_order="bfs",
+        max_states=config.max_states,
+        max_seconds=config.max_seconds,
+        ceiling_factor=ceiling_factor,
+        seed=1,
+    )
+    try:
+        ta_result = analyze_wcrt(model, requirement.name, settings)
+    except (AnalysisError, ModelError) as exc:
+        verdict.skip_reason = f"ta: {exc}"
+        verdict.wall_seconds = time.perf_counter() - started
+        return verdict
+    ta_value = ta_result.wcrt_ticks
+    ta_exact = ta_value is not None and not ta_result.is_lower_bound
+    verdict.ta_states = ta_result.detail.statistics.states_explored
+    verdict.verdicts["ta"] = EngineVerdict(
+        "ta",
+        ta_value,
+        exact=ta_exact,
+        upper_bound=ta_exact,
+        lower_bound=ta_value is not None,
+        detail=ta_result.detail.statistics.termination,
+    )
+
+    # ---- sup vs binary search (exact-vs-exact agreement) ---------------------
+    binary_value: int | None = None
+    if (
+        config.cross_check_binary
+        and ta_exact
+        and verdict.ta_states <= config.binary_state_limit
+    ):
+        binary_settings = TimedAutomataSettings(
+            search_order="bfs",
+            max_states=config.max_states,
+            max_seconds=config.max_seconds,
+            ceiling_factor=ceiling_factor,
+            seed=1,
+            method="binary-search",
+        )
+        try:
+            binary_result = analyze_wcrt(model, requirement.name, binary_settings)
+        except (AnalysisError, ModelError) as exc:
+            verdict.skip_reason = f"ta-binary: {exc}"
+            verdict.wall_seconds = time.perf_counter() - started
+            return verdict
+        binary_value = binary_result.wcrt_ticks
+        verdict.ta_states += binary_result.detail.statistics.states_explored
+        verdict.verdicts["ta-binary"] = EngineVerdict(
+            "ta-binary",
+            binary_value,
+            exact=not binary_result.is_lower_bound,
+            detail=binary_result.detail.statistics.termination,
+        )
+
+    # ---- discrete-event simulation ---------------------------------------------
+    # unlike the analytic engines (which may legitimately refuse an
+    # overloaded model), simulating a valid model must never fail -- a DES
+    # crash is itself a finding, reported as a shrinkable violation
+    horizon = config.des_horizon_periods * max(
+        scenario.event_model.period for scenario in model.scenarios.values()
+    )
+    violations: list[str] = []
+    des_value: int | None = None
+    try:
+        des_result = simulate(
+            model,
+            SimulationSettings(horizon=horizon, runs=config.des_runs, seed=_des_seed(seed)),
+        )
+    except (AnalysisError, ModelError) as exc:
+        violations.append(f"des crashed: {exc}")
+        verdict.verdicts["des"] = EngineVerdict("des", None, detail=f"crashed: {exc}")
+    else:
+        des_value = des_result.observations[requirement.name].maximum
+        verdict.verdicts["des"] = EngineVerdict(
+            "des", des_value, lower_bound=des_value is not None
+        )
+
+    # ---- the soundness ordering ----------------------------------------------------
+    if des_value is not None:
+        if des_value > symta_value:
+            violations.append(f"des {des_value} > symta {symta_value}")
+        if des_value > mpa_value:
+            violations.append(f"des {des_value} > mpa {mpa_value}")
+        if ta_exact and des_value > ta_value:
+            violations.append(f"des {des_value} > exact ta {ta_value}")
+    if ta_value is not None:
+        if ta_exact:
+            if ta_value > symta_value:
+                violations.append(f"exact ta {ta_value} > symta {symta_value}")
+            if ta_value > mpa_value:
+                violations.append(f"exact ta {ta_value} > mpa {mpa_value}")
+        elif ta_value > min(symta_value, mpa_value):
+            violations.append(
+                f"ta lower bound {ta_value} > tightest analytic bound "
+                f"{min(symta_value, mpa_value)}"
+            )
+    if binary_value is not None and binary_value != ta_value:
+        violations.append(f"sup {ta_value} != binary-search {binary_value}")
+
+    verdict.violations = violations
+    if violations:
+        verdict.status = "violation"
+    else:
+        verdict.status = "checked" if ta_exact else "checked-inexact"
+    verdict.wall_seconds = time.perf_counter() - started
+    return verdict

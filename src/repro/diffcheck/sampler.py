@@ -1,0 +1,231 @@
+"""Seed-deterministic random architecture models.
+
+The sampler draws bounded :class:`~repro.arch.model.ArchitectureModel`
+instances whose exact timed-automata exploration stays tractable:
+
+* **small topologies** -- 1-2 processors, 0-1 buses, 1-3 scenarios of 1-3
+  steps each; unused resources are pruned (the network generator rejects
+  resources with nothing mapped onto them);
+* **small constants** -- processors run at 1 MIPS and buses at 8000 kbit/s,
+  so a step's tick duration *is* its sampled instruction count / byte size
+  (1-4 ticks), and periods come from a small divisor-friendly pool;
+* **bounded load** -- per-scenario periods are doubled until every
+  resource's long-term utilisation is below ``utilisation_cap``, which also
+  keeps the analytic baselines convergent;
+* **supported semantics only** -- scenario priorities are drawn from two
+  levels (the Fig. 5 preemption pattern supports exactly two on a shared
+  preemptive processor) and TDMA buses are excluded (the DES baseline
+  approximates them as FCFS, which would not be a sound refinement).
+
+``sample_model(seed)`` is a pure function of ``(seed, config)``: the same
+pair always yields the very same model, which is what makes campaign
+windows, counterexample seeds and CI smoke runs reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+
+from repro.arch.eventmodels import Bursty, Periodic, PeriodicJitter, PeriodicOffset, Sporadic
+from repro.arch.model import ArchitectureModel
+from repro.arch.requirements import LatencyRequirement
+from repro.arch.resources import (
+    BUS_FCFS_NONDETERMINISTIC,
+    BUS_FIXED_PRIORITY,
+    FIXED_PRIORITY_NONPREEMPTIVE,
+    FIXED_PRIORITY_PREEMPTIVE,
+    NONPREEMPTIVE_NONDETERMINISTIC,
+    Bus,
+    Processor,
+)
+from repro.arch.workload import Execute, Message, Operation, Scenario, Step, Transfer
+
+__all__ = ["SamplerConfig", "DEFAULT_SAMPLER", "SMOKE_SAMPLER", "sample_model"]
+
+#: processor scheduling policies the sampler draws from
+_PROCESSOR_POLICIES = (
+    NONPREEMPTIVE_NONDETERMINISTIC,
+    FIXED_PRIORITY_NONPREEMPTIVE,
+    FIXED_PRIORITY_PREEMPTIVE,
+)
+#: bus arbitration policies the sampler draws from (TDMA excluded, see above)
+_BUS_POLICIES = (BUS_FCFS_NONDETERMINISTIC, BUS_FIXED_PRIORITY)
+
+#: event-model kinds, mirroring the paper's five environment configurations
+_EVENT_KINDS = ("po", "pno", "sp", "pj", "bur")
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Bounds of the random model distribution (all plain primitives)."""
+
+    #: processor count range (inclusive)
+    min_processors: int = 1
+    max_processors: int = 2
+    #: maximum number of buses (minimum is zero)
+    max_buses: int = 1
+    #: scenario count is drawn uniformly from this tuple (repeats = weights)
+    scenario_counts: tuple[int, ...] = (1, 2, 2, 2, 3)
+    #: step count range per scenario (inclusive)
+    min_steps: int = 1
+    max_steps: int = 3
+    #: pool of base periods in ticks (doubled while over the utilisation cap)
+    periods: tuple[int, ...] = (8, 10, 12, 16, 20, 24)
+    #: pool of step durations in ticks
+    durations: tuple[int, ...] = (1, 2, 3, 4)
+    #: probability that a step is a bus transfer (when a bus exists)
+    transfer_probability: float = 0.35
+    #: long-term utilisation cap per resource
+    utilisation_cap: float = 0.6
+    #: requirement bound as a multiple of the measured chain's duration
+    bound_factor: int = 4
+    #: bursty jitter is drawn from ``(period, burst_jitter_factor * period]``
+    burst_jitter_factor: float = 1.5
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        for key in ("scenario_counts", "periods", "durations"):
+            out[key] = list(out[key])
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SamplerConfig":
+        kwargs = dict(data)
+        for key in ("scenario_counts", "periods", "durations"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
+
+#: the default campaign distribution
+DEFAULT_SAMPLER = SamplerConfig()
+
+#: the CI smoke distribution: smaller periods and at most two scenarios, so
+#: nearly every model explores exhaustively within the smoke oracle budget
+SMOKE_SAMPLER = SamplerConfig(
+    scenario_counts=(1, 2, 2),
+    periods=(8, 10, 12, 16),
+)
+
+
+@dataclass
+class _ScenarioDraft:
+    name: str
+    steps: tuple[Step, ...]
+    priority: int
+    kind: str
+    event_seed: int
+    period: int = 0
+
+
+def _step_duration(step: Step) -> int:
+    """Tick duration of a sampled step (1 MIPS processors, 8000 kbit/s buses)."""
+    if isinstance(step, Execute):
+        return int(step.operation.instructions)
+    return int(step.message.size_bytes)
+
+
+def _rescale_periods(drafts: list[_ScenarioDraft], cap: float) -> None:
+    """Double per-scenario periods until every resource is below *cap*."""
+    for _ in range(30):
+        utilisation: dict[str, float] = {}
+        for draft in drafts:
+            for step in draft.steps:
+                utilisation[step.resource] = (
+                    utilisation.get(step.resource, 0.0) + _step_duration(step) / draft.period
+                )
+        overloaded = {name for name, value in utilisation.items() if value > cap}
+        if not overloaded:
+            return
+        for draft in drafts:
+            if any(step.resource in overloaded for step in draft.steps):
+                draft.period *= 2
+
+
+def _event_model(draft: _ScenarioDraft, config: SamplerConfig):
+    rng = random.Random(draft.event_seed)
+    period = draft.period
+    if draft.kind == "po":
+        return PeriodicOffset(period, offset=rng.randrange(0, period))
+    if draft.kind == "pno":
+        return Periodic(period)
+    if draft.kind == "sp":
+        return Sporadic(period)
+    if draft.kind == "pj":
+        return PeriodicJitter(period, jitter_=rng.randint(0, period))
+    burst_ceiling = max(period + 1, int(config.burst_jitter_factor * period))
+    return Bursty(
+        period,
+        jitter_=rng.randint(period + 1, burst_ceiling),
+        min_separation_=rng.choice((0, 1, 2)),
+    )
+
+
+def sample_model(seed: int, config: SamplerConfig | None = None) -> ArchitectureModel:
+    """Draw one random, valid architecture model (deterministic in *seed*)."""
+    config = config or DEFAULT_SAMPLER
+    rng = random.Random(seed)
+
+    processors = [
+        Processor(f"P{index}", 1.0, rng.choice(_PROCESSOR_POLICIES))
+        for index in range(rng.randint(config.min_processors, config.max_processors))
+    ]
+    buses = [
+        Bus(f"B{index}", 8000.0, rng.choice(_BUS_POLICIES))
+        for index in range(rng.randint(0, config.max_buses))
+    ]
+
+    drafts: list[_ScenarioDraft] = []
+    for s in range(rng.choice(config.scenario_counts)):
+        steps: list[Step] = []
+        for t in range(rng.randint(config.min_steps, config.max_steps)):
+            if buses and rng.random() < config.transfer_probability:
+                bus = rng.choice(buses)
+                steps.append(
+                    Transfer(Message(f"m_{s}_{t}", rng.choice(config.durations)), bus.name)
+                )
+            else:
+                processor = rng.choice(processors)
+                steps.append(
+                    Execute(Operation(f"op_{s}_{t}", rng.choice(config.durations)), processor.name)
+                )
+        drafts.append(
+            _ScenarioDraft(
+                name=f"S{s}",
+                steps=tuple(steps),
+                priority=rng.choice((1, 2)),
+                kind=rng.choice(_EVENT_KINDS),
+                event_seed=rng.randrange(1 << 30),
+                period=rng.choice(config.periods),
+            )
+        )
+
+    _rescale_periods(drafts, config.utilisation_cap)
+
+    scenarios = [
+        Scenario(draft.name, draft.steps, _event_model(draft, config), draft.priority)
+        for draft in drafts
+    ]
+
+    model = ArchitectureModel(f"fuzz_{seed}")
+    used = {step.resource for scenario in scenarios for step in scenario.steps}
+    for processor in processors:
+        if processor.name in used:
+            model.add_processor(processor)
+    for bus in buses:
+        if bus.name in used:
+            model.add_bus(bus)
+    for scenario in scenarios:
+        model.add_scenario(scenario)
+
+    # one end-to-end requirement on a random scenario chain; the bound only
+    # scales the observer ceiling (the oracle widens it to cover the
+    # analytic upper bounds), it is not itself part of the oracle
+    target = rng.choice(scenarios)
+    chain = sum(model.step_duration(step) for step in target.steps)
+    model.add_requirement(
+        LatencyRequirement("R0", target.name, max(config.bound_factor * chain, 2))
+    )
+    model.validate()
+    return model

@@ -1,0 +1,257 @@
+"""JSON (de)serialisation of architecture models and counterexamples.
+
+Two schemas:
+
+* ``repro-diffcheck-model-v1`` -- a complete, self-contained description of
+  one :class:`~repro.arch.model.ArchitectureModel` (resources with policies,
+  scenarios with steps and event models, requirements, time base).  The
+  round trip ``model_from_dict(model_to_dict(m))`` is exact for every model
+  the sampler can produce, which makes shrinking (mutate the dict, rebuild)
+  and replaying (load the dict, re-run the oracle) trivial.
+* ``repro-diffcheck-counterexample-v1`` -- a shrunk failing model plus the
+  engine verdicts, the violated orderings and the oracle configuration that
+  exposed them, written by a campaign and replayed by
+  ``repro-diffcheck --replay``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping
+
+from repro.arch.eventmodels import (
+    Bursty,
+    EventModel,
+    Periodic,
+    PeriodicJitter,
+    PeriodicOffset,
+    Sporadic,
+)
+from repro.arch.model import ArchitectureModel
+from repro.arch.requirements import LatencyRequirement
+from repro.arch.resources import (
+    BUS_FCFS_NONDETERMINISTIC,
+    BUS_FIXED_PRIORITY,
+    BUS_TDMA,
+    FIXED_PRIORITY_NONPREEMPTIVE,
+    FIXED_PRIORITY_PREEMPTIVE,
+    NONPREEMPTIVE_NONDETERMINISTIC,
+    Bus,
+    Processor,
+)
+from repro.arch.timebase import TimeBase
+from repro.arch.workload import Execute, Message, Operation, Scenario, Transfer
+from repro.util.errors import ModelError
+
+__all__ = [
+    "MODEL_SCHEMA",
+    "COUNTEREXAMPLE_SCHEMA",
+    "model_to_dict",
+    "model_from_dict",
+    "write_counterexample",
+    "load_counterexample",
+]
+
+MODEL_SCHEMA = "repro-diffcheck-model-v1"
+COUNTEREXAMPLE_SCHEMA = "repro-diffcheck-counterexample-v1"
+
+_PROCESSOR_POLICIES = {
+    policy.name: policy
+    for policy in (
+        NONPREEMPTIVE_NONDETERMINISTIC,
+        FIXED_PRIORITY_NONPREEMPTIVE,
+        FIXED_PRIORITY_PREEMPTIVE,
+    )
+}
+_BUS_POLICIES = {
+    policy.name: policy
+    for policy in (BUS_FCFS_NONDETERMINISTIC, BUS_FIXED_PRIORITY, BUS_TDMA)
+}
+
+
+def _event_model_to_dict(event_model: EventModel) -> dict:
+    out: dict = {"kind": event_model.kind, "period": event_model.period}
+    if isinstance(event_model, PeriodicOffset):
+        out["offset"] = event_model.offset
+    elif isinstance(event_model, Sporadic):
+        out["burstiness"] = event_model.burstiness
+    elif isinstance(event_model, PeriodicJitter):
+        out["jitter"] = event_model.jitter_
+    elif isinstance(event_model, Bursty):
+        out["jitter"] = event_model.jitter_
+        out["min_separation"] = event_model.min_separation_
+    return out
+
+
+def _event_model_from_dict(data: Mapping) -> EventModel:
+    kind = data.get("kind")
+    period = int(data["period"])
+    if kind == "po":
+        return PeriodicOffset(period, offset=int(data.get("offset", 0)))
+    if kind == "pno":
+        return Periodic(period)
+    if kind == "sp":
+        return Sporadic(period, burstiness=float(data.get("burstiness", 0.1)))
+    if kind == "pj":
+        return PeriodicJitter(period, jitter_=int(data.get("jitter", 0)))
+    if kind == "bur":
+        return Bursty(
+            period,
+            jitter_=int(data.get("jitter", 0)),
+            min_separation_=int(data.get("min_separation", 0)),
+        )
+    raise ModelError(f"unknown event model kind {kind!r}")
+
+
+def _step_to_dict(step) -> dict:
+    if isinstance(step, Execute):
+        return {
+            "type": "execute",
+            "name": step.operation.name,
+            "instructions": step.operation.instructions,
+            "processor": step.processor,
+        }
+    return {
+        "type": "transfer",
+        "name": step.message.name,
+        "size_bytes": step.message.size_bytes,
+        "bus": step.bus,
+    }
+
+
+def _step_from_dict(data: Mapping):
+    kind = data.get("type")
+    if kind == "execute":
+        return Execute(Operation(data["name"], float(data["instructions"])), data["processor"])
+    if kind == "transfer":
+        return Transfer(Message(data["name"], float(data["size_bytes"])), data["bus"])
+    raise ModelError(f"unknown step type {kind!r}")
+
+
+def model_to_dict(model: ArchitectureModel) -> dict:
+    """Serialise *model* into a plain JSON-able dict."""
+    return {
+        "schema": MODEL_SCHEMA,
+        "name": model.name,
+        "ticks_per_second": model.timebase.ticks_per_second,
+        "processors": [
+            {"name": p.name, "mips": p.mips, "policy": p.policy.name}
+            for p in model.processors.values()
+        ],
+        "buses": [
+            {
+                "name": b.name,
+                "kbps": b.kbps,
+                "policy": b.policy.name,
+                "slot_ticks": b.slot_ticks,
+                "slot_order": list(b.slot_order),
+            }
+            for b in model.buses.values()
+        ],
+        "scenarios": [
+            {
+                "name": s.name,
+                "priority": s.priority,
+                "event_model": _event_model_to_dict(s.event_model),
+                "steps": [_step_to_dict(step) for step in s.steps],
+            }
+            for s in model.scenarios.values()
+        ],
+        "requirements": [
+            {
+                "name": r.name,
+                "scenario": r.scenario,
+                "bound": r.bound,
+                "start_after": r.start_after,
+                "end_after": r.end_after,
+            }
+            for r in model.requirements.values()
+        ],
+    }
+
+
+def model_from_dict(data: Mapping) -> ArchitectureModel:
+    """Rebuild an :class:`ArchitectureModel` from its serialised form."""
+    if data.get("schema") != MODEL_SCHEMA:
+        raise ModelError(f"not a {MODEL_SCHEMA} payload (schema={data.get('schema')!r})")
+    model = ArchitectureModel(
+        data["name"], timebase=TimeBase(int(data.get("ticks_per_second", 1_000_000)))
+    )
+    for entry in data.get("processors", ()):
+        policy = _PROCESSOR_POLICIES.get(entry.get("policy"))
+        if policy is None:
+            raise ModelError(f"unknown scheduling policy {entry.get('policy')!r}")
+        model.add_processor(Processor(entry["name"], float(entry["mips"]), policy))
+    for entry in data.get("buses", ()):
+        policy = _BUS_POLICIES.get(entry.get("policy"))
+        if policy is None:
+            raise ModelError(f"unknown arbitration policy {entry.get('policy')!r}")
+        model.add_bus(
+            Bus(
+                entry["name"],
+                float(entry["kbps"]),
+                policy,
+                slot_ticks=entry.get("slot_ticks"),
+                slot_order=tuple(entry.get("slot_order", ())),
+            )
+        )
+    for entry in data.get("scenarios", ()):
+        model.add_scenario(
+            Scenario(
+                entry["name"],
+                tuple(_step_from_dict(step) for step in entry["steps"]),
+                _event_model_from_dict(entry["event_model"]),
+                int(entry.get("priority", 1)),
+            )
+        )
+    for entry in data.get("requirements", ()):
+        model.add_requirement(
+            LatencyRequirement(
+                entry["name"],
+                entry["scenario"],
+                int(entry["bound"]),
+                start_after=entry.get("start_after"),
+                end_after=entry.get("end_after"),
+            )
+        )
+    model.validate()
+    return model
+
+
+def write_counterexample(
+    path: str,
+    model: ArchitectureModel,
+    *,
+    seed: int,
+    violations: list[str],
+    verdicts: Mapping[str, Mapping],
+    oracle: Mapping,
+    unshrunk_model: ArchitectureModel | None = None,
+) -> dict:
+    """Write a replayable counterexample JSON; returns the payload."""
+    payload = {
+        "schema": COUNTEREXAMPLE_SCHEMA,
+        "seed": seed,
+        "violations": list(violations),
+        "verdicts": {name: dict(verdict) for name, verdict in verdicts.items()},
+        "oracle": dict(oracle),
+        "model": model_to_dict(model),
+    }
+    if unshrunk_model is not None:
+        payload["unshrunk_model"] = model_to_dict(unshrunk_model)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def load_counterexample(path: str) -> dict:
+    """Load a counterexample payload, validating the schema marker."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != COUNTEREXAMPLE_SCHEMA:
+        raise ModelError(f"{path}: not a {COUNTEREXAMPLE_SCHEMA} file")
+    return payload

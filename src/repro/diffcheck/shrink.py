@@ -1,0 +1,180 @@
+"""Counterexample shrinking.
+
+When the oracle flags a model, the campaign does not report the raw random
+model: it greedily shrinks it first, so the serialised repro is the kind of
+thing a human can stare at.  Shrinking works on the serialised dict form
+(mutate JSON, rebuild, re-run the oracle) and accepts a candidate whenever
+*any* ordering violation remains -- the violation message may drift while
+shrinking, but a minimal failing model for one engine bug is what we want.
+
+Candidate transformations, structural first, then constants:
+
+1. drop every requirement but the first,
+2. drop a scenario the requirement does not measure,
+3. drop one step of a scenario (never a step the requirement names),
+4. lower a step duration to one tick,
+5. halve a scenario period (clamping the event model's offset/jitter),
+6. simplify the event model (``bur -> pj -> pno``, ``sp -> pno``,
+   ``po`` with offset ``-> po`` offset 0),
+7. flatten a priority to 1,
+
+plus an implicit cleanup: resources nothing maps onto are pruned (the
+network generator rejects them anyway).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Iterator
+
+from repro.arch.model import ArchitectureModel
+from repro.diffcheck.oracle import ModelVerdict, OracleConfig, check_model
+from repro.diffcheck.serialize import model_from_dict, model_to_dict
+from repro.util.errors import ModelError
+
+__all__ = ["shrink_model"]
+
+
+def _copy(data: dict) -> dict:
+    return json.loads(json.dumps(data))
+
+
+def _prune_resources(data: dict) -> dict:
+    used = {
+        step.get("processor") or step.get("bus")
+        for scenario in data["scenarios"]
+        for step in scenario["steps"]
+    }
+    data["processors"] = [p for p in data["processors"] if p["name"] in used]
+    data["buses"] = [b for b in data["buses"] if b["name"] in used]
+    return data
+
+
+def _clamp_event_model(event_model: dict) -> None:
+    period = event_model["period"]
+    kind = event_model.get("kind")
+    if kind == "po":
+        event_model["offset"] = min(event_model.get("offset", 0), period - 1)
+    elif kind == "pj":
+        event_model["jitter"] = min(event_model.get("jitter", 0), period)
+
+
+def _simplified_event_model(event_model: dict) -> dict | None:
+    kind = event_model.get("kind")
+    period = event_model["period"]
+    if kind == "bur":
+        return {"kind": "pj", "period": period,
+                "jitter": min(event_model.get("jitter", 0), period)}
+    if kind in ("pj", "sp"):
+        return {"kind": "pno", "period": period}
+    if kind == "po" and event_model.get("offset", 0) > 0:
+        return {"kind": "po", "period": period, "offset": 0}
+    return None
+
+
+def _candidates(data: dict) -> Iterator[dict]:
+    """Yield strictly simpler variants of *data* (dict form)."""
+    measured = {req["scenario"] for req in data["requirements"]}
+    protected = {
+        name
+        for req in data["requirements"]
+        for name in (req.get("start_after"), req.get("end_after"))
+        if name
+    }
+
+    if len(data["requirements"]) > 1:
+        out = _copy(data)
+        out["requirements"] = out["requirements"][:1]
+        yield out
+
+    for index, scenario in enumerate(data["scenarios"]):
+        if scenario["name"] in measured:
+            continue
+        out = _copy(data)
+        del out["scenarios"][index]
+        yield _prune_resources(out)
+
+    for s_index, scenario in enumerate(data["scenarios"]):
+        if len(scenario["steps"]) <= 1:
+            continue
+        for t_index, step in enumerate(scenario["steps"]):
+            if step["name"] in protected:
+                continue
+            out = _copy(data)
+            del out["scenarios"][s_index]["steps"][t_index]
+            yield _prune_resources(out)
+
+    for s_index, scenario in enumerate(data["scenarios"]):
+        for t_index, step in enumerate(scenario["steps"]):
+            key = "instructions" if step["type"] == "execute" else "size_bytes"
+            if step[key] > 1:
+                out = _copy(data)
+                out["scenarios"][s_index]["steps"][t_index][key] = 1
+                yield out
+
+    for s_index, scenario in enumerate(data["scenarios"]):
+        period = scenario["event_model"]["period"]
+        if period >= 4:
+            out = _copy(data)
+            event_model = out["scenarios"][s_index]["event_model"]
+            event_model["period"] = period // 2
+            _clamp_event_model(event_model)
+            yield out
+
+    for s_index, scenario in enumerate(data["scenarios"]):
+        simpler = _simplified_event_model(scenario["event_model"])
+        if simpler is not None:
+            out = _copy(data)
+            out["scenarios"][s_index]["event_model"] = simpler
+            yield out
+
+    for s_index, scenario in enumerate(data["scenarios"]):
+        if scenario["priority"] != 1:
+            out = _copy(data)
+            out["scenarios"][s_index]["priority"] = 1
+            yield out
+
+
+def shrink_model(
+    model: ArchitectureModel,
+    *,
+    seed: int = 0,
+    config: OracleConfig | None = None,
+    still_failing: Callable[[ArchitectureModel], bool] | None = None,
+    max_checks: int = 150,
+) -> tuple[ArchitectureModel, ModelVerdict | None]:
+    """Greedily shrink a failing *model* to a minimal counterexample.
+
+    ``still_failing`` overrides the oracle (used by the tests to shrink
+    against synthetic predicates); by default a candidate is accepted when
+    :func:`~repro.diffcheck.oracle.check_model` still reports a violation.
+    Returns the smallest failing model found plus the verdict of its last
+    oracle run (``None`` when a predicate was supplied or nothing shrank).
+    """
+    config = config or OracleConfig()
+    best = model_to_dict(model)
+    best_verdict: ModelVerdict | None = None
+    checks = 0
+    progressed = True
+    while progressed and checks < max_checks:
+        progressed = False
+        for candidate in _candidates(best):
+            checks += 1
+            if checks > max_checks:
+                break
+            try:
+                candidate_model = model_from_dict(candidate)
+            except ModelError:
+                continue
+            if still_failing is not None:
+                failed = still_failing(candidate_model)
+                verdict = None
+            else:
+                verdict = check_model(candidate_model, seed=seed, config=config)
+                failed = verdict.status == "violation"
+            if failed:
+                best = candidate
+                best_verdict = verdict
+                progressed = True
+                break
+    return model_from_dict(best), best_verdict

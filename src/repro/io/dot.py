@@ -33,8 +33,12 @@ def _edge_label(edge) -> str:
 def automaton_to_dot(automaton: TimedAutomaton, graph_name: str | None = None) -> str:
     """Render one automaton as a DOT digraph string."""
     name = graph_name or automaton.name
-    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=LR;", '  node [shape=ellipse, fontsize=10];',
-             '  edge [fontsize=9];']
+    lines = [
+        f'digraph "{_escape(name)}" {{',
+        "  rankdir=LR;",
+        '  node [shape=ellipse, fontsize=10];',
+        '  edge [fontsize=9];',
+    ]
     for location in automaton.locations.values():
         attributes = []
         label = location.name

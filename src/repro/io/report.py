@@ -28,7 +28,9 @@ def format_table(
     lines = []
     if title:
         lines.append(title)
-    header_line = "  ".join(str(header).ljust(widths[index]) for index, header in enumerate(headers))
+    header_line = "  ".join(
+        str(header).ljust(widths[index]) for index, header in enumerate(headers)
+    )
     lines.append(header_line)
     lines.append("  ".join("-" * width for width in widths))
     for row in rows:
@@ -70,7 +72,9 @@ def format_table1(
                 cell += f" [{paper[(row_label, config)]:.3f}]"
             row.append(cell)
         rows.append(row)
-    return format_table(headers, rows, title="Table 1 — worst-case response times (ms), [paper value]")
+    return format_table(
+        headers, rows, title="Table 1 — worst-case response times (ms), [paper value]"
+    )
 
 
 def format_table2(
@@ -90,4 +94,6 @@ def format_table2(
                 cell += f" [{paper[row_label][tool]:.3f}]"
             row.append(cell)
         rows.append(row)
-    return format_table(headers, rows, title="Table 2 — comparison of techniques (ms), [paper value]")
+    return format_table(
+        headers, rows, title="Table 2 — comparison of techniques (ms), [paper value]"
+    )

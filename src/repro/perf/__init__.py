@@ -18,6 +18,7 @@ from repro.perf.trajectory import (
     BENCH_SCHEMA,
     bench_payload,
     check_regression,
+    load_baseline_json,
     load_bench_json,
     verify_anchors,
     write_bench_json,
@@ -32,6 +33,7 @@ __all__ = [
     "bench_payload",
     "write_bench_json",
     "load_bench_json",
+    "load_baseline_json",
     "check_regression",
     "verify_anchors",
 ]

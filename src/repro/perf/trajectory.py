@@ -111,6 +111,22 @@ def load_bench_json(path: str) -> dict:
     return payload
 
 
+def load_baseline_json(path: str) -> dict:
+    """Load a baseline trajectory for a ``--check`` gate.
+
+    The single error path behind the benchmark/sweep CLIs: I/O failures and
+    schema/JSON problems are folded into one :class:`ValueError` whose
+    message is fit for stderr, so every harness fails fast with the same
+    wording instead of a traceback.
+    """
+    try:
+        return load_bench_json(path)
+    except OSError as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ValueError(f"unusable baseline: {exc}") from exc
+
+
 def check_regression(
     current: Mapping[str, Mapping],
     baseline: Mapping[str, Mapping],

@@ -16,8 +16,10 @@ workflow and the safety notes on per-worker zone pools.
 
 from repro.sweep.cells import (
     DEFAULT_MODEL_FACTORY,
+    DiffCheckCell,
     SweepCell,
     core_scaling_cells,
+    diffcheck_cells,
     grid_cells,
     table1_cells,
     table2_cells,
@@ -33,12 +35,14 @@ from repro.sweep.runner import (
 __all__ = [
     "DEFAULT_MODEL_FACTORY",
     "SweepCell",
+    "DiffCheckCell",
     "CellResult",
     "SweepResult",
     "core_scaling_cells",
     "table1_cells",
     "table2_cells",
     "grid_cells",
+    "diffcheck_cells",
     "run_cell",
     "run_sweep",
     "verify_cells",

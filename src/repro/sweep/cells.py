@@ -37,10 +37,12 @@ from repro.util.errors import ModelError
 __all__ = [
     "DEFAULT_MODEL_FACTORY",
     "SweepCell",
+    "DiffCheckCell",
     "core_scaling_cells",
     "table1_cells",
     "table2_cells",
     "grid_cells",
+    "diffcheck_cells",
 ]
 
 #: dotted path of the default architecture-model factory (the case study)
@@ -75,6 +77,58 @@ class SweepCell:
             raise ModelError(
                 "combination and configuration must be given together (or neither)"
             )
+
+
+@dataclass(frozen=True)
+class DiffCheckCell:
+    """One differential-fuzzing seed window (picklable, primitives only).
+
+    The second cell kind of the sweep runner: instead of one table analysis,
+    a worker receiving this cell runs a whole
+    :func:`repro.diffcheck.run_campaign` seed window (sample random models,
+    cross-validate all four engines, shrink and serialise violations).
+    ``config`` is a nested-primitives
+    :meth:`repro.diffcheck.CampaignConfig.to_dict` payload, so the cell
+    crosses the ``spawn`` boundary as cheaply as a table cell does.
+    """
+
+    #: display / trajectory-point name, e.g. ``"diffcheck/seeds0-99"``
+    name: str
+    #: first sampler seed of the window
+    seed_start: int
+    #: number of consecutive seeds to fuzz
+    count: int
+    #: serialised :class:`repro.diffcheck.CampaignConfig`
+    config: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.count <= 0:
+            raise ModelError("a diffcheck cell must cover at least one seed")
+
+
+def diffcheck_cells(
+    seed_start: int,
+    models: int,
+    batch: int = 25,
+    config: Mapping[str, object] | None = None,
+) -> list[DiffCheckCell]:
+    """Split *models* consecutive seeds into sweep cells of *batch* seeds."""
+    if models <= 0:
+        raise ModelError("a diffcheck campaign must fuzz at least one model")
+    if batch <= 0:
+        raise ModelError("diffcheck batch size must be positive")
+    cells = []
+    for start in range(seed_start, seed_start + models, batch):
+        count = min(batch, seed_start + models - start)
+        cells.append(
+            DiffCheckCell(
+                name=f"diffcheck/seeds{start}-{start + count - 1}",
+                seed_start=start,
+                count=count,
+                config=dict(config or {}),
+            )
+        )
+    return cells
 
 
 def _cell_name(combination: str, configuration: str, requirement: str) -> str:

@@ -20,7 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.perf import load_bench_json
+from repro.perf import load_baseline_json
 from repro.sweep.cells import (
     core_scaling_cells,
     grid_cells,
@@ -28,6 +28,7 @@ from repro.sweep.cells import (
     table2_cells,
 )
 from repro.sweep.runner import run_sweep, verify_cells
+from repro.util.errors import ModelError
 
 __all__ = ["main"]
 
@@ -80,12 +81,26 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--max-states only applies to custom grids "
                      "(--combination/--configuration/--requirement); the "
                      "predefined --grid cells carry their own budgets")
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be at least 1 (1 = serial)")
+    # fail before the (potentially multi-minute) sweep runs
     if args.check and not args.baseline:
-        # fail before the (potentially multi-minute) sweep runs
         print("--check needs --baseline", file=sys.stderr)
         return 2
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline_json(args.baseline)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    else:
+        baseline = None
 
-    cells = _build_cells(args)
+    try:
+        cells = _build_cells(args)
+    except ModelError as exc:
+        print(f"invalid cell specification: {exc}", file=sys.stderr)
+        return 2
     print(f"sweeping {len(cells)} cells "
           f"(workers={args.workers or 'auto'}, start_method={args.start_method})")
     sweep = run_sweep(cells, workers=args.workers, start_method=args.start_method)
@@ -108,7 +123,6 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {args.output}")
 
     if args.check:
-        baseline = load_bench_json(args.baseline)
         problems = verify_cells(sweep.results, baseline["points"])
         if problems:
             print("SWEEP MISMATCH against the baseline anchors:")

@@ -34,7 +34,7 @@ from typing import Callable, Mapping, Sequence
 from repro.arch.analysis import TimedAutomataSettings, analyze_wcrt
 from repro.casestudy.configurations import configure
 from repro.perf import verify_anchors, write_bench_json
-from repro.sweep.cells import SweepCell
+from repro.sweep.cells import DiffCheckCell, SweepCell
 from repro.util.errors import AnalysisError
 
 __all__ = ["CellResult", "SweepResult", "run_cell", "run_sweep", "verify_cells"]
@@ -67,12 +67,35 @@ class CellResult:
     wall_seconds: float
     #: pid of the worker that ran the cell (observability)
     worker_pid: int
+    #: cell kind: "wcrt" (table analysis) or "diffcheck" (fuzzing window)
+    kind: str = "wcrt"
+    #: diffcheck cells only: models that went through all four engines
+    models_checked: int = 0
+    #: diffcheck cells only: soundness-ordering violations found
+    violations: int = 0
+    #: diffcheck cells only: counterexample JSON paths written by the worker
+    counterexamples: tuple[str, ...] = ()
+    #: diffcheck cells only: sampled models per wall-clock second
+    models_per_second: float = 0.0
 
     def point(self) -> dict:
         """The cell as a ``repro-bench-v1`` trajectory point."""
         out = asdict(self)
         for dropped in ("name", "requirement", "combination", "configuration"):
             out.pop(dropped)
+        diffcheck_keys = ("models_checked", "violations", "counterexamples",
+                          "models_per_second")
+        if self.kind == "diffcheck":
+            # WCRT-specific fields (and the per-exploration counters the
+            # campaign does not aggregate) carry no signal for a fuzzing window
+            for dropped in ("wcrt_ticks", "wcrt_ms", "is_lower_bound", "satisfied",
+                            "states_stored", "transitions", "inclusions"):
+                out.pop(dropped)
+            out["counterexamples"] = list(self.counterexamples)
+            out["models_per_second"] = round(self.models_per_second, 2)
+        else:
+            for dropped in ("kind", *diffcheck_keys):
+                out.pop(dropped)
         out["states_per_second"] = round(self.states_per_second, 1)
         out["explore_seconds"] = round(self.explore_seconds, 4)
         out["wall_seconds"] = round(self.wall_seconds, 4)
@@ -118,8 +141,46 @@ def _worker_init() -> None:
     _MODEL_CACHE.clear()
 
 
-def run_cell(cell: SweepCell) -> CellResult:
+def _run_diffcheck_cell(cell: DiffCheckCell) -> CellResult:
+    """Run one differential-fuzzing seed window in the current process."""
+    # imported lazily: table sweeps must not pay for (or depend on) diffcheck
+    from repro.diffcheck.campaign import CampaignConfig, run_campaign
+
+    started = time.perf_counter()
+    campaign = run_campaign(
+        cell.seed_start, cell.count, CampaignConfig.from_dict(dict(cell.config))
+    )
+    wall = time.perf_counter() - started
+    return CellResult(
+        name=cell.name,
+        requirement="R0",
+        combination=None,
+        configuration=None,
+        wcrt_ticks=None,
+        wcrt_ms=None,
+        is_lower_bound=False,
+        satisfied=None,
+        states_explored=campaign.total_ta_states,
+        states_stored=0,
+        transitions=0,
+        inclusions=0,
+        explore_seconds=campaign.wall_seconds,
+        states_per_second=campaign.states_per_second,
+        termination="violations" if campaign.violations else "ok",
+        wall_seconds=wall,
+        worker_pid=os.getpid(),
+        kind="diffcheck",
+        models_checked=campaign.models_checked,
+        violations=campaign.violations,
+        counterexamples=tuple(campaign.counterexamples),
+        models_per_second=campaign.models_per_second,
+    )
+
+
+def run_cell(cell: "SweepCell | DiffCheckCell") -> CellResult:
     """Run one cell in the current process and return its flat result."""
+    if isinstance(cell, DiffCheckCell):
+        return _run_diffcheck_cell(cell)
     started = time.perf_counter()
     model = _worker_model(cell.model_factory)
     if cell.combination is not None:

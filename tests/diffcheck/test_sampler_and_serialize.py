@@ -1,0 +1,120 @@
+"""Tests of the random model sampler and the JSON round trip."""
+
+import pytest
+
+from repro.arch.model import ArchitectureModel
+from repro.arch.workload import Execute
+from repro.diffcheck import (
+    DEFAULT_SAMPLER,
+    SMOKE_SAMPLER,
+    SamplerConfig,
+    model_from_dict,
+    model_to_dict,
+    sample_model,
+)
+from repro.diffcheck.serialize import MODEL_SCHEMA
+from repro.util.errors import ModelError
+
+#: a seed window large enough to hit every event kind and policy
+SEEDS = range(0, 40)
+
+
+class TestSampler:
+    def test_sampling_is_deterministic(self):
+        for seed in (0, 7, 23):
+            first = model_to_dict(sample_model(seed))
+            second = model_to_dict(sample_model(seed))
+            assert first == second
+
+    def test_different_seeds_differ(self):
+        dicts = {str(model_to_dict(sample_model(seed))) for seed in SEEDS}
+        assert len(dicts) > len(SEEDS) // 2
+
+    def test_models_validate(self):
+        for seed in SEEDS:
+            model = sample_model(seed)
+            model.validate()  # must not raise
+
+    def test_bounds_respected(self):
+        config = DEFAULT_SAMPLER
+        for seed in SEEDS:
+            model = sample_model(seed, config)
+            assert len(model.processors) <= config.max_processors
+            assert len(model.buses) <= config.max_buses
+            assert 1 <= len(model.scenarios) <= max(config.scenario_counts)
+            for scenario in model.scenarios.values():
+                assert config.min_steps <= len(scenario.steps) <= config.max_steps
+                assert scenario.priority in (1, 2)
+            assert len(model.requirements) == 1
+
+    def test_utilisation_cap_holds(self):
+        for seed in SEEDS:
+            model = sample_model(seed)
+            for resource in list(model.processors) + list(model.buses):
+                assert model.utilisation(resource) <= DEFAULT_SAMPLER.utilisation_cap + 1e-9
+
+    def test_step_durations_equal_sampled_constants(self):
+        # 1 MIPS processors / 8000 kbit/s buses: duration == instruction
+        # count == byte size, so shrunk JSON constants read as ticks
+        model = sample_model(3)
+        for scenario in model.scenarios.values():
+            for step in scenario.steps:
+                expected = (
+                    step.operation.instructions
+                    if isinstance(step, Execute)
+                    else step.message.size_bytes
+                )
+                assert model.step_duration(step) == int(expected)
+
+    def test_smoke_profile_is_smaller(self):
+        assert max(SMOKE_SAMPLER.periods) <= max(DEFAULT_SAMPLER.periods)
+        assert max(SMOKE_SAMPLER.scenario_counts) <= max(DEFAULT_SAMPLER.scenario_counts)
+
+    def test_config_round_trip(self):
+        config = SamplerConfig(periods=(4, 8), scenario_counts=(1, 2))
+        assert SamplerConfig.from_dict(config.to_dict()) == config
+
+
+class TestSerialize:
+    def test_round_trip_every_sampled_model(self):
+        for seed in SEEDS:
+            model = sample_model(seed)
+            data = model_to_dict(model)
+            rebuilt = model_from_dict(data)
+            assert isinstance(rebuilt, ArchitectureModel)
+            assert model_to_dict(rebuilt) == data
+
+    def test_round_trip_preserves_analysis_inputs(self):
+        model = sample_model(11)
+        rebuilt = model_from_dict(model_to_dict(model))
+        assert set(rebuilt.scenarios) == set(model.scenarios)
+        for name, scenario in model.scenarios.items():
+            twin = rebuilt.scenarios[name]
+            assert twin.event_model == scenario.event_model
+            assert twin.priority == scenario.priority
+            assert [model.step_duration(step) for step in scenario.steps] == [
+                rebuilt.step_duration(step) for step in twin.steps
+            ]
+
+    def test_schema_marker_enforced(self):
+        data = model_to_dict(sample_model(0))
+        data["schema"] = "bogus"
+        with pytest.raises(ModelError):
+            model_from_dict(data)
+
+    def test_unknown_policy_rejected(self):
+        data = model_to_dict(sample_model(0))
+        if not data["processors"]:
+            pytest.skip("seed 0 sampled no processors")
+        data["processors"][0]["policy"] = "round-robin"
+        with pytest.raises(ModelError):
+            model_from_dict(data)
+
+    def test_unknown_event_kind_rejected(self):
+        data = model_to_dict(sample_model(0))
+        data["scenarios"][0]["event_model"] = {"kind": "poisson", "period": 10}
+        with pytest.raises(ModelError):
+            model_from_dict(data)
+
+    def test_schema_name(self):
+        assert model_to_dict(sample_model(0))["schema"] == MODEL_SCHEMA

@@ -1,0 +1,239 @@
+"""Tests of counterexample shrinking, campaigns and the sweep integration."""
+
+import json
+import os
+
+import pytest
+
+from repro.arch.workload import Execute
+from repro.baselines.symta import analysis as symta_analysis
+from repro.diffcheck import (
+    CampaignConfig,
+    OracleConfig,
+    SMOKE_SAMPLER,
+    check_model,
+    load_counterexample,
+    model_from_dict,
+    run_campaign,
+    sample_model,
+    shrink_model,
+)
+from repro.diffcheck.cli import main as diffcheck_main
+from repro.sweep import DiffCheckCell, diffcheck_cells, run_cell, run_sweep
+from repro.util.errors import ModelError
+
+FAST = OracleConfig(max_states=3_000, max_seconds=1.0, des_runs=1, des_horizon_periods=15)
+
+
+def _model_size(model) -> int:
+    return sum(len(scenario.steps) for scenario in model.scenarios.values())
+
+
+def _break_symta(monkeypatch):
+    """Monkeypatch SymTA to report half of every latency (unsound)."""
+    real = symta_analysis.analyze
+
+    def broken(model, settings=None):
+        result = real(model, settings)
+        result.latencies = {k: v // 2 for k, v in result.latencies.items()}
+        return result
+
+    monkeypatch.setattr(symta_analysis, "analyze", broken)
+
+
+class TestShrink:
+    def test_shrink_against_predicate_reaches_minimum(self):
+        # synthetic predicate: "fails" while the measured scenario still has
+        # an execute step -- the shrinker must strip everything else away
+        model = sample_model(1)
+
+        def still_failing(candidate):
+            return any(
+                isinstance(step, Execute)
+                for scenario in candidate.scenarios.values()
+                for step in scenario.steps
+            )
+
+        shrunk, verdict = shrink_model(model, still_failing=still_failing, max_checks=300)
+        assert verdict is None  # predicate mode carries no oracle verdict
+        assert still_failing(shrunk)
+        assert _model_size(shrunk) <= _model_size(model)
+        assert _model_size(shrunk) == 1
+        # constants were rounded down as far as the predicate allows
+        step = next(
+            step for scenario in shrunk.scenarios.values() for step in scenario.steps
+        )
+        assert shrunk.step_duration(step) == 1
+
+    def test_shrink_with_broken_engine_stays_failing(self, monkeypatch):
+        _break_symta(monkeypatch)
+        seed = 0
+        model = sample_model(seed, SMOKE_SAMPLER)
+        original = check_model(model, seed=seed, config=FAST)
+        assert original.status == "violation"
+        shrunk, verdict = shrink_model(model, seed=seed, config=FAST, max_checks=80)
+        assert verdict is not None and verdict.status == "violation"
+        assert _model_size(shrunk) <= _model_size(model)
+
+
+class TestCampaign:
+    def test_clean_campaign_counts(self, tmp_path):
+        config = CampaignConfig(
+            sampler=SMOKE_SAMPLER, oracle=FAST, repro_dir=str(tmp_path)
+        )
+        campaign = run_campaign(0, 6, config)
+        assert len(campaign.records) == 6
+        assert campaign.violations == 0
+        assert campaign.counterexamples == []
+        assert campaign.models_checked + campaign.skipped == 6
+        assert campaign.models_per_second > 0
+        point = campaign.point()
+        assert point["models"] == 6
+        assert point["violations"] == 0
+        assert point["states_explored"] == campaign.total_ta_states
+
+    def test_broken_engine_yields_replayable_counterexample(self, monkeypatch, tmp_path):
+        _break_symta(monkeypatch)
+        config = CampaignConfig(
+            sampler=SMOKE_SAMPLER, oracle=FAST,
+            shrink_max_checks=60, repro_dir=str(tmp_path),
+        )
+        campaign = run_campaign(0, 4, config)
+        assert campaign.violations > 0
+        assert campaign.counterexamples
+        path = campaign.counterexamples[0]
+        assert os.path.exists(path)
+        payload = load_counterexample(path)
+        assert payload["violations"]
+        assert payload["verdicts"]["symta"]["value"] is not None
+        # the serialised model replays against the (still broken) oracle
+        replayed = check_model(
+            model_from_dict(payload["model"]),
+            seed=payload["seed"],
+            config=OracleConfig.from_dict(payload["oracle"]),
+        )
+        assert replayed.status == "violation"
+        # and the shrunk model is no larger than the original
+        if "unshrunk_model" in payload:
+            assert _model_size(model_from_dict(payload["model"])) <= _model_size(
+                model_from_dict(payload["unshrunk_model"])
+            )
+
+    def test_campaign_config_round_trip(self):
+        config = CampaignConfig(
+            sampler=SMOKE_SAMPLER, oracle=FAST, shrink=False, repro_dir="/tmp/x"
+        )
+        assert CampaignConfig.from_dict(config.to_dict()) == config
+
+
+class TestSweepIntegration:
+    def test_diffcheck_cells_split_seed_windows(self):
+        cells = diffcheck_cells(10, 55, batch=25)
+        assert [cell.seed_start for cell in cells] == [10, 35, 60]
+        assert [cell.count for cell in cells] == [25, 25, 5]
+        assert cells[0].name == "diffcheck/seeds10-34"
+        assert cells[-1].name == "diffcheck/seeds60-64"
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ModelError):
+            diffcheck_cells(0, 0)
+        with pytest.raises(ModelError):
+            DiffCheckCell(name="x", seed_start=0, count=0)
+
+    def test_run_cell_dispatches_diffcheck_kind(self, tmp_path):
+        config = CampaignConfig(sampler=SMOKE_SAMPLER, oracle=FAST,
+                                repro_dir=str(tmp_path))
+        cell = DiffCheckCell(name="diffcheck/seeds0-3", seed_start=0, count=4,
+                             config=config.to_dict())
+        result = run_cell(cell)
+        assert result.kind == "diffcheck"
+        assert result.models_checked > 0
+        assert result.violations == 0
+        assert result.states_explored > 0
+        point = result.point()
+        assert point["kind"] == "diffcheck"
+        assert "wcrt_ticks" not in point
+        assert "transitions" not in point  # always-zero counters are dropped too
+        assert point["models_checked"] == result.models_checked
+
+    def test_serial_sweep_over_diffcheck_cells(self, tmp_path):
+        config = CampaignConfig(sampler=SMOKE_SAMPLER, oracle=FAST,
+                                repro_dir=str(tmp_path))
+        cells = diffcheck_cells(0, 4, batch=2, config=config.to_dict())
+        sweep = run_sweep(cells, workers=1)
+        assert len(sweep.results) == 2
+        assert all(result.kind == "diffcheck" for result in sweep)
+        # the two windows cover disjoint seeds deterministically
+        serial = run_campaign(0, 4, config)
+        assert sum(result.models_checked for result in sweep) == serial.models_checked
+
+    def test_wcrt_points_unchanged_by_new_fields(self):
+        # the diffcheck-only fields must not leak into table-cell points
+        from repro.sweep import SweepCell
+
+        cell = SweepCell(
+            name="AL+TMC/po/TMC", requirement="TMC", combination="AL+TMC",
+            configuration="po",
+            settings={"search_order": "bfs", "max_states": None, "seed": 1},
+        )
+        point = run_cell(cell).point()
+        assert "kind" not in point
+        assert "models_checked" not in point
+        assert "counterexamples" not in point
+
+
+class TestCli:
+    def test_cli_small_window_writes_trajectory(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_diffcheck.json"
+        code = diffcheck_main([
+            "--seed", "0", "--count", "3",
+            "--max-states", "3000", "--max-seconds", "1.0", "--des-runs", "1",
+            "--output", str(output), "--repro-dir", str(tmp_path / "repros"),
+        ])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["schema"] == "repro-bench-v1"
+        assert payload["kind"] == "diffcheck"
+        assert payload["points"]["campaign"]["models"] == 3
+        assert payload["meta"]["oracle"]["max_states"] == 3000
+
+    def test_cli_min_models_gate(self, tmp_path):
+        code = diffcheck_main([
+            "--seed", "0", "--count", "2", "--min-models", "10",
+            "--max-states", "2000", "--max-seconds", "1.0", "--des-runs", "1",
+            "--output", str(tmp_path / "b.json"),
+            "--repro-dir", str(tmp_path / "repros"),
+        ])
+        assert code == 3
+
+    def test_cli_rejects_bad_usage(self, tmp_path):
+        with pytest.raises(SystemExit):
+            diffcheck_main(["--count", "0"])
+        with pytest.raises(SystemExit):
+            diffcheck_main(["--workers", "0"])
+        with pytest.raises(SystemExit):
+            diffcheck_main(["--batch", "0"])
+
+    def test_cli_replay_round_trip(self, monkeypatch, tmp_path, capsys):
+        _break_symta(monkeypatch)
+        output = tmp_path / "BENCH_diffcheck.json"
+        repro_dir = tmp_path / "repros"
+        code = diffcheck_main([
+            "--seed", "0", "--count", "3",
+            "--max-states", "2000", "--max-seconds", "1.0", "--des-runs", "1",
+            "--output", str(output), "--repro-dir", str(repro_dir),
+        ])
+        assert code == 1  # violations found
+        files = sorted(repro_dir.glob("counterexample_seed*.json"))
+        assert files
+        # replay with the engine still broken: reproduces, exit 1
+        assert diffcheck_main(["--replay", str(files[0])]) == 1
+        monkeypatch.undo()
+        # replay with the healed engine: fixed, exit 0
+        assert diffcheck_main(["--replay", str(files[0])]) == 0
+
+    def test_cli_replay_rejects_garbage(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        assert diffcheck_main(["--replay", str(bogus)]) == 2
+        assert diffcheck_main(["--replay", str(tmp_path / "missing.json")]) == 2

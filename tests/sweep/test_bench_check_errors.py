@@ -1,0 +1,74 @@
+"""The core benchmark's --check must fail fast on a missing/unusable baseline.
+
+These tests import ``benchmarks/bench_core_scaling.py`` as a module and hit
+only its argument/baseline validation, which returns before any cell runs --
+they must stay sub-second.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+_BENCH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "benchmarks", "bench_core_scaling.py"
+)
+
+
+@pytest.fixture(scope="module")
+def bench_main():
+    spec = importlib.util.spec_from_file_location("bench_core_scaling", _BENCH)
+    module = importlib.util.module_from_spec(spec)
+    saved = sys.modules.get("bench_core_scaling")
+    sys.modules["bench_core_scaling"] = module
+    try:
+        spec.loader.exec_module(module)
+        yield module.main
+    finally:
+        if saved is None:
+            sys.modules.pop("bench_core_scaling", None)
+        else:
+            sys.modules["bench_core_scaling"] = saved
+
+
+def test_check_with_missing_baseline_fails_fast(bench_main, tmp_path, capsys):
+    code = bench_main([
+        "--check", "--quick",
+        "--baseline", str(tmp_path / "no_such_baseline.json"),
+        "--output", str(tmp_path / "out.json"),
+    ])
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "not found" in captured.err
+    assert "--update-baseline" in captured.err
+    # failed before any cell ran: no benchmark output, no trajectory
+    assert "core scaling benchmark" not in captured.out
+    assert not (tmp_path / "out.json").exists()
+
+
+def test_check_with_malformed_baseline_fails_fast(bench_main, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"schema": "not-a-trajectory"}))
+    code = bench_main([
+        "--check", "--quick",
+        "--baseline", str(baseline),
+        "--output", str(tmp_path / "out.json"),
+    ])
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "unusable baseline" in captured.err
+    assert "core scaling benchmark" not in captured.out
+
+
+def test_corrupt_json_baseline_fails_fast(bench_main, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{ not json")
+    code = bench_main([
+        "--check", "--quick",
+        "--baseline", str(baseline),
+        "--output", str(tmp_path / "out.json"),
+    ])
+    assert code == 2
+    assert "unusable baseline" in capsys.readouterr().err

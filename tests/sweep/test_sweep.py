@@ -230,3 +230,77 @@ class TestCli:
             "--output", str(tmp_path / "out.json"), "--check",
         ])
         assert code == 2
+
+
+class TestCliErrorPaths:
+    """The unhappy paths fail fast, with messages instead of tracebacks."""
+
+    def test_bad_combination_rejected(self, tmp_path, capsys):
+        code = sweep_main([
+            "--combination", "bogus", "--configuration", "po",
+            "--requirement", "TMC", "--workers", "1",
+            "--output", str(tmp_path / "out.json"),
+        ])
+        assert code == 2
+        assert "invalid cell specification" in capsys.readouterr().err
+
+    def test_bad_configuration_rejected(self, tmp_path, capsys):
+        code = sweep_main([
+            "--combination", "AL+TMC", "--configuration", "zigzag",
+            "--requirement", "TMC", "--workers", "1",
+            "--output", str(tmp_path / "out.json"),
+        ])
+        assert code == 2
+        assert "invalid cell specification" in capsys.readouterr().err
+
+    def test_zero_workers_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            sweep_main([
+                "--combination", "AL+TMC", "--configuration", "po",
+                "--requirement", "TMC", "--workers", "0",
+                "--output", str(tmp_path / "out.json"),
+            ])
+        assert excinfo.value.code == 2
+        assert "--workers must be at least 1" in capsys.readouterr().err
+
+    def test_negative_workers_rejected(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            sweep_main([
+                "--combination", "AL+TMC", "--configuration", "po",
+                "--requirement", "TMC", "--workers", "-3",
+                "--output", str(tmp_path / "out.json"),
+            ])
+        assert excinfo.value.code == 2
+
+    def test_missing_baseline_file_fails_before_sweep(self, tmp_path, capsys):
+        # the sweep itself must not run: a missing baseline under --check
+        # errors out in milliseconds, not after the cells
+        code = sweep_main([
+            "--combination", "AL+TMC", "--configuration", "po",
+            "--requirement", "TMC", "--workers", "1",
+            "--output", str(tmp_path / "out.json"),
+            "--check", "--baseline", str(tmp_path / "missing.json"),
+        ])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "cannot read baseline" in captured.err
+        assert "sweeping" not in captured.out
+        assert not (tmp_path / "out.json").exists()
+
+    def test_malformed_baseline_rejected(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"schema": "something-else"}))
+        code = sweep_main([
+            "--combination", "AL+TMC", "--configuration", "po",
+            "--requirement", "TMC", "--workers", "1",
+            "--output", str(tmp_path / "out.json"),
+            "--check", "--baseline", str(baseline),
+        ])
+        assert code == 2
+        assert "unusable baseline" in capsys.readouterr().err
+
+    def test_max_states_needs_custom_grid(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            sweep_main(["--grid", "core", "--max-states", "100",
+                        "--output", str(tmp_path / "out.json")])
+        assert excinfo.value.code == 2
