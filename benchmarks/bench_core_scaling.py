@@ -23,7 +23,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_core_scaling.py            # run + write BENCH_core.json
     PYTHONPATH=src python benchmarks/bench_core_scaling.py --check    # also fail (exit 1) on >25% regression
     PYTHONPATH=src python benchmarks/bench_core_scaling.py --update-baseline
-    PYTHONPATH=src python benchmarks/bench_core_scaling.py --quick    # po + pno only, 1 rep
+    PYTHONPATH=src python benchmarks/bench_core_scaling.py --quick    # po + pno only
     PYTHONPATH=src python benchmarks/bench_core_scaling.py --workers 4
 
 Exit codes: 0 ok, 1 throughput regression (``--check``), 2 correctness
@@ -57,6 +57,19 @@ from repro.perf import (  # noqa: E402
 #: (combination, configuration) cells; exhaustive and deterministic (bfs)
 CELLS: tuple[tuple[str, str], ...] = (("AL+TMC", "po"), ("AL+TMC", "pno"), ("AL+TMC", "sp"))
 
+#: resource-policy variant cells of the full (non ``--quick``) run:
+#: (combination, configuration, policy, max_states, search order).  The
+#: round-robin variant explores exhaustively; the TDMA-bus variant's slot
+#: machinery blows up the zone graph, so it runs as a budgeted random-dfs
+#: lower bound exactly like the heavy Table 1 cells.  Policy cells are
+#: recorded as their own trajectory points and stay out of the classic
+#: aggregate, so historical aggregate comparisons keep comparing the same
+#: three cells.
+POLICY_CELLS: tuple[tuple[str, str, str, "int | None", str], ...] = (
+    ("AL+TMC", "pno", "rr", None, "bfs"),
+    ("AL+TMC", "po", "tdma-bus", 4_000, "rdfs"),
+)
+
 DEFAULT_BASELINE = os.path.join(_HERE, "baselines", "bench_core_seed.json")
 DEFAULT_OUTPUT = os.path.join(_HERE, "..", "BENCH_core.json")
 
@@ -64,10 +77,20 @@ DEFAULT_OUTPUT = os.path.join(_HERE, "..", "BENCH_core.json")
 REQUIREMENT = "TMC"
 
 
-def run_cell(model, combination: str, configuration: str, reps: int) -> dict:
+def run_cell(
+    model,
+    combination: str,
+    configuration: str,
+    reps: int,
+    policy: str = "fp",
+    max_states: "int | None" = None,
+    search_order: str = "bfs",
+) -> dict:
     """Run one cell *reps* times; returns metrics with the best throughput."""
-    configured = configure(model, combination, configuration)
-    settings = TimedAutomataSettings(search_order="bfs", max_states=None, seed=1)
+    configured = configure(model, combination, configuration, policy=policy)
+    settings = TimedAutomataSettings(
+        search_order=search_order, max_states=max_states, seed=1
+    )
     best = None
     for _ in range(max(1, reps)):
         with Timer() as timer:
@@ -88,10 +111,12 @@ def run_cell(model, combination: str, configuration: str, reps: int) -> dict:
     return best
 
 
-def verify_cell(name: str, point: dict, baseline_points: dict) -> list[str]:
+def verify_cell(
+    name: str, point: dict, baseline_points: dict, exhaustive: bool = True
+) -> list[str]:
     """Check the machine-independent correctness anchors of one cell."""
     problems = verify_anchors(name, point, baseline_points.get(name, {}))
-    if point["is_lower_bound"]:
+    if exhaustive and point["is_lower_bound"]:
         problems.append(f"{name}: exhaustive run reported a lower bound")
     return problems
 
@@ -109,7 +134,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--reps", type=int, default=2,
                         help="repetitions per cell, best throughput wins (default 2)")
     parser.add_argument("--quick", action="store_true",
-                        help="run only the two smaller cells once (smoke mode)")
+                        help="run only the two smaller cells (smoke / PR-gate mode)")
+    parser.add_argument("--check-min-states", type=int, default=1_000,
+                        help="--check ignores the throughput of cells exploring fewer "
+                             "states than this (sub-millisecond cells are timer noise; "
+                             "their correctness anchors are still enforced; default 1000)")
     parser.add_argument("--workers", type=int, default=2,
                         help="worker processes of the parallel sweep stage "
                              "(default 2; 1 skips the sweep)")
@@ -122,7 +151,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--update-baseline needs a full run; drop --quick")
 
     cells = CELLS[:2] if args.quick else CELLS
-    reps = 1 if args.quick else args.reps
+    reps = args.reps
 
     # resolve the baseline *before* the (multi-minute) cells run: a missing
     # or malformed baseline under --check must fail fast and clearly
@@ -166,6 +195,25 @@ def main(argv: list[str] | None = None) -> int:
             f"  {name:12s} {point['states_explored']:7d} states  "
             f"{point['states_per_second']:9.1f} states/s{speedup}"
         )
+
+    if not args.quick:
+        # resource-policy variants: separate points, outside the aggregate
+        for combination, configuration, policy, max_states, search_order in POLICY_CELLS:
+            name = f"{combination}/{configuration}#{policy}"
+            point = run_cell(
+                model, combination, configuration, reps,
+                policy=policy, max_states=max_states, search_order=search_order,
+            )
+            points[name] = point
+            problems.extend(
+                verify_cell(name, point, baseline_points, exhaustive=max_states is None)
+            )
+            bound = ">" if point["is_lower_bound"] else "="
+            print(
+                f"  {name:18s} {point['states_explored']:7d} states  "
+                f"{point['states_per_second']:9.1f} states/s  "
+                f"(wcrt {bound} {point['wcrt_ticks']})"
+            )
 
     aggregate = round(total_states / total_seconds, 1) if total_seconds else 0.0
     # a partial (--quick) run must not be compared against the full-run
@@ -230,7 +278,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"updated baseline {os.path.relpath(args.baseline)}")
 
     if args.check:
-        failures = check_regression(points, baseline_points,
+        gated = {
+            name: point for name, point in points.items()
+            if point.get("states_explored", 0) >= args.check_min_states
+        }
+        failures = check_regression(gated, baseline_points,
                                     max_regression=args.max_regression)
         if failures:
             print("THROUGHPUT REGRESSION:")

@@ -17,10 +17,10 @@ Run with::
 """
 
 from repro.arch import (
+    FIXED_PRIORITY_PREEMPTIVE,
     ArchitectureModel,
     Bus,
     Execute,
-    FIXED_PRIORITY_PREEMPTIVE,
     LatencyRequirement,
     Message,
     Operation,

@@ -46,10 +46,13 @@ from repro.arch.requirements import LatencyRequirement
 from repro.arch.resources import (
     BUS_FCFS_NONDETERMINISTIC,
     BUS_FIXED_PRIORITY,
+    BUS_ROUND_ROBIN,
     BUS_TDMA,
     FIXED_PRIORITY_NONPREEMPTIVE,
     FIXED_PRIORITY_PREEMPTIVE,
     NONPREEMPTIVE_NONDETERMINISTIC,
+    ROUND_ROBIN,
+    TDMA,
     ArbitrationPolicy,
     Bus,
     Processor,
@@ -62,8 +65,8 @@ __all__ = [
     # resources
     "Processor", "Bus", "SchedulingPolicy", "ArbitrationPolicy",
     "NONPREEMPTIVE_NONDETERMINISTIC", "FIXED_PRIORITY_NONPREEMPTIVE",
-    "FIXED_PRIORITY_PREEMPTIVE", "BUS_FCFS_NONDETERMINISTIC",
-    "BUS_FIXED_PRIORITY", "BUS_TDMA",
+    "FIXED_PRIORITY_PREEMPTIVE", "ROUND_ROBIN", "TDMA",
+    "BUS_FCFS_NONDETERMINISTIC", "BUS_FIXED_PRIORITY", "BUS_ROUND_ROBIN", "BUS_TDMA",
     # workload
     "Operation", "Message", "Execute", "Transfer", "Scenario", "chain",
     # event models

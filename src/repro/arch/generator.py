@@ -211,6 +211,11 @@ def build_processor_automaton(
     if not steps:
         raise ModelError(f"processor {processor.name!r} has no operations mapped onto it")
 
+    if processor.policy.time_triggered:
+        return _build_tdma_resource(model, processor, signals, prefix="ET")
+    if processor.policy.budgeted:
+        return _build_round_robin_resource(model, processor, signals, prefix="ET")
+
     ta = TimedAutomaton(processor.name)
     ta.add_clock("x")
     ta.add_location("idle", initial=True)
@@ -338,7 +343,9 @@ def build_bus_automaton(
         raise ModelError(f"bus {bus.name!r} has no messages mapped onto it")
 
     if bus.policy.time_triggered:
-        return _build_tdma_bus(model, bus, steps, signals)
+        return _build_tdma_resource(model, bus, signals, prefix="TT")
+    if bus.policy.budgeted:
+        return _build_round_robin_resource(model, bus, signals, prefix="TT")
 
     ta = TimedAutomaton(bus.name)
     ta.add_clock("x")
@@ -378,56 +385,43 @@ def build_bus_automaton(
     return ta
 
 
-def _build_tdma_bus(
+def _build_tdma_resource(
     model: ArchitectureModel,
-    bus: Bus,
-    steps: list[tuple[Scenario, Step]],
+    resource: "Processor | Bus",
     signals: set[tuple[str, str]],
+    prefix: str,
 ) -> TimedAutomaton:
-    """TDMA arbitration: one fixed slot per message, in ``slot_order``.
+    """TDMA scheduling/arbitration: one fixed time slot per step.
 
-    A message is transmitted at the start of its own slot if it is pending at
-    that moment; transmissions never cross slot boundaries (the message
-    transfer time must fit into one slot).
+    A job is dispatched at the start of its own slot if it is pending at
+    that moment; service never crosses a slot boundary (the step duration
+    must fit into one slot, checked by :meth:`ArchitectureModel.tdma_cycle`).
+    The template is shared by processors (``prefix="ET"``) and buses
+    (``prefix="TT"``) — the slot table is policy state, not resource-kind
+    state.
     """
-    by_name = {step.name: (scenario, step) for scenario, step in steps}
-    order = bus.slot_order or tuple(step.name for _scenario, step in steps)
-    unknown = [name for name in order if name not in by_name]
-    if unknown:
-        raise ModelError(
-            f"TDMA slot_order references unknown messages {unknown} on bus {bus.name!r}"
-        )
-    missing = [name for name in by_name if name not in order]
-    if missing:
-        raise ModelError(f"TDMA slot_order on bus {bus.name!r} misses messages {missing}")
-    slot = int(bus.slot_ticks or 0)
+    model.tdma_cycle(resource.name)  # validates slot table and slot fit
+    order = model.cyclic_order(resource.name)
+    slot = int(resource.slot_ticks or 0)
 
-    ta = TimedAutomaton(bus.name)
+    ta = TimedAutomaton(resource.name)
     ta.add_clock("x")
     ta.add_constant("SLOT", slot)
 
-    for index, name in enumerate(order):
-        scenario, step = by_name[name]
-        ticks = model.step_duration(step)
-        if ticks > slot:
-            raise ModelError(
-                f"message {name!r} needs {ticks} ticks but the TDMA slot is only {slot}"
-            )
-        ta.add_constant(f"TT_{scenario.name}_{step.name}", ticks)
+    for scenario, step in order:
+        ta.add_constant(f"{prefix}_{scenario.name}_{step.name}", model.step_duration(step))
 
     # declare all slot locations first: the wrap-around edge of the last slot
     # targets the first slot's begin location
-    for index, name in enumerate(order):
-        scenario, step = by_name[name]
-        duration_name = f"TT_{scenario.name}_{step.name}"
+    for index, (scenario, step) in enumerate(order):
+        duration_name = f"{prefix}_{scenario.name}_{step.name}"
         ta.add_location(f"begin_{index}", committed=True, initial=(index == 0))
         ta.add_location(f"sending_{index}", invariant=f"x <= {duration_name}")
         ta.add_location(f"idle_{index}", invariant="x <= SLOT")
 
-    for index, name in enumerate(order):
-        scenario, step = by_name[name]
+    for index, (scenario, step) in enumerate(order):
         queue = queue_variable(scenario.name, step.name)
-        duration_name = f"TT_{scenario.name}_{step.name}"
+        duration_name = f"{prefix}_{scenario.name}_{step.name}"
         begin, sending, idle = f"begin_{index}", f"sending_{index}", f"idle_{index}"
         ta.add_edge(begin, sending, guard=f"{queue} > 0", updates=f"{queue}--")
         ta.add_edge(begin, idle, guard=f"{queue} == 0")
@@ -436,6 +430,82 @@ def _build_tdma_bus(
                     sync=completion_sync, updates=completion_updates)
         next_begin = f"begin_{(index + 1) % len(order)}"
         ta.add_edge(idle, next_begin, guard="x == SLOT", resets="x")
+    return ta
+
+
+def _build_round_robin_resource(
+    model: ArchitectureModel,
+    resource: "Processor | Bus",
+    signals: set[tuple[str, str]],
+    prefix: str,
+) -> TimedAutomaton:
+    """Budgeted round-robin: cyclic polling over the mapped steps.
+
+    The ``turn`` variable points at the step whose visit it is; a visit
+    serves up to ``rr_budget(step)`` whole jobs (``served`` counts them),
+    then passes the turn on.  Empty visits are skipped in zero time via the
+    urgent ``hurry`` channel, but only while some other queue is non-empty —
+    otherwise the turn simply rests where it is, which keeps the automaton
+    non-Zeno.  A single mapped step degenerates to plain FIFO service.
+    """
+    order = model.cyclic_order(resource.name)
+    n = len(order)
+
+    ta = TimedAutomaton(resource.name)
+    ta.add_clock("x")
+    max_budget = max(resource.rr_budget(step.name) for _scenario, step in order)
+    ta.add_variable("turn", 0, 0, max(0, n - 1))
+    ta.add_variable("served", 0, 0, max_budget)
+    ta.add_location("idle", initial=True)
+
+    for scenario, step in order:
+        ta.add_constant(f"{prefix}_{scenario.name}_{step.name}", model.step_duration(step))
+        ta.add_constant(f"B_{scenario.name}_{step.name}", resource.rr_budget(step.name))
+
+    for index, (scenario, step) in enumerate(order):
+        duration_name = f"{prefix}_{scenario.name}_{step.name}"
+        budget_name = f"B_{scenario.name}_{step.name}"
+        queue = queue_variable(scenario.name, step.name)
+        exec_location = f"exec_{scenario.name}_{step.name}"
+        ta.add_location(exec_location, invariant=f"x <= {duration_name}")
+
+        # dispatch: it is this step's visit and its budget is not exhausted
+        ta.add_edge(
+            "idle", exec_location,
+            guard=f"turn == {index} && {queue} > 0 && served < {budget_name}",
+            sync=f"{HURRY}!",
+            updates=f"{queue}--, served++",
+            resets="x",
+        )
+        completion_updates, completion_sync = _completion_actions(scenario, step, signals)
+        ta.add_edge(
+            exec_location, "idle",
+            guard=f"x == {duration_name}",
+            sync=completion_sync,
+            updates=completion_updates,
+        )
+
+        # pass the turn on: the budget is exhausted, or the visit's queue is
+        # empty while another step is waiting (skipped in zero time)
+        advance_updates = f"turn = {(index + 1) % n}, served = 0"
+        ta.add_edge(
+            "idle", "idle",
+            guard=f"turn == {index} && served == {budget_name}",
+            sync=f"{HURRY}!",
+            updates=advance_updates,
+        )
+        others_pending = " || ".join(
+            f"{queue_variable(other.name, other_step.name)} > 0"
+            for other_index, (other, other_step) in enumerate(order)
+            if other_index != index
+        )
+        if others_pending:
+            ta.add_edge(
+                "idle", "idle",
+                guard=f"turn == {index} && {queue} == 0 && ({others_pending})",
+                sync=f"{HURRY}!",
+                updates=advance_updates,
+            )
     return ta
 
 

@@ -114,6 +114,78 @@ class ArchitectureModel:
             total += self.step_duration(step) / scenario.event_model.period
         return total
 
+    def resource(self, name: str) -> "Processor | Bus":
+        """The processor or bus named *name* (ModelError when unknown)."""
+        holder = self.processors.get(name)
+        if holder is not None:
+            return holder
+        return self.bus(name)
+
+    # -- cyclic (TDMA / round-robin) schedules ------------------------------------
+    def cyclic_order(self, resource: str) -> list[tuple[Scenario, Step]]:
+        """Mapped steps of a TDMA/round-robin resource in slot/visit order.
+
+        Uses the resource's ``slot_order`` when given (it must then name the
+        mapped steps exactly); otherwise the mapped steps in scenario
+        declaration order.  Step names must be unique on the resource, since
+        they key the slot table, and every ``rr_budgets`` entry must name a
+        mapped step (a typo would otherwise silently fall back to budget 1).
+        """
+        holder = self.resource(resource)
+        mapped = self.steps_on_resource(resource)
+        by_name: dict[str, tuple[Scenario, Step]] = {}
+        for scenario, step in mapped:
+            if step.name in by_name:
+                raise ModelError(
+                    f"resource {resource!r} ({holder.policy}) serves two steps named "
+                    f"{step.name!r}; cyclic schedules need unique step names"
+                )
+            by_name[step.name] = (scenario, step)
+        order = holder.slot_order or tuple(step.name for _scenario, step in mapped)
+        unknown = [name for name in order if name not in by_name]
+        if unknown:
+            raise ModelError(
+                f"slot_order of resource {resource!r} references unknown steps {unknown}"
+            )
+        missing = [name for name in by_name if name not in order]
+        if missing:
+            raise ModelError(
+                f"slot_order of resource {resource!r} misses mapped steps {missing}"
+            )
+        unknown_budgets = [name for name, _b in holder.rr_budgets if name not in by_name]
+        if unknown_budgets:
+            raise ModelError(
+                f"rr_budgets of resource {resource!r} reference unknown steps "
+                f"{unknown_budgets}"
+            )
+        return [by_name[name] for name in order]
+
+    def tdma_cycle(self, resource: str) -> int:
+        """Length of one full TDMA cycle of a resource in model ticks."""
+        holder = self.resource(resource)
+        if not holder.policy.time_triggered:
+            raise ModelError(f"resource {resource!r} is not TDMA-scheduled")
+        slot = int(holder.slot_ticks or 0)
+        order = self.cyclic_order(resource)
+        for scenario, step in order:
+            ticks = self.step_duration(step)
+            if ticks > slot:
+                raise ModelError(
+                    f"step {step.name!r} of scenario {scenario.name!r} needs {ticks} "
+                    f"ticks but the TDMA slot of {resource!r} is only {slot}"
+                )
+        return slot * len(order)
+
+    def rr_round_length(self, resource: str) -> int:
+        """Worst-case round-robin round length: every step uses its full budget."""
+        holder = self.resource(resource)
+        if not holder.policy.budgeted:
+            raise ModelError(f"resource {resource!r} is not round-robin-scheduled")
+        return sum(
+            holder.rr_budget(step.name) * self.step_duration(step)
+            for _scenario, step in self.cyclic_order(resource)
+        )
+
     # -- accessors ----------------------------------------------------------------------
     def scenario(self, name: str) -> Scenario:
         try:
@@ -237,6 +309,15 @@ class ArchitectureModel:
                         f"preemptive processor {processor.name!r} is shared by more than two "
                         "priority levels; the Fig. 5 preemption pattern supports exactly two"
                     )
+        # cyclic schedules must resolve (unique step names, consistent slot
+        # tables, TDMA jobs fitting into one slot)
+        for resource in (*self.processors.values(), *self.buses.values()):
+            if not self.steps_on_resource(resource.name):
+                continue
+            if resource.policy.time_triggered:
+                self.tdma_cycle(resource.name)
+            elif resource.policy.budgeted:
+                self.cyclic_order(resource.name)
 
     def __str__(self) -> str:
         return (

@@ -13,14 +13,30 @@ emits for it:
 * :data:`FIXED_PRIORITY_PREEMPTIVE` — the Fig. 5 pattern: a higher-priority
   arrival interrupts the running lower-priority operation, whose remaining
   work is accounted for in the ``D`` variable;
+* :data:`ROUND_ROBIN` — budgeted cyclic polling: the resource visits the
+  mapped steps in a fixed cyclic order and serves up to ``rr_budget(step)``
+  whole jobs per visit; empty slots are skipped in zero time (the SymTA/S
+  and MPA literature's round-robin resource sharing, at job granularity so
+  all four engines implement the identical semantics);
+* :data:`TDMA` — fixed cyclic time slots of ``slot_ticks`` each, one slot
+  per mapped step in ``slot_order``; a job is dispatched only at the start
+  of its own slot and must fit into the slot;
 * bus arbitration: :data:`BUS_FCFS_NONDETERMINISTIC` (Fig. 6),
-  :data:`BUS_FIXED_PRIORITY` and :data:`BUS_TDMA` (the extension discussed in
-  Section 3.2 of the paper, after Perathoner et al.).
+  :data:`BUS_FIXED_PRIORITY`, :data:`BUS_ROUND_ROBIN` and :data:`BUS_TDMA`
+  (the extensions discussed in Section 3.2 of the paper, after Perathoner
+  et al.).
+
+The TDMA/round-robin parameters (``slot_ticks``, ``slot_order``,
+``rr_budgets``) live on the resource; :meth:`Processor.rr_budget` /
+:meth:`Bus.rr_budget` default every unlisted step to budget 1, and a zero or
+negative budget is rejected at construction time (a zero-budget slot would
+starve its step forever).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.util.errors import ModelError
 from repro.util.naming import check_identifier
@@ -31,11 +47,15 @@ __all__ = [
     "NONPREEMPTIVE_NONDETERMINISTIC",
     "FIXED_PRIORITY_NONPREEMPTIVE",
     "FIXED_PRIORITY_PREEMPTIVE",
+    "ROUND_ROBIN",
+    "TDMA",
     "BUS_FCFS_NONDETERMINISTIC",
     "BUS_FIXED_PRIORITY",
+    "BUS_ROUND_ROBIN",
     "BUS_TDMA",
     "Processor",
     "Bus",
+    "normalise_budgets",
 ]
 
 
@@ -46,6 +66,10 @@ class SchedulingPolicy:
     name: str
     preemptive: bool
     priority_based: bool
+    #: TDMA: the resource is driven by a fixed cyclic slot table
+    time_triggered: bool = False
+    #: round-robin: cyclic polling with per-step job budgets
+    budgeted: bool = False
 
     def __str__(self) -> str:
         return self.name
@@ -58,6 +82,7 @@ class ArbitrationPolicy:
     name: str
     priority_based: bool
     time_triggered: bool = False
+    budgeted: bool = False
 
     def __str__(self) -> str:
         return self.name
@@ -72,10 +97,56 @@ FIXED_PRIORITY_NONPREEMPTIVE = SchedulingPolicy(
 FIXED_PRIORITY_PREEMPTIVE = SchedulingPolicy(
     "fixed-priority-preemptive", preemptive=True, priority_based=True
 )
+ROUND_ROBIN = SchedulingPolicy("round-robin", preemptive=False, priority_based=False, budgeted=True)
+TDMA = SchedulingPolicy("tdma", preemptive=False, priority_based=False, time_triggered=True)
 
 BUS_FCFS_NONDETERMINISTIC = ArbitrationPolicy("fcfs-nondeterministic", priority_based=False)
 BUS_FIXED_PRIORITY = ArbitrationPolicy("fixed-priority", priority_based=True)
+BUS_ROUND_ROBIN = ArbitrationPolicy("round-robin", priority_based=False, budgeted=True)
 BUS_TDMA = ArbitrationPolicy("tdma", priority_based=False, time_triggered=True)
+
+
+def normalise_budgets(
+    budgets: "Mapping[str, int] | tuple[tuple[str, int], ...] | None",
+) -> tuple[tuple[str, int], ...]:
+    """Coerce a budgets mapping into the canonical sorted tuple-of-pairs form."""
+    if not budgets:
+        return ()
+    items = budgets.items() if isinstance(budgets, Mapping) else budgets
+    return tuple(sorted((str(name), int(value)) for name, value in items))
+
+
+def _check_schedule_parameters(resource_kind: str, resource) -> None:
+    """Shared validation of the TDMA/round-robin parameters of a resource."""
+    policy = resource.policy
+    if policy.time_triggered and not resource.slot_ticks:
+        raise ModelError(
+            f"TDMA {resource_kind} {resource.name!r} needs a positive slot_ticks"
+        )
+    if resource.slot_ticks is not None and resource.slot_ticks <= 0:
+        raise ModelError(
+            f"{resource_kind} {resource.name!r} slot_ticks must be positive"
+        )
+    seen: set[str] = set()
+    for name in resource.slot_order:
+        if name in seen:
+            raise ModelError(
+                f"{resource_kind} {resource.name!r} lists slot {name!r} twice"
+            )
+        seen.add(name)
+    budget_names: set[str] = set()
+    for name, budget in resource.rr_budgets:
+        if name in budget_names:
+            raise ModelError(
+                f"{resource_kind} {resource.name!r} lists a round-robin budget "
+                f"for step {name!r} twice"
+            )
+        budget_names.add(name)
+        if budget <= 0:
+            raise ModelError(
+                f"{resource_kind} {resource.name!r}: round-robin budget of step "
+                f"{name!r} must be positive (a zero-budget slot would starve it)"
+            )
 
 
 @dataclass(frozen=True)
@@ -86,16 +157,35 @@ class Processor:
     ``instructions / (mips * 1e6)`` seconds — the paper's Section 3.1
     approximation, adequate for early design-space exploration; measured
     values can be substituted by adjusting the operation's instruction count.
+
+    ``slot_ticks`` / ``slot_order`` parameterise the TDMA policy (slot length
+    in model ticks, step names in slot order); ``rr_budgets`` lists
+    ``(step name, jobs-per-visit)`` pairs for the round-robin policy.  Both
+    orders may be left empty, in which case the mapped steps (in scenario
+    declaration order) are used.
     """
 
     name: str
     mips: float
     policy: SchedulingPolicy = FIXED_PRIORITY_PREEMPTIVE
+    #: TDMA only: length of one slot in model time units
+    slot_ticks: int | None = None
+    #: TDMA/round-robin: step names in slot/visit order (empty = mapped order)
+    slot_order: tuple[str, ...] = field(default_factory=tuple)
+    #: round-robin only: (step name, budget) pairs; unlisted steps budget 1
+    rr_budgets: tuple[tuple[str, int], ...] = field(default_factory=tuple)
 
     def __post_init__(self):
         check_identifier(self.name, "processor")
         if self.mips <= 0:
             raise ModelError(f"processor {self.name!r} must have positive capacity")
+        object.__setattr__(self, "rr_budgets", normalise_budgets(self.rr_budgets))
+        _check_schedule_parameters("processor", self)
+        object.__setattr__(self, "_budget_map", dict(self.rr_budgets))
+
+    def rr_budget(self, step_name: str) -> int:
+        """Round-robin jobs-per-visit budget of one step (default 1)."""
+        return self._budget_map.get(step_name, 1)
 
     def __str__(self) -> str:
         return f"Processor({self.name}, {self.mips} MIPS, {self.policy})"
@@ -105,9 +195,11 @@ class Processor:
 class Bus:
     """A shared communication link with a bandwidth in kbit/s.
 
-    ``slot_ticks`` and ``slot_order`` are only used by the TDMA arbitration
+    ``slot_ticks`` and ``slot_order`` are used by the TDMA arbitration
     policy: ``slot_order`` lists message names in the order of their slots
     and ``slot_ticks`` is the length of each slot in model time units.
+    ``rr_budgets`` parameterises round-robin arbitration exactly as for
+    :class:`Processor`.
     """
 
     name: str
@@ -115,13 +207,19 @@ class Bus:
     policy: ArbitrationPolicy = BUS_FCFS_NONDETERMINISTIC
     slot_ticks: int | None = None
     slot_order: tuple[str, ...] = field(default_factory=tuple)
+    rr_budgets: tuple[tuple[str, int], ...] = field(default_factory=tuple)
 
     def __post_init__(self):
         check_identifier(self.name, "bus")
         if self.kbps <= 0:
             raise ModelError(f"bus {self.name!r} must have positive bandwidth")
-        if self.policy.time_triggered and not self.slot_ticks:
-            raise ModelError(f"TDMA bus {self.name!r} needs a positive slot_ticks")
+        object.__setattr__(self, "rr_budgets", normalise_budgets(self.rr_budgets))
+        _check_schedule_parameters("bus", self)
+        object.__setattr__(self, "_budget_map", dict(self.rr_budgets))
+
+    def rr_budget(self, step_name: str) -> int:
+        """Round-robin jobs-per-visit budget of one message (default 1)."""
+        return self._budget_map.get(step_name, 1)
 
     def __str__(self) -> str:
         return f"Bus({self.name}, {self.kbps} kbit/s, {self.policy})"

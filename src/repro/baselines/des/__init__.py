@@ -1,7 +1,7 @@
 """Discrete-event simulation baseline (POOSL / SHESim substitute)."""
 
 from repro.baselines.des.engine import ScheduledEvent, Simulator
-from repro.baselines.des.servers import Job, ResourceServer
+from repro.baselines.des.servers import Job, ResourceServer, RoundRobinServer, TdmaServer
 from repro.baselines.des.simulator import (
     RequirementObservation,
     SimulationResult,
@@ -14,6 +14,8 @@ __all__ = [
     "ScheduledEvent",
     "Job",
     "ResourceServer",
+    "RoundRobinServer",
+    "TdmaServer",
     "SimulationSettings",
     "SimulationResult",
     "RequirementObservation",

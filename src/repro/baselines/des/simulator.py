@@ -19,7 +19,7 @@ from statistics import mean
 from repro.arch.model import ArchitectureModel
 from repro.arch.workload import Scenario
 from repro.baselines.des.engine import Simulator
-from repro.baselines.des.servers import Job, ResourceServer
+from repro.baselines.des.servers import Job, ResourceServer, RoundRobinServer, TdmaServer
 from repro.util.errors import AnalysisError
 
 __all__ = ["SimulationSettings", "RequirementObservation", "SimulationResult", "simulate"]
@@ -83,6 +83,27 @@ class SimulationResult:
         return timebase.to_milliseconds(observation.maximum)
 
 
+def _make_server(
+    simulator: Simulator, model: ArchitectureModel, resource, preemptable: bool
+) -> "ResourceServer | RoundRobinServer | TdmaServer":
+    """Build the server matching one resource's scheduling/arbitration policy."""
+    policy = resource.policy
+    if model.steps_on_resource(resource.name):
+        if policy.time_triggered:
+            order = [step.name for _scenario, step in model.cyclic_order(resource.name)]
+            return TdmaServer(simulator, resource.name, resource.slot_ticks or 0, order)
+        if policy.budgeted:
+            order = [step.name for _scenario, step in model.cyclic_order(resource.name)]
+            budgets = {name: resource.rr_budget(name) for name in order}
+            return RoundRobinServer(simulator, resource.name, order, budgets)
+    return ResourceServer(
+        simulator,
+        resource.name,
+        preemptive=preemptable and policy.preemptive,
+        priority_based=policy.priority_based,
+    )
+
+
 class _ScenarioInstance:
     """One in-flight activation of a scenario chain."""
 
@@ -102,20 +123,14 @@ class _SimulationRun:
         self.horizon = horizon
         self.rng = random.Random(seed)
         self.simulator = Simulator()
-        self.servers: dict[str, ResourceServer] = {}
+        self.servers: dict[str, ResourceServer | RoundRobinServer | TdmaServer] = {}
         for processor in model.processors.values():
-            self.servers[processor.name] = ResourceServer(
-                self.simulator,
-                processor.name,
-                preemptive=processor.policy.preemptive,
-                priority_based=processor.policy.priority_based,
+            self.servers[processor.name] = _make_server(
+                self.simulator, model, processor, preemptable=True
             )
         for bus in model.buses.values():
-            self.servers[bus.name] = ResourceServer(
-                self.simulator,
-                bus.name,
-                preemptive=False,
-                priority_based=bus.policy.priority_based,
+            self.servers[bus.name] = _make_server(
+                self.simulator, model, bus, preemptable=False
             )
         #: latency samples per requirement
         self.samples: dict[str, list[int]] = {name: [] for name in model.requirements}
@@ -149,6 +164,7 @@ class _SimulationRun:
             demand=demand,
             priority=scenario.priority,
             on_complete=lambda: self._finish_step(instance, index),
+            task_key=step.name,
         )
         server.submit(job)
 

@@ -8,6 +8,8 @@ from repro.baselines.mpa.curves import (
     full_service,
     leftover_service,
     rate_latency,
+    round_robin_service,
+    tdma_service,
 )
 
 __all__ = [
@@ -16,6 +18,8 @@ __all__ = [
     "full_service",
     "rate_latency",
     "leftover_service",
+    "tdma_service",
+    "round_robin_service",
     "GPCResult",
     "delay_bound",
     "backlog_bound",

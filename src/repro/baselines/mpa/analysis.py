@@ -30,7 +30,13 @@ from dataclasses import dataclass
 from repro.arch.model import ArchitectureModel
 from repro.arch.workload import Scenario, Step
 from repro.baselines.mpa.components import GPCResult, delay_bound
-from repro.baselines.mpa.curves import StaircaseCurve, full_service, leftover_service
+from repro.baselines.mpa.curves import (
+    StaircaseCurve,
+    full_service,
+    leftover_service,
+    round_robin_service,
+    tdma_service,
+)
 from repro.util.errors import AnalysisError
 
 __all__ = ["MpaSettings", "MpaStepResult", "MpaResult", "analyze"]
@@ -119,6 +125,7 @@ def analyze(model: ArchitectureModel, settings: MpaSettings | None = None) -> Mp
             mapped = model.steps_on_resource(resource)
             if not mapped:
                 continue
+            policy = model.resource(resource).policy
             preemptive, priority_based = _resource_flags(model, resource)
             # order components by priority (FCFS resources: all at one level,
             # analysed conservatively with every other component above them)
@@ -126,6 +133,24 @@ def analyze(model: ArchitectureModel, settings: MpaSettings | None = None) -> Mp
             for scenario, step in mapped:
                 key = (scenario.name, step.name)
                 curves[key] = _arrival_curve(scenario, step, extra_jitter[key], wcets[key])
+
+            if policy.time_triggered:
+                # TDMA: every step owns a dedicated slot, no cross-interference
+                cycle = model.tdma_cycle(resource)
+                for scenario, step in mapped:
+                    key = (scenario.name, step.name)
+                    results[key] = delay_bound(curves[key], tdma_service(wcets[key], cycle))
+                continue
+            if policy.budgeted:
+                holder = model.resource(resource)
+                round_length = model.rr_round_length(resource)
+                for scenario, step in mapped:
+                    key = (scenario.name, step.name)
+                    service = round_robin_service(
+                        wcets[key], holder.rr_budget(step.name), round_length
+                    )
+                    results[key] = delay_bound(curves[key], service)
+                continue
 
             for scenario, step in mapped:
                 key = (scenario.name, step.name)

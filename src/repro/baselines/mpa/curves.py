@@ -40,6 +40,8 @@ __all__ = [
     "full_service",
     "rate_latency",
     "leftover_service",
+    "tdma_service",
+    "round_robin_service",
 ]
 
 
@@ -201,6 +203,48 @@ def rate_latency(rate: float, latency: float) -> PiecewiseLinearCurve:
     return PiecewiseLinearCurve((0.0, float(latency)), (0.0, 0.0), rate)
 
 
+def tdma_service(wcet: int, cycle: int) -> PiecewiseLinearCurve:
+    """Lower service curve of one step on a TDMA resource.
+
+    The engines' shared TDMA semantics dispatches one whole job (of ``wcet``
+    ticks) per cycle, at the start of the step's own slot; the worst-case
+    arrival just misses its slot and waits one full cycle.  A continuously
+    backlogged step therefore completes its ``n``-th job by
+    ``n * cycle + wcet <= (n+1) * cycle``, which the rate-latency curve
+    ``beta(Δ) = (wcet/cycle) * (Δ - cycle)⁺`` lower-bounds (it yields
+    ``beta⁻¹(n * wcet) = (n+1) * cycle``).  Other slots never interfere, so
+    the curve is independent of the co-mapped steps.
+    """
+    if cycle <= 0:
+        raise AnalysisError("TDMA service needs a positive cycle length")
+    if wcet <= 0:
+        raise AnalysisError("TDMA service needs a positive per-job workload")
+    if wcet > cycle:
+        raise AnalysisError("a TDMA job must fit into one cycle")
+    return rate_latency(wcet / cycle, float(cycle))
+
+
+def round_robin_service(wcet: int, budget: int, round_length: int) -> PiecewiseLinearCurve:
+    """Lower service curve of one step on a budgeted round-robin resource.
+
+    A full polling round serves every step's complete budget and is thus at
+    most ``round_length = Σ_j budget_j * wcet_j`` ticks long; within each
+    round the step is guaranteed its own share ``budget * wcet``.  The
+    classical round-robin rate-latency curve
+    ``beta(Δ) = (share/round) * (Δ - (round - share))⁺`` follows.  A single
+    step alone on the resource (``share == round``) receives full service —
+    round-robin degenerates to FIFO.
+    """
+    if wcet <= 0 or budget <= 0:
+        raise AnalysisError("round-robin service needs positive workload and budget")
+    share = budget * wcet
+    if round_length < share:
+        raise AnalysisError("round-robin round cannot be shorter than the own share")
+    if round_length == share:
+        return full_service(1.0)
+    return rate_latency(share / round_length, float(round_length - share))
+
+
 def leftover_service(
     beta: PiecewiseLinearCurve,
     demands: list[StaircaseCurve],
@@ -208,11 +252,23 @@ def leftover_service(
 ) -> PiecewiseLinearCurve:
     """Service left over after greedily serving the *demands* (fixed priority).
 
-    Computes ``beta'(Δ) = sup_{0 <= λ <= Δ} (beta(λ) - Σ alpha_i(λ))⁺``
-    point-wise on the union of the staircase jump points up to *horizon*, and
-    continues with the long-run leftover rate after the horizon.  The horizon
-    must cover the longest busy window of the higher-priority demand; the
+    Computes ``beta'(Δ) = max_{0 <= λ <= Δ, λ integer} (beta(λ) - Σ alpha_i(λ))⁺``
+    on the union of the staircase jump points up to *horizon*, and continues
+    with the long-run leftover rate after the horizon.  The horizon must
+    cover the longest busy window of the higher-priority demand; the
     system-level analysis picks it from the busy-window lengths it computes.
+
+    The maximum runs over *integer* window lengths with the closed-window
+    demand staircase: in the shared timed-automata semantics a
+    higher-priority job released exactly at a window boundary still wins the
+    interleaving, so within a demand segment ``[p, p') `` the last window
+    whose leftover is actually attained is ``p' - 1`` — using the
+    real-valued supremum (which approaches ``beta(p') - alpha(p' - )`` but
+    is never attained) would overestimate the guaranteed service by up to
+    one whole job of demand.  ``beta`` is assumed concave on each demand
+    segment (the fixed-priority analysis always passes the linear full
+    service here), so the chord drawn between the attained points never
+    exceeds the true curve.
     """
     if not demands:
         return beta
@@ -236,7 +292,7 @@ def leftover_service(
             continue
         demand_level = total_demand(previous)
         # within [previous, nxt) the demand is constant, so beta - demand rises
-        # with beta; it overtakes the running supremum at the kink point below
+        # with beta; it overtakes the running maximum at the kink point below
         try:
             kink = beta.inverse(best + demand_level)
         except AnalysisError:
@@ -244,9 +300,16 @@ def leftover_service(
         if previous < kink < nxt:
             xs.append(kink)
             ys.append(best)
-        end_value = beta(nxt) - demand_level
+        # the rise is capped one tick *before* the next demand jump: a job
+        # released exactly at the jump instant still wins the interleaving
+        # against a completion scheduled there, so the boundary tick's
+        # leftover is never attained (the curve stays flat across it)
+        end_value = beta(max(previous, nxt - 1)) - demand_level
         if end_value > best:
             best = end_value
+            if nxt - 1 > max(previous, kink):
+                xs.append(nxt - 1)
+                ys.append(best)
         xs.append(nxt)
         ys.append(best)
         previous = nxt

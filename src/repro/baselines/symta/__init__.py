@@ -1,17 +1,25 @@
 """Compositional scheduling analysis baseline (SymTA/S substitute)."""
 
-from repro.baselines.symta.busywindow import AnalysedTask, TaskResult, response_time
 from repro.baselines.symta.analysis import (
     SymtaResult,
     SymtaSettings,
     SymtaStepResult,
     analyze,
 )
+from repro.baselines.symta.busywindow import (
+    AnalysedTask,
+    TaskResult,
+    response_time,
+    response_time_round_robin,
+    response_time_tdma,
+)
 
 __all__ = [
     "AnalysedTask",
     "TaskResult",
     "response_time",
+    "response_time_round_robin",
+    "response_time_tdma",
     "SymtaSettings",
     "SymtaStepResult",
     "SymtaResult",

@@ -18,7 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.model import ArchitectureModel
-from repro.baselines.symta.busywindow import AnalysedTask, TaskResult, response_time
+from repro.baselines.symta.busywindow import (
+    AnalysedTask,
+    TaskResult,
+    response_time,
+    response_time_round_robin,
+    response_time_tdma,
+)
 from repro.util.errors import AnalysisError
 
 __all__ = ["SymtaSettings", "SymtaStepResult", "SymtaResult", "analyze"]
@@ -91,6 +97,7 @@ def analyze(model: ArchitectureModel, settings: SymtaSettings | None = None) -> 
             mapped = model.steps_on_resource(resource)
             if not mapped:
                 continue
+            policy = model.resource(resource).policy
             preemptive, priority_based = _resource_properties(model, resource)
             tasks: dict[tuple[str, str], AnalysedTask] = {}
             for scenario, step in mapped:
@@ -103,9 +110,32 @@ def analyze(model: ArchitectureModel, settings: SymtaSettings | None = None) -> 
                     extra_jitter=extra_jitter[key],
                     group=scenario.name,
                 )
-            for key, task in tasks.items():
-                competitors = [other for other_key, other in tasks.items() if other_key != key]
-                step_results[key] = response_time(task, competitors, preemptive, priority_based)
+            if policy.time_triggered:
+                # TDMA isolates the tasks: each one owns a dedicated slot per cycle
+                cycle = model.tdma_cycle(resource)
+                for key, task in tasks.items():
+                    step_results[key] = response_time_tdma(task, cycle)
+            elif policy.budgeted:
+                holder = model.resource(resource)
+                budgets = {
+                    (scenario.name, step.name): holder.rr_budget(step.name)
+                    for scenario, step in mapped
+                }
+                for key, task in tasks.items():
+                    competitors = [
+                        (other, budgets[other_key])
+                        for other_key, other in tasks.items()
+                        if other_key != key
+                    ]
+                    step_results[key] = response_time_round_robin(task, competitors)
+            else:
+                for key, task in tasks.items():
+                    competitors = [
+                        other for other_key, other in tasks.items() if other_key != key
+                    ]
+                    step_results[key] = response_time(
+                        task, competitors, preemptive, priority_based
+                    )
 
         # ---- jitter propagation along every chain ------------------------------
         for scenario in model.scenarios.values():

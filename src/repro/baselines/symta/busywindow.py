@@ -24,7 +24,13 @@ from typing import Sequence
 from repro.arch.eventmodels import EventModel
 from repro.util.errors import AnalysisError
 
-__all__ = ["AnalysedTask", "TaskResult", "response_time"]
+__all__ = [
+    "AnalysedTask",
+    "TaskResult",
+    "response_time",
+    "response_time_tdma",
+    "response_time_round_robin",
+]
 
 #: safety valve for diverging fixed-point iterations
 _MAX_ITERATIONS = 100_000
@@ -181,7 +187,12 @@ def response_time(
     while True:
         activations = q + 1
         if preemptive:
-            window = _fixpoint(task, higher, (q + 1) * task.wcet + blocking)
+            # the completion window is closed as well: in the shared TA
+            # semantics a higher-priority job released exactly at the instant
+            # the running job would complete can still win the interleaving
+            # and preempt it (the completion edge is not urgent), so its full
+            # execution time lands inside the busy window
+            window = _fixpoint(task, higher, (q + 1) * task.wcet + blocking, closed=True)
             finish = window
         else:
             # the q-th activation starts once the blocking, all earlier own
@@ -205,6 +216,120 @@ def response_time(
                 "activations; the resource is overloaded"
             )
 
+    return TaskResult(
+        task=task,
+        wcrt=wcrt,
+        bcrt=task.wcet,
+        busy_window=busy_window,
+        activations=activations,
+    )
+
+
+def response_time_tdma(task: AnalysedTask, cycle: int) -> TaskResult:
+    """Worst-case response time of *task* on a TDMA resource.
+
+    The TDMA semantics shared by all four engines dispatches a job only at
+    the *start* of the task's own slot and serves at most one job per cycle,
+    so other tasks never interfere (their slots are dedicated).  At the
+    critical instant the job arrives just after its slot began and every
+    earlier queued job consumes one full cycle: the ``(q+1)``-th activation
+    of a busy sequence completes no later than ``(q+1) * cycle + wcet``
+    after the critical instant.  No fixed point is needed — the bound is
+    closed-form in ``q``.
+    """
+    if cycle <= 0:
+        raise AnalysisError(f"task {task.name!r}: TDMA cycle must be positive")
+    wcrt = 0
+    busy_window = 0
+    activations = 0
+    q = 0
+    while True:
+        activations = q + 1
+        finish = (q + 1) * cycle + task.wcet
+        wcrt = max(wcrt, finish - task.delta_min(q + 1))
+        busy_window = max(busy_window, finish)
+        # stop once the backlog no longer reaches the next activation
+        if finish <= task.delta_min(q + 2):
+            break
+        q += 1
+        if q > _MAX_ACTIVATIONS:
+            raise AnalysisError(
+                f"task {task.name!r}: TDMA backlog keeps growing (the slot serves "
+                "fewer jobs per cycle than arrive; the resource is overloaded)"
+            )
+    return TaskResult(
+        task=task,
+        wcrt=wcrt,
+        bcrt=task.wcet,
+        busy_window=busy_window,
+        activations=activations,
+    )
+
+
+def _round_robin_fixpoint(
+    task: AnalysedTask,
+    competitors: Sequence[tuple[AnalysedTask, int]],
+    q: int,
+) -> int:
+    """Completion bound of the ``(q+1)``-th activation under round-robin.
+
+    Smallest ``W = (q+1) * C_i + Σ_j C_j * min(η⁺_j(W+1), (q+2) * B_j)``.
+    Each competitor is visited at most once before the task's first visit
+    and once between consecutive visits, i.e. at most ``q+2`` times until
+    the ``(q+1)``-th own job completes, serving at most ``B_j`` whole jobs
+    per visit — and never more jobs than actually arrive in the (closed)
+    window, whichever is smaller.  The closed window ``W+1`` also counts a
+    job released exactly at a dispatch instant, which may win the
+    interleaving (the same ``+ epsilon`` the non-preemptive analysis needs).
+    """
+    own = (q + 1) * task.wcet
+    window = own
+    for _ in range(_MAX_ITERATIONS):
+        demand = own + sum(
+            other.wcet * min(other.eta_plus(window + 1), (q + 2) * budget)
+            for other, budget in competitors
+        )
+        if demand == window:
+            return window
+        window = demand
+    raise AnalysisError(  # pragma: no cover - RHS is bounded, so this cannot loop
+        f"round-robin fixpoint for task {task.name!r} does not converge"
+    )
+
+
+def response_time_round_robin(
+    task: AnalysedTask,
+    competitors: Sequence[tuple[AnalysedTask, int]],
+) -> TaskResult:
+    """Worst-case response time of *task* on a budgeted round-robin resource.
+
+    ``competitors`` pairs every *other* task on the resource with its
+    jobs-per-visit budget.  With no competitors the bound degenerates to
+    plain FIFO self-interference (``(q+1) * wcet``), matching the
+    non-preemptive analysis of a task alone on its resource.
+    """
+    for _other, budget in competitors:
+        if budget <= 0:
+            raise AnalysisError(
+                f"task {task.name!r}: round-robin budgets must be positive"
+            )
+    wcrt = 0
+    busy_window = 0
+    activations = 0
+    q = 0
+    while True:
+        activations = q + 1
+        window = _round_robin_fixpoint(task, competitors, q)
+        wcrt = max(wcrt, window - task.delta_min(q + 1))
+        busy_window = max(busy_window, window)
+        if window <= task.delta_min(q + 2):
+            break
+        q += 1
+        if q > _MAX_ACTIVATIONS:
+            raise AnalysisError(
+                f"busy window of task {task.name!r} spans more than {_MAX_ACTIVATIONS} "
+                "activations; the round-robin resource is overloaded"
+            )
     return TaskResult(
         task=task,
         wcrt=wcrt,

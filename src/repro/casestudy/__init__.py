@@ -12,8 +12,10 @@
 from repro.casestudy.configurations import (
     COMBINATIONS,
     EVENT_CONFIGURATIONS,
+    POLICY_VARIANTS,
     TABLE1_ROWS,
     Table1Row,
+    apply_policy_variant,
     configure,
 )
 from repro.casestudy.expected import (
@@ -36,8 +38,10 @@ from repro.casestudy.system import (
 __all__ = [
     "build_radio_navigation",
     "configure",
+    "apply_policy_variant",
     "COMBINATIONS",
     "EVENT_CONFIGURATIONS",
+    "POLICY_VARIANTS",
     "TABLE1_ROWS",
     "Table1Row",
     "TABLE1_UPPAAL_MS",

@@ -35,13 +35,16 @@ from repro.arch.eventmodels import (
     Sporadic,
 )
 from repro.arch.model import ArchitectureModel
+from repro.arch.resources import BUS_ROUND_ROBIN, BUS_TDMA, ROUND_ROBIN, Bus, Processor
 from repro.util.errors import ModelError
 
 __all__ = [
     "EVENT_CONFIGURATIONS",
     "COMBINATIONS",
     "TABLE1_ROWS",
+    "POLICY_VARIANTS",
     "Table1Row",
+    "apply_policy_variant",
     "configure",
 ]
 
@@ -99,15 +102,61 @@ def _event_model_for(kind: str, scenario_name: str, period: int) -> EventModel:
     raise ModelError(f"unknown event configuration {kind!r}")
 
 
+#: resource-policy variants of the case study: the paper's fixed-priority
+#: deployment (``fp``), budgeted round-robin on every shared resource
+#: (``rr``), and TDMA arbitration on the communication bus (``tdma-bus``)
+POLICY_VARIANTS: tuple[str, ...] = ("fp", "rr", "tdma-bus")
+
+
+def apply_policy_variant(model: ArchitectureModel, variant: str) -> ArchitectureModel:
+    """Swap the resource policies of a (possibly restricted) model.
+
+    ``"fp"`` keeps the paper's deployment untouched.  ``"rr"`` puts every
+    *used* processor and bus under budgeted round-robin (budget 1 per step).
+    ``"tdma-bus"`` keeps the processors but gives every used bus a TDMA slot
+    table sized to its largest mapped message, one slot per message in
+    mapped order.  The variant is applied after scenario restriction so slot
+    tables match the messages that actually remain.
+    """
+    if variant == "fp":
+        return model
+    if variant == "rr":
+        out = model
+        for processor in model.processors.values():
+            if model.steps_on_resource(processor.name):
+                out = out.with_processor(
+                    Processor(processor.name, processor.mips, ROUND_ROBIN)
+                )
+        for bus in model.buses.values():
+            if model.steps_on_resource(bus.name):
+                out = out.with_bus(Bus(bus.name, bus.kbps, BUS_ROUND_ROBIN))
+        return out
+    if variant == "tdma-bus":
+        out = model
+        for bus in model.buses.values():
+            mapped = model.steps_on_resource(bus.name)
+            if not mapped:
+                continue
+            slot = max(model.step_duration(step) for _scenario, step in mapped)
+            out = out.with_bus(Bus(bus.name, bus.kbps, BUS_TDMA, slot_ticks=slot))
+        return out
+    raise ModelError(
+        f"unknown policy variant {variant!r} (expected one of {POLICY_VARIANTS})"
+    )
+
+
 def configure(
     model: ArchitectureModel,
     combination: str,
     configuration: str,
+    policy: str = "fp",
 ) -> ArchitectureModel:
     """Restrict *model* to a combination and apply an event configuration.
 
     ``combination`` is a key of :data:`COMBINATIONS` (``"CV+TMC"`` or
-    ``"AL+TMC"``); ``configuration`` is one of :data:`EVENT_CONFIGURATIONS`.
+    ``"AL+TMC"``); ``configuration`` is one of :data:`EVENT_CONFIGURATIONS`;
+    ``policy`` is one of :data:`POLICY_VARIANTS` and defaults to the paper's
+    fixed-priority deployment.
     """
     try:
         scenario_names = COMBINATIONS[combination]
@@ -121,4 +170,4 @@ def configure(
         name: _event_model_for(configuration, name, restricted.scenario(name).event_model.period)
         for name in scenario_names
     }
-    return restricted.with_event_models(overrides)
+    return apply_policy_variant(restricted.with_event_models(overrides), policy)

@@ -27,10 +27,10 @@ from typing import Iterable, Mapping, Sequence
 from repro.core import expressions as ex
 from repro.core.declarations import Clock, Constant, IntVariable
 from repro.core.guards import (
-    Guard,
-    Invariant,
     TRUE_GUARD,
     TRUE_INVARIANT,
+    Guard,
+    Invariant,
     compile_guard,
     compile_invariant,
 )

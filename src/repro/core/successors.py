@@ -48,7 +48,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.core.dbm import DBM, DBMStack, INFINITY_RAW, LE_ZERO
+from repro.core.dbm import DBM, INFINITY_RAW, LE_ZERO, DBMStack
 from repro.core.network import CompiledEdge, CompiledNetwork
 from repro.util.errors import ModelError
 

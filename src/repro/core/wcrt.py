@@ -20,13 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core import expressions as ex
+from repro.core.guards import ClockConstraint
 from repro.core.network import CompiledNetwork
 from repro.core.properties import AG, ClockProp, Not, Or, StateFormula, Sup
 from repro.core.reachability import Explorer, SearchOptions, Trace
 from repro.core.statistics import ExplorationStatistics
 from repro.core.successors import SemanticsOptions
-from repro.core.guards import ClockConstraint
-from repro.core import expressions as ex
 from repro.util.errors import AnalysisError
 
 __all__ = ["WCRTResult", "wcrt_sup", "wcrt_binary_search"]

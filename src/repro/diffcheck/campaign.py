@@ -94,6 +94,17 @@ class CampaignResult:
         return sum(record.ta_states for record in self.records)
 
     @property
+    def policy_mix(self) -> dict[str, int]:
+        """Checked models per resource policy (a model counts once per policy)."""
+        mix: dict[str, int] = {}
+        for record in self.records:
+            if not record.checked:
+                continue
+            for name in record.policies:
+                mix[name] = mix.get(name, 0) + 1
+        return dict(sorted(mix.items()))
+
+    @property
     def models_per_second(self) -> float:
         return len(self.records) / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
@@ -113,6 +124,7 @@ class CampaignResult:
             "models_per_second": round(self.models_per_second, 2),
             "states_per_second": round(self.states_per_second, 1),
             "wall_seconds": round(self.wall_seconds, 4),
+            "policy_mix": self.policy_mix,
         }
 
 

@@ -149,6 +149,7 @@ def main(argv: list[str] | None = None) -> int:
         states = campaign.total_ta_states
         wall = campaign.wall_seconds
         counterexamples = list(campaign.counterexamples)
+        policy_mix = campaign.policy_mix
         for record in campaign.records:
             if record.status == "violation":
                 print(f"  VIOLATION seed={record.seed}: {record.violations}")
@@ -166,6 +167,11 @@ def main(argv: list[str] | None = None) -> int:
         states = sum(result.states_explored for result in sweep)
         wall = sweep.wall_seconds
         counterexamples = [path for result in sweep for path in result.counterexamples]
+        policy_mix = {}
+        for result in sweep:
+            for name, checked_models in result.policy_mix:
+                policy_mix[name] = policy_mix.get(name, 0) + checked_models
+        policy_mix = dict(sorted(policy_mix.items()))
         points["campaign"] = {
             "models": count,
             "models_checked": checked,
@@ -175,12 +181,16 @@ def main(argv: list[str] | None = None) -> int:
             "states_per_second": round(states / wall, 1) if wall > 0 else 0.0,
             "wall_seconds": round(wall, 4),
             "workers": sweep.workers,
+            "policy_mix": policy_mix,
         }
 
     print(f"  {count} models in {wall:.1f}s "
           f"({count / wall if wall > 0 else 0.0:.2f} models/s, "
           f"{states / wall if wall > 0 else 0.0:.1f} TA states/s): "
           f"{checked} through all four engines, {violations} violations")
+    if policy_mix:
+        print("  policy mix (checked models per resource policy): "
+              + ", ".join(f"{name}={n}" for name, n in policy_mix.items()))
 
     write_bench_json(args.output, "diffcheck", points, meta={
         "seed_start": args.seed,

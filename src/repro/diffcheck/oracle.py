@@ -25,7 +25,7 @@ spurious lower bound.
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 from repro.arch.analysis import TimedAutomataSettings, analyze_wcrt
 from repro.arch.model import ArchitectureModel
@@ -59,7 +59,10 @@ class OracleConfig:
 
     @classmethod
     def from_dict(cls, data: dict) -> "OracleConfig":
-        return cls(**data)
+        # ignore unknown keys: replaying a counterexample recorded by a newer
+        # build with extra oracle knobs must not die with a TypeError
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
 
 
 #: the CI smoke budgets: tight enough that a 30-model window stays ~1 min
@@ -104,6 +107,9 @@ class ModelVerdict:
     verdicts: dict[str, EngineVerdict] = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
     skip_reason: str | None = None
+    #: scheduling/arbitration policy names of the model's resources (sorted,
+    #: deduplicated) -- the campaign aggregates these into its policy mix
+    policies: tuple[str, ...] = ()
     #: symbolic states explored by the TA engine (sup + binary cross-check)
     ta_states: int = 0
     wall_seconds: float = 0.0
@@ -130,7 +136,15 @@ def check_model(
     """Run *model* through all four engines and assert the soundness order."""
     config = config or OracleConfig()
     started = time.perf_counter()
-    verdict = ModelVerdict(seed=seed, model_name=model.name, status="skipped")
+    verdict = ModelVerdict(
+        seed=seed,
+        model_name=model.name,
+        status="skipped",
+        policies=tuple(sorted({
+            resource.policy.name
+            for resource in (*model.processors.values(), *model.buses.values())
+        })),
+    )
     requirement = next(iter(model.requirements.values()))
 
     # ---- analytic upper bounds ------------------------------------------------

@@ -10,12 +10,18 @@ instances whose exact timed-automata exploration stays tractable:
   so a step's tick duration *is* its sampled instruction count / byte size
   (1-4 ticks), and periods come from a small divisor-friendly pool;
 * **bounded load** -- per-scenario periods are doubled until every
-  resource's long-term utilisation is below ``utilisation_cap``, which also
-  keeps the analytic baselines convergent;
+  resource's long-term utilisation is below ``utilisation_cap``; cyclic
+  (round-robin / TDMA) resources additionally require every client period
+  to cover their round/cycle with a 2x margin.  Both keep the analytic
+  baselines convergent;
+* **policy-diverse resources** -- processors draw from all five scheduling
+  policies (non-deterministic, fixed-priority non-preemptive / preemptive,
+  budgeted round-robin, TDMA) and buses from all four arbitration policies;
+  the round-robin budgets, TDMA slot lengths and slot orders are derived
+  from the mapped steps after the workload is drafted;
 * **supported semantics only** -- scenario priorities are drawn from two
   levels (the Fig. 5 preemption pattern supports exactly two on a shared
-  preemptive processor) and TDMA buses are excluded (the DES baseline
-  approximates them as FCFS, which would not be a sound refinement).
+  preemptive processor).
 
 ``sample_model(seed)`` is a pure function of ``(seed, config)``: the same
 pair always yields the very same model, which is what makes campaign
@@ -33,9 +39,13 @@ from repro.arch.requirements import LatencyRequirement
 from repro.arch.resources import (
     BUS_FCFS_NONDETERMINISTIC,
     BUS_FIXED_PRIORITY,
+    BUS_ROUND_ROBIN,
+    BUS_TDMA,
     FIXED_PRIORITY_NONPREEMPTIVE,
     FIXED_PRIORITY_PREEMPTIVE,
     NONPREEMPTIVE_NONDETERMINISTIC,
+    ROUND_ROBIN,
+    TDMA,
     Bus,
     Processor,
 )
@@ -48,9 +58,11 @@ _PROCESSOR_POLICIES = (
     NONPREEMPTIVE_NONDETERMINISTIC,
     FIXED_PRIORITY_NONPREEMPTIVE,
     FIXED_PRIORITY_PREEMPTIVE,
+    ROUND_ROBIN,
+    TDMA,
 )
-#: bus arbitration policies the sampler draws from (TDMA excluded, see above)
-_BUS_POLICIES = (BUS_FCFS_NONDETERMINISTIC, BUS_FIXED_PRIORITY)
+#: bus arbitration policies the sampler draws from
+_BUS_POLICIES = (BUS_FCFS_NONDETERMINISTIC, BUS_FIXED_PRIORITY, BUS_ROUND_ROBIN, BUS_TDMA)
 
 #: event-model kinds, mirroring the paper's five environment configurations
 _EVENT_KINDS = ("po", "pno", "sp", "pj", "bur")
@@ -143,6 +155,22 @@ def _rescale_periods(drafts: list[_ScenarioDraft], cap: float) -> None:
                 draft.period *= 2
 
 
+def _rescale_cyclic(drafts: list[_ScenarioDraft], period_floor: dict[str, int]) -> None:
+    """Double periods until each scenario covers its cyclic resources' floors.
+
+    A round-robin round (or TDMA cycle) serves one visit (slot) per step; a
+    scenario triggering faster than its resource's round/cycle would queue up
+    without bound.  ``period_floor`` maps cyclic resource names to the
+    minimum client period (twice the round/cycle, for margin under jitter).
+    """
+    for draft in drafts:
+        floor = max(
+            (period_floor.get(step.resource, 0) for step in draft.steps), default=0
+        )
+        while draft.period < floor:
+            draft.period *= 2
+
+
 def _event_model(draft: _ScenarioDraft, config: SamplerConfig):
     rng = random.Random(draft.event_seed)
     period = draft.period
@@ -167,28 +195,32 @@ def sample_model(seed: int, config: SamplerConfig | None = None) -> Architecture
     config = config or DEFAULT_SAMPLER
     rng = random.Random(seed)
 
-    processors = [
-        Processor(f"P{index}", 1.0, rng.choice(_PROCESSOR_POLICIES))
+    # resources are drafted as (name, policy) first; the cyclic policies'
+    # parameters (slots, budgets) depend on the workload drafted below
+    processor_policies = {
+        f"P{index}": rng.choice(_PROCESSOR_POLICIES)
         for index in range(rng.randint(config.min_processors, config.max_processors))
-    ]
-    buses = [
-        Bus(f"B{index}", 8000.0, rng.choice(_BUS_POLICIES))
+    }
+    bus_policies = {
+        f"B{index}": rng.choice(_BUS_POLICIES)
         for index in range(rng.randint(0, config.max_buses))
-    ]
+    }
+    processor_names = list(processor_policies)
+    bus_names = list(bus_policies)
 
     drafts: list[_ScenarioDraft] = []
     for s in range(rng.choice(config.scenario_counts)):
         steps: list[Step] = []
         for t in range(rng.randint(config.min_steps, config.max_steps)):
-            if buses and rng.random() < config.transfer_probability:
-                bus = rng.choice(buses)
+            if bus_names and rng.random() < config.transfer_probability:
+                bus = rng.choice(bus_names)
                 steps.append(
-                    Transfer(Message(f"m_{s}_{t}", rng.choice(config.durations)), bus.name)
+                    Transfer(Message(f"m_{s}_{t}", rng.choice(config.durations)), bus)
                 )
             else:
-                processor = rng.choice(processors)
+                processor = rng.choice(processor_names)
                 steps.append(
-                    Execute(Operation(f"op_{s}_{t}", rng.choice(config.durations)), processor.name)
+                    Execute(Operation(f"op_{s}_{t}", rng.choice(config.durations)), processor)
                 )
         drafts.append(
             _ScenarioDraft(
@@ -201,7 +233,38 @@ def sample_model(seed: int, config: SamplerConfig | None = None) -> Architecture
             )
         )
 
+    # cyclic-policy parameters, derived from the drafted workload: TDMA slots
+    # sized to the largest mapped step, round-robin budgets drawn per step,
+    # slot orders shuffled for schedule diversity
+    mapped: dict[str, list[Step]] = {}
+    for draft in drafts:
+        for step in draft.steps:
+            mapped.setdefault(step.resource, []).append(step)
+    policies = {**processor_policies, **bus_policies}
+    slot_ticks: dict[str, int] = {}
+    slot_orders: dict[str, tuple[str, ...]] = {}
+    rr_budgets: dict[str, tuple[tuple[str, int], ...]] = {}
+    period_floor: dict[str, int] = {}
+    for name, policy in policies.items():
+        steps_here = mapped.get(name)
+        if not steps_here or not (policy.time_triggered or policy.budgeted):
+            continue
+        order = [step.name for step in steps_here]
+        rng.shuffle(order)
+        slot_orders[name] = tuple(order)
+        if policy.time_triggered:
+            slot_ticks[name] = max(_step_duration(step) for step in steps_here)
+            period_floor[name] = 2 * slot_ticks[name] * len(order)
+        else:
+            budgets = tuple((step.name, rng.choice((1, 1, 2))) for step in steps_here)
+            rr_budgets[name] = budgets
+            round_length = sum(
+                budget * _step_duration(step) for step, (_n, budget) in zip(steps_here, budgets)
+            )
+            period_floor[name] = 2 * round_length
+
     _rescale_periods(drafts, config.utilisation_cap)
+    _rescale_cyclic(drafts, period_floor)
 
     scenarios = [
         Scenario(draft.name, draft.steps, _event_model(draft, config), draft.priority)
@@ -209,13 +272,23 @@ def sample_model(seed: int, config: SamplerConfig | None = None) -> Architecture
     ]
 
     model = ArchitectureModel(f"fuzz_{seed}")
-    used = {step.resource for scenario in scenarios for step in scenario.steps}
-    for processor in processors:
-        if processor.name in used:
-            model.add_processor(processor)
-    for bus in buses:
-        if bus.name in used:
-            model.add_bus(bus)
+    used = set(mapped)
+    for name in processor_names:
+        if name in used:
+            model.add_processor(Processor(
+                name, 1.0, processor_policies[name],
+                slot_ticks=slot_ticks.get(name),
+                slot_order=slot_orders.get(name, ()),
+                rr_budgets=rr_budgets.get(name, ()),
+            ))
+    for name in bus_names:
+        if name in used:
+            model.add_bus(Bus(
+                name, 8000.0, bus_policies[name],
+                slot_ticks=slot_ticks.get(name),
+                slot_order=slot_orders.get(name, ()),
+                rr_budgets=rr_budgets.get(name, ()),
+            ))
     for scenario in scenarios:
         model.add_scenario(scenario)
 

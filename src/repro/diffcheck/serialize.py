@@ -33,10 +33,13 @@ from repro.arch.requirements import LatencyRequirement
 from repro.arch.resources import (
     BUS_FCFS_NONDETERMINISTIC,
     BUS_FIXED_PRIORITY,
+    BUS_ROUND_ROBIN,
     BUS_TDMA,
     FIXED_PRIORITY_NONPREEMPTIVE,
     FIXED_PRIORITY_PREEMPTIVE,
     NONPREEMPTIVE_NONDETERMINISTIC,
+    ROUND_ROBIN,
+    TDMA,
     Bus,
     Processor,
 )
@@ -62,11 +65,18 @@ _PROCESSOR_POLICIES = {
         NONPREEMPTIVE_NONDETERMINISTIC,
         FIXED_PRIORITY_NONPREEMPTIVE,
         FIXED_PRIORITY_PREEMPTIVE,
+        ROUND_ROBIN,
+        TDMA,
     )
 }
 _BUS_POLICIES = {
     policy.name: policy
-    for policy in (BUS_FCFS_NONDETERMINISTIC, BUS_FIXED_PRIORITY, BUS_TDMA)
+    for policy in (
+        BUS_FCFS_NONDETERMINISTIC,
+        BUS_FIXED_PRIORITY,
+        BUS_ROUND_ROBIN,
+        BUS_TDMA,
+    )
 }
 
 
@@ -136,7 +146,14 @@ def model_to_dict(model: ArchitectureModel) -> dict:
         "name": model.name,
         "ticks_per_second": model.timebase.ticks_per_second,
         "processors": [
-            {"name": p.name, "mips": p.mips, "policy": p.policy.name}
+            {
+                "name": p.name,
+                "mips": p.mips,
+                "policy": p.policy.name,
+                "slot_ticks": p.slot_ticks,
+                "slot_order": list(p.slot_order),
+                "rr_budgets": [list(pair) for pair in p.rr_budgets],
+            }
             for p in model.processors.values()
         ],
         "buses": [
@@ -146,6 +163,7 @@ def model_to_dict(model: ArchitectureModel) -> dict:
                 "policy": b.policy.name,
                 "slot_ticks": b.slot_ticks,
                 "slot_order": list(b.slot_order),
+                "rr_budgets": [list(pair) for pair in b.rr_budgets],
             }
             for b in model.buses.values()
         ],
@@ -174,7 +192,10 @@ def model_to_dict(model: ArchitectureModel) -> dict:
 def model_from_dict(data: Mapping) -> ArchitectureModel:
     """Rebuild an :class:`ArchitectureModel` from its serialised form."""
     if data.get("schema") != MODEL_SCHEMA:
-        raise ModelError(f"not a {MODEL_SCHEMA} payload (schema={data.get('schema')!r})")
+        raise ModelError(
+            f"unknown model schema {data.get('schema')!r}; this build reads "
+            f"{MODEL_SCHEMA!r} only (a newer or corrupt payload?)"
+        )
     model = ArchitectureModel(
         data["name"], timebase=TimeBase(int(data.get("ticks_per_second", 1_000_000)))
     )
@@ -182,7 +203,18 @@ def model_from_dict(data: Mapping) -> ArchitectureModel:
         policy = _PROCESSOR_POLICIES.get(entry.get("policy"))
         if policy is None:
             raise ModelError(f"unknown scheduling policy {entry.get('policy')!r}")
-        model.add_processor(Processor(entry["name"], float(entry["mips"]), policy))
+        model.add_processor(
+            Processor(
+                entry["name"],
+                float(entry["mips"]),
+                policy,
+                slot_ticks=entry.get("slot_ticks"),
+                slot_order=tuple(entry.get("slot_order", ())),
+                rr_budgets=tuple(
+                    (pair[0], int(pair[1])) for pair in entry.get("rr_budgets", ())
+                ),
+            )
+        )
     for entry in data.get("buses", ()):
         policy = _BUS_POLICIES.get(entry.get("policy"))
         if policy is None:
@@ -194,6 +226,9 @@ def model_from_dict(data: Mapping) -> ArchitectureModel:
                 policy,
                 slot_ticks=entry.get("slot_ticks"),
                 slot_order=tuple(entry.get("slot_order", ())),
+                rr_budgets=tuple(
+                    (pair[0], int(pair[1])) for pair in entry.get("rr_budgets", ())
+                ),
             )
         )
     for entry in data.get("scenarios", ()):
@@ -249,9 +284,21 @@ def write_counterexample(
 
 
 def load_counterexample(path: str) -> dict:
-    """Load a counterexample payload, validating the schema marker."""
+    """Load a counterexample payload, validating the schema marker.
+
+    Raises :class:`~repro.util.errors.ModelError` with an explicit message on
+    a missing or unknown schema version — replaying a counterexample written
+    by a newer (or corrupt) build must fail cleanly, not with a stray
+    ``KeyError`` deep inside the model rebuild.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
-    if payload.get("schema") != COUNTEREXAMPLE_SCHEMA:
-        raise ModelError(f"{path}: not a {COUNTEREXAMPLE_SCHEMA} file")
+    schema = payload.get("schema")
+    if schema != COUNTEREXAMPLE_SCHEMA:
+        raise ModelError(
+            f"{path}: unknown counterexample schema {schema!r}; this build replays "
+            f"{COUNTEREXAMPLE_SCHEMA!r} only"
+        )
+    if "model" not in payload:
+        raise ModelError(f"{path}: counterexample payload carries no model")
     return payload

@@ -12,14 +12,19 @@ Candidate transformations, structural first, then constants:
 1. drop every requirement but the first,
 2. drop a scenario the requirement does not measure,
 3. drop one step of a scenario (never a step the requirement names),
-4. lower a step duration to one tick,
-5. halve a scenario period (clamping the event model's offset/jitter),
-6. simplify the event model (``bur -> pj -> pno``, ``sp -> pno``,
+4. simplify a resource's scheduling/arbitration policy to the
+   non-deterministic baseline (dropping TDMA slot tables and round-robin
+   budgets with it),
+5. lower a round-robin budget to one job per visit,
+6. lower a step duration to one tick,
+7. halve a scenario period (clamping the event model's offset/jitter),
+8. simplify the event model (``bur -> pj -> pno``, ``sp -> pno``,
    ``po`` with offset ``-> po`` offset 0),
-7. flatten a priority to 1,
+9. flatten a priority to 1,
 
 plus an implicit cleanup: resources nothing maps onto are pruned (the
-network generator rejects them anyway).
+network generator rejects them anyway) and the cyclic policies' slot
+tables are re-synchronised with the surviving steps.
 """
 
 from __future__ import annotations
@@ -47,6 +52,21 @@ def _prune_resources(data: dict) -> dict:
     }
     data["processors"] = [p for p in data["processors"] if p["name"] in used]
     data["buses"] = [b for b in data["buses"] if b["name"] in used]
+    # keep cyclic (TDMA / round-robin) slot tables in sync with the surviving
+    # steps, otherwise every step-dropping candidate on such a resource would
+    # be rejected as inconsistent
+    mapped: dict[str, set[str]] = {}
+    for scenario in data["scenarios"]:
+        for step in scenario["steps"]:
+            mapped.setdefault(step.get("processor") or step.get("bus"), set()).add(step["name"])
+    for entry in (*data["processors"], *data["buses"]):
+        names = mapped.get(entry["name"], set())
+        if entry.get("slot_order"):
+            entry["slot_order"] = [name for name in entry["slot_order"] if name in names]
+        if entry.get("rr_budgets"):
+            entry["rr_budgets"] = [
+                pair for pair in entry["rr_budgets"] if pair[0] in names
+            ]
     return data
 
 
@@ -103,6 +123,29 @@ def _candidates(data: dict) -> Iterator[dict]:
             out = _copy(data)
             del out["scenarios"][s_index]["steps"][t_index]
             yield _prune_resources(out)
+
+    # simplify a resource's scheduling policy to the non-deterministic
+    # baseline (dropping its cyclic slot table / budgets along the way)
+    for kind, baseline in (("processors", "nonpreemptive-nondeterministic"),
+                           ("buses", "fcfs-nondeterministic")):
+        for r_index, entry in enumerate(data[kind]):
+            if entry["policy"] != baseline:
+                out = _copy(data)
+                simplified = out[kind][r_index]
+                simplified["policy"] = baseline
+                simplified["slot_ticks"] = None
+                simplified["slot_order"] = []
+                simplified["rr_budgets"] = []
+                yield out
+
+    # lower a round-robin budget to one job per visit
+    for kind in ("processors", "buses"):
+        for r_index, entry in enumerate(data[kind]):
+            for b_index, pair in enumerate(entry.get("rr_budgets", ())):
+                if pair[1] > 1:
+                    out = _copy(data)
+                    out[kind][r_index]["rr_budgets"][b_index][1] = 1
+                    yield out
 
     for s_index, scenario in enumerate(data["scenarios"]):
         for t_index, step in enumerate(scenario["steps"]):

@@ -21,6 +21,7 @@ from repro.sweep.cells import (
     core_scaling_cells,
     diffcheck_cells,
     grid_cells,
+    policy_variant_cells,
     table1_cells,
     table2_cells,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "core_scaling_cells",
     "table1_cells",
     "table2_cells",
+    "policy_variant_cells",
     "grid_cells",
     "diffcheck_cells",
     "run_cell",

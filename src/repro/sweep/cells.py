@@ -30,6 +30,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.casestudy.configurations import (
     COMBINATIONS,
     EVENT_CONFIGURATIONS,
+    POLICY_VARIANTS,
     TABLE1_ROWS,
 )
 from repro.util.errors import ModelError
@@ -41,6 +42,7 @@ __all__ = [
     "core_scaling_cells",
     "table1_cells",
     "table2_cells",
+    "policy_variant_cells",
     "grid_cells",
     "diffcheck_cells",
 ]
@@ -67,6 +69,8 @@ class SweepCell:
     combination: str | None = None
     #: event configuration key (see ``EVENT_CONFIGURATIONS``)
     configuration: str | None = None
+    #: resource-policy variant key (see ``POLICY_VARIANTS``); None = "fp"
+    policy: str | None = None
     #: keyword arguments for :class:`~repro.arch.analysis.TimedAutomataSettings`
     settings: Mapping[str, object] = field(default_factory=dict)
     #: dotted path of a zero-argument callable returning the architecture model
@@ -76,6 +80,11 @@ class SweepCell:
         if (self.combination is None) != (self.configuration is None):
             raise ModelError(
                 "combination and configuration must be given together (or neither)"
+            )
+        if self.policy is not None and self.policy not in POLICY_VARIANTS:
+            raise ModelError(
+                f"unknown policy variant {self.policy!r} (expected one of "
+                f"{POLICY_VARIANTS})"
             )
 
 
@@ -178,6 +187,44 @@ def table1_cells(full_scale: bool = False) -> list[SweepCell]:
     return cells
 
 
+def policy_variant_cells(full_scale: bool = False) -> list[SweepCell]:
+    """The round-robin / TDMA-bus policy variants of the ``AL+TMC`` cells.
+
+    The round-robin variants explore exhaustively (their state spaces stay
+    small); the TDMA-bus variants inherit the heavy-cell budget policy — the
+    slot machinery of the bus automaton interleaves with every other clock,
+    so they report budgeted lower bounds unless ``full_scale`` lifts the
+    budgets.
+    """
+    cells = []
+    for configuration in ("po", "pno"):
+        cells.append(
+            SweepCell(
+                name=f"AL+TMC/{configuration}#rr",
+                requirement="TMC",
+                combination="AL+TMC",
+                configuration=configuration,
+                policy="rr",
+                settings={"search_order": "bfs", "max_states": None, "seed": 1},
+            )
+        )
+        cells.append(
+            SweepCell(
+                name=f"AL+TMC/{configuration}#tdma-bus",
+                requirement="TMC",
+                combination="AL+TMC",
+                configuration=configuration,
+                policy="tdma-bus",
+                settings={
+                    "search_order": "rdfs",
+                    "max_states": None if full_scale else 4_000,
+                    "seed": 1,
+                },
+            )
+        )
+    return cells
+
+
 def table2_cells(full_scale: bool = False) -> list[SweepCell]:
     """The timed-automata cells of Table 2 (po and pno per requirement row)."""
     cells = []
@@ -202,23 +249,30 @@ def grid_cells(
     requirements: Iterable[str] | None = None,
     settings: Mapping[str, object] | None = None,
     model_factory: str = DEFAULT_MODEL_FACTORY,
+    policies: Sequence[str] | None = None,
 ) -> list[SweepCell]:
     """A user-defined cartesian sweep grid over the case-study vocabulary.
 
     Defaults cover the full product: every scenario combination, every event
     configuration and (per combination) the requirements Table 1 measures in
-    it.  ``settings`` applies to every cell.
+    it, all under the paper's fixed-priority deployment.  ``policies`` adds
+    resource-policy variants (see ``POLICY_VARIANTS``) as a fourth grid
+    axis; ``settings`` applies to every cell.
     """
     combinations = list(combinations) if combinations is not None else list(COMBINATIONS)
     configurations = (
         list(configurations) if configurations is not None else list(EVENT_CONFIGURATIONS)
     )
+    policy_list = list(policies) if policies is not None else ["fp"]
     for combination in combinations:
         if combination not in COMBINATIONS:
             raise ModelError(f"unknown scenario combination {combination!r}")
     for configuration in configurations:
         if configuration not in EVENT_CONFIGURATIONS:
             raise ModelError(f"unknown event configuration {configuration!r}")
+    for policy in policy_list:
+        if policy not in POLICY_VARIANTS:
+            raise ModelError(f"unknown policy variant {policy!r}")
     wanted = list(requirements) if requirements is not None else None
     cells = []
     for combination in combinations:
@@ -229,14 +283,19 @@ def grid_cells(
         )
         for configuration in configurations:
             for requirement in row_requirements:
-                cells.append(
-                    SweepCell(
-                        name=_cell_name(combination, configuration, requirement),
-                        requirement=requirement,
-                        combination=combination,
-                        configuration=configuration,
-                        settings=dict(settings or {}),
-                        model_factory=model_factory,
+                for policy in policy_list:
+                    name = _cell_name(combination, configuration, requirement)
+                    if policy != "fp":
+                        name = f"{name}#{policy}"
+                    cells.append(
+                        SweepCell(
+                            name=name,
+                            requirement=requirement,
+                            combination=combination,
+                            configuration=configuration,
+                            policy=None if policy == "fp" else policy,
+                            settings=dict(settings or {}),
+                            model_factory=model_factory,
+                        )
                     )
-                )
     return cells

@@ -6,7 +6,9 @@ processes and writes a ``repro-bench-v1`` trajectory::
     repro-sweep --grid core --workers 4                 # the 3 scaling cells
     repro-sweep --grid table1 --output BENCH_table1.json
     repro-sweep --grid table2 --workers 2 --start-method fork
+    repro-sweep --grid policies                         # round-robin / TDMA-bus variants
     repro-sweep --combination AL+TMC --configuration pno sp --requirement TMC
+    repro-sweep --combination AL+TMC --configuration pno --policy rr tdma-bus
 
 ``--check`` cross-validates the sweep against a committed baseline's
 machine-independent anchors (exact WCRT ticks and state counts) and exits
@@ -24,6 +26,7 @@ from repro.perf import load_baseline_json
 from repro.sweep.cells import (
     core_scaling_cells,
     grid_cells,
+    policy_variant_cells,
     table1_cells,
     table2_cells,
 )
@@ -33,18 +36,25 @@ from repro.util.errors import ModelError
 __all__ = ["main"]
 
 
+def _custom_grid(args) -> bool:
+    return bool(args.combination or args.configuration or args.requirement or args.policy)
+
+
 def _build_cells(args) -> list:
-    if args.combination or args.configuration or args.requirement:  # custom grid
+    if _custom_grid(args):
         return grid_cells(
             combinations=args.combination or None,
             configurations=args.configuration or None,
             requirements=args.requirement or None,
             settings={"max_states": args.max_states} if args.max_states is not None else None,
+            policies=args.policy or None,
         )
     if args.grid == "core":
         return core_scaling_cells()
     if args.grid == "table1":
         return table1_cells(full_scale=args.full_scale)
+    if args.grid == "policies":
+        return policy_variant_cells(full_scale=args.full_scale)
     return table2_cells(full_scale=args.full_scale)
 
 
@@ -52,7 +62,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-sweep", description=__doc__.splitlines()[0]
     )
-    parser.add_argument("--grid", choices=("core", "table1", "table2"), default="core",
+    parser.add_argument("--grid", choices=("core", "table1", "table2", "policies"),
+                        default="core",
                         help="predefined cell grid (default: core scaling cells)")
     parser.add_argument("--combination", action="append", metavar="NAME",
                         help="restrict a custom grid to this scenario combination "
@@ -61,6 +72,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="event configurations of a custom grid (po pno sp pj bur)")
     parser.add_argument("--requirement", nargs="*", default=None, metavar="NAME",
                         help="requirements of a custom grid")
+    parser.add_argument("--policy", nargs="*", default=None, metavar="VARIANT",
+                        help="resource-policy variants of a custom grid (fp rr tdma-bus)")
     parser.add_argument("--max-states", type=int, default=None,
                         help="state budget applied to every custom-grid cell")
     parser.add_argument("--full-scale", action="store_true",
@@ -76,7 +89,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="fail on any mismatch against the baseline anchors")
     args = parser.parse_args(argv)
-    custom_grid = bool(args.combination or args.configuration or args.requirement)
+    custom_grid = _custom_grid(args)
     if args.max_states is not None and not custom_grid:
         parser.error("--max-states only applies to custom grids "
                      "(--combination/--configuration/--requirement); the "

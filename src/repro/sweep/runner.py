@@ -32,7 +32,7 @@ from dataclasses import asdict, dataclass
 from typing import Callable, Mapping, Sequence
 
 from repro.arch.analysis import TimedAutomataSettings, analyze_wcrt
-from repro.casestudy.configurations import configure
+from repro.casestudy.configurations import apply_policy_variant, configure
 from repro.perf import verify_anchors, write_bench_json
 from repro.sweep.cells import DiffCheckCell, SweepCell
 from repro.util.errors import AnalysisError
@@ -77,6 +77,8 @@ class CellResult:
     counterexamples: tuple[str, ...] = ()
     #: diffcheck cells only: sampled models per wall-clock second
     models_per_second: float = 0.0
+    #: diffcheck cells only: (policy name, checked-model count) pairs
+    policy_mix: tuple[tuple[str, int], ...] = ()
 
     def point(self) -> dict:
         """The cell as a ``repro-bench-v1`` trajectory point."""
@@ -84,7 +86,7 @@ class CellResult:
         for dropped in ("name", "requirement", "combination", "configuration"):
             out.pop(dropped)
         diffcheck_keys = ("models_checked", "violations", "counterexamples",
-                          "models_per_second")
+                          "models_per_second", "policy_mix")
         if self.kind == "diffcheck":
             # WCRT-specific fields (and the per-exploration counters the
             # campaign does not aggregate) carry no signal for a fuzzing window
@@ -93,6 +95,7 @@ class CellResult:
                 out.pop(dropped)
             out["counterexamples"] = list(self.counterexamples)
             out["models_per_second"] = round(self.models_per_second, 2)
+            out["policy_mix"] = dict(self.policy_mix)
         else:
             for dropped in ("kind", *diffcheck_keys):
                 out.pop(dropped)
@@ -174,6 +177,7 @@ def _run_diffcheck_cell(cell: DiffCheckCell) -> CellResult:
         violations=campaign.violations,
         counterexamples=tuple(campaign.counterexamples),
         models_per_second=campaign.models_per_second,
+        policy_mix=tuple(sorted(campaign.policy_mix.items())),
     )
 
 
@@ -184,7 +188,11 @@ def run_cell(cell: "SweepCell | DiffCheckCell") -> CellResult:
     started = time.perf_counter()
     model = _worker_model(cell.model_factory)
     if cell.combination is not None:
-        model = configure(model, cell.combination, cell.configuration)
+        model = configure(
+            model, cell.combination, cell.configuration, policy=cell.policy or "fp"
+        )
+    elif cell.policy is not None:
+        model = apply_policy_variant(model, cell.policy)
     settings = TimedAutomataSettings(**dict(cell.settings))
     analysis = analyze_wcrt(model, cell.requirement, settings)
     stats = analysis.detail.statistics

@@ -1,11 +1,11 @@
 """Small shared utilities used across the :mod:`repro` packages."""
 
 from repro.util.errors import (
-    ReproError,
-    ModelError,
     AnalysisError,
-    ParseError,
     BoundExceededError,
+    ModelError,
+    ParseError,
+    ReproError,
 )
 from repro.util.intervals import IntInterval
 from repro.util.naming import check_identifier, qualify

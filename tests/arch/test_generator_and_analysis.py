@@ -8,18 +8,18 @@ the end-to-end pipeline are checked against known values.
 import pytest
 
 from repro.arch import (
-    ArchitectureModel,
-    Bus,
     BUS_FCFS_NONDETERMINISTIC,
     BUS_FIXED_PRIORITY,
     BUS_TDMA,
-    Bursty,
-    Execute,
     FIXED_PRIORITY_NONPREEMPTIVE,
     FIXED_PRIORITY_PREEMPTIVE,
+    NONPREEMPTIVE_NONDETERMINISTIC,
+    ArchitectureModel,
+    Bursty,
+    Bus,
+    Execute,
     LatencyRequirement,
     Message,
-    NONPREEMPTIVE_NONDETERMINISTIC,
     Operation,
     Periodic,
     PeriodicOffset,

@@ -1,0 +1,263 @@
+"""Round-robin and TDMA scheduling policies across all four engines.
+
+Covers the policy abstraction itself (validation of budgets and slot
+tables), the generated timed-automata templates, the analytic bounds, the
+slot-accurate DES servers, and the cross-engine soundness ordering on
+hand-computed examples — including the edge cases the policies are easiest
+to get wrong on: zero-budget round-robin slots, TDMA slots longer than the
+client period, a single-task round-robin resource degenerating to FIFO, and
+exact-vs-DES agreement on a two-task TDMA system.
+"""
+
+import pytest
+
+from repro.arch import (
+    NONPREEMPTIVE_NONDETERMINISTIC,
+    ROUND_ROBIN,
+    TDMA,
+    ArchitectureModel,
+    Execute,
+    LatencyRequirement,
+    Operation,
+    Periodic,
+    PeriodicOffset,
+    Processor,
+    Scenario,
+    Sporadic,
+    TimedAutomataSettings,
+    analyze_wcrt,
+    build_processor_automaton,
+)
+from repro.baselines.des import SimulationSettings, simulate
+from repro.baselines.mpa import analysis as mpa_analysis
+from repro.baselines.mpa.curves import round_robin_service, tdma_service
+from repro.baselines.symta import analysis as symta_analysis
+from repro.baselines.symta.busywindow import (
+    AnalysedTask,
+    response_time_round_robin,
+    response_time_tdma,
+)
+from repro.util.errors import AnalysisError, ModelError
+
+EXACT = TimedAutomataSettings(search_order="bfs", max_states=60_000, ceiling_factor=6.0)
+
+
+def _single_step_model(policy, period_a=12, period_b=12, **processor_kwargs):
+    """Two single-step scenarios (A: 2 ticks, B: 3 ticks) sharing one CPU."""
+    model = ArchitectureModel("policy_model")
+    model.add_processor(Processor("CPU", 1.0, policy, **processor_kwargs))
+    model.add_scenario(Scenario(
+        "S0", (Execute(Operation("A", 2), "CPU"),), PeriodicOffset(period_a, offset=1), 1,
+    ))
+    model.add_scenario(Scenario(
+        "S1", (Execute(Operation("B", 3), "CPU"),), PeriodicOffset(period_b, offset=0), 1,
+    ))
+    model.add_requirement(LatencyRequirement("R0", "S0", 60))
+    model.validate()
+    return model
+
+
+class TestPolicyValidation:
+    def test_zero_budget_rr_slot_rejected(self):
+        with pytest.raises(ModelError, match="starve"):
+            Processor("CPU", 1.0, ROUND_ROBIN, rr_budgets=(("A", 0),))
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ModelError):
+            Processor("CPU", 1.0, ROUND_ROBIN, rr_budgets=(("A", -2),))
+
+    def test_tdma_processor_needs_slot_ticks(self):
+        with pytest.raises(ModelError, match="slot_ticks"):
+            Processor("CPU", 1.0, TDMA)
+
+    def test_tdma_step_must_fit_into_slot(self):
+        model = ArchitectureModel("m")
+        model.add_processor(Processor("CPU", 1.0, TDMA, slot_ticks=2))
+        model.add_scenario(Scenario(
+            "S0", (Execute(Operation("A", 5), "CPU"),), Periodic(50),
+        ))
+        with pytest.raises(ModelError, match="slot"):
+            model.validate()
+
+    def test_duplicate_slot_rejected(self):
+        with pytest.raises(ModelError, match="twice"):
+            Processor("CPU", 1.0, TDMA, slot_ticks=4, slot_order=("A", "A"))
+
+    def test_rr_budget_for_unknown_step_rejected(self):
+        model = ArchitectureModel("m")
+        model.add_processor(Processor("CPU", 1.0, ROUND_ROBIN, rr_budgets=(("typo", 2),)))
+        model.add_scenario(Scenario(
+            "S0", (Execute(Operation("A", 2), "CPU"),), Periodic(50),
+        ))
+        with pytest.raises(ModelError, match="typo"):
+            model.validate()
+
+    def test_duplicate_rr_budget_rejected(self):
+        with pytest.raises(ModelError, match="twice"):
+            Processor("CPU", 1.0, ROUND_ROBIN, rr_budgets=(("A", 1), ("A", 2)))
+
+    def test_slot_order_must_cover_mapped_steps(self):
+        model = ArchitectureModel("m")
+        model.add_processor(
+            Processor("CPU", 1.0, TDMA, slot_ticks=4, slot_order=("A", "ghost"))
+        )
+        model.add_scenario(Scenario(
+            "S0", (Execute(Operation("A", 2), "CPU"),), Periodic(50),
+        ))
+        with pytest.raises(ModelError, match="ghost"):
+            model.validate()
+
+    def test_rr_round_length_and_tdma_cycle(self):
+        model = _single_step_model(ROUND_ROBIN, rr_budgets=(("B", 2),))
+        assert model.rr_round_length("CPU") == 2 + 2 * 3
+        tdma = _single_step_model(TDMA, slot_ticks=3)
+        assert tdma.tdma_cycle("CPU") == 6
+
+
+class TestGeneratedTemplates:
+    def test_round_robin_automaton_shape(self):
+        model = _single_step_model(ROUND_ROBIN)
+        ta = build_processor_automaton(model, model.processor("CPU"))
+        assert "exec_S0_A" in ta.locations and "exec_S1_B" in ta.locations
+        assert "turn" in ta.variables and "served" in ta.variables
+        assert ta.constants["B_S0_A"].value == 1
+
+    def test_tdma_automaton_shape(self):
+        model = _single_step_model(TDMA, slot_ticks=3)
+        ta = build_processor_automaton(model, model.processor("CPU"))
+        assert ta.constants["SLOT"].value == 3
+        assert any(name.startswith("begin_") for name in ta.locations)
+
+
+class TestAnalyticBounds:
+    def test_tdma_busy_window_closed_form(self):
+        task = AnalysedTask("t", wcet=2, priority=1, event_model=Periodic(12))
+        result = response_time_tdma(task, cycle=6)
+        # one job per cycle: arrival just after the own slot begins waits one
+        # full cycle, then executes
+        assert result.wcrt == 6 + 2
+        assert result.bcrt == 2
+
+    def test_tdma_overload_detected(self):
+        # the slot (and hence cycle) outlasts the period: the backlog grows
+        # without bound and the analysis must refuse rather than undershoot
+        task = AnalysedTask("t", wcet=2, priority=1, event_model=Periodic(6))
+        with pytest.raises(AnalysisError, match="overload"):
+            response_time_tdma(task, cycle=10)
+
+    def test_round_robin_bound_with_budgets(self):
+        own = AnalysedTask("a", wcet=2, priority=1, event_model=Periodic(50))
+        other = AnalysedTask("b", wcet=3, priority=1, event_model=Periodic(50))
+        result = response_time_round_robin(own, [(other, 2)])
+        # one own job plus at most two visits of the competitor, capped by
+        # the jobs that can actually arrive (one per period here)
+        assert result.wcrt == 2 + 3
+        assert response_time_round_robin(own, []).wcrt == 2
+
+    def test_round_robin_rejects_zero_budget(self):
+        own = AnalysedTask("a", wcet=2, priority=1, event_model=Periodic(50))
+        other = AnalysedTask("b", wcet=3, priority=1, event_model=Periodic(50))
+        with pytest.raises(AnalysisError):
+            response_time_round_robin(own, [(other, 0)])
+
+    def test_service_curves(self):
+        beta = tdma_service(wcet=2, cycle=6)
+        assert beta(6) == 0
+        assert beta.inverse(2) == pytest.approx(12)
+        with pytest.raises(AnalysisError):
+            tdma_service(wcet=7, cycle=6)
+        rr = round_robin_service(wcet=2, budget=1, round_length=5)
+        assert rr.inverse(2) == pytest.approx(3 + 5)
+        # a single step alone on the resource receives full service
+        alone = round_robin_service(wcet=2, budget=1, round_length=2)
+        assert alone(10) == pytest.approx(10)
+
+
+class TestTwoTaskTdmaHandExample:
+    """CPU under TDMA (slot 3, order A B, cycle 6), A: 2 ticks, B: 3 ticks.
+
+    A arrives at offset 1 — one tick after its slot began — so it waits for
+    the next A-slot at t = 6 and completes at t = 8: response 7.  Both the
+    exact timed-automata engine and the (deterministic, ``po``) simulation
+    must agree on exactly 7, and the analytic bounds must sit above it.
+    """
+
+    def test_exact_vs_des_agreement(self):
+        model = _single_step_model(TDMA, slot_ticks=3, slot_order=("A", "B"))
+        exact = analyze_wcrt(model, "R0", EXACT)
+        assert not exact.is_lower_bound
+        assert exact.wcrt_ticks == 7
+
+        des = simulate(model, SimulationSettings(horizon=1200, runs=2, seed=3))
+        assert des.observations["R0"].maximum == 7
+
+    def test_analytic_bounds_dominate(self):
+        model = _single_step_model(TDMA, slot_ticks=3, slot_order=("A", "B"))
+        symta = symta_analysis.analyze(model).latencies["R0"]
+        mpa = mpa_analysis.analyze(model).latencies["R0"]
+        assert symta == 6 + 2  # cycle + wcet
+        assert 7 <= symta <= mpa
+
+    def test_tdma_slot_longer_than_period_rejected_by_analyses(self):
+        # B's period (6) is shorter than the cycle (2 slots of 4 = 8): only
+        # one job per cycle is served, the queue grows without bound and
+        # both analytic engines must refuse the model
+        model = _single_step_model(
+            TDMA, period_b=6, period_a=48, slot_ticks=4, slot_order=("A", "B"),
+        )
+        with pytest.raises(AnalysisError):
+            symta_analysis.analyze(model)
+        with pytest.raises(AnalysisError):
+            mpa_analysis.analyze(model)
+
+
+class TestSingleTaskRoundRobinIsFifo:
+    """A single-step round-robin resource must behave exactly like FIFO."""
+
+    def _one_task(self, policy):
+        model = ArchitectureModel("single")
+        model.add_processor(Processor("CPU", 1.0, policy))
+        model.add_scenario(Scenario(
+            "S0", (Execute(Operation("A", 3), "CPU"),), Sporadic(8), 1,
+        ))
+        model.add_requirement(LatencyRequirement("R0", "S0", 40))
+        model.validate()
+        return model
+
+    def test_all_engines_match_the_fifo_reference(self):
+        rr = self._one_task(ROUND_ROBIN)
+        fifo = self._one_task(NONPREEMPTIVE_NONDETERMINISTIC)
+
+        rr_exact = analyze_wcrt(rr, "R0", EXACT)
+        fifo_exact = analyze_wcrt(fifo, "R0", EXACT)
+        assert not rr_exact.is_lower_bound and not fifo_exact.is_lower_bound
+        assert rr_exact.wcrt_ticks == fifo_exact.wcrt_ticks
+
+        assert (
+            symta_analysis.analyze(rr).latencies["R0"]
+            == symta_analysis.analyze(fifo).latencies["R0"]
+        )
+        assert (
+            mpa_analysis.analyze(rr).latencies["R0"]
+            == mpa_analysis.analyze(fifo).latencies["R0"]
+        )
+
+        settings = SimulationSettings(horizon=2000, runs=3, seed=11)
+        assert (
+            simulate(rr, settings).observations["R0"].samples
+            == simulate(fifo, settings).observations["R0"].samples
+        )
+
+
+class TestRoundRobinCrossEngine:
+    def test_budgeted_rr_ordering_holds(self):
+        model = _single_step_model(
+            ROUND_ROBIN, period_a=14, period_b=10, rr_budgets=(("B", 2),)
+        )
+        exact = analyze_wcrt(model, "R0", EXACT)
+        assert not exact.is_lower_bound
+        symta = symta_analysis.analyze(model).latencies["R0"]
+        mpa = mpa_analysis.analyze(model).latencies["R0"]
+        des = simulate(model, SimulationSettings(horizon=1400, runs=3, seed=7))
+        observed = des.observations["R0"].maximum
+        assert observed <= exact.wcrt_ticks <= min(symta, mpa)

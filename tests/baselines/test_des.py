@@ -3,11 +3,11 @@
 import pytest
 
 from repro.arch import (
+    FIXED_PRIORITY_NONPREEMPTIVE,
+    FIXED_PRIORITY_PREEMPTIVE,
     ArchitectureModel,
     Bus,
     Execute,
-    FIXED_PRIORITY_NONPREEMPTIVE,
-    FIXED_PRIORITY_PREEMPTIVE,
     LatencyRequirement,
     Message,
     Operation,
@@ -17,7 +17,15 @@ from repro.arch import (
     Sporadic,
     Transfer,
 )
-from repro.baselines.des import Job, ResourceServer, SimulationSettings, Simulator, simulate
+from repro.baselines.des import (
+    Job,
+    ResourceServer,
+    RoundRobinServer,
+    SimulationSettings,
+    Simulator,
+    TdmaServer,
+    simulate,
+)
 from repro.util.errors import AnalysisError
 
 
@@ -113,6 +121,103 @@ class TestResourceServer:
     def test_invalid_job_rejected(self):
         with pytest.raises(AnalysisError):
             Job("bad", 0, priority=1, on_complete=lambda: None)
+
+
+class TestRoundRobinServer:
+    def _stamped(self, sim):
+        stamps = {}
+        return stamps, (lambda name: (lambda: stamps.setdefault(name, sim.now)))
+
+    def test_cyclic_visits_with_budgets(self):
+        sim = Simulator()
+        server = RoundRobinServer(sim, "cpu", order=("a", "b"), budgets={"a": 1, "b": 2})
+        stamps, stamp = self._stamped(sim)
+        # two jobs of each step pending at t=0; visits: a (1 job), b (2 jobs),
+        # wrap to a (1 job): a1 [0,2), b1 [2,5), b2 [5,8), a2 [8,10)
+        server.submit(Job("a1", 2, priority=1, on_complete=stamp("a1"), task_key="a"))
+        server.submit(Job("a2", 2, priority=1, on_complete=stamp("a2"), task_key="a"))
+        server.submit(Job("b1", 3, priority=1, on_complete=stamp("b1"), task_key="b"))
+        server.submit(Job("b2", 3, priority=1, on_complete=stamp("b2"), task_key="b"))
+        sim.run()
+        assert stamps == {"a1": 2, "b1": 5, "b2": 8, "a2": 10}
+
+    def test_empty_visits_are_skipped(self):
+        sim = Simulator()
+        server = RoundRobinServer(sim, "cpu", order=("a", "b", "c"))
+        stamps, stamp = self._stamped(sim)
+        server.submit(Job("c1", 4, priority=1, on_complete=stamp("c1"), task_key="c"))
+        sim.run()
+        assert stamps == {"c1": 4}  # no time lost on the empty a/b visits
+
+    def test_unknown_task_key_rejected(self):
+        sim = Simulator()
+        server = RoundRobinServer(sim, "cpu", order=("a",))
+        with pytest.raises(AnalysisError):
+            server.submit(Job("x", 1, priority=1, on_complete=lambda: None, task_key="zz"))
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(AnalysisError):
+            RoundRobinServer(Simulator(), "cpu", order=("a",), budgets={"a": 0})
+
+
+class TestTdmaServer:
+    def test_slot_accurate_dispatch(self):
+        sim = Simulator()
+        # slots: a begins at 0, 6, 12, ...; b begins at 3, 9, 15, ...
+        server = TdmaServer(sim, "cpu", slot_ticks=3, order=("a", "b"))
+        stamps = {}
+        def stamp(name):
+            return lambda: stamps.setdefault(name, sim.now)
+        # a time-zero arrival for slot 0 misses the initial begin (the
+        # automaton's committed begin_0 resolves before any injection)
+        server.submit(Job("a1", 2, priority=1, on_complete=stamp("a1"), task_key="a"))
+        # one tick into the a-slot: waits behind a1 for the cycle after next
+        sim.schedule(1, lambda: server.submit(
+            Job("a2", 2, priority=1, on_complete=stamp("a2"), task_key="a")))
+        # b pending before its first slot begin at t=3: served there
+        sim.schedule(2, lambda: server.submit(
+            Job("b1", 3, priority=1, on_complete=stamp("b1"), task_key="b")))
+        sim.run()
+        assert stamps == {"b1": 6, "a1": 8, "a2": 14}
+
+    def test_arrival_at_later_begin_is_served_there(self):
+        sim = Simulator()
+        server = TdmaServer(sim, "cpu", slot_ticks=3, order=("a", "b"))
+        stamps = {}
+        def stamp(name):
+            return lambda: stamps.setdefault(name, sim.now)
+        # arrival exactly at the second a-begin (t=6) can win the interleaving
+        sim.schedule(6, lambda: server.submit(
+            Job("a1", 2, priority=1, on_complete=stamp("a1"), task_key="a")))
+        sim.run()
+        assert stamps == {"a1": 8}
+
+    def test_one_job_per_cycle_and_step(self):
+        sim = Simulator()
+        server = TdmaServer(sim, "cpu", slot_ticks=2, order=("a",))
+        stamps = {}
+        def stamp(name):
+            return lambda: stamps.setdefault(name, sim.now)
+        for index in range(3):
+            server.submit(Job(f"a{index}", 1, priority=1,
+                              on_complete=stamp(f"a{index}"), task_key="a"))
+        sim.run()
+        # the t=0 jobs miss the initial begin, then one job per cycle
+        assert stamps == {"a0": 3, "a1": 5, "a2": 7}
+
+    def test_utilisation_counts_in_flight_service(self):
+        sim = Simulator()
+        server = TdmaServer(sim, "cpu", slot_ticks=4, order=("a",))
+        sim.schedule(4, lambda: server.submit(
+            Job("a1", 4, priority=1, on_complete=lambda: None, task_key="a")))
+        sim.run_until(6)  # serving since t=4, horizon mid-slot
+        assert server.utilisation(6) == pytest.approx(2 / 6)
+
+    def test_oversized_job_rejected(self):
+        sim = Simulator()
+        server = TdmaServer(sim, "cpu", slot_ticks=2, order=("a",))
+        with pytest.raises(AnalysisError):
+            server.submit(Job("big", 5, priority=1, on_complete=lambda: None, task_key="a"))
 
 
 def _pipeline_model():

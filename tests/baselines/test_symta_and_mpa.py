@@ -6,11 +6,11 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.arch import (
+    FIXED_PRIORITY_NONPREEMPTIVE,
+    FIXED_PRIORITY_PREEMPTIVE,
     ArchitectureModel,
     Bus,
     Execute,
-    FIXED_PRIORITY_NONPREEMPTIVE,
-    FIXED_PRIORITY_PREEMPTIVE,
     LatencyRequirement,
     Message,
     Operation,

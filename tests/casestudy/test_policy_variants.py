@@ -1,0 +1,76 @@
+"""Resource-policy variants of the radio-navigation case study."""
+
+import pytest
+
+from repro.baselines.symta import analysis as symta_analysis
+from repro.casestudy import (
+    POLICY_VARIANTS,
+    apply_policy_variant,
+    build_radio_navigation,
+    configure,
+)
+from repro.sweep import grid_cells, policy_variant_cells, run_cell
+from repro.util.errors import ModelError
+
+
+class TestPolicyVariants:
+    def test_fp_variant_is_identity(self):
+        model = build_radio_navigation()
+        assert apply_policy_variant(model, "fp") is model
+
+    def test_rr_variant_replaces_used_resources(self):
+        model = configure(build_radio_navigation(), "AL+TMC", "pno", policy="rr")
+        for processor in model.processors.values():
+            if model.steps_on_resource(processor.name):
+                assert processor.policy.name == "round-robin"
+        assert model.bus("BUS").policy.name == "round-robin"
+
+    def test_tdma_bus_variant_sizes_slots_to_messages(self):
+        model = configure(build_radio_navigation(), "AL+TMC", "pno", policy="tdma-bus")
+        bus = model.bus("BUS")
+        assert bus.policy.time_triggered
+        mapped = model.steps_on_resource("BUS")
+        assert bus.slot_ticks == max(model.step_duration(step) for _s, step in mapped)
+        # the schedule resolves: one slot per mapped message
+        assert model.tdma_cycle("BUS") == bus.slot_ticks * len(mapped)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ModelError, match="policy variant"):
+            apply_policy_variant(build_radio_navigation(), "edf")
+        assert set(POLICY_VARIANTS) == {"fp", "rr", "tdma-bus"}
+
+    def test_variants_stay_analysable(self):
+        for policy in ("rr", "tdma-bus"):
+            model = configure(build_radio_navigation(), "AL+TMC", "pno", policy=policy)
+            result = symta_analysis.analyze(model)
+            assert result.converged
+            assert result.latencies["TMC"] > 0
+
+
+class TestPolicySweepCells:
+    def test_policy_variant_cells_shape(self):
+        cells = policy_variant_cells()
+        names = {cell.name for cell in cells}
+        assert "AL+TMC/pno#rr" in names
+        assert "AL+TMC/po#tdma-bus" in names
+        budgets = {cell.name: cell.settings.get("max_states") for cell in cells}
+        assert budgets["AL+TMC/pno#rr"] is None  # exhaustive
+        assert budgets["AL+TMC/pno#tdma-bus"] == 4_000  # budgeted lower bound
+        full = {cell.name: cell.settings.get("max_states")
+                for cell in policy_variant_cells(full_scale=True)}
+        assert full["AL+TMC/pno#tdma-bus"] is None
+
+    def test_grid_cells_policy_axis(self):
+        cells = grid_cells(
+            combinations=["AL+TMC"], configurations=["pno"], requirements=["TMC"],
+            policies=["fp", "rr"],
+        )
+        assert [cell.name for cell in cells] == ["AL+TMC/pno/TMC", "AL+TMC/pno/TMC#rr"]
+        with pytest.raises(ModelError):
+            grid_cells(policies=["edf"])
+
+    def test_run_cell_applies_policy_variant(self):
+        cells = [cell for cell in policy_variant_cells() if cell.name == "AL+TMC/po#rr"]
+        result = run_cell(cells[0])
+        assert not result.is_lower_bound
+        assert result.wcrt_ticks is not None and result.wcrt_ticks > 0

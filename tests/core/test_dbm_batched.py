@@ -11,6 +11,7 @@ everywhere.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.dbm import (
@@ -21,7 +22,6 @@ from repro.core.dbm import (
 )
 from repro.core.federation import Federation
 from repro.util.errors import ModelError
-import pytest
 
 DIM = 4
 

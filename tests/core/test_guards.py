@@ -5,10 +5,10 @@ import pytest
 from repro.core import expressions as ex
 from repro.core.dbm import DBM, bound
 from repro.core.guards import (
+    TRUE_GUARD,
     ClockConstraint,
     Guard,
     Invariant,
-    TRUE_GUARD,
     compile_guard,
     compile_invariant,
 )

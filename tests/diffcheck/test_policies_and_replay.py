@@ -1,0 +1,214 @@
+"""Policy-diverse fuzzing and the replay schema-version contract."""
+
+import json
+
+import pytest
+
+from repro.arch import BUS_TDMA, ROUND_ROBIN, TDMA, Bus, Processor
+from repro.diffcheck.cli import main as diffcheck_main
+from repro.diffcheck.oracle import SMOKE_ORACLE, OracleConfig, check_model
+from repro.diffcheck.sampler import SMOKE_SAMPLER, sample_model
+from repro.diffcheck.serialize import (
+    COUNTEREXAMPLE_SCHEMA,
+    load_counterexample,
+    model_from_dict,
+    model_to_dict,
+)
+from repro.diffcheck.shrink import shrink_model
+from repro.util.errors import ModelError
+
+
+def _policies(model):
+    return {
+        resource.policy.name
+        for resource in (*model.processors.values(), *model.buses.values())
+    }
+
+
+class TestPolicyDiverseSampling:
+    def test_sampler_draws_cyclic_policies(self):
+        seen = set()
+        for seed in range(120):
+            seen |= _policies(sample_model(seed, SMOKE_SAMPLER))
+        assert "round-robin" in seen
+        assert "tdma" in seen
+
+    def test_cyclic_resources_carry_consistent_parameters(self):
+        for seed in range(120):
+            model = sample_model(seed, SMOKE_SAMPLER)
+            for resource in (*model.processors.values(), *model.buses.values()):
+                if resource.policy.time_triggered:
+                    cycle = model.tdma_cycle(resource.name)
+                    for scenario, _step in model.steps_on_resource(resource.name):
+                        assert scenario.event_model.period >= 2 * cycle
+                elif resource.policy.budgeted:
+                    round_length = model.rr_round_length(resource.name)
+                    for scenario, _step in model.steps_on_resource(resource.name):
+                        assert scenario.event_model.period >= 2 * round_length
+
+    def test_round_trip_preserves_cyclic_parameters(self):
+        for seed in range(200):
+            model = sample_model(seed, SMOKE_SAMPLER)
+            if not any(
+                resource.policy.time_triggered or resource.policy.budgeted
+                for resource in (*model.processors.values(), *model.buses.values())
+            ):
+                continue
+            rebuilt = model_from_dict(model_to_dict(model))
+            assert model_to_dict(rebuilt) == model_to_dict(model)
+            return
+        pytest.fail("no cyclic-policy model sampled in 200 seeds")
+
+    def test_oracle_records_policy_names(self):
+        model = sample_model(3, SMOKE_SAMPLER)
+        verdict = check_model(model, seed=3, config=SMOKE_ORACLE)
+        assert verdict.policies == tuple(sorted(_policies(model)))
+
+
+class TestPolicyShrinking:
+    def test_policy_downgrade_candidates_shrink_to_baseline(self):
+        model = sample_model(0, SMOKE_SAMPLER)
+        # find a seed with a cyclic resource so the downgrade path is exercised
+        for seed in range(60):
+            model = sample_model(seed, SMOKE_SAMPLER)
+            if any(
+                resource.policy.time_triggered or resource.policy.budgeted
+                for resource in (*model.processors.values(), *model.buses.values())
+            ):
+                break
+        shrunk, _verdict = shrink_model(model, still_failing=lambda candidate: True)
+        for resource in (*shrunk.processors.values(), *shrunk.buses.values()):
+            assert resource.policy.name in (
+                "nonpreemptive-nondeterministic", "fcfs-nondeterministic",
+            )
+            assert resource.slot_ticks is None
+            assert resource.rr_budgets == ()
+
+    def test_step_dropping_keeps_slot_tables_consistent(self):
+        from repro.arch import Execute, LatencyRequirement, Operation, Periodic, Scenario
+        from repro.arch.model import ArchitectureModel
+
+        model = ArchitectureModel("two_slots")
+        model.add_processor(
+            Processor("CPU", 1.0, TDMA, slot_ticks=4, slot_order=("A", "B"))
+        )
+        model.add_scenario(Scenario(
+            "S0",
+            (Execute(Operation("A", 2), "CPU"), Execute(Operation("B", 2), "CPU")),
+            Periodic(64),
+        ))
+        model.add_requirement(LatencyRequirement("R0", "S0", 200, end_after="A"))
+        model.validate()
+        # accept any candidate: the shrinker should be able to drop step B
+        # and keep the slot table consistent with the surviving steps
+        shrunk, _ = shrink_model(model, still_failing=lambda candidate: True)
+        assert [step.name for step in shrunk.scenario("S0").steps] == ["A"]
+
+
+class TestReplaySchemaVersion:
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "counterexample.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_unknown_counterexample_schema_exits_2(self, tmp_path, capsys):
+        path = self._write(tmp_path, {
+            "schema": "repro-diffcheck-counterexample-v99",
+            "seed": 1,
+            "model": {},
+        })
+        assert diffcheck_main(["--replay", path]) == 2
+        err = capsys.readouterr().err
+        assert "unknown counterexample schema" in err
+        assert "repro-diffcheck-counterexample-v99" in err
+
+    def test_missing_schema_exits_2(self, tmp_path, capsys):
+        path = self._write(tmp_path, {"seed": 1, "model": {}})
+        assert diffcheck_main(["--replay", path]) == 2
+        assert "unknown counterexample schema" in capsys.readouterr().err
+
+    def test_unknown_model_schema_exits_2(self, tmp_path, capsys):
+        path = self._write(tmp_path, {
+            "schema": COUNTEREXAMPLE_SCHEMA,
+            "seed": 1,
+            "model": {"schema": "repro-diffcheck-model-v99"},
+        })
+        assert diffcheck_main(["--replay", path]) == 2
+        assert "unknown model schema" in capsys.readouterr().err
+
+    def test_payload_without_model_exits_2(self, tmp_path, capsys):
+        path = self._write(tmp_path, {"schema": COUNTEREXAMPLE_SCHEMA, "seed": 1})
+        assert diffcheck_main(["--replay", path]) == 2
+        assert "no model" in capsys.readouterr().err
+
+    def test_load_counterexample_raises_model_error(self, tmp_path):
+        path = self._write(tmp_path, {"schema": "something-else"})
+        with pytest.raises(ModelError, match="unknown counterexample schema"):
+            load_counterexample(path)
+
+    def test_forward_compatible_oracle_config(self):
+        config = OracleConfig.from_dict({"max_states": 123, "future_knob": True})
+        assert config.max_states == 123
+
+
+class TestPolicyOracleWindow:
+    """A handful of cyclic-policy models through all four engines."""
+
+    def test_cyclic_policy_models_check_clean(self):
+        checked = 0
+        for seed in range(40):
+            model = sample_model(seed, SMOKE_SAMPLER)
+            if not (
+                {"round-robin", "tdma"} & _policies(model)
+            ):
+                continue
+            verdict = check_model(model, seed=seed, config=SMOKE_ORACLE)
+            assert verdict.status != "violation", verdict.violations
+            checked += verdict.checked
+            if checked >= 5:
+                return
+        assert checked, "no cyclic-policy model sampled in 40 seeds"
+
+    def test_hand_built_tdma_bus_model_checks(self):
+        from repro.arch import (
+            LatencyRequirement,
+            Message,
+            Periodic,
+            Scenario,
+            Transfer,
+        )
+        from repro.arch.model import ArchitectureModel
+
+        model = ArchitectureModel("tdma_bus")
+        model.add_bus(Bus("B0", 8000.0, BUS_TDMA, slot_ticks=4))
+        model.add_scenario(Scenario(
+            "S0", (Transfer(Message("m0", 3), "B0"),), Periodic(32), 1,
+        ))
+        model.add_scenario(Scenario(
+            "S1", (Transfer(Message("m1", 4), "B0"),), Periodic(24), 2,
+        ))
+        model.add_requirement(LatencyRequirement("R0", "S0", 64))
+        model.validate()
+        verdict = check_model(model, seed=0, config=SMOKE_ORACLE)
+        assert verdict.status in ("checked", "checked-inexact"), (
+            verdict.violations or verdict.skip_reason
+        )
+
+    def test_hand_built_rr_processor_model_checks(self):
+        from repro.arch import Execute, LatencyRequirement, Operation, Periodic, Scenario
+        from repro.arch.model import ArchitectureModel
+
+        model = ArchitectureModel("rr_cpu")
+        model.add_processor(Processor("P0", 1.0, ROUND_ROBIN, rr_budgets=(("a", 2),)))
+        model.add_scenario(Scenario(
+            "S0", (Execute(Operation("a", 2), "P0"),), Periodic(24), 1,
+        ))
+        model.add_scenario(Scenario(
+            "S1", (Execute(Operation("b", 3), "P0"),), Periodic(30), 2,
+        ))
+        model.add_requirement(LatencyRequirement("R0", "S0", 64))
+        model.validate()
+        verdict = check_model(model, seed=0, config=SMOKE_ORACLE)
+        assert verdict.status in ("checked", "checked-inexact"), (
+            verdict.violations or verdict.skip_reason
+        )

@@ -106,7 +106,7 @@ class TestSerialize:
         data = model_to_dict(sample_model(0))
         if not data["processors"]:
             pytest.skip("seed 0 sampled no processors")
-        data["processors"][0]["policy"] = "round-robin"
+        data["processors"][0]["policy"] = "earliest-deadline-first"
         with pytest.raises(ModelError):
             model_from_dict(data)
 

@@ -8,9 +8,9 @@ import pytest
 from repro.arch.workload import Execute
 from repro.baselines.symta import analysis as symta_analysis
 from repro.diffcheck import (
+    SMOKE_SAMPLER,
     CampaignConfig,
     OracleConfig,
-    SMOKE_SAMPLER,
     check_model,
     load_counterexample,
     model_from_dict,

@@ -4,6 +4,8 @@ import xml.etree.ElementTree as ET
 
 from repro.arch import build_model
 from repro.casestudy import build_radio_navigation, configure
+from repro.core.automaton import TimedAutomaton
+from repro.core.network import Network
 from repro.io import (
     automaton_to_dot,
     format_table,
@@ -13,8 +15,6 @@ from repro.io import (
     network_to_xml,
     query_file,
 )
-from repro.core.automaton import TimedAutomaton
-from repro.core.network import Network
 
 
 def _small_network():
