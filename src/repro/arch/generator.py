@@ -173,8 +173,14 @@ def _preemption_bound(
     window = max_low
     cap = max(options.busy_window_factor, 2) * max_low * 64
     for _ in range(1024):
+        # the closed window (eta_plus(w + 1)) also counts a higher-priority
+        # job released exactly at the instant the low-priority one would
+        # complete -- the TA semantics lets that job win the race and
+        # preempt, so its execution time lands in D as well (the same
+        # "+ epsilon" the busy-window analyses need; an open window makes D
+        # overflow its domain on exactly those completion-instant races)
         demand = max_low + sum(
-            scenario.event_model.eta_plus(window) * durations[(scenario.name, step.name)]
+            scenario.event_model.eta_plus(window + 1) * durations[(scenario.name, step.name)]
             for scenario, step in high_steps
         )
         if demand == window:

@@ -116,20 +116,43 @@ class _ScenarioInstance:
 
 
 class _SimulationRun:
-    """A single simulation run of the whole architecture."""
+    """A single simulation run of the whole architecture.
 
-    def __init__(self, model: ArchitectureModel, seed: int, horizon: int):
+    ``arrival_overrides`` replaces the sampled arrival traces with explicit
+    absolute arrival times — the trace-driven mode used by
+    :mod:`repro.witness.replay` to re-execute a concrete witness schedule.
+    It is either a per-scenario mapping (``{scenario: [times]}``) or a fully
+    ordered sequence of ``(scenario, time)`` pairs; the sequence form pins
+    the *interleaving* of same-instant releases across scenarios, which the
+    witness replay needs (the symbolic engine explores all interleavings and
+    a witness fixes one).  ``server_factory`` lets the replay wrap individual
+    servers (guided dispatch) without re-implementing the scenario-chain
+    plumbing.
+    """
+
+    def __init__(
+        self,
+        model: ArchitectureModel,
+        seed: int,
+        horizon: int,
+        arrival_overrides: (
+            "dict[str, list[int]] | list[tuple[str, int]] | None"
+        ) = None,
+        server_factory=None,
+    ):
         self.model = model
         self.horizon = horizon
         self.rng = random.Random(seed)
         self.simulator = Simulator()
+        self.arrival_overrides = arrival_overrides
+        make_server = server_factory or _make_server
         self.servers: dict[str, ResourceServer | RoundRobinServer | TdmaServer] = {}
         for processor in model.processors.values():
-            self.servers[processor.name] = _make_server(
+            self.servers[processor.name] = make_server(
                 self.simulator, model, processor, preemptable=True
             )
         for bus in model.buses.values():
-            self.servers[bus.name] = _make_server(
+            self.servers[bus.name] = make_server(
                 self.simulator, model, bus, preemptable=False
             )
         #: latency samples per requirement
@@ -141,11 +164,25 @@ class _SimulationRun:
         }
 
     # -- execution ----------------------------------------------------------------
+    def _arrival_times(self, scenario: Scenario) -> list[int]:
+        overrides = self.arrival_overrides
+        if isinstance(overrides, dict) and scenario.name in overrides:
+            return list(overrides[scenario.name])
+        return scenario.event_model.sample_arrivals(self.rng, self.horizon)
+
     def run(self) -> None:
-        for scenario in self.model.scenarios.values():
-            arrivals = scenario.event_model.sample_arrivals(self.rng, self.horizon)
-            for arrival in arrivals:
+        overrides = self.arrival_overrides
+        if overrides is not None and not isinstance(overrides, dict):
+            # ordered (scenario, time) pairs: schedule in the given order so
+            # that same-instant releases fire in exactly that interleaving
+            # (the event queue breaks time ties by insertion order)
+            for scenario_name, arrival in overrides:
+                scenario = self.model.scenario(scenario_name)
                 self.simulator.schedule_at(arrival, self._make_arrival(scenario, arrival))
+        else:
+            for scenario in self.model.scenarios.values():
+                for arrival in self._arrival_times(scenario):
+                    self.simulator.schedule_at(arrival, self._make_arrival(scenario, arrival))
         self.simulator.run_until(self.horizon)
 
     def _make_arrival(self, scenario: Scenario, arrival: int):

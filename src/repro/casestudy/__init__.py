@@ -6,7 +6,10 @@
 * :mod:`repro.casestudy.configurations` — the scenario combinations and the
   five event-model configurations of Table 1,
 * :mod:`repro.casestudy.expected` — the values published in Tables 1 and 2,
-  for side-by-side comparison in EXPERIMENTS.md and the benchmarks.
+  for side-by-side comparison in EXPERIMENTS.md and the benchmarks,
+* :mod:`repro.casestudy.witnesses` — validated concrete witness schedules
+  for the exhaustively analysable Table 1 WCRT anchors (see
+  ``docs/witnesses.md``).
 """
 
 from repro.casestudy.configurations import (
@@ -34,9 +37,17 @@ from repro.casestudy.system import (
     RAD_MIPS,
     build_radio_navigation,
 )
+from repro.casestudy.witnesses import (
+    WITNESS_ANCHOR_CELLS,
+    AnchorWitness,
+    anchor_witness,
+)
 
 __all__ = [
     "build_radio_navigation",
+    "WITNESS_ANCHOR_CELLS",
+    "AnchorWitness",
+    "anchor_witness",
     "configure",
     "apply_policy_variant",
     "COMBINATIONS",

@@ -1,0 +1,71 @@
+"""Concrete witness schedules for the Table 1 WCRT anchors.
+
+The paper's headline claim is that exhaustive TA analysis yields *exact*
+worst-case response times with diagnostic traces.  This module closes the
+loop for the case study: for every exhaustively analysable Table 1 cell it
+produces a concrete timed schedule that *attains* the reported WCRT and
+passes both machine checks (TA step-check + DES replay) — the anchors the
+benchmark suite and the regression tests validate on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.analysis import RequirementAnalysis, TimedAutomataSettings
+from repro.casestudy.configurations import configure
+from repro.casestudy.system import build_radio_navigation
+from repro.witness import ConcreteRun, WitnessValidation, validate_witness, wcrt_witness
+
+__all__ = ["WITNESS_ANCHOR_CELLS", "AnchorWitness", "anchor_witness"]
+
+#: the exhaustive (combination, configuration, requirement) cells whose WCRT
+#: anchors carry validated concrete witnesses; the jitter/burst cells of
+#: Table 1 are budgeted lower bounds and are witnessed through the diffcheck
+#: pipeline instead
+WITNESS_ANCHOR_CELLS: tuple[tuple[str, str, str], ...] = (
+    ("AL+TMC", "po", "TMC"),
+    ("AL+TMC", "pno", "TMC"),
+    ("AL+TMC", "sp", "TMC"),
+)
+
+
+@dataclass
+class AnchorWitness:
+    """One witnessed Table 1 anchor cell."""
+
+    combination: str
+    configuration: str
+    requirement: str
+    strategy: str
+    analysis: RequirementAnalysis
+    run: ConcreteRun
+    validation: WitnessValidation
+
+    @property
+    def ok(self) -> bool:
+        return self.validation.ok and not self.analysis.is_lower_bound
+
+
+def anchor_witness(
+    combination: str,
+    configuration: str,
+    requirement: str,
+    strategy: str = "earliest",
+    policy: str = "fp",
+    max_states: int | None = None,
+) -> AnchorWitness:
+    """Analyse one case-study cell and attach a validated concrete witness."""
+    model = configure(build_radio_navigation(), combination, configuration, policy=policy)
+    settings = TimedAutomataSettings(record_traces=True, max_states=max_states, seed=1)
+    analysis, run = wcrt_witness(model, requirement, settings, strategy)
+    validation = validate_witness(model, run, analysis.generated)
+    return AnchorWitness(
+        combination=combination,
+        configuration=configuration,
+        requirement=requirement,
+        strategy=strategy,
+        analysis=analysis,
+        run=run,
+        validation=validation,
+    )

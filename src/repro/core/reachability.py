@@ -161,13 +161,34 @@ class SupResult:
         return f"{self.query}: {prefix} {self.value} ({self.statistics})"
 
 
+class _UnrecordedParent:
+    """Sentinel parent of nodes created with ``record_traces=False``.
+
+    Distinguishes "this node is the search root" (parent ``None``, a
+    one-step trace is correct) from "the ancestry was deliberately not
+    recorded" -- building a trace through the sentinel raises instead of
+    silently returning a partial chain.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "<unrecorded parent>"
+
+
+_UNRECORDED = _UnrecordedParent()
+
+
 class _SearchNode:
     """Internal: a stored symbolic state plus its parent pointer."""
 
     __slots__ = ("state", "parent", "label")
 
     def __init__(
-        self, state: SymbolicState, parent: "_SearchNode | None", label: TransitionLabel | None
+        self,
+        state: SymbolicState,
+        parent: "_SearchNode | _UnrecordedParent | None",
+        label: TransitionLabel | None,
     ):
         self.state = state
         self.parent = parent
@@ -175,8 +196,14 @@ class _SearchNode:
 
     def trace(self) -> Trace:
         steps: list[TraceStep] = []
-        node: _SearchNode | None = self
+        node: _SearchNode | _UnrecordedParent | None = self
         while node is not None:
+            if node is _UNRECORDED:
+                raise AnalysisError(
+                    "cannot build a trace: the exploration ran with "
+                    "record_traces=False, so parent pointers were not kept; "
+                    "re-run with SearchOptions(record_traces=True)"
+                )
             steps.append(TraceStep(node.label, node.state))
             node = node.parent
         steps.reverse()
@@ -299,7 +326,7 @@ class Explorer:
                     federation.add(successor.zone)
                 stats.states_stored += 1
                 child = _SearchNode(
-                    successor, node if record_traces else None, label
+                    successor, node if record_traces else _UNRECORDED, label
                 )
                 if visit is not None and visit(successor, child):
                     stats.termination = "goal"
@@ -439,7 +466,7 @@ class Explorer:
                     stored_here.append(zone)
                 stats.states_stored += 1
                 successor = SymbolicState(plan.locations, plan.variables, zone, plan.key_bytes)
-                child = _SearchNode(successor, node if record_traces else None, label)
+                child = _SearchNode(successor, node if record_traces else _UNRECORDED, label)
                 if visit is not None and visit(successor, child):
                     goal = True
                     break

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from repro.core import expressions as ex
 from repro.core.guards import ClockConstraint
 from repro.core.network import CompiledNetwork
-from repro.core.properties import AG, ClockProp, Not, Or, StateFormula, Sup
+from repro.core.properties import AG, EF, And, ClockProp, Not, Or, StateFormula, Sup
 from repro.core.reachability import Explorer, SearchOptions, Trace
 from repro.core.statistics import ExplorationStatistics
 from repro.core.successors import SemanticsOptions
@@ -151,6 +151,23 @@ def wcrt_binary_search(
             else:
                 undecided = True
                 low = mid  # treat as "not yet proven": keep searching upwards
+
+        # witness extraction: the WCRT `high - 1` is attained, so a state with
+        # `condition && observer_clock >= high - 1` is reachable; one more
+        # (goal-directed, hence cheap) exploration records the trace to it,
+        # giving the binary search the same witness capability as `sup`
+        trace: Trace | None = None
+        if search is not None and search.record_traces and not undecided:
+            witness_query = EF(And(condition, ClockProp(
+                ClockConstraint(observer_clock, ">=", ex.IntConst(int(high - 1)))
+            )))
+            explorer = Explorer(network, semantics, search)
+            witness_outcome = explorer.check(witness_query)
+            total_stats.merge(witness_outcome.statistics)
+            if witness_outcome.holds is not True:
+                undecided = True
+            else:
+                trace = witness_outcome.trace
     finally:
         network.restore_query_constants(saved_constants)
 
@@ -161,4 +178,5 @@ def wcrt_binary_search(
         attained=not undecided,
         method="binary-search",
         statistics=total_stats,
+        trace=trace,
     )

@@ -16,9 +16,12 @@ ordering
 (plus sup-vs-binary-search agreement, the two methods of the TA engine that
 both claim exactness).  Violations are shrunk to minimal counterexamples
 (:mod:`repro.diffcheck.shrink`) and serialised as replayable JSON repros
-(:mod:`repro.diffcheck.serialize`).  Campaigns run serially or on the
-parallel sweep runner (:class:`repro.sweep.DiffCheckCell`); the
-``repro-diffcheck`` CLI (:mod:`repro.diffcheck.cli`) wires it all together.
+(:mod:`repro.diffcheck.serialize`), each carrying a validated
+``repro-witness-v1`` concrete witness schedule of the exact engine's claim
+(:func:`~repro.diffcheck.oracle.witness_model`; see ``docs/witnesses.md``).
+Campaigns run serially or on the parallel sweep runner
+(:class:`repro.sweep.DiffCheckCell`); the ``repro-diffcheck`` CLI
+(:mod:`repro.diffcheck.cli`) wires it all together.
 """
 
 from repro.diffcheck.campaign import CampaignConfig, CampaignResult, run_campaign
@@ -28,6 +31,7 @@ from repro.diffcheck.oracle import (
     ModelVerdict,
     OracleConfig,
     check_model,
+    witness_model,
 )
 from repro.diffcheck.sampler import DEFAULT_SAMPLER, SMOKE_SAMPLER, SamplerConfig, sample_model
 from repro.diffcheck.serialize import (
@@ -48,6 +52,7 @@ __all__ = [
     "EngineVerdict",
     "ModelVerdict",
     "check_model",
+    "witness_model",
     "shrink_model",
     "model_to_dict",
     "model_from_dict",

@@ -19,7 +19,7 @@ import os
 import time
 from dataclasses import dataclass, field
 
-from repro.diffcheck.oracle import ModelVerdict, OracleConfig, check_model
+from repro.diffcheck.oracle import ModelVerdict, OracleConfig, check_model, witness_model
 from repro.diffcheck.sampler import SamplerConfig, sample_model
 from repro.diffcheck.serialize import write_counterexample
 from repro.diffcheck.shrink import shrink_model
@@ -40,6 +40,8 @@ class CampaignConfig:
     shrink_max_checks: int = 150
     #: directory for counterexample JSONs (None = do not serialise)
     repro_dir: str | None = None
+    #: attach a validated concrete witness schedule to every counterexample
+    witnesses: bool = True
 
     def to_dict(self) -> dict:
         return {
@@ -48,6 +50,7 @@ class CampaignConfig:
             "shrink": self.shrink,
             "shrink_max_checks": self.shrink_max_checks,
             "repro_dir": self.repro_dir,
+            "witnesses": self.witnesses,
         }
 
     @classmethod
@@ -58,6 +61,7 @@ class CampaignConfig:
             shrink=bool(data.get("shrink", True)),
             shrink_max_checks=int(data.get("shrink_max_checks", 150)),
             repro_dir=data.get("repro_dir"),
+            witnesses=bool(data.get("witnesses", True)),
         )
 
 
@@ -71,6 +75,9 @@ class CampaignResult:
     #: counterexample JSON paths written by this campaign
     counterexamples: list[str]
     wall_seconds: float
+    #: witnesses attached to counterexamples / of those, fully validated
+    witnesses_attempted: int = 0
+    witnesses_validated: int = 0
 
     @property
     def models_checked(self) -> int:
@@ -125,6 +132,8 @@ class CampaignResult:
             "states_per_second": round(self.states_per_second, 1),
             "wall_seconds": round(self.wall_seconds, 4),
             "policy_mix": self.policy_mix,
+            "witnesses_attempted": self.witnesses_attempted,
+            "witnesses_validated": self.witnesses_validated,
         }
 
 
@@ -142,6 +151,8 @@ def run_campaign(
     started = time.perf_counter()
     records: list[ModelVerdict] = []
     counterexamples: list[str] = []
+    witnesses_attempted = 0
+    witnesses_validated = 0
     for seed in range(seed_start, seed_start + count):
         try:
             model = sample_model(seed, config.sampler)
@@ -172,6 +183,26 @@ def run_campaign(
                 )
                 if shrunk_verdict is not None:
                     reported_model, reported_verdict = shrunk, shrunk_verdict
+            # every serialised counterexample ships a concrete witness
+            # schedule of the exact engine's claim, validated by both the
+            # TA step-checker and the DES replay before it is written
+            witness_payload = None
+            witness_ok = None
+            witness_error = None
+            if config.witnesses:
+                from repro.witness import run_to_dict
+
+                witnesses_attempted += 1
+                run, validation, witness_error = witness_model(
+                    reported_model, config.oracle
+                )
+                if run is not None:
+                    witness_payload = run_to_dict(run)
+                    witness_ok = validation.ok
+                    if validation.ok:
+                        witnesses_validated += 1
+                    else:
+                        witness_error = validation.describe()
             path = _counterexample_path(config.repro_dir, seed)
             write_counterexample(
                 path,
@@ -181,6 +212,9 @@ def run_campaign(
                 verdicts=reported_verdict.verdict_dicts(),
                 oracle=config.oracle.to_dict(),
                 unshrunk_model=model if reported_model is not model else None,
+                witness=witness_payload,
+                witness_validated=witness_ok,
+                witness_error=witness_error,
             )
             counterexamples.append(path)
     return CampaignResult(
@@ -189,4 +223,6 @@ def run_campaign(
         records=records,
         counterexamples=counterexamples,
         wall_seconds=time.perf_counter() - started,
+        witnesses_attempted=witnesses_attempted,
+        witnesses_validated=witnesses_validated,
     )

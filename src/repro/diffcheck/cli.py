@@ -40,7 +40,33 @@ SMOKE_COUNT = 30
 SMOKE_MIN_MODELS = 25
 
 
-def _replay(path: str) -> int:
+def _validate_embedded_witness(payload: dict, model) -> bool | None:
+    """Validate (and render) the counterexample's embedded witness schedule.
+
+    Returns ``True``/``False`` for a validated/failed witness, ``None`` when
+    the payload carries none (the recorded ``witness_error`` is printed).
+    """
+    from repro.io.report import format_gantt
+    from repro.util.errors import ReproError
+    from repro.witness import run_from_dict, validate_witness
+
+    witness = payload.get("witness")
+    if witness is None:
+        reason = payload.get("witness_error", "payload carries no witness")
+        print(f"no witness schedule embedded ({reason})")
+        return None
+    try:
+        run = run_from_dict(witness)
+        validation = validate_witness(model, run)
+    except ReproError as exc:
+        print(f"witness validation failed: {exc}")
+        return False
+    print(format_gantt(run))
+    print(validation.describe())
+    return validation.ok
+
+
+def _replay(path: str, check_witness: bool = False) -> int:
     try:
         payload = load_counterexample(path)
         model = model_from_dict(payload["model"])
@@ -55,6 +81,14 @@ def _replay(path: str) -> int:
     for name, engine_verdict in verdict.verdicts.items():
         print(f"  {name:10s} value={engine_verdict.value} exact={engine_verdict.exact} "
               f"{engine_verdict.detail}")
+    witness_ok = _validate_embedded_witness(payload, model)
+    if check_witness:
+        # --check-witness: the exit code reflects the witness only (a
+        # reproduced violation is the *expected* state of a counterexample;
+        # a payload without one — written by --no-witnesses, or with the
+        # construction failure recorded as witness_error — has nothing to
+        # re-validate and passes with the notice printed above)
+        return 1 if witness_ok is False else 0
     if verdict.status == "violation":
         print("violation REPRODUCED:")
         for line in verdict.violations:
@@ -81,6 +115,7 @@ def _campaign_config(args) -> CampaignConfig:
         oracle=oracle,
         shrink=not args.no_shrink,
         repro_dir=args.repro_dir,
+        witnesses=not args.no_witnesses,
     )
 
 
@@ -119,11 +154,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", default="BENCH_diffcheck.json",
                         help="trajectory output path (default BENCH_diffcheck.json)")
     parser.add_argument("--replay", metavar="PATH", default=None,
-                        help="re-run the oracle on a counterexample JSON and exit")
+                        help="re-run the oracle on a counterexample JSON (validating "
+                             "and rendering its embedded witness schedule) and exit")
+    parser.add_argument("--check-witness", action="store_true",
+                        help="with --replay: exit 1 iff the embedded witness schedule "
+                             "fails validation (TA step-check + DES replay), regardless "
+                             "of whether the violation still reproduces; payloads "
+                             "without a witness pass with a notice")
+    parser.add_argument("--no-witnesses", action="store_true",
+                        help="serialise counterexamples without concrete witness "
+                             "schedules (skips the extra traced TA run per violation)")
     args = parser.parse_args(argv)
 
     if args.replay is not None:
-        return _replay(args.replay)
+        return _replay(args.replay, check_witness=args.check_witness)
+    if args.check_witness:
+        parser.error("--check-witness requires --replay")
 
     count = args.count if args.count is not None else (SMOKE_COUNT if args.smoke else 100)
     min_models = args.min_models
@@ -150,6 +196,8 @@ def main(argv: list[str] | None = None) -> int:
         wall = campaign.wall_seconds
         counterexamples = list(campaign.counterexamples)
         policy_mix = campaign.policy_mix
+        witnesses_attempted = campaign.witnesses_attempted
+        witnesses_validated = campaign.witnesses_validated
         for record in campaign.records:
             if record.status == "violation":
                 print(f"  VIOLATION seed={record.seed}: {record.violations}")
@@ -167,6 +215,8 @@ def main(argv: list[str] | None = None) -> int:
         states = sum(result.states_explored for result in sweep)
         wall = sweep.wall_seconds
         counterexamples = [path for result in sweep for path in result.counterexamples]
+        witnesses_attempted = sum(result.witnesses_attempted for result in sweep)
+        witnesses_validated = sum(result.witnesses_validated for result in sweep)
         policy_mix = {}
         for result in sweep:
             for name, checked_models in result.policy_mix:
@@ -182,6 +232,8 @@ def main(argv: list[str] | None = None) -> int:
             "wall_seconds": round(wall, 4),
             "workers": sweep.workers,
             "policy_mix": policy_mix,
+            "witnesses_attempted": witnesses_attempted,
+            "witnesses_validated": witnesses_validated,
         }
 
     print(f"  {count} models in {wall:.1f}s "
@@ -205,6 +257,9 @@ def main(argv: list[str] | None = None) -> int:
     if violations:
         print(f"SOUNDNESS VIOLATIONS: {violations} "
               f"(counterexamples: {counterexamples or 'not serialised'})")
+        if witnesses_attempted:
+            print(f"  witness schedules: {witnesses_validated}/{witnesses_attempted} "
+                  "validated (TA step-check + DES replay)")
         return 1
     if min_models is not None and checked < min_models:
         print(f"only {checked} models went through all four engines "

@@ -32,9 +32,15 @@ from repro.arch.model import ArchitectureModel
 from repro.baselines.des.simulator import SimulationSettings, simulate
 from repro.baselines.mpa import analysis as mpa_analysis
 from repro.baselines.symta import analysis as symta_analysis
-from repro.util.errors import AnalysisError, ModelError
+from repro.util.errors import AnalysisError, ModelError, WitnessError
 
-__all__ = ["OracleConfig", "EngineVerdict", "ModelVerdict", "check_model"]
+__all__ = [
+    "OracleConfig",
+    "EngineVerdict",
+    "ModelVerdict",
+    "check_model",
+    "witness_model",
+]
 
 
 @dataclass(frozen=True)
@@ -128,6 +134,65 @@ def _des_seed(seed: int) -> int:
     return seed * 7919 + 11
 
 
+def _widened_ceiling_factor(symta_value: int, mpa_value: int, bound: int) -> float:
+    """Observer ceiling beyond both analytic upper bounds (see check_model).
+
+    The single definition shared by the oracle run and the witness build:
+    the witness must re-analyze the model under exactly the ceiling of the
+    verdict it is witnessing.
+    """
+    return max(2.0, (max(symta_value, mpa_value) + 2) / bound + 0.1)
+
+
+def _ceiling_factor(model: ArchitectureModel, requirement) -> float:
+    """The widened observer ceiling, with the analytic bounds recomputed."""
+    symta_value = symta_analysis.analyze(model).latencies[requirement.name]
+    mpa_value = mpa_analysis.analyze(model).latencies[requirement.name]
+    return _widened_ceiling_factor(symta_value, mpa_value, requirement.bound)
+
+
+def witness_model(
+    model: ArchitectureModel,
+    config: OracleConfig | None = None,
+    strategy: str = "earliest",
+):
+    """Build and validate a concrete witness for the measured requirement.
+
+    Re-runs the exact TA engine with trace recording under the oracle's
+    budgets, concretises the WCRT trace into a timed schedule and validates
+    it with both the TA step-checker and the DES replay.  Returns
+    ``(run, validation, error)``: ``run`` and ``validation`` are ``None``
+    when no witness could be built, with ``error`` naming the reason (an
+    analytic baseline refused the model, the exploration saw no response, or
+    the reported value is a non-attained ceiling bound).
+    """
+    # imported lazily: the oracle must stay importable without dragging the
+    # witness subsystem into every fuzzing worker that never writes repros
+    from repro.witness import build_witness, validate_witness
+
+    config = config or OracleConfig()
+    requirement = next(iter(model.requirements.values()))
+    try:
+        ceiling_factor = _ceiling_factor(model, requirement)
+    except (AnalysisError, ModelError) as exc:
+        return None, None, f"analytic ceiling unavailable: {exc}"
+    settings = TimedAutomataSettings(
+        search_order="bfs",
+        max_states=config.max_states,
+        max_seconds=config.max_seconds,
+        ceiling_factor=ceiling_factor,
+        seed=1,
+        record_traces=True,
+    )
+    try:
+        analysis = analyze_wcrt(model, requirement.name, settings)
+        run = build_witness(model, analysis, strategy)
+    except (AnalysisError, ModelError, WitnessError) as exc:
+        return None, None, f"witness construction failed: {exc}"
+    validation = validate_witness(model, run, analysis.generated)
+    return run, validation, None
+
+
 def check_model(
     model: ArchitectureModel,
     seed: int = 0,
@@ -168,9 +233,7 @@ def check_model(
     # ---- exact timed automata --------------------------------------------------
     # widen the observer ceiling beyond both upper bounds: a sound exact WCRT
     # then always fits below the ceiling, so hitting it is itself a finding
-    ceiling_factor = max(
-        2.0, (max(symta_value, mpa_value) + 2) / requirement.bound + 0.1
-    )
+    ceiling_factor = _widened_ceiling_factor(symta_value, mpa_value, requirement.bound)
     settings = TimedAutomataSettings(
         search_order="bfs",
         max_states=config.max_states,

@@ -263,8 +263,18 @@ def write_counterexample(
     verdicts: Mapping[str, Mapping],
     oracle: Mapping,
     unshrunk_model: ArchitectureModel | None = None,
+    witness: Mapping | None = None,
+    witness_validated: bool | None = None,
+    witness_error: str | None = None,
 ) -> dict:
-    """Write a replayable counterexample JSON; returns the payload."""
+    """Write a replayable counterexample JSON; returns the payload.
+
+    ``witness`` is an optional ``repro-witness-v1`` payload: the concrete
+    schedule attaining the exact TA engine's response on this model, with
+    ``witness_validated`` recording whether it passed the TA step-check and
+    the DES replay when it was written (``--replay`` re-validates).  When no
+    witness could be built, ``witness_error`` names the reason.
+    """
     payload = {
         "schema": COUNTEREXAMPLE_SCHEMA,
         "seed": seed,
@@ -275,6 +285,11 @@ def write_counterexample(
     }
     if unshrunk_model is not None:
         payload["unshrunk_model"] = model_to_dict(unshrunk_model)
+    if witness is not None:
+        payload["witness"] = dict(witness)
+        payload["witness_validated"] = bool(witness_validated)
+    if witness_error is not None:
+        payload["witness_error"] = witness_error
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:

@@ -4,13 +4,19 @@ These helpers are shared by the benchmark harnesses and the examples: they
 take the per-cell results produced by the analyses and print rows/columns in
 the same arrangement as the paper, so that a visual diff against the
 published tables is straightforward.
+
+:func:`format_gantt` renders a concrete witness schedule
+(:class:`repro.witness.ConcreteRun`) as an ASCII Gantt timeline — one row
+per resource, one column per time quantum, service segments labelled by
+scenario — used by ``repro-diffcheck --replay`` and the examples to make a
+counterexample's worst-case schedule humanly readable.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["format_table", "format_table1", "format_table2"]
+__all__ = ["format_table", "format_table1", "format_table2", "format_gantt"]
 
 
 def format_table(
@@ -75,6 +81,70 @@ def format_table1(
     return format_table(
         headers, rows, title="Table 1 — worst-case response times (ms), [paper value]"
     )
+
+
+def format_gantt(run, width: int = 64) -> str:
+    """Render a concrete witness run as an ASCII Gantt timeline.
+
+    *run* is duck-typed (``model_name``, ``requirement``, ``strategy``,
+    ``response_ticks``, ``total_ticks``, ``events``, ``arrivals``) so this
+    module stays import-free of the witness subsystem.  Each resource gets
+    one row; a column covers ``ceil(total / width)`` ticks; service segments
+    are labelled with the scenario's letter (upper case while executing,
+    ``*`` marks a column containing a preemption).
+    """
+    events = list(run.events)
+    total = max(run.total_ticks, 1)
+    scale = max(1, -(-total // width))  # ticks per column
+    columns = -(-total // scale) + 1
+    letters: dict[str, str] = {}
+    for name in sorted(run.arrivals):
+        letters[name] = chr(ord("A") + (len(letters) % 26))
+
+    # reconstruct per-resource service segments from the event stream
+    segments: dict[str, list[tuple[int, int, str]]] = {}
+    preempt_marks: dict[str, list[int]] = {}
+    open_jobs: dict[str, tuple[int, str]] = {}
+    for event in events:
+        resource = event.resource
+        if resource is None:
+            continue
+        if event.kind in ("start", "resume"):
+            open_jobs[resource] = (event.time, event.scenario)
+        elif event.kind in ("preempt", "complete"):
+            opened = open_jobs.pop(resource, None)
+            if opened is not None:
+                segments.setdefault(resource, []).append(
+                    (opened[0], event.time, opened[1])
+                )
+            if event.kind == "preempt":
+                preempt_marks.setdefault(resource, []).append(event.time)
+    for resource, (start, scenario) in open_jobs.items():
+        segments.setdefault(resource, []).append((start, total, scenario))
+
+    lines = [
+        f"witness Gantt — {run.model_name}.{run.requirement} "
+        f"({run.strategy}): response {run.response_ticks} ticks, "
+        f"{scale} tick(s)/column",
+    ]
+    for scenario in sorted(run.arrivals):
+        times = ", ".join(str(t) for t in run.arrivals[scenario])
+        lines.append(f"  releases {letters[scenario]} = {scenario}: {times or '-'}")
+    name_width = max((len(name) for name in segments), default=8)
+    for resource in sorted(segments):
+        row = ["."] * columns
+        for start, end, scenario in segments[resource]:
+            letter = letters.get(scenario, "?")
+            first = start // scale
+            last = max(first, (max(end, start + 1) - 1) // scale)
+            for column in range(first, min(last + 1, columns)):
+                row[column] = letter
+        for mark in preempt_marks.get(resource, ()):
+            row[min(mark // scale, columns - 1)] = "*"
+        lines.append(f"  {resource.ljust(name_width)} |{''.join(row)}|")
+    axis = f"  {' ' * name_width} 0{'.' * max(0, columns - len(str(total)) - 1)}{total}"
+    lines.append(axis)
+    return "\n".join(lines)
 
 
 def format_table2(

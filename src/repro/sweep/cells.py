@@ -75,6 +75,10 @@ class SweepCell:
     settings: Mapping[str, object] = field(default_factory=dict)
     #: dotted path of a zero-argument callable returning the architecture model
     model_factory: str = DEFAULT_MODEL_FACTORY
+    #: build + validate a concrete witness schedule for the cell's WCRT:
+    #: a delay strategy name ("earliest"/"latest"/"midpoint"), "all" for all
+    #: three, or None (default) to skip; forces trace recording
+    witness: str | None = None
 
     def __post_init__(self):
         if (self.combination is None) != (self.configuration is None):
@@ -85,6 +89,13 @@ class SweepCell:
             raise ModelError(
                 f"unknown policy variant {self.policy!r} (expected one of "
                 f"{POLICY_VARIANTS})"
+            )
+        if self.witness is not None and self.witness not in (
+            "all", "earliest", "latest", "midpoint"
+        ):
+            raise ModelError(
+                f"unknown witness strategy {self.witness!r} (expected "
+                "'earliest', 'latest', 'midpoint' or 'all')"
             )
 
 

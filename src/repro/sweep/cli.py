@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 from repro.perf import load_baseline_json
 from repro.sweep.cells import (
@@ -88,6 +89,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="baseline trajectory with expected_* anchors for --check")
     parser.add_argument("--check", action="store_true",
                         help="fail on any mismatch against the baseline anchors")
+    parser.add_argument("--witness", choices=("earliest", "latest", "midpoint", "all"),
+                        default=None,
+                        help="build + validate a concrete witness schedule per cell "
+                             "(TA step-check + DES replay; forces trace recording); "
+                             "fails the sweep when a witness does not validate")
     args = parser.parse_args(argv)
     custom_grid = _custom_grid(args)
     if args.max_states is not None and not custom_grid:
@@ -111,6 +117,8 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         cells = _build_cells(args)
+        if args.witness is not None:
+            cells = [replace(cell, witness=args.witness) for cell in cells]
     except ModelError as exc:
         print(f"invalid cell specification: {exc}", file=sys.stderr)
         return 2
@@ -121,9 +129,16 @@ def main(argv: list[str] | None = None) -> int:
     for result in sweep:
         prefix = ">" if result.is_lower_bound else "="
         wcrt = "?" if result.wcrt_ms is None else f"{result.wcrt_ms:.3f}"
+        witness_note = ""
+        if result.witnesses_attempted:
+            witness_note = (
+                f"  witness {result.witnesses_validated}"
+                f"/{result.witnesses_attempted}"
+            )
         print(f"  {result.name:24s} wcrt {prefix} {wcrt:>10s} ms  "
               f"{result.states_explored:7d} states  "
-              f"{result.states_per_second:9.1f} states/s  [pid {result.worker_pid}]")
+              f"{result.states_per_second:9.1f} states/s  "
+              f"[pid {result.worker_pid}]{witness_note}")
     print(f"  {'sweep total':24s} {sweep.total_states} states in "
           f"{sweep.wall_seconds:.2f}s wall "
           f"({sweep.sweep_states_per_second:.1f} states/s across "
@@ -134,6 +149,20 @@ def main(argv: list[str] | None = None) -> int:
         "cells": [cell.name for cell in cells],
     })
     print(f"wrote {args.output}")
+
+    if args.witness is not None:
+        missing = [
+            result for result in sweep
+            if result.witnesses_validated < result.witnesses_attempted
+        ]
+        if missing:
+            print("WITNESS VALIDATION FAILED:")
+            for result in missing:
+                for problem in result.witness_problems:
+                    print(f"  {result.name}: {problem}")
+            return 1
+        print("--witness ok: every built schedule passed the TA step-check "
+              "and the DES replay")
 
     if args.check:
         problems = verify_cells(sweep.results, baseline["points"])

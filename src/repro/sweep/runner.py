@@ -79,6 +79,12 @@ class CellResult:
     models_per_second: float = 0.0
     #: diffcheck cells only: (policy name, checked-model count) pairs
     policy_mix: tuple[tuple[str, int], ...] = ()
+    #: witnesses built for this cell (diffcheck: per counterexample; wcrt
+    #: cells: one per requested strategy) / of those, fully validated
+    witnesses_attempted: int = 0
+    witnesses_validated: int = 0
+    #: per-strategy reasons for witnesses that failed to build or validate
+    witness_problems: tuple[str, ...] = ()
 
     def point(self) -> dict:
         """The cell as a ``repro-bench-v1`` trajectory point."""
@@ -87,6 +93,13 @@ class CellResult:
             out.pop(dropped)
         diffcheck_keys = ("models_checked", "violations", "counterexamples",
                           "models_per_second", "policy_mix")
+        if not self.witnesses_attempted:
+            out.pop("witnesses_attempted")
+            out.pop("witnesses_validated")
+        if not self.witness_problems:
+            out.pop("witness_problems")
+        else:
+            out["witness_problems"] = list(self.witness_problems)
         if self.kind == "diffcheck":
             # WCRT-specific fields (and the per-exploration counters the
             # campaign does not aggregate) carry no signal for a fuzzing window
@@ -178,6 +191,8 @@ def _run_diffcheck_cell(cell: DiffCheckCell) -> CellResult:
         counterexamples=tuple(campaign.counterexamples),
         models_per_second=campaign.models_per_second,
         policy_mix=tuple(sorted(campaign.policy_mix.items())),
+        witnesses_attempted=campaign.witnesses_attempted,
+        witnesses_validated=campaign.witnesses_validated,
     )
 
 
@@ -194,7 +209,28 @@ def run_cell(cell: "SweepCell | DiffCheckCell") -> CellResult:
     elif cell.policy is not None:
         model = apply_policy_variant(model, cell.policy)
     settings = TimedAutomataSettings(**dict(cell.settings))
+    if cell.witness is not None and not settings.record_traces:
+        settings.record_traces = True
     analysis = analyze_wcrt(model, cell.requirement, settings)
+    witnesses_attempted = witnesses_validated = 0
+    witness_problems: list[str] = []
+    if cell.witness is not None:
+        # build + doubly validate a concrete schedule per requested strategy
+        from repro.witness import STRATEGIES, build_witness, validate_witness
+
+        strategies = STRATEGIES if cell.witness == "all" else (cell.witness,)
+        for strategy in strategies:
+            witnesses_attempted += 1
+            try:
+                run = build_witness(model, analysis, strategy)
+            except AnalysisError as exc:
+                witness_problems.append(f"{strategy}: {exc}")
+                continue
+            validation = validate_witness(model, run, analysis.generated)
+            if validation.ok:
+                witnesses_validated += 1
+            else:
+                witness_problems.append(f"{strategy}: {validation.describe()}")
     stats = analysis.detail.statistics
     return CellResult(
         name=cell.name,
@@ -214,6 +250,9 @@ def run_cell(cell: "SweepCell | DiffCheckCell") -> CellResult:
         termination=stats.termination,
         wall_seconds=time.perf_counter() - started,
         worker_pid=os.getpid(),
+        witnesses_attempted=witnesses_attempted,
+        witnesses_validated=witnesses_validated,
+        witness_problems=tuple(witness_problems),
     )
 
 

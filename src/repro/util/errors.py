@@ -41,6 +41,16 @@ class AnalysisError(ReproError):
     """
 
 
+class WitnessError(AnalysisError):
+    """A concrete witness schedule could not be built or did not validate.
+
+    Raised when a symbolic trace cannot be concretised into a timed schedule
+    (infeasible delay system, missing trace because the exploration ran with
+    ``record_traces=False``), or when a concretised schedule fails the TA
+    step-check / DES replay validation.
+    """
+
+
 class BoundExceededError(AnalysisError):
     """An exploration exceeded its user-supplied state/time budget.
 

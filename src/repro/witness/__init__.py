@@ -1,0 +1,69 @@
+"""Concrete witness schedules: trace concretisation + cross-engine replay.
+
+The witness subsystem turns the symbolic diagnostic traces of the exact
+timed-automata engine into *machine-checked concrete schedules*:
+
+* :func:`~repro.witness.concretise.concretise_trace` — a DBM delay solver
+  that picks explicit integer firing times for every transition of a
+  symbolic trace (earliest / latest / midpoint strategies);
+* :func:`~repro.witness.build.build_witness` /
+  :func:`~repro.witness.build.wcrt_witness` — pin the observer clock to the
+  reported WCRT and package the schedule as a :class:`ConcreteRun` of
+  releases, starts, preemptions and completions;
+* :func:`~repro.witness.replay.validate_witness` — double validation: a TA
+  step-checker re-executing the schedule under the concrete semantics, and a
+  deterministic trace-driven DES replay over the existing servers that must
+  reproduce the witness response exactly;
+* ``repro-witness-v1`` serialisation
+  (:func:`~repro.witness.schedule.run_to_dict` /
+  :func:`~repro.witness.schedule.run_from_dict`) — shipped inside diffcheck
+  counterexamples and rendered as a Gantt timeline by
+  :func:`repro.io.report.format_gantt`.
+
+See ``docs/witnesses.md`` for the semantics and the schema.
+"""
+
+from repro.witness.build import build_witness, wcrt_witness
+from repro.witness.concretise import (
+    STRATEGIES,
+    Concretisation,
+    ConcretisedStep,
+    concretise_trace,
+)
+from repro.witness.replay import (
+    ReplayReport,
+    ReplaySimulator,
+    StepCheckReport,
+    WitnessValidation,
+    check_steps,
+    validate_witness,
+)
+from repro.witness.schedule import (
+    WITNESS_SCHEMA,
+    ConcreteRun,
+    ScheduleEvent,
+    derive_events,
+    run_from_dict,
+    run_to_dict,
+)
+
+__all__ = [
+    "STRATEGIES",
+    "WITNESS_SCHEMA",
+    "Concretisation",
+    "ConcretisedStep",
+    "ConcreteRun",
+    "ScheduleEvent",
+    "ReplayReport",
+    "ReplaySimulator",
+    "StepCheckReport",
+    "WitnessValidation",
+    "build_witness",
+    "check_steps",
+    "concretise_trace",
+    "derive_events",
+    "run_from_dict",
+    "run_to_dict",
+    "validate_witness",
+    "wcrt_witness",
+]

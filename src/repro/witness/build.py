@@ -1,0 +1,120 @@
+"""High-level witness construction from WCRT analyses.
+
+Glue between the analysis façade (:func:`repro.arch.analysis.analyze_wcrt`)
+and the concretiser: take the symbolic witness trace of an exact WCRT
+result, pin the observer clock to the reported worst case, concretise the
+delays and derive the job-level schedule — the artefact that *proves
+attainment* of the claimed response time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.arch.analysis import RequirementAnalysis, TimedAutomataSettings, analyze_wcrt
+from repro.arch.generator import done_channel, inject_channel
+from repro.arch.model import ArchitectureModel
+from repro.util.errors import WitnessError
+from repro.witness.concretise import concretise_trace
+from repro.witness.schedule import ConcreteRun, derive_events
+
+__all__ = ["build_witness", "wcrt_witness"]
+
+
+def _start_channel(analysis: RequirementAnalysis) -> str:
+    """The broadcast channel whose occurrence starts the measurement."""
+    requirement = analysis.generated.requirement
+    if requirement.start_after is None:
+        return inject_channel(requirement.scenario)
+    return done_channel(requirement.scenario, requirement.start_after)
+
+
+def build_witness(
+    model: ArchitectureModel,
+    analysis: RequirementAnalysis,
+    strategy: str = "earliest",
+) -> ConcreteRun:
+    """Concretise the witness trace of *analysis* into a timed schedule.
+
+    The observer clock is pinned to ``analysis.wcrt_ticks`` at the final
+    transition, so the returned schedule attains the reported WCRT (exact
+    results) or the reported attained lower bound (budgeted explorations).
+    """
+    detail = analysis.detail
+    if detail.trace is None:
+        raise WitnessError(
+            "the analysis carries no trace; re-run with "
+            "TimedAutomataSettings(record_traces=True)"
+        )
+    if analysis.wcrt_ticks is None:
+        raise WitnessError("no response was observed; there is nothing to witness")
+    if not detail.attained:
+        raise WitnessError(
+            "the reported value is a non-attained bound (extrapolation ceiling "
+            "hit); no schedule can demonstrate it"
+        )
+    generated = analysis.generated
+    network = generated.compile()
+    observer_clock = network.clock_id(generated.observer_clock)
+    concretisation = concretise_trace(
+        network,
+        detail.trace,
+        strategy,
+        final_clock_values={observer_clock: analysis.wcrt_ticks},
+    )
+    events, arrivals = derive_events(model, concretisation.steps)
+
+    # the tagged instance: the start-channel occurrence on which the observer
+    # reset its clock (the only start edge carrying an observer-clock reset)
+    start_channel = _start_channel(analysis)
+    tagged_index = None
+    start_seen = 0
+    for step in concretisation.steps:
+        if step.channel == start_channel:
+            if any(clock == observer_clock for clock, _value in step.resets):
+                tagged_index = start_seen
+            start_seen += 1
+
+    response = None
+    if concretisation.steps:
+        response = concretisation.steps[-1].before[observer_clock]
+    if response != analysis.wcrt_ticks:
+        raise WitnessError(
+            f"internal error: concretised schedule ends with observer clock "
+            f"{response}, expected {analysis.wcrt_ticks}"
+        )
+    if tagged_index is None:
+        raise WitnessError(
+            "internal error: the trace never tags a measured instance"
+        )
+
+    return ConcreteRun(
+        model_name=model.name,
+        requirement=analysis.requirement,
+        strategy=strategy,
+        response_ticks=analysis.wcrt_ticks,
+        times=concretisation.times,
+        steps=concretisation.steps,
+        events=events,
+        arrivals=arrivals,
+        tagged_index=tagged_index,
+        measured_scenario=analysis.scenario,
+    )
+
+
+def wcrt_witness(
+    model: ArchitectureModel,
+    requirement: str,
+    settings: TimedAutomataSettings | None = None,
+    strategy: str = "earliest",
+) -> tuple[RequirementAnalysis, ConcreteRun]:
+    """Analyse one requirement and return (analysis, concrete witness).
+
+    Forces ``record_traces=True`` on the settings; everything else is passed
+    through unchanged.
+    """
+    settings = settings or TimedAutomataSettings()
+    if not settings.record_traces:
+        settings = replace(settings, record_traces=True)
+    analysis = analyze_wcrt(model, requirement, settings)
+    return analysis, build_witness(model, analysis, strategy)

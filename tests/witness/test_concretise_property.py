@@ -1,0 +1,100 @@
+"""Property suite of the trace concretiser (ISSUE 5, satellite 1).
+
+For a seeded corpus of sampled architecture models whose exact TA analysis
+terminates, every concretised delay sequence must satisfy every DBM
+constraint along its symbolic trace — under all three delay strategies —
+and the replayed response time must equal the symbolic WCRT exactly.
+"""
+
+import pytest
+
+from repro.arch.analysis import TimedAutomataSettings, analyze_wcrt
+from repro.diffcheck.sampler import SMOKE_SAMPLER, sample_model
+from repro.util.errors import ReproError
+from repro.witness import STRATEGIES, build_witness, concretise_trace, validate_witness
+
+#: the seeded corpus; chosen so that a healthy majority of models analyse
+#: exactly within the (tight) budgets below
+CORPUS_SEEDS = tuple(range(16))
+
+_SETTINGS = TimedAutomataSettings(
+    record_traces=True, max_states=4_000, max_seconds=3.0, ceiling_factor=8.0, seed=1
+)
+
+
+def _exact_analyses():
+    """Yield (seed, model, analysis) for the exactly analysable corpus models."""
+    for seed in CORPUS_SEEDS:
+        try:
+            model = sample_model(seed, SMOKE_SAMPLER)
+        except ReproError:
+            continue
+        requirement = next(iter(model.requirements))
+        try:
+            analysis = analyze_wcrt(model, requirement, _SETTINGS)
+        except ReproError:
+            continue
+        if analysis.wcrt_ticks is None or analysis.is_lower_bound:
+            continue
+        yield seed, model, analysis
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    found = list(_exact_analyses())
+    # the suite must actually exercise a corpus, not silently skip everything
+    assert len(found) >= 5, "too few exactly-analysable corpus models"
+    return found
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestConcretisationProperties:
+    def test_every_valuation_lies_in_its_symbolic_zone(self, corpus, strategy):
+        for _seed, _model, analysis in corpus:
+            network = analysis.generated.compile()
+            trace = analysis.detail.trace
+            concretisation = concretise_trace(network, trace, strategy)
+            assert len(concretisation.steps) == len(trace.steps) - 1
+            previous_time = 0
+            for step in concretisation.steps:
+                # delays are non-negative and consistent with the times
+                assert step.delay >= 0
+                assert step.time == previous_time + step.delay
+                previous_time = step.time
+                # the post-delay valuation satisfies every constraint of the
+                # source zone, the post-reset one every constraint of the
+                # target zone (the zones are delay-closed supersets of both)
+                source_zone = trace.steps[step.index - 1].state.zone
+                target_zone = trace.steps[step.index].state.zone
+                assert source_zone.contains_point(step.before), (
+                    f"step {step.index}: pre-transition valuation escapes the zone"
+                )
+                assert target_zone.contains_point(step.after), (
+                    f"step {step.index}: post-transition valuation escapes the zone"
+                )
+
+    def test_replayed_response_equals_symbolic_wcrt(self, corpus, strategy):
+        for seed, model, analysis in corpus:
+            run = build_witness(model, analysis, strategy)
+            assert run.response_ticks == analysis.wcrt_ticks
+            validation = validate_witness(model, run, analysis.generated)
+            assert validation.ok, (
+                f"seed {seed} / {strategy}: {validation.describe()}"
+            )
+            assert validation.replay.replayed_response == analysis.wcrt_ticks
+
+    def test_urgent_states_never_delay(self, corpus, strategy):
+        from repro.core.successors import SuccessorGenerator
+
+        for _seed, _model, analysis in corpus:
+            network = analysis.generated.compile()
+            trace = analysis.detail.trace
+            generator = SuccessorGenerator(network)
+            concretisation = concretise_trace(
+                network, trace, strategy, generator=generator
+            )
+            for step in concretisation.steps:
+                state = trace.steps[step.index - 1].state
+                info = generator._discrete_info(state.locations, state.variables)
+                if info.urgent:
+                    assert step.delay == 0
