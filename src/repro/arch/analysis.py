@@ -35,6 +35,9 @@ class TimedAutomataSettings:
     max_states: int | None = None
     #: wall-clock budget in seconds (None = unlimited)
     max_seconds: float | None = None
+    #: absolute ``time.perf_counter`` deadline (None = unlimited); set by the
+    #: supervised sweep runner so one wall-clock limit covers the whole cell
+    deadline: float | None = None
     #: seed for the randomised depth-first order
     seed: int = 0
     #: extrapolation mode of the symbolic semantics
@@ -52,6 +55,7 @@ class TimedAutomataSettings:
             order=self.search_order,
             max_states=self.max_states,
             max_seconds=self.max_seconds,
+            deadline=self.deadline,
             seed=self.seed,
             record_traces=self.record_traces,
         )

@@ -13,6 +13,7 @@ phasing need not be sampled (the paper makes exactly this point about the
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from statistics import mean
 
@@ -35,6 +36,15 @@ class SimulationSettings:
     runs: int = 20
     #: base seed; run ``i`` uses ``seed + i``
     seed: int = 0
+    #: wall-clock budget in seconds across all runs (None = unlimited).
+    #: An exhausted budget *truncates* the campaign rather than failing it:
+    #: remaining runs are skipped and the in-flight run stops between
+    #: events, which keeps every already-observed latency a valid
+    #: lower-bound sample (the engine only ever reports observed behaviour)
+    max_seconds: float | None = None
+    #: absolute ``time.perf_counter`` deadline; combined with
+    #: ``max_seconds`` by taking whichever comes first
+    deadline: float | None = None
 
 
 @dataclass
@@ -170,7 +180,7 @@ class _SimulationRun:
             return list(overrides[scenario.name])
         return scenario.event_model.sample_arrivals(self.rng, self.horizon)
 
-    def run(self) -> None:
+    def run(self, deadline: float | None = None) -> None:
         overrides = self.arrival_overrides
         if overrides is not None and not isinstance(overrides, dict):
             # ordered (scenario, time) pairs: schedule in the given order so
@@ -183,7 +193,7 @@ class _SimulationRun:
             for scenario in self.model.scenarios.values():
                 for arrival in self._arrival_times(scenario):
                     self.simulator.schedule_at(arrival, self._make_arrival(scenario, arrival))
-        self.simulator.run_until(self.horizon)
+        self.simulator.run_until(self.horizon, deadline=deadline)
 
     def _make_arrival(self, scenario: Scenario, arrival: int):
         def fire():
@@ -247,9 +257,16 @@ def simulate(
     utilisation: dict[str, list[float]] = {}
     total_events = 0
 
+    deadline = settings.deadline
+    if settings.max_seconds is not None:
+        budget_end = time.perf_counter() + settings.max_seconds
+        deadline = budget_end if deadline is None else min(deadline, budget_end)
+
     for run_index in range(settings.runs):
+        if deadline is not None and time.perf_counter() > deadline:
+            break  # budget exhausted: keep what the finished runs observed
         run = _SimulationRun(model, settings.seed + run_index, settings.horizon)
-        run.run()
+        run.run(deadline=deadline)
         total_events += run.simulator.processed_events
         for name, samples in run.samples.items():
             observations[name].samples.extend(samples)

@@ -65,6 +65,11 @@ class SearchOptions:
     max_states: int | None = None
     #: stop after this much wall-clock time in seconds (None = unlimited)
     max_seconds: float | None = None
+    #: absolute ``time.perf_counter`` instant to stop at (None = unlimited);
+    #: combined with ``max_seconds`` by taking whichever comes first -- the
+    #: hook through which a supervised sweep imposes one wall-clock deadline
+    #: across generation, exploration and witness construction
+    deadline: float | None = None
     #: seed of the random generator used by "rdfs"
     seed: int = 0
     #: discard successors whose zone is included in an already stored zone
@@ -261,6 +266,11 @@ class Explorer:
         deadline = (
             time.perf_counter() + options.max_seconds if options.max_seconds is not None else None
         )
+        if options.deadline is not None:
+            deadline = (
+                options.deadline if deadline is None
+                else min(deadline, options.deadline)
+            )
         max_states = options.max_states
         breadth_first = options.order == "bfs"
         randomised = options.order == "rdfs"

@@ -93,6 +93,12 @@ class CampaignResult:
         return sum(1 for record in self.records if record.status == "skipped")
 
     @property
+    def degraded(self) -> int:
+        """Models where the exact TA engine failed but the three robust
+        engines still ran (partial ordering DES <= SymTA/MPA asserted)."""
+        return sum(1 for record in self.records if record.status == "degraded")
+
+    @property
     def violations(self) -> int:
         return sum(1 for record in self.records if record.status == "violation")
 
@@ -126,6 +132,7 @@ class CampaignResult:
             "models_checked": self.models_checked,
             "models_exact": self.exact_checked,
             "models_skipped": self.skipped,
+            "models_degraded": self.degraded,
             "violations": self.violations,
             "states_explored": self.total_ta_states,
             "models_per_second": round(self.models_per_second, 2),

@@ -8,6 +8,8 @@ four engines on each one and fails loudly when the soundness ordering
     repro-diffcheck --count 400 --workers 2     # a campaign on the sweep runner
     repro-diffcheck --count 50 --max-states 50000 --output BENCH_diffcheck.json
     repro-diffcheck --replay diffcheck-repros/counterexample_seed17.json
+    repro-diffcheck --count 400 --checkpoint diff.checkpoint.jsonl   # journaled
+    repro-diffcheck --count 400 --checkpoint diff.checkpoint.jsonl --resume
 
 Violations are shrunk to minimal models and serialised under ``--repro-dir``
 as replayable JSONs; ``--replay`` re-runs the oracle on such a file and
@@ -164,12 +166,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-witnesses", action="store_true",
                         help="serialise counterexamples without concrete witness "
                              "schedules (skips the extra traced TA run per violation)")
+    parser.add_argument("--checkpoint", default=None, metavar="FILE",
+                        help="journal completed seed windows to this "
+                             "repro-checkpoint-v1 JSONL file (routes the campaign "
+                             "through the supervised sweep runner, also serially)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip seed windows already completed in --checkpoint")
+    parser.add_argument("--deadline-seconds", type=float, default=None, metavar="S",
+                        help="hard wall-clock deadline per seed window; overrunning "
+                             "workers are killed and the window is retried/raised")
     args = parser.parse_args(argv)
 
     if args.replay is not None:
         return _replay(args.replay, check_witness=args.check_witness)
     if args.check_witness:
         parser.error("--check-witness requires --replay")
+    if args.resume and not args.checkpoint:
+        parser.error("--resume needs --checkpoint")
 
     count = args.count if args.count is not None else (SMOKE_COUNT if args.smoke else 100)
     min_models = args.min_models
@@ -187,10 +200,11 @@ def main(argv: list[str] | None = None) -> int:
           f"({'smoke' if args.smoke else 'default'} profile, "
           f"workers={args.workers})")
 
-    if args.workers == 1:
+    if args.workers == 1 and not args.checkpoint and args.deadline_seconds is None:
         campaign = run_campaign(args.seed, count, config)
         points = {"campaign": campaign.point()}
         checked = campaign.models_checked
+        degraded = campaign.degraded
         violations = campaign.violations
         states = campaign.total_ta_states
         wall = campaign.wall_seconds
@@ -203,14 +217,32 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  VIOLATION seed={record.seed}: {record.violations}")
             elif record.status == "skipped":
                 print(f"  skipped seed={record.seed}: {record.skip_reason}")
+            elif record.status == "degraded":
+                print(f"  degraded seed={record.seed}: {record.skip_reason}")
     else:
-        from repro.sweep import diffcheck_cells, run_sweep
+        # --checkpoint / --deadline-seconds route through the supervised
+        # sweep runner even serially: the journal and deadline enforcement
+        # live there (docs/robustness.md)
+        from repro.sweep import SupervisorConfig, diffcheck_cells, run_sweep
+        from repro.util.errors import AnalysisError
 
         cells = diffcheck_cells(args.seed, count, batch=args.batch,
                                 config=config.to_dict())
-        sweep = run_sweep(cells, workers=args.workers, start_method=args.start_method)
+        supervise = SupervisorConfig(deadline_seconds=args.deadline_seconds)
+        try:
+            sweep = run_sweep(cells, workers=args.workers,
+                              start_method=args.start_method,
+                              supervise=supervise,
+                              checkpoint=args.checkpoint, resume=args.resume)
+        except AnalysisError as exc:
+            print(f"CAMPAIGN FAILED: {exc}", file=sys.stderr)
+            if args.checkpoint:
+                print(f"completed windows are journaled in {args.checkpoint}; "
+                      f"re-run with --resume to continue", file=sys.stderr)
+            return 2
         points = {result.name: result.point() for result in sweep}
         checked = sum(result.models_checked for result in sweep)
+        degraded = sum(result.models_degraded for result in sweep)
         violations = sum(result.violations for result in sweep)
         states = sum(result.states_explored for result in sweep)
         wall = sweep.wall_seconds
@@ -225,6 +257,7 @@ def main(argv: list[str] | None = None) -> int:
         points["campaign"] = {
             "models": count,
             "models_checked": checked,
+            "models_degraded": degraded,
             "violations": violations,
             "states_explored": states,
             "models_per_second": round(count / wall, 2) if wall > 0 else 0.0,
@@ -235,11 +268,17 @@ def main(argv: list[str] | None = None) -> int:
             "witnesses_attempted": witnesses_attempted,
             "witnesses_validated": witnesses_validated,
         }
+        if sweep.resumed:
+            points["campaign"]["resumed"] = sweep.resumed
+            print(f"  resumed: {sweep.resumed} seed window(s) served from "
+                  f"{args.checkpoint}")
 
+    degraded_note = f", {degraded} degraded" if degraded else ""
     print(f"  {count} models in {wall:.1f}s "
           f"({count / wall if wall > 0 else 0.0:.2f} models/s, "
           f"{states / wall if wall > 0 else 0.0:.1f} TA states/s): "
-          f"{checked} through all four engines, {violations} violations")
+          f"{checked} through all four engines{degraded_note}, "
+          f"{violations} violations")
     if policy_mix:
         print("  policy mix (checked models per resource policy): "
               + ", ".join(f"{name}={n}" for name, n in policy_mix.items()))

@@ -8,10 +8,16 @@ independent, so this package runs them as a multiprocess sweep:
   (Table 1, Table 2, the core-scaling cells, user-defined grids),
 * :mod:`repro.sweep.runner` -- the spawn-safe worker pool, flat results and
   ``repro-bench-v1`` trajectory aggregation,
+* :mod:`repro.sweep.supervisor` -- crash isolation, hard deadlines, retry
+  with backoff, degradation to analytic bounds and quarantine,
+* :mod:`repro.sweep.checkpoint` -- the ``repro-checkpoint-v1`` journal
+  behind ``--resume``,
+* :mod:`repro.sweep.faults` -- the deterministic fault-injection harness,
 * :mod:`repro.sweep.cli` -- the ``repro-sweep`` console entry point.
 
 See ``docs/performance.md`` ("Batched frontier & parallel sweeps") for the
-workflow and the safety notes on per-worker zone pools.
+workflow and the safety notes on per-worker zone pools, and
+``docs/robustness.md`` for the supervision model.
 """
 
 from repro.sweep.cells import (
@@ -25,6 +31,8 @@ from repro.sweep.cells import (
     table1_cells,
     table2_cells,
 )
+from repro.sweep.checkpoint import CheckpointJournal, load_checkpoint
+from repro.sweep.faults import FaultPlan, FaultSpec, install_plan
 from repro.sweep.runner import (
     CellResult,
     SweepResult,
@@ -32,6 +40,7 @@ from repro.sweep.runner import (
     run_sweep,
     verify_cells,
 )
+from repro.sweep.supervisor import SupervisorConfig
 
 __all__ = [
     "DEFAULT_MODEL_FACTORY",
@@ -39,6 +48,12 @@ __all__ = [
     "DiffCheckCell",
     "CellResult",
     "SweepResult",
+    "SupervisorConfig",
+    "CheckpointJournal",
+    "FaultPlan",
+    "FaultSpec",
+    "install_plan",
+    "load_checkpoint",
     "core_scaling_cells",
     "table1_cells",
     "table2_cells",

@@ -15,6 +15,16 @@ machine-independent anchors (exact WCRT ticks and state counts) and exits
 non-zero on any mismatch -- a parallel run that explores a different state
 space is a bug, not a speed-up.  Without an installed package the module
 also runs as ``PYTHONPATH=src python -m repro.sweep.cli``.
+
+Execution is supervised (``docs/robustness.md``): crashed workers are
+respawned and retried (``--max-attempts``), overrunning cells are killed at
+``--deadline-seconds``, and unrecoverable cells degrade to analytic bounds
+or are quarantined rather than sinking the sweep (``--on-error degrade``,
+the CLI default).  ``--checkpoint FILE`` journals every completed cell;
+``--resume`` continues an interrupted sweep from that journal::
+
+    repro-sweep --grid table2 --checkpoint table2.checkpoint.jsonl
+    repro-sweep --grid table2 --checkpoint table2.checkpoint.jsonl --resume
 """
 
 from __future__ import annotations
@@ -32,7 +42,8 @@ from repro.sweep.cells import (
     table2_cells,
 )
 from repro.sweep.runner import run_sweep, verify_cells
-from repro.util.errors import ModelError
+from repro.sweep.supervisor import SupervisorConfig
+from repro.util.errors import AnalysisError, ModelError
 
 __all__ = ["main"]
 
@@ -94,6 +105,29 @@ def main(argv: list[str] | None = None) -> int:
                         help="build + validate a concrete witness schedule per cell "
                              "(TA step-check + DES replay; forces trace recording); "
                              "fails the sweep when a witness does not validate")
+    supervision = parser.add_argument_group("supervision (docs/robustness.md)")
+    supervision.add_argument("--deadline-seconds", type=float, default=None,
+                             metavar="S",
+                             help="hard wall-clock deadline per cell; overrunning "
+                                  "workers are killed (serial runs enforce it "
+                                  "cooperatively)")
+    supervision.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                             help="attempts per cell for transient worker deaths "
+                                  "(default 3)")
+    supervision.add_argument("--on-error", choices=("raise", "degrade"),
+                             default="degrade",
+                             help="unrecoverable cells: abort the sweep ('raise') or "
+                                  "fall back to SymTA/MPA+DES bounds and quarantine "
+                                  "poison cells ('degrade', default)")
+    supervision.add_argument("--checkpoint", default=None, metavar="FILE",
+                             help="journal completed cells to this "
+                                  "repro-checkpoint-v1 JSONL file")
+    supervision.add_argument("--resume", action="store_true",
+                             help="skip cells already completed in --checkpoint "
+                                  "(their journaled results are merged back in)")
+    supervision.add_argument("--min-usable", type=int, default=None, metavar="N",
+                             help="fail (exit 1) when fewer than N cells end up "
+                                  "usable (exact or degraded)")
     args = parser.parse_args(argv)
     custom_grid = _custom_grid(args)
     if args.max_states is not None and not custom_grid:
@@ -102,6 +136,10 @@ def main(argv: list[str] | None = None) -> int:
                      "predefined --grid cells carry their own budgets")
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be at least 1 (1 = serial)")
+    if args.resume and not args.checkpoint:
+        parser.error("--resume needs --checkpoint")
+    if args.max_attempts < 1:
+        parser.error("--max-attempts must be at least 1")
     # fail before the (potentially multi-minute) sweep runs
     if args.check and not args.baseline:
         print("--check needs --baseline", file=sys.stderr)
@@ -122,11 +160,35 @@ def main(argv: list[str] | None = None) -> int:
     except ModelError as exc:
         print(f"invalid cell specification: {exc}", file=sys.stderr)
         return 2
+    config = SupervisorConfig(
+        deadline_seconds=args.deadline_seconds,
+        max_attempts=args.max_attempts,
+        on_error=args.on_error,
+    )
     print(f"sweeping {len(cells)} cells "
           f"(workers={args.workers or 'auto'}, start_method={args.start_method})")
-    sweep = run_sweep(cells, workers=args.workers, start_method=args.start_method)
+    try:
+        sweep = run_sweep(cells, workers=args.workers,
+                          start_method=args.start_method, supervise=config,
+                          checkpoint=args.checkpoint, resume=args.resume)
+    except AnalysisError as exc:
+        print(f"SWEEP FAILED: {exc}", file=sys.stderr)
+        if args.checkpoint:
+            print(f"completed cells are journaled in {args.checkpoint}; "
+                  f"re-run with --resume to continue", file=sys.stderr)
+        return 1
 
     for result in sweep:
+        if not result.usable:
+            print(f"  {result.name:24s} QUARANTINED after {result.attempts} "
+                  f"attempt(s): {result.failure}")
+            continue
+        if result.termination == "degraded":
+            lower = "?" if result.degraded_lower_ms is None else f"{result.degraded_lower_ms:.3f}"
+            upper = "?" if result.degraded_upper_ms is None else f"{result.degraded_upper_ms:.3f}"
+            print(f"  {result.name:24s} DEGRADED wcrt in [{lower}, {upper}] ms  "
+                  f"({result.failure})")
+            continue
         prefix = ">" if result.is_lower_bound else "="
         wcrt = "?" if result.wcrt_ms is None else f"{result.wcrt_ms:.3f}"
         witness_note = ""
@@ -143,6 +205,12 @@ def main(argv: list[str] | None = None) -> int:
           f"{sweep.wall_seconds:.2f}s wall "
           f"({sweep.sweep_states_per_second:.1f} states/s across "
           f"{sweep.workers} worker{'s' if sweep.workers != 1 else ''})")
+    if sweep.resumed:
+        print(f"  resumed: {sweep.resumed} cell(s) served from {args.checkpoint}")
+    if sweep.degraded or sweep.quarantined:
+        print(f"  supervision: {sweep.degraded} degraded, "
+              f"{sweep.quarantined} quarantined, "
+              f"{len(sweep.usable_results)}/{len(sweep)} usable")
 
     sweep.write(args.output, meta={
         "grid": "custom" if custom_grid else args.grid,
@@ -172,6 +240,11 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  {line}")
             return 1
         print("--check ok: every anchored cell reproduced the baseline exactly")
+
+    if args.min_usable is not None and len(sweep.usable_results) < args.min_usable:
+        print(f"TOO FEW USABLE CELLS: {len(sweep.usable_results)} < "
+              f"{args.min_usable} required", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,230 @@
+"""Deterministic fault injection for the supervised sweep runner.
+
+The supervisor's recovery paths (kill-on-deadline, retry-with-backoff,
+degradation, quarantine) only earn their keep if they can be *proven* to
+work, and real crashes are not reproducible on demand.  This module makes
+them so: a :class:`FaultPlan` names, per sweep cell and per attempt, one
+misbehaviour to inject inside the worker that picked the cell up --
+
+* ``"crash"``  -- die instantly via ``os._exit`` (no cleanup, no result),
+  the shape of a segfaulting native kernel or an ``abort()``;
+* ``"oom"``    -- allocate a bounded amount of memory, then die with the
+  kernel OOM-killer's signature exit code (137).  The balloon is bounded so
+  the test box is never actually driven into swap; what matters to the
+  supervisor is the abnormal exit, not the allocation itself;
+* ``"hang"``   -- stop responding (sleep far past any deadline), the shape
+  of a livelocked exploration; only the supervisor's hard kill ends it;
+* ``"raise"``  -- raise an :class:`InjectedFault` (an ``AnalysisError``),
+  the shape of a deterministic in-engine failure.
+
+Plans are plain data (JSON) and travel to worker processes through the
+``REPRO_FAULTS`` environment variable -- either the JSON text itself or
+``@/path/to/plan.json`` -- so they survive the ``spawn`` start method
+without any pickling support from the caller.  Each entry fires only for
+its cell (by sweep index or by cell name) and only on the listed attempt
+numbers, which keeps every scenario deterministic: a plan
+``[{"cell": 3, "action": "crash", "attempts": [1]}]`` crashes the first
+attempt of cell 3 and lets the retry succeed, while omitting ``attempts``
+makes the fault fire on every attempt (a poison cell).
+
+The hooks are zero-cost when no plan is active: :func:`active_plan` is a
+cached no-op returning ``None`` unless ``REPRO_FAULTS`` is set (or a plan
+was installed programmatically with :func:`install_plan`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.util.errors import AnalysisError, ModelError
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "FAULTS_ENV",
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedFault",
+    "active_plan",
+    "install_plan",
+    "maybe_inject",
+]
+
+#: environment variable carrying the serialised plan into worker processes
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: the supported misbehaviours
+FAULT_ACTIONS = ("crash", "oom", "hang", "raise")
+
+#: exit code of the ``"crash"`` action (distinctive, not a signal number)
+CRASH_EXIT_CODE = 42
+
+#: exit code of the ``"oom"`` action (what the kernel OOM killer produces)
+OOM_EXIT_CODE = 137
+
+
+class InjectedFault(AnalysisError):
+    """The deterministic failure raised by the ``"raise"`` action."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned misbehaviour, targeted at a cell and attempt window."""
+
+    #: sweep index (int) or cell name (str) the fault targets
+    cell: int | str
+    #: one of :data:`FAULT_ACTIONS`
+    action: str
+    #: attempt numbers (1-based) on which the fault fires; None = every attempt
+    attempts: tuple[int, ...] | None = None
+    #: pipeline stage the fault targets: ``"worker"`` (inside the worker's
+    #: ``run_cell``) or ``"degraded"`` (inside the supervisor's analytic
+    #: fallback) -- the latter is how a test builds a truly poison cell whose
+    #: degradation also fails
+    stage: str = "worker"
+    #: ``"oom"`` only: megabytes to allocate before dying
+    megabytes: int = 64
+    #: ``"hang"`` only: safety cap on the sleep, far past any sane deadline
+    hang_seconds: float = 600.0
+
+    def __post_init__(self):
+        if self.action not in FAULT_ACTIONS:
+            raise ModelError(
+                f"unknown fault action {self.action!r} (expected one of {FAULT_ACTIONS})"
+            )
+        if self.stage not in ("worker", "degraded"):
+            raise ModelError(
+                f"unknown fault stage {self.stage!r} (expected 'worker' or 'degraded')"
+            )
+
+    def matches(self, name: str, index: int, attempt: int, stage: str) -> bool:
+        if self.stage != stage:
+            return False
+        if isinstance(self.cell, int):
+            if self.cell != index:
+                return False
+        elif self.cell != name:
+            return False
+        return self.attempts is None or attempt in self.attempts
+
+    def to_dict(self) -> dict:
+        out: dict = {"cell": self.cell, "action": self.action, "stage": self.stage}
+        if self.attempts is not None:
+            out["attempts"] = list(self.attempts)
+        if self.action == "oom":
+            out["megabytes"] = self.megabytes
+        if self.action == "hang":
+            out["hang_seconds"] = self.hang_seconds
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        if "cell" not in data or "action" not in data:
+            raise ModelError(f"fault spec needs 'cell' and 'action': {data!r}")
+        attempts = data.get("attempts")
+        return cls(
+            cell=data["cell"],
+            action=str(data["action"]),
+            attempts=tuple(int(a) for a in attempts) if attempts is not None else None,
+            stage=str(data.get("stage", "worker")),
+            megabytes=int(data.get("megabytes", 64)),
+            hang_seconds=float(data.get("hang_seconds", 600.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of planned faults (plain data, JSON round-trip)."""
+
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def find(self, name: str, index: int, attempt: int, stage: str) -> FaultSpec | None:
+        for spec in self.specs:
+            if spec.matches(name, index, attempt, stage):
+                return spec
+        return None
+
+    def to_json(self) -> str:
+        return json.dumps([spec.to_dict() for spec in self.specs])
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ModelError(f"unparseable fault plan: {exc}") from exc
+        if not isinstance(data, list):
+            raise ModelError("a fault plan must be a JSON list of fault specs")
+        return cls(specs=tuple(FaultSpec.from_dict(entry) for entry in data))
+
+    def install(self) -> None:
+        """Publish the plan to this process *and* future worker processes."""
+        install_plan(self)
+
+
+#: programmatically installed plan (overrides the environment in-process)
+_installed: FaultPlan | None = None
+
+
+def install_plan(plan: "FaultPlan | None") -> None:
+    """Install *plan* for this process and export it to child processes.
+
+    ``install_plan(None)`` clears both the in-process plan and the
+    environment variable.
+    """
+    global _installed
+    _installed = plan
+    if plan is None or not plan:
+        os.environ.pop(FAULTS_ENV, None)
+    else:
+        os.environ[FAULTS_ENV] = plan.to_json()
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently active plan, or None (the common, zero-cost case)."""
+    if _installed is not None:
+        return _installed or None
+    text = os.environ.get(FAULTS_ENV)
+    if not text:
+        return None
+    if text.startswith("@"):
+        with open(text[1:], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    return FaultPlan.from_json(text) or None
+
+
+def _execute(spec: FaultSpec, name: str) -> None:
+    if spec.action == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if spec.action == "oom":
+        # a *bounded* balloon: the point is the abnormal exit code the
+        # supervisor sees, not actually exhausting the machine
+        balloon = [bytearray(1024 * 1024) for _ in range(max(1, spec.megabytes))]
+        del balloon
+        os._exit(OOM_EXIT_CODE)
+    if spec.action == "hang":
+        deadline = time.monotonic() + spec.hang_seconds
+        while time.monotonic() < deadline:  # pragma: no branch - killed mid-sleep
+            time.sleep(0.05)
+        return  # pragma: no cover - only reached if nobody killed us
+    raise InjectedFault(f"injected fault in cell {name!r}")
+
+
+def maybe_inject(name: str, index: int, attempt: int, stage: str = "worker") -> None:
+    """Fire the planned fault for (*name*/*index*, *attempt*, *stage*), if any.
+
+    Called by :func:`repro.sweep.runner.run_cell` (stage ``"worker"``) and by
+    the supervisor's analytic fallback (stage ``"degraded"``).  A no-op
+    unless a plan is active and one of its specs matches.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    spec = plan.find(name, index, attempt, stage)
+    if spec is not None:
+        _execute(spec, name)

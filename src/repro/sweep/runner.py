@@ -21,6 +21,15 @@ processes and aggregates the results into a ``repro-bench-v1`` trajectory
 * **Serial fallback.**  ``workers=1`` (or a single cell) runs in-process
   with identical semantics -- the mode the correctness tests pin against
   the parallel runs.
+* **Supervised execution.**  Multiprocess dispatch goes through
+  :class:`repro.sweep.supervisor.Supervisor` rather than a bare
+  ``Pool.map``: workers are crash-isolated, hard per-cell deadlines are
+  enforced by SIGKILL, transient worker deaths are retried with backoff,
+  and (opt-in via :class:`~repro.sweep.supervisor.SupervisorConfig`)
+  unrecoverable cells degrade to analytic bounds or are quarantined
+  instead of sinking the sweep.  Progress can be journaled to a
+  ``repro-checkpoint-v1`` file (:mod:`repro.sweep.checkpoint`) and resumed
+  after an interruption with a deterministic merge.
 """
 
 from __future__ import annotations
@@ -35,9 +44,12 @@ from repro.arch.analysis import TimedAutomataSettings, analyze_wcrt
 from repro.casestudy.configurations import apply_policy_variant, configure
 from repro.perf import verify_anchors, write_bench_json
 from repro.sweep.cells import DiffCheckCell, SweepCell
+from repro.sweep.checkpoint import CheckpointJournal
+from repro.sweep.faults import maybe_inject
 from repro.util.errors import AnalysisError
 
-__all__ = ["CellResult", "SweepResult", "run_cell", "run_sweep", "verify_cells"]
+__all__ = ["CellResult", "SweepResult", "cell_model", "run_cell", "run_sweep",
+           "verify_cells"]
 
 
 @dataclass(frozen=True)
@@ -71,6 +83,9 @@ class CellResult:
     kind: str = "wcrt"
     #: diffcheck cells only: models that went through all four engines
     models_checked: int = 0
+    #: diffcheck cells only: models where the TA engine failed but the
+    #: robust engines still asserted the partial ordering
+    models_degraded: int = 0
     #: diffcheck cells only: soundness-ordering violations found
     violations: int = 0
     #: diffcheck cells only: counterexample JSON paths written by the worker
@@ -85,14 +100,29 @@ class CellResult:
     witnesses_validated: int = 0
     #: per-strategy reasons for witnesses that failed to build or validate
     witness_problems: tuple[str, ...] = ()
+    #: dispatch attempts the cell consumed (>1 after supervised retries)
+    attempts: int = 1
+    #: why the exact run failed, for degraded/quarantined cells
+    failure: str = ""
+    #: degraded cells only: DES lower bound on the requirement's WCRT
+    degraded_lower_ticks: int | None = None
+    degraded_lower_ms: float | None = None
+    #: degraded cells only: tightest SymTA/MPA upper bound
+    degraded_upper_ticks: int | None = None
+    degraded_upper_ms: float | None = None
+
+    @property
+    def usable(self) -> bool:
+        """True when the cell carries data (exact or degraded bounds)."""
+        return self.termination != "quarantined"
 
     def point(self) -> dict:
         """The cell as a ``repro-bench-v1`` trajectory point."""
         out = asdict(self)
         for dropped in ("name", "requirement", "combination", "configuration"):
             out.pop(dropped)
-        diffcheck_keys = ("models_checked", "violations", "counterexamples",
-                          "models_per_second", "policy_mix")
+        diffcheck_keys = ("models_checked", "models_degraded", "violations",
+                          "counterexamples", "models_per_second", "policy_mix")
         if not self.witnesses_attempted:
             out.pop("witnesses_attempted")
             out.pop("witnesses_validated")
@@ -100,6 +130,16 @@ class CellResult:
             out.pop("witness_problems")
         else:
             out["witness_problems"] = list(self.witness_problems)
+        # supervision fields only appear when the supervisor had to act, so
+        # the trajectory format of a clean run is unchanged
+        if self.attempts == 1:
+            out.pop("attempts")
+        if not self.failure:
+            out.pop("failure")
+        for bound in ("degraded_lower_ticks", "degraded_lower_ms",
+                      "degraded_upper_ticks", "degraded_upper_ms"):
+            if out[bound] is None:
+                out.pop(bound)
         if self.kind == "diffcheck":
             # WCRT-specific fields (and the per-exploration counters the
             # campaign does not aggregate) carry no signal for a fuzzing window
@@ -157,7 +197,7 @@ def _worker_init() -> None:
     _MODEL_CACHE.clear()
 
 
-def _run_diffcheck_cell(cell: DiffCheckCell) -> CellResult:
+def _run_diffcheck_cell(cell: DiffCheckCell, attempt: int = 1) -> CellResult:
     """Run one differential-fuzzing seed window in the current process."""
     # imported lazily: table sweeps must not pay for (or depend on) diffcheck
     from repro.diffcheck.campaign import CampaignConfig, run_campaign
@@ -187,20 +227,19 @@ def _run_diffcheck_cell(cell: DiffCheckCell) -> CellResult:
         worker_pid=os.getpid(),
         kind="diffcheck",
         models_checked=campaign.models_checked,
+        models_degraded=campaign.degraded,
         violations=campaign.violations,
         counterexamples=tuple(campaign.counterexamples),
         models_per_second=campaign.models_per_second,
         policy_mix=tuple(sorted(campaign.policy_mix.items())),
         witnesses_attempted=campaign.witnesses_attempted,
         witnesses_validated=campaign.witnesses_validated,
+        attempts=attempt,
     )
 
 
-def run_cell(cell: "SweepCell | DiffCheckCell") -> CellResult:
-    """Run one cell in the current process and return its flat result."""
-    if isinstance(cell, DiffCheckCell):
-        return _run_diffcheck_cell(cell)
-    started = time.perf_counter()
+def cell_model(cell: SweepCell):
+    """Build (or fetch from the worker cache) the cell's configured model."""
     model = _worker_model(cell.model_factory)
     if cell.combination is not None:
         model = configure(
@@ -208,7 +247,28 @@ def run_cell(cell: "SweepCell | DiffCheckCell") -> CellResult:
         )
     elif cell.policy is not None:
         model = apply_policy_variant(model, cell.policy)
+    return model
+
+
+def run_cell(cell: "SweepCell | DiffCheckCell", *, index: int = 0,
+             attempt: int = 1, deadline: float | None = None) -> CellResult:
+    """Run one cell in the current process and return its flat result.
+
+    *index*/*attempt* identify the dispatch for the fault-injection hooks
+    (:mod:`repro.sweep.faults`); *deadline* is an absolute
+    ``time.perf_counter`` instant propagated into the engines' cooperative
+    deadline checks (the serial complement of the supervisor's hard kill).
+    """
+    maybe_inject(cell.name, index, attempt, stage="worker")
+    if isinstance(cell, DiffCheckCell):
+        # a diffcheck window budgets itself per model (OracleConfig
+        # max_seconds); the hard per-cell deadline is the supervisor's job
+        return _run_diffcheck_cell(cell, attempt)
+    started = time.perf_counter()
+    model = cell_model(cell)
     settings = TimedAutomataSettings(**dict(cell.settings))
+    if deadline is not None:
+        settings.deadline = deadline
     if cell.witness is not None and not settings.record_traces:
         settings.record_traces = True
     analysis = analyze_wcrt(model, cell.requirement, settings)
@@ -221,8 +281,13 @@ def run_cell(cell: "SweepCell | DiffCheckCell") -> CellResult:
         strategies = STRATEGIES if cell.witness == "all" else (cell.witness,)
         for strategy in strategies:
             witnesses_attempted += 1
+            remaining = (
+                None if deadline is None
+                else max(0.05, deadline - time.perf_counter())
+            )
             try:
-                run = build_witness(model, analysis, strategy)
+                run = build_witness(model, analysis, strategy,
+                                    max_seconds=remaining)
             except AnalysisError as exc:
                 witness_problems.append(f"{strategy}: {exc}")
                 continue
@@ -253,6 +318,7 @@ def run_cell(cell: "SweepCell | DiffCheckCell") -> CellResult:
         witnesses_attempted=witnesses_attempted,
         witnesses_validated=witnesses_validated,
         witness_problems=tuple(witness_problems),
+        attempts=attempt,
     )
 
 
@@ -264,6 +330,8 @@ class SweepResult:
     workers: int
     start_method: str
     wall_seconds: float
+    #: cells served from a resumed checkpoint rather than recomputed
+    resumed: int = 0
 
     def __iter__(self):
         return iter(self.results)
@@ -273,6 +341,23 @@ class SweepResult:
 
     def by_name(self) -> dict[str, CellResult]:
         return {result.name: result for result in self.results}
+
+    @property
+    def degraded(self) -> int:
+        """Cells that fell back to analytic bounds (exact run failed)."""
+        return sum(1 for result in self.results
+                   if result.termination == "degraded")
+
+    @property
+    def quarantined(self) -> int:
+        """Poison cells that produced no data at all."""
+        return sum(1 for result in self.results
+                   if result.termination == "quarantined")
+
+    @property
+    def usable_results(self) -> list[CellResult]:
+        """Everything except quarantined cells (exact + degraded)."""
+        return [result for result in self.results if result.usable]
 
     @property
     def total_states(self) -> int:
@@ -301,6 +386,14 @@ class SweepResult:
             "sweep_states_per_second": round(self.sweep_states_per_second, 1),
             "wall_seconds": round(self.wall_seconds, 4),
         }
+        # supervision accounting only appears when it happened (clean runs
+        # keep the exact pre-supervisor trajectory format)
+        if self.degraded:
+            points["sweep"]["degraded"] = self.degraded
+        if self.quarantined:
+            points["sweep"]["quarantined"] = self.quarantined
+        if self.resumed:
+            points["sweep"]["resumed"] = self.resumed
         return points
 
     def write(self, path: str, kind: str = "scenario_sweep",
@@ -314,34 +407,67 @@ def run_sweep(
     workers: int | None = None,
     start_method: str = "spawn",
     initializer: Callable[[], None] | None = None,
+    supervise: "SupervisorConfig | None" = None,
+    checkpoint: str | None = None,
+    resume: bool = False,
 ) -> SweepResult:
-    """Fan *cells* across *workers* processes and collect the results.
+    """Fan *cells* across supervised *workers* and collect the results.
 
     ``workers=None`` uses ``os.cpu_count()``; ``workers=1`` (or a single
     cell) runs serially in-process.  Results arrive in cell order
     regardless of which worker finished first.
+
+    *supervise* sets the fault-tolerance policy
+    (:class:`repro.sweep.supervisor.SupervisorConfig`); the default retries
+    transient worker deaths and raises a cell-attributed
+    :class:`AnalysisError` on unrecoverable failures.  *checkpoint* journals
+    every completed cell to a ``repro-checkpoint-v1`` JSONL file;
+    ``resume=True`` additionally loads it first and skips (but returns) the
+    cells already completed, making an interrupted-then-resumed sweep
+    deterministically identical to an uninterrupted one.
     """
+    from repro.sweep.supervisor import (
+        Supervisor, SupervisorConfig, run_supervised_serial,
+    )
+
     cells = list(cells)
     if not cells:
         raise AnalysisError("cannot run a sweep without cells")
+    if resume and checkpoint is None:
+        raise AnalysisError("resume=True requires a checkpoint path")
+    config = supervise if supervise is not None else SupervisorConfig()
     if workers is None:
         workers = os.cpu_count() or 1
-    workers = max(1, min(int(workers), len(cells)))
     started = time.perf_counter()
-    if workers == 1:
-        results = [run_cell(cell) for cell in cells]
-    else:
-        import multiprocessing
+    journal = None
+    completed: dict[int, CellResult] = {}
+    try:
+        if checkpoint is not None:
+            journal = CheckpointJournal(checkpoint, [cell.name for cell in cells],
+                                        resume=resume)
+            completed = dict(journal.completed)
+        tasks = [(index, cell) for index, cell in enumerate(cells)
+                 if index not in completed]
+        workers = max(1, min(int(workers), len(tasks) or 1))
+        if workers == 1:
+            fresh = run_supervised_serial(tasks, config, journal)
+        else:
+            import multiprocessing
 
-        context = multiprocessing.get_context(start_method)
-        with context.Pool(workers, initializer=initializer or _worker_init) as pool:
-            # chunksize 1: cells are coarse (seconds each) and heterogeneous,
-            # dynamic dispatch beats pre-chunking
-            results = pool.map(run_cell, cells, chunksize=1)
+            # per-cell dispatch: cells are coarse (seconds each) and
+            # heterogeneous, dynamic dispatch beats pre-chunking
+            context = multiprocessing.get_context(start_method)
+            fresh = Supervisor(tasks, workers, context, config,
+                               journal=journal, initializer=initializer).run()
+    finally:
+        if journal is not None:
+            journal.close()
+    merged = {**completed, **fresh}
+    results = [merged[index] for index in range(len(cells))]
     wall = time.perf_counter() - started
     return SweepResult(results=results, workers=workers,
                        start_method=start_method if workers > 1 else "serial",
-                       wall_seconds=wall)
+                       wall_seconds=wall, resumed=len(completed))
 
 
 def verify_cells(

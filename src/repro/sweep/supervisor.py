@@ -1,0 +1,503 @@
+"""Supervised worker pools: crash-isolated, deadline-enforced cell dispatch.
+
+``multiprocessing.Pool.map`` is the wrong tool for campaigns over hostile
+work: one worker that segfaults, gets OOM-killed or livelocks takes the
+whole sweep down (or hangs it forever), and everything already computed is
+lost.  This module replaces it with an explicit supervisor:
+
+* **Crash isolation.**  Each cell is dispatched to one worker process over
+  a private pipe.  A worker that dies abnormally (signal, ``os._exit``,
+  OOM-killer) loses *that cell's attempt*, nothing else; the supervisor
+  respawns a fresh worker and carries on.
+* **Hard deadlines.**  ``SupervisorConfig.deadline_seconds`` is wall-clock
+  per attempt, enforced from the *outside*: an overrunning worker is
+  SIGKILLed and replaced.  This is the non-cooperative complement to the
+  engines' own ``max_seconds`` budgets -- a worker stuck in native code or
+  a pathological allocation never checks a cooperative budget.
+* **Bounded retry with exponential backoff.**  Abnormal exits are treated
+  as transient (a crashed machine neighbour, a fork bomb next door, an
+  OOM pass) and retried up to ``max_attempts`` times, waiting
+  ``backoff_seconds * backoff_factor**(attempt-1)`` between attempts.
+  In-worker *exceptions* are deterministic and are not retried.
+* **Graceful degradation.**  With ``on_error="degrade"``, a cell whose
+  exact TA exploration died, hung or kept crashing still yields a usable
+  :class:`~repro.sweep.runner.CellResult`: the supervisor computes the
+  SymTA/MPA analytic *upper* bounds and a budgeted DES *lower* bound in
+  the parent process and returns them with ``termination="degraded"``.
+* **Quarantine.**  A poison cell -- one whose degraded fallback fails too
+  -- is recorded with ``termination="quarantined"`` instead of poisoning
+  the campaign, and the sweep completes without it.
+
+With ``on_error="raise"`` (the library default) unrecoverable failures
+raise an :class:`~repro.util.errors.AnalysisError` that *names the cell*
+(name, kind, seed) instead of the bare worker traceback ``Pool.map`` used
+to propagate.
+
+Every completed cell is journaled through the ``repro-checkpoint-v1``
+writer (:mod:`repro.sweep.checkpoint`) before the next dispatch, so a
+SIGINT/reboot mid-campaign costs at most the cells in flight.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.sweep.cells import DiffCheckCell
+from repro.sweep.faults import maybe_inject
+from repro.util.errors import AnalysisError, ModelError, ReproError
+
+__all__ = [
+    "SupervisorConfig",
+    "Supervisor",
+    "cell_attribution",
+    "degraded_cell_result",
+    "quarantined_cell_result",
+    "run_supervised_serial",
+]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Fault-tolerance policy of one supervised sweep."""
+
+    #: hard wall-clock limit per attempt (multiprocess: the worker is
+    #: SIGKILLed on overrun; serial: enforced cooperatively through the
+    #: engines' deadline hooks); None = unlimited
+    deadline_seconds: float | None = None
+    #: attempts per cell for *transient* failures (abnormal worker exits)
+    max_attempts: int = 3
+    #: base and factor of the exponential retry backoff
+    backoff_seconds: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max_seconds: float = 10.0
+    #: what to do when a cell is unrecoverable: "raise" (AnalysisError naming
+    #: the cell) or "degrade" (analytic-bounds fallback, then quarantine)
+    on_error: str = "raise"
+    #: budgets of the degraded DES lower-bound fallback
+    degraded_des_runs: int = 2
+    degraded_des_seconds: float = 5.0
+    degraded_des_horizon_periods: int = 50
+
+    def __post_init__(self):
+        if self.on_error not in ("raise", "degrade"):
+            raise ModelError(
+                f"unknown on_error policy {self.on_error!r} (expected 'raise' or 'degrade')"
+            )
+        if self.max_attempts < 1:
+            raise ModelError("max_attempts must be at least 1")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ModelError("deadline_seconds must be positive")
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before retry number *attempt* (attempt 2 = first)."""
+        delay = self.backoff_seconds * self.backoff_factor ** max(0, attempt - 2)
+        return min(delay, self.backoff_max_seconds)
+
+
+def cell_attribution(cell, index: int) -> str:
+    """Human-readable identity of a cell for error messages and logs."""
+    if isinstance(cell, DiffCheckCell):
+        return (
+            f"cell #{index} {cell.name!r} (kind=diffcheck, "
+            f"seed_start={cell.seed_start}, count={cell.count})"
+        )
+    seed = cell.settings.get("seed", 0) if cell.settings else 0
+    return f"cell #{index} {cell.name!r} (kind=wcrt, seed={seed})"
+
+
+def quarantined_cell_result(cell, index: int, reason: str, attempts: int):
+    """The tombstone of a poison cell: no data, the failure on record."""
+    from repro.sweep.runner import CellResult
+
+    diffcheck = isinstance(cell, DiffCheckCell)
+    return CellResult(
+        name=cell.name,
+        requirement="R0" if diffcheck else cell.requirement,
+        combination=None if diffcheck else cell.combination,
+        configuration=None if diffcheck else cell.configuration,
+        wcrt_ticks=None,
+        wcrt_ms=None,
+        is_lower_bound=False,
+        satisfied=None,
+        states_explored=0,
+        states_stored=0,
+        transitions=0,
+        inclusions=0,
+        explore_seconds=0.0,
+        states_per_second=0.0,
+        termination="quarantined",
+        wall_seconds=0.0,
+        worker_pid=os.getpid(),
+        kind="diffcheck" if diffcheck else "wcrt",
+        attempts=attempts,
+        failure=reason,
+    )
+
+
+def degraded_cell_result(cell, index: int, reason: str, attempts: int,
+                         config: SupervisorConfig):
+    """Analytic fallback for a cell whose exact exploration died or hung.
+
+    Computes what the cheap engines can still say about the cell's
+    requirement -- the tightest SymTA/MPA busy-window/curve *upper* bound
+    and a budgeted DES *lower* bound -- and returns a ``CellResult`` with
+    ``termination="degraded"``.  Raises :class:`AnalysisError` when no
+    engine produces a bound (the caller quarantines the cell then).
+
+    Runs in the supervisor's own process: the fallback engines are analytic
+    (SymTA/MPA) or cooperatively budgeted (DES ``max_seconds``), so they
+    cannot wedge the parent the way the exact exploration wedged the worker.
+    """
+    from repro.baselines.des.simulator import SimulationSettings, simulate
+    from repro.baselines.mpa import analysis as mpa_analysis
+    from repro.baselines.symta import analysis as symta_analysis
+    from repro.sweep.runner import CellResult, cell_model
+
+    if isinstance(cell, DiffCheckCell):
+        raise AnalysisError(
+            "a diffcheck cell has no analytic fallback (the campaign itself "
+            "is the cross-check); the seed window must be quarantined"
+        )
+    # the "degraded" stage hook: a test plan can poison the fallback too
+    maybe_inject(cell.name, index, attempts, stage="degraded")
+    started = time.perf_counter()
+    model = cell_model(cell)
+    requirement = model.requirement(cell.requirement)
+    notes: list[str] = []
+
+    upper: int | None = None
+    for engine_name, engine in (("symta", symta_analysis), ("mpa", mpa_analysis)):
+        try:
+            value = engine.analyze(model).latencies[cell.requirement]
+        except ReproError as exc:
+            notes.append(f"{engine_name}: {exc}")
+            continue
+        upper = value if upper is None else min(upper, value)
+
+    lower: int | None = None
+    try:
+        horizon = config.degraded_des_horizon_periods * max(
+            scenario.event_model.period for scenario in model.scenarios.values()
+        )
+        des = simulate(model, SimulationSettings(
+            horizon=horizon,
+            runs=config.degraded_des_runs,
+            seed=1,
+            max_seconds=config.degraded_des_seconds,
+        ))
+        lower = des.observations[cell.requirement].maximum
+    except ReproError as exc:
+        notes.append(f"des: {exc}")
+
+    if upper is None and lower is None:
+        raise AnalysisError(
+            "degraded fallback produced no bound (" + "; ".join(notes) + ")"
+        )
+
+    satisfied: bool | None = None
+    if upper is not None and upper < requirement.bound:
+        satisfied = True
+    elif lower is not None and lower >= requirement.bound:
+        satisfied = False
+
+    timebase = model.timebase
+    return CellResult(
+        name=cell.name,
+        requirement=cell.requirement,
+        combination=cell.combination,
+        configuration=cell.configuration,
+        # the exact WCRT is unknown; the degraded interval lives in the
+        # dedicated bound fields so anchors/baselines cannot confuse the two
+        wcrt_ticks=None,
+        wcrt_ms=None,
+        is_lower_bound=False,
+        satisfied=satisfied,
+        states_explored=0,
+        states_stored=0,
+        transitions=0,
+        inclusions=0,
+        explore_seconds=0.0,
+        states_per_second=0.0,
+        termination="degraded",
+        wall_seconds=time.perf_counter() - started,
+        worker_pid=os.getpid(),
+        attempts=attempts,
+        failure=reason,
+        degraded_lower_ticks=lower,
+        degraded_lower_ms=None if lower is None else timebase.to_milliseconds(lower),
+        degraded_upper_ticks=upper,
+        degraded_upper_ms=None if upper is None else timebase.to_milliseconds(upper),
+    )
+
+
+def _settle(cell, index: int, reason: str, attempts: int, config: SupervisorConfig):
+    """Resolve an unrecoverable cell per the configured policy.
+
+    Returns a degraded or quarantined result (``on_error="degrade"``) or
+    raises an :class:`AnalysisError` carrying the cell attribution
+    (``on_error="raise"``).
+    """
+    if config.on_error == "raise":
+        raise AnalysisError(
+            f"sweep {cell_attribution(cell, index)} failed after "
+            f"{attempts} attempt(s): {reason}"
+        )
+    try:
+        return degraded_cell_result(cell, index, reason, attempts, config)
+    except ReproError as exc:
+        return quarantined_cell_result(
+            cell, index, f"{reason}; degraded fallback failed: {exc}", attempts
+        )
+
+
+# --------------------------------------------------------------------- serial
+def run_supervised_serial(tasks, config: SupervisorConfig, journal=None) -> dict:
+    """Run ``(index, cell)`` tasks in-process with supervision semantics.
+
+    Deadlines are enforced *cooperatively* (through the engines' deadline
+    hooks -- a serial run has nobody to SIGKILL it); exceptions degrade or
+    raise exactly like the multiprocess supervisor.  A ``"crash"``/``"oom"``
+    fault (or a real one) takes the whole process down -- which is precisely
+    the interrupted-run scenario the checkpoint journal recovers from.
+    """
+    from repro.sweep.runner import run_cell
+
+    results: dict[int, object] = {}
+    for index, cell in tasks:
+        deadline = (
+            time.perf_counter() + config.deadline_seconds
+            if config.deadline_seconds is not None
+            else None
+        )
+        try:
+            result = run_cell(cell, index=index, deadline=deadline)
+        except ReproError as exc:
+            if config.on_error == "raise":
+                raise AnalysisError(
+                    f"sweep {cell_attribution(cell, index)} failed: {exc}"
+                ) from exc
+            result = _settle(cell, index, str(exc), 1, config)
+        results[index] = result
+        if journal is not None:
+            journal.record(index, result)
+    return results
+
+
+# --------------------------------------------------------------- worker side
+def _worker_main(conn, initializer=None) -> None:
+    """Worker loop: receive ``(index, attempt, cell)``, send back the result.
+
+    An in-cell exception is reported as an ``("error", ...)`` payload -- the
+    worker itself is healthy and keeps serving.  Only pipe loss (the
+    supervisor went away) or a poison pill ends the loop.
+    """
+    from repro.sweep.runner import _worker_init, run_cell
+
+    (initializer or _worker_init)()
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if task is None:
+            break
+        index, attempt, cell = task
+        try:
+            payload = ("ok", index, run_cell(cell, index=index, attempt=attempt))
+        except KeyboardInterrupt:  # pragma: no cover - racy by nature
+            break
+        except BaseException as exc:
+            payload = ("error", index, f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(payload)
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+            break
+
+
+class _WorkerHandle:
+    """One supervised worker process and its private pipe."""
+
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+
+
+# ----------------------------------------------------------------- supervisor
+class Supervisor:
+    """The multiprocess supervision loop (see the module docstring)."""
+
+    def __init__(self, tasks, workers: int, context, config: SupervisorConfig,
+                 journal=None, initializer=None):
+        #: remaining work as (index, cell) pairs
+        self.tasks = list(tasks)
+        self.worker_count = max(1, min(int(workers), len(self.tasks) or 1))
+        self.context = context
+        self.config = config
+        self.journal = journal
+        self.initializer = initializer
+        self._sequence = 0
+
+    # -- worker lifecycle -------------------------------------------------
+    def _spawn(self) -> _WorkerHandle:
+        parent_conn, child_conn = self.context.Pipe(duplex=True)
+        process = self.context.Process(
+            target=_worker_main,
+            args=(child_conn, self.initializer),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(process, parent_conn)
+
+    @staticmethod
+    def _discard(worker: _WorkerHandle) -> None:
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        if worker.process.is_alive():  # pragma: no cover - defensive
+            worker.process.kill()
+        worker.process.join()
+
+    # -- outcomes ---------------------------------------------------------
+    def _complete(self, results: dict, index: int, result) -> None:
+        results[index] = result
+        if self.journal is not None:
+            self.journal.record(index, result)
+
+    def _settled(self, results: dict, index: int, cell, reason: str,
+                 attempts: int) -> None:
+        self._complete(results, index,
+                       _settle(cell, index, reason, attempts, self.config))
+
+    # -- the loop ---------------------------------------------------------
+    def run(self) -> dict:
+        from multiprocessing.connection import wait as connection_wait
+
+        config = self.config
+        results: dict[int, object] = {}
+        pending: deque = deque((index, cell, 1) for index, cell in self.tasks)
+        delayed: list = []  # heap of (ready_at, sequence, index, cell, attempt)
+        total = len(self.tasks)
+        workers = [self._spawn() for _ in range(self.worker_count)]
+        idle: list[_WorkerHandle] = list(workers)
+        busy: dict[_WorkerHandle, tuple] = {}
+
+        def retry_later(index: int, cell, attempt: int) -> None:
+            self._sequence += 1
+            ready_at = time.perf_counter() + config.backoff(attempt)
+            heapq.heappush(delayed, (ready_at, self._sequence, index, cell, attempt))
+
+        def replace(worker: _WorkerHandle) -> None:
+            self._discard(worker)
+            workers.remove(worker)
+            fresh = self._spawn()
+            workers.append(fresh)
+            idle.append(fresh)
+
+        try:
+            while len(results) < total:
+                now = time.perf_counter()
+                while delayed and delayed[0][0] <= now:
+                    _, _, index, cell, attempt = heapq.heappop(delayed)
+                    pending.append((index, cell, attempt))
+                while pending and idle:
+                    worker = idle.pop()
+                    if not worker.process.is_alive():  # pragma: no cover - rare
+                        self._discard(worker)
+                        workers.remove(worker)
+                        worker = self._spawn()
+                        workers.append(worker)
+                    index, cell, attempt = pending.popleft()
+                    worker.conn.send((index, attempt, cell))
+                    deadline = (
+                        now + config.deadline_seconds
+                        if config.deadline_seconds is not None
+                        else None
+                    )
+                    busy[worker] = (index, cell, attempt, deadline)
+                if not busy:
+                    if delayed:
+                        time.sleep(max(0.0, delayed[0][0] - time.perf_counter()))
+                    continue
+
+                timeout = None
+                for _index, _cell, _attempt, deadline in busy.values():
+                    if deadline is not None:
+                        remaining = deadline - time.perf_counter()
+                        timeout = remaining if timeout is None else min(timeout, remaining)
+                if delayed:
+                    remaining = delayed[0][0] - time.perf_counter()
+                    timeout = remaining if timeout is None else min(timeout, remaining)
+                if timeout is not None:
+                    timeout = max(0.0, timeout)
+
+                watched: dict[object, _WorkerHandle] = {}
+                for worker in busy:
+                    watched[worker.conn] = worker
+                    watched[worker.process.sentinel] = worker
+                ready = connection_wait(list(watched), timeout=timeout)
+                for worker in {watched[obj] for obj in ready}:
+                    index, cell, attempt, _deadline = busy.pop(worker)
+                    payload = None
+                    if worker.conn.poll():
+                        try:
+                            payload = worker.conn.recv()
+                        except (EOFError, OSError):
+                            payload = None
+                    if payload is None:
+                        # abnormal exit: no result ever made it onto the pipe
+                        worker.process.join()
+                        exitcode = worker.process.exitcode
+                        replace(worker)
+                        if attempt < config.max_attempts:
+                            retry_later(index, cell, attempt + 1)
+                        else:
+                            self._settled(
+                                results, index, cell,
+                                f"worker died abnormally (exit code {exitcode}) "
+                                f"on all {attempt} attempt(s)",
+                                attempt,
+                            )
+                    else:
+                        status, _echo, value = payload
+                        idle.append(worker)
+                        if status == "ok":
+                            self._complete(results, index, value)
+                        else:
+                            # a deterministic in-worker exception: retrying
+                            # would deterministically fail again
+                            self._settled(results, index, cell, str(value), attempt)
+
+                # hard deadlines: kill overrunning workers, no retry -- a hang
+                # already burnt a full deadline; degrade (or raise) directly
+                now = time.perf_counter()
+                overdue = [
+                    worker for worker, (_i, _c, _a, deadline) in busy.items()
+                    if deadline is not None and now > deadline
+                ]
+                for worker in overdue:
+                    index, cell, attempt, _deadline = busy.pop(worker)
+                    worker.process.kill()
+                    replace(worker)
+                    self._settled(
+                        results, index, cell,
+                        f"hard deadline of {config.deadline_seconds}s exceeded "
+                        f"(worker killed)",
+                        attempt,
+                    )
+            return results
+        finally:
+            for worker in workers:
+                if worker not in busy and worker.process.is_alive():
+                    try:
+                        worker.conn.send(None)
+                    except (BrokenPipeError, OSError):
+                        pass
+                self._discard(worker)

@@ -33,12 +33,15 @@ def build_witness(
     model: ArchitectureModel,
     analysis: RequirementAnalysis,
     strategy: str = "earliest",
+    max_seconds: float | None = None,
 ) -> ConcreteRun:
     """Concretise the witness trace of *analysis* into a timed schedule.
 
     The observer clock is pinned to ``analysis.wcrt_ticks`` at the final
     transition, so the returned schedule attains the reported WCRT (exact
     results) or the reported attained lower bound (budgeted explorations).
+    ``max_seconds`` bounds the concretisation wall-clock cooperatively
+    (see :func:`repro.witness.concretise.concretise_trace`).
     """
     detail = analysis.detail
     if detail.trace is None:
@@ -61,6 +64,7 @@ def build_witness(
         detail.trace,
         strategy,
         final_clock_values={observer_clock: analysis.wcrt_ticks},
+        max_seconds=max_seconds,
     )
     events, arrivals = derive_events(model, concretisation.steps)
 

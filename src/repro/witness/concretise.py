@@ -33,6 +33,7 @@ lower bound where a time is unbounded above) and ``"midpoint"``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -197,6 +198,7 @@ def concretise_trace(
     strategy: str = "earliest",
     final_clock_values: Mapping[int, int] | None = None,
     generator: SuccessorGenerator | None = None,
+    max_seconds: float | None = None,
 ) -> Concretisation:
     """Pick concrete integer firing times for every transition of *trace*.
 
@@ -204,11 +206,26 @@ def concretise_trace(
     transition time (clock id -> exact value); WCRT witnesses use it to force
     the observer clock to the reported worst case, so the returned schedule
     *attains* the claimed response time rather than merely staying feasible.
+
+    ``max_seconds`` is a cooperative wall-clock budget over the
+    constraint-building and time-fixing loops (checked once per
+    transition); exceeding it raises :class:`WitnessError` -- long traces
+    over wide schedule DBMs are the one witness stage that can run away.
     """
     if strategy not in STRATEGIES:
         raise WitnessError(f"unknown delay strategy {strategy!r} (expected {STRATEGIES})")
     if not trace.steps:
         raise WitnessError("cannot concretise an empty trace")
+    deadline = (
+        time.perf_counter() + max_seconds if max_seconds is not None else None
+    )
+
+    def check_deadline(k: int, stage: str) -> None:
+        if deadline is not None and time.perf_counter() > deadline:
+            raise WitnessError(
+                f"witness concretisation exceeded its {max_seconds}s budget "
+                f"({stage}, transition {k} of {len(trace.steps) - 1})"
+            )
     generator = generator or SuccessorGenerator(network)
     n = len(trace.steps) - 1
     plans = _matched_plans(generator, trace)
@@ -232,6 +249,7 @@ def concretise_trace(
             apply(i, j, raw, 0, "initial invariant")
 
         for k in range(1, n + 1):
+            check_deadline(k, "building constraints")
             plan = plans[k - 1]
             system.constrain(k - 1, k, LE_ZERO, f"time monotonicity at step {k}")
             if infos[k - 1].urgent:
@@ -264,6 +282,7 @@ def concretise_trace(
         # any integer within the current bounds keeps the tail feasible
         times = [0] * (n + 1)
         for k in range(1, n + 1):
+            check_deadline(k, "fixing firing times")
             lo, hi = system.bounds(k)
             if hi is not None and hi < lo:
                 raise WitnessError(

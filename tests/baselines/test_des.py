@@ -270,3 +270,51 @@ class TestArchitectureSimulation:
         model = _pipeline_model().with_event_models({"C": Sporadic(10_000)})
         result = simulate(model, SimulationSettings(horizon=200_000, runs=4, seed=5))
         assert result.observations["E2E"].count > 10
+
+
+class TestWallClockBudget:
+    """The cooperative wall-clock budget truncates, never corrupts."""
+
+    def test_exhausted_budget_skips_remaining_runs(self):
+        model = _pipeline_model()
+        result = simulate(model, SimulationSettings(
+            horizon=100_000, runs=5, seed=1, max_seconds=0.0,
+        ))
+        # the budget was spent before the first run: nothing was simulated,
+        # nothing is claimed
+        assert result.total_events == 0
+        assert result.observations["E2E"].count == 0
+        assert result.observations["E2E"].maximum is None
+
+    def test_engine_deadline_stops_between_events(self):
+        import time
+
+        sim = Simulator()
+        fired = []
+        sim.schedule(5, lambda: fired.append("a"))
+        sim.schedule(10, lambda: fired.append("b"))
+        sim.run_until(100, deadline=time.perf_counter() - 1.0)
+        assert fired == []  # already past the deadline: zero events fire
+
+    def test_generous_budget_changes_nothing(self):
+        model = _pipeline_model()
+        settings = dict(horizon=100_000, runs=2, seed=1)
+        budgeted = simulate(model, SimulationSettings(**settings, max_seconds=120.0))
+        unbudgeted = simulate(model, SimulationSettings(**settings))
+        assert budgeted.observations["E2E"].samples == (
+            unbudgeted.observations["E2E"].samples
+        )
+        assert budgeted.total_events == unbudgeted.total_events
+
+    def test_truncated_observations_stay_sound_lower_bounds(self):
+        from repro.arch import analyze_wcrt
+
+        model = _pipeline_model()
+        exact = analyze_wcrt(model, "E2E")
+        # an absurdly small budget may cut the campaign anywhere; whatever
+        # was observed must still sit at or below the exact worst case
+        result = simulate(model, SimulationSettings(
+            horizon=100_000, runs=3, seed=4, max_seconds=0.001,
+        ))
+        maximum = result.observations["E2E"].maximum
+        assert maximum is None or maximum <= exact.wcrt_ticks

@@ -49,7 +49,8 @@ class TestCheckModel:
         # the real gate is the CI smoke run, this pins the API
         for seed in range(0, 6):
             verdict = check_model(sample_model(seed), seed=seed, config=FAST)
-            assert verdict.status in ("checked", "checked-inexact", "skipped"), (
+            assert verdict.status in ("checked", "checked-inexact", "skipped",
+                                      "degraded"), (
                 seed, verdict.violations,
             )
 
@@ -114,6 +115,52 @@ class TestBrokenEngines:
         assert verdict.status == "violation"
         assert any("des crashed" in line for line in verdict.violations)
         assert verdict.verdicts["des"].value is None
+
+    def test_ta_death_degrades_instead_of_skipping(self, monkeypatch):
+        # the exact engine is the one exploring an unbounded state space, so
+        # it is the one that can die -- the verdict must keep the three
+        # robust engines and still assert the DES <= SymTA/MPA ordering
+        from repro.diffcheck import oracle as oracle_module
+        from repro.util.errors import AnalysisError
+
+        def dead(model, requirement, settings=None):
+            raise AnalysisError("injected: exact engine died")
+
+        monkeypatch.setattr(oracle_module, "analyze_wcrt", dead)
+        verdict = check_model(_two_task_model(), seed=0, config=FAST)
+        assert verdict.status == "degraded"
+        assert verdict.skip_reason.startswith("ta: ")
+        assert "exact engine died" in verdict.skip_reason
+        assert verdict.verdicts["ta"].value is None
+        # the robust engines still produced their bounds...
+        symta = verdict.verdicts["symta"].value
+        mpa = verdict.verdicts["mpa"].value
+        des = verdict.verdicts["des"].value
+        assert symta is not None and mpa is not None and des is not None
+        # ...and the partial ordering was checked (no violations on a sound
+        # model) even without the exact anchor
+        assert verdict.violations == []
+        assert des <= symta and des <= mpa
+        # degraded is not silently counted as fully checked
+        assert not verdict.checked
+
+    def test_ta_death_still_reports_robust_violations(self, monkeypatch):
+        # a broken DES plus a dead TA: the degraded path must not mask the
+        # ordering violation the surviving engines can still prove
+        from repro.diffcheck import oracle as oracle_module
+        from repro.util.errors import AnalysisError
+
+        def dead(model, requirement, settings=None):
+            raise AnalysisError("injected: exact engine died")
+
+        def crash(model, settings=None):
+            raise AnalysisError("internal error: injected crash")
+
+        monkeypatch.setattr(oracle_module, "analyze_wcrt", dead)
+        monkeypatch.setattr(oracle_module, "simulate", crash)
+        verdict = check_model(_two_task_model(), seed=0, config=FAST)
+        assert verdict.status == "violation"  # violation outranks degraded
+        assert any("des crashed" in line for line in verdict.violations)
 
     def test_broken_mpa_detected(self, monkeypatch):
         real = mpa_analysis.analyze

@@ -85,7 +85,7 @@ class TestCampaign:
         assert len(campaign.records) == 6
         assert campaign.violations == 0
         assert campaign.counterexamples == []
-        assert campaign.models_checked + campaign.skipped == 6
+        assert campaign.models_checked + campaign.skipped + campaign.degraded == 6
         assert campaign.models_per_second > 0
         point = campaign.point()
         assert point["models"] == 6

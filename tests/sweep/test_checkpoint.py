@@ -1,0 +1,217 @@
+"""Tests of the ``repro-checkpoint-v1`` journal and interrupt/resume.
+
+The contract under test: a sweep interrupted at *any* point (SIGKILL'd
+parent included -- simulated with a ``"crash"`` fault in serial mode, which
+``os._exit``'s the whole process) resumes from its journal and produces the
+same deterministic results as an uninterrupted run.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.sweep import SweepCell, run_sweep
+from repro.sweep.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointJournal,
+    load_checkpoint,
+    sweep_fingerprint,
+)
+from repro.sweep.runner import CellResult, run_cell
+from repro.util.errors import AnalysisError
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+
+#: deterministic CellResult fields (everything except timings and pids)
+DETERMINISTIC = (
+    "name", "requirement", "combination", "configuration", "wcrt_ticks",
+    "wcrt_ms", "is_lower_bound", "satisfied", "states_explored",
+    "states_stored", "transitions", "inclusions", "termination", "kind",
+)
+
+
+def det(result: CellResult) -> dict:
+    return {key: getattr(result, key) for key in DETERMINISTIC}
+
+
+def small_cell(i: int, name: str | None = None) -> SweepCell:
+    return SweepCell(
+        name=name or f"cell{i}",
+        requirement="TMC",
+        combination="AL+TMC",
+        configuration="po",
+        settings={"search_order": "bfs", "max_states": 200, "seed": 1},
+    )
+
+
+class TestFingerprint:
+    def test_order_sensitive(self):
+        assert sweep_fingerprint(["a", "b"]) != sweep_fingerprint(["b", "a"])
+
+    def test_stable(self):
+        assert sweep_fingerprint(["a", "b"]) == sweep_fingerprint(["a", "b"])
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "sweep.checkpoint.jsonl")
+        result = run_cell(small_cell(0))
+        with CheckpointJournal(path, ["cell0", "cell1"]) as journal:
+            journal.record(0, result)
+        completed = load_checkpoint(path, ["cell0", "cell1"])
+        assert list(completed) == [0]
+        assert det(completed[0]) == det(result)
+        # tuples survive the JSON round trip as tuples
+        assert isinstance(completed[0].counterexamples, tuple)
+        assert isinstance(completed[0].policy_mix, tuple)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_checkpoint(str(tmp_path / "none.jsonl"), ["a"]) == {}
+
+    def test_header_written_first(self, tmp_path):
+        path = str(tmp_path / "sweep.checkpoint.jsonl")
+        CheckpointJournal(path, ["a", "b"]).close()
+        header = json.loads(open(path, encoding="utf-8").readline())
+        assert header["schema"] == CHECKPOINT_SCHEMA
+        assert header["fingerprint"] == sweep_fingerprint(["a", "b"])
+        assert header["cells"] == 2
+
+    def test_different_sweep_rejected(self, tmp_path):
+        path = str(tmp_path / "sweep.checkpoint.jsonl")
+        CheckpointJournal(path, ["a", "b"]).close()
+        with pytest.raises(AnalysisError, match="different sweep"):
+            load_checkpoint(path, ["a", "c"])
+
+    def test_torn_final_line_ignored(self, tmp_path):
+        path = str(tmp_path / "sweep.checkpoint.jsonl")
+        result = run_cell(small_cell(0))
+        with CheckpointJournal(path, ["cell0", "cell1"]) as journal:
+            journal.record(0, result)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"index": 1, "name": "cell1", "resu')  # died mid-write
+        completed = load_checkpoint(path, ["cell0", "cell1"])
+        assert list(completed) == [0]
+
+    def test_corrupt_middle_line_rejected(self, tmp_path):
+        path = str(tmp_path / "sweep.checkpoint.jsonl")
+        result = run_cell(small_cell(0))
+        with CheckpointJournal(path, ["cell0", "cell1"]) as journal:
+            journal.record(0, result)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{garbage\n")
+            handle.write(json.dumps({"index": 1, "name": "cell1",
+                                     "result": {}}) + "\n")
+        with pytest.raises(AnalysisError, match="corrupt record"):
+            load_checkpoint(path, ["cell0", "cell1"])
+
+    def test_name_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "sweep.checkpoint.jsonl")
+        result = run_cell(small_cell(0))
+        with CheckpointJournal(path, ["cell0"]) as journal:
+            journal.record(0, result)
+        # same fingerprint cannot happen with a different name list, so
+        # corrupt the record itself
+        lines = open(path, encoding="utf-8").read().splitlines()
+        record = json.loads(lines[1])
+        record["name"] = "somebody-else"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(lines[0] + "\n" + json.dumps(record) + "\n")
+        with pytest.raises(AnalysisError, match="names"):
+            load_checkpoint(path, ["cell0"])
+
+    def test_duplicate_cell_names_are_index_keyed(self, tmp_path):
+        # the sweep API allows duplicate cells; the journal must keep them
+        # apart by index
+        path = str(tmp_path / "sweep.checkpoint.jsonl")
+        result = run_cell(small_cell(0, name="dup"))
+        with CheckpointJournal(path, ["dup", "dup"]) as journal:
+            journal.record(0, result)
+            journal.record(1, result)
+        completed = load_checkpoint(path, ["dup", "dup"])
+        assert sorted(completed) == [0, 1]
+
+    def test_fresh_journal_truncates_stale_file(self, tmp_path):
+        path = str(tmp_path / "sweep.checkpoint.jsonl")
+        result = run_cell(small_cell(0))
+        with CheckpointJournal(path, ["cell0"]) as journal:
+            journal.record(0, result)
+        CheckpointJournal(path, ["cell0"], resume=False).close()
+        assert load_checkpoint(path, ["cell0"]) == {}
+
+
+class TestRunSweepCheckpointing:
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(AnalysisError, match="checkpoint"):
+            run_sweep([small_cell(0)], workers=1, resume=True)
+
+    def test_serial_sweep_journals_every_cell(self, tmp_path):
+        path = str(tmp_path / "sweep.checkpoint.jsonl")
+        cells = [small_cell(i) for i in range(3)]
+        sweep = run_sweep(cells, workers=1, checkpoint=path)
+        completed = load_checkpoint(path, [cell.name for cell in cells])
+        assert sorted(completed) == [0, 1, 2]
+        assert sweep.resumed == 0
+
+    def test_full_resume_skips_all_work(self, tmp_path):
+        path = str(tmp_path / "sweep.checkpoint.jsonl")
+        cells = [small_cell(i) for i in range(3)]
+        first = run_sweep(cells, workers=1, checkpoint=path)
+        second = run_sweep(cells, workers=1, checkpoint=path, resume=True)
+        assert second.resumed == 3
+        assert [det(r) for r in second] == [det(r) for r in first]
+
+    def test_partial_resume_merges_deterministically(self, tmp_path):
+        path = str(tmp_path / "sweep.checkpoint.jsonl")
+        cells = [small_cell(i) for i in range(4)]
+        names = [cell.name for cell in cells]
+        uninterrupted = run_sweep(cells, workers=1)
+
+        # journal only the first two cells, as an interrupted run would have
+        with CheckpointJournal(path, names) as journal:
+            for index in (0, 1):
+                journal.record(index, uninterrupted.results[index])
+        resumed = run_sweep(cells, workers=1, checkpoint=path, resume=True)
+        assert resumed.resumed == 2
+        assert [det(r) for r in resumed] == [det(r) for r in uninterrupted]
+        # the journal now carries all four cells
+        assert sorted(load_checkpoint(path, names)) == [0, 1, 2, 3]
+
+
+_INTERRUPTED_SCRIPT = """
+import sys
+from repro.sweep import FaultPlan, FaultSpec, SweepCell, install_plan, run_sweep
+
+cells = [SweepCell(name=f"cell{i}", requirement="TMC", combination="AL+TMC",
+                   configuration="po",
+                   settings={"search_order": "bfs", "max_states": 200, "seed": 1})
+         for i in range(4)]
+# the crash fault os._exit's the serial process at cell 2 -- the hardest
+# interruption there is (no handlers, no cleanup, mid-sweep)
+install_plan(FaultPlan((FaultSpec(cell=2, action="crash"),)))
+run_sweep(cells, workers=1, checkpoint=sys.argv[1])
+"""
+
+
+class TestInterruptedProcessResume:
+    def test_killed_serial_run_resumes_identically(self, tmp_path):
+        path = str(tmp_path / "sweep.checkpoint.jsonl")
+        env = {**os.environ, "PYTHONPATH": REPO_SRC}
+        env.pop("REPRO_FAULTS", None)
+        proc = subprocess.run(
+            [sys.executable, "-c", _INTERRUPTED_SCRIPT, path],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 42, proc.stderr  # died at cell 2, by plan
+
+        cells = [small_cell(i) for i in range(4)]
+        names = [cell.name for cell in cells]
+        # cells 0 and 1 made it to the journal before the process died
+        assert sorted(load_checkpoint(path, names)) == [0, 1]
+
+        resumed = run_sweep(cells, workers=1, checkpoint=path, resume=True)
+        uninterrupted = run_sweep(cells, workers=1)
+        assert resumed.resumed == 2
+        assert [det(r) for r in resumed] == [det(r) for r in uninterrupted]

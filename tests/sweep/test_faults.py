@@ -1,0 +1,171 @@
+"""Tests of the deterministic fault-injection harness itself.
+
+The harness is what *proves* the supervisor's recovery paths work
+(``tests/sweep/test_supervisor.py``), so its own semantics -- targeting,
+attempt windows, stages, the environment transport that survives ``spawn``
+-- are pinned here first, without any multiprocessing.
+"""
+
+import json
+
+import pytest
+
+from repro.sweep.faults import (
+    CRASH_EXIT_CODE,
+    FAULTS_ENV,
+    OOM_EXIT_CODE,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    install_plan,
+    maybe_inject,
+)
+from repro.util.errors import AnalysisError, ModelError
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan(monkeypatch):
+    """Every test starts and ends without an installed plan."""
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    install_plan(None)
+    yield
+    install_plan(None)
+
+
+class TestFaultSpec:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ModelError):
+            FaultSpec(cell=0, action="melt")
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ModelError):
+            FaultSpec(cell=0, action="crash", stage="nowhere")
+
+    def test_matches_by_index(self):
+        spec = FaultSpec(cell=3, action="raise")
+        assert spec.matches("anything", 3, 1, "worker")
+        assert not spec.matches("anything", 2, 1, "worker")
+
+    def test_matches_by_name(self):
+        spec = FaultSpec(cell="poison", action="raise")
+        assert spec.matches("poison", 7, 1, "worker")
+        assert not spec.matches("healthy", 7, 1, "worker")
+
+    def test_attempt_window(self):
+        spec = FaultSpec(cell=0, action="raise", attempts=(1, 2))
+        assert spec.matches("x", 0, 1, "worker")
+        assert spec.matches("x", 0, 2, "worker")
+        assert not spec.matches("x", 0, 3, "worker")
+
+    def test_no_attempt_window_means_every_attempt(self):
+        spec = FaultSpec(cell=0, action="raise")
+        for attempt in (1, 2, 5):
+            assert spec.matches("x", 0, attempt, "worker")
+
+    def test_stage_must_match(self):
+        spec = FaultSpec(cell=0, action="raise", stage="degraded")
+        assert spec.matches("x", 0, 1, "degraded")
+        assert not spec.matches("x", 0, 1, "worker")
+
+    def test_distinctive_exit_codes(self):
+        # 42 is clearly synthetic; 137 is the kernel OOM-killer's signature
+        assert CRASH_EXIT_CODE == 42
+        assert OOM_EXIT_CODE == 137
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan((
+            FaultSpec(cell=3, action="crash", attempts=(1,)),
+            FaultSpec(cell="slow", action="hang", hang_seconds=9.0),
+            FaultSpec(cell=5, action="oom", megabytes=8),
+            FaultSpec(cell=5, action="raise", stage="degraded"),
+        ))
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unparseable_json_rejected(self):
+        with pytest.raises(ModelError):
+            FaultPlan.from_json("{not json")
+        with pytest.raises(ModelError):
+            FaultPlan.from_json('{"cell": 0}')  # an object, not a list
+
+    def test_spec_needs_cell_and_action(self):
+        with pytest.raises(ModelError):
+            FaultPlan.from_json('[{"cell": 0}]')
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan((FaultSpec(cell=0, action="raise"),))
+
+    def test_find_returns_first_match(self):
+        plan = FaultPlan((
+            FaultSpec(cell=0, action="raise"),
+            FaultSpec(cell=0, action="hang"),
+        ))
+        assert plan.find("x", 0, 1, "worker").action == "raise"
+        assert plan.find("x", 1, 1, "worker") is None
+
+
+class TestTransport:
+    def test_install_plan_exports_environment(self):
+        import os
+
+        plan = FaultPlan((FaultSpec(cell=1, action="crash"),))
+        install_plan(plan)
+        # the environment carries the plan into spawn'd workers verbatim
+        assert FaultPlan.from_json(os.environ[FAULTS_ENV]) == plan
+        install_plan(None)
+        assert FAULTS_ENV not in os.environ
+
+    def test_active_plan_reads_environment(self, monkeypatch):
+        plan = FaultPlan((FaultSpec(cell=2, action="raise"),))
+        monkeypatch.setenv(FAULTS_ENV, plan.to_json())
+        assert active_plan() == plan
+
+    def test_active_plan_reads_at_file(self, monkeypatch, tmp_path):
+        plan = FaultPlan((FaultSpec(cell=2, action="raise"),))
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json(), encoding="utf-8")
+        monkeypatch.setenv(FAULTS_ENV, f"@{path}")
+        assert active_plan() == plan
+
+    def test_no_plan_is_none(self):
+        assert active_plan() is None
+
+    def test_plan_dicts_are_plain_json(self):
+        plan = FaultPlan((FaultSpec(cell=0, action="oom", megabytes=4),))
+        data = json.loads(plan.to_json())
+        assert data == [{"cell": 0, "action": "oom", "stage": "worker",
+                         "megabytes": 4}]
+
+
+class TestMaybeInject:
+    def test_noop_without_plan(self):
+        maybe_inject("anything", 0, 1)  # must not raise
+
+    def test_raise_action_raises_injected_fault(self):
+        install_plan(FaultPlan((FaultSpec(cell="bad", action="raise"),)))
+        with pytest.raises(InjectedFault):
+            maybe_inject("bad", 0, 1)
+        maybe_inject("good", 1, 1)  # other cells unaffected
+
+    def test_injected_fault_is_an_analysis_error(self):
+        # the supervisor's deterministic-failure path catches AnalysisError
+        assert issubclass(InjectedFault, AnalysisError)
+
+    def test_attempt_targeting(self):
+        install_plan(FaultPlan((
+            FaultSpec(cell=0, action="raise", attempts=(2,)),
+        )))
+        maybe_inject("x", 0, 1)  # attempt 1 is clean
+        with pytest.raises(InjectedFault):
+            maybe_inject("x", 0, 2)
+
+    def test_degraded_stage_targeting(self):
+        install_plan(FaultPlan((
+            FaultSpec(cell=0, action="raise", stage="degraded"),
+        )))
+        maybe_inject("x", 0, 1, stage="worker")  # worker stage is clean
+        with pytest.raises(InjectedFault):
+            maybe_inject("x", 0, 1, stage="degraded")
