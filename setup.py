@@ -5,8 +5,9 @@ Kept as a plain ``setup.py`` (no PEP 660 requirement) so that
 older setuptools tool-chains found on air-gapped machines.  The test and
 benchmark suites run without installation (``PYTHONPATH=src``, see
 ``conftest.py``); installing additionally provides the ``repro-sweep``
-(parallel scenario sweeps) and ``repro-diffcheck`` (differential scenario
-fuzzing) console entry points.
+(parallel scenario sweeps), ``repro-diffcheck`` (differential scenario
+fuzzing) and ``repro-serve`` (the analysis job server) console entry
+points.
 """
 
 from setuptools import find_packages, setup
@@ -27,6 +28,7 @@ setup(
         "console_scripts": [
             "repro-sweep = repro.sweep.cli:main",
             "repro-diffcheck = repro.diffcheck.cli:main",
+            "repro-serve = repro.serve.cli:main",
         ],
     },
 )

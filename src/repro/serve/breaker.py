@@ -1,0 +1,77 @@
+"""The circuit breaker: quarantine for fingerprints that kill workers.
+
+A hostile (or bug-triggering) model that segfaults the exact engine costs a
+worker every time it is submitted.  Retry and degradation answer the
+*request*; the breaker protects the *pool*: after ``threshold`` consecutive
+abnormal worker deaths attributed to one request fingerprint, that
+fingerprint is quarantined for ``cooldown_seconds`` and new submissions are
+rejected immediately with 503 instead of burning another worker.  A
+successful (or cleanly degraded) analysis resets the count; the cooldown
+expiring re-admits the fingerprint for one fresh try.
+
+Only *abnormal* outcomes count: worker deaths and deadline kills.  A
+deterministic in-engine exception leaves the worker healthy and is settled
+by degradation, never by the breaker.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["CircuitBreaker"]
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-fingerprint quarantine of repeatedly worker-killing requests."""
+
+    #: consecutive abnormal failures before a fingerprint is quarantined
+    threshold: int = 2
+    #: seconds a quarantined fingerprint stays rejected
+    cooldown_seconds: float = 60.0
+    _failures: dict[str, int] = field(default_factory=dict)
+    _quarantined: dict[str, float] = field(default_factory=dict)
+
+    def record_failure(self, fingerprint: str) -> bool:
+        """Count one abnormal failure; True when this tripped the breaker."""
+        count = self._failures.get(fingerprint, 0) + 1
+        self._failures[fingerprint] = count
+        if count >= self.threshold:
+            self.quarantine(fingerprint)
+            return True
+        return False
+
+    def record_success(self, fingerprint: str) -> None:
+        """A completed analysis clears the fingerprint's failure history."""
+        self._failures.pop(fingerprint, None)
+        self._quarantined.pop(fingerprint, None)
+
+    def quarantine(self, fingerprint: str) -> None:
+        """Quarantine *fingerprint* for the configured cooldown."""
+        self._quarantined[fingerprint] = time.monotonic() + self.cooldown_seconds
+
+    def quarantined_for(self, fingerprint: str) -> float | None:
+        """Remaining quarantine seconds, or None when admissible.
+
+        An expired quarantine is dropped (and the failure count reset): the
+        fingerprint gets one fresh attempt after the cooldown.
+        """
+        deadline = self._quarantined.get(fingerprint)
+        if deadline is None:
+            return None
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            self._quarantined.pop(fingerprint, None)
+            self._failures.pop(fingerprint, None)
+            return None
+        return remaining
+
+    @property
+    def active(self) -> int:
+        """Currently quarantined fingerprints (expired ones dropped)."""
+        now = time.monotonic()
+        for fingerprint in [f for f, t in self._quarantined.items() if t <= now]:
+            self._quarantined.pop(fingerprint, None)
+            self._failures.pop(fingerprint, None)
+        return len(self._quarantined)

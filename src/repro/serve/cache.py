@@ -1,0 +1,143 @@
+"""The ``repro-cache-v1`` journal: crash-safe content-addressed results.
+
+The service's cache key is the *request*, not the model name: a SHA-256
+over the canonical JSON of ``{"model": ..., "options": ...}`` (sorted keys,
+no whitespace), computed after the server clamps the options to its
+budgets.  Two requests that differ only in key order or formatting hash
+identically; two requests that differ in any analysed bit do not.
+
+Persistence follows :mod:`repro.sweep.checkpoint` exactly: an append-only
+JSONL file whose first line names the schema, with every record flushed
+*and fsynced* before the response leaves the server.  A SIGKILLed server
+therefore restarts warm -- and because each record stores the exact
+response body string, a recovered entry is served byte-identical to the
+original response.  A torn final line (killed mid-append) is ignored on
+load; a corrupt earlier line cannot happen under the fsync discipline and
+fails the load loudly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import IO
+
+from repro.util.errors import AnalysisError
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ResultCache",
+    "canonical_json",
+    "load_cache",
+    "request_fingerprint",
+]
+
+CACHE_SCHEMA = "repro-cache-v1"
+
+
+def canonical_json(payload) -> str:
+    """The one true serialisation: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def request_fingerprint(model: dict, options: dict) -> str:
+    """Content address of one analysis request (clamped options included)."""
+    text = canonical_json({"model": model, "options": options})
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def load_cache(path: str) -> dict[str, str]:
+    """Load ``{fingerprint: response body}`` from a journal at *path*.
+
+    A missing file is an empty cache.  Later records win over earlier ones
+    (a re-analysis after a quarantine cooldown may legitimately append a
+    fresh entry for an old fingerprint).
+    """
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        return {}
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"unusable cache {path}: bad header ({exc})") from exc
+    if header.get("schema") != CACHE_SCHEMA:
+        raise AnalysisError(
+            f"unusable cache {path}: schema {header.get('schema')!r} "
+            f"(expected {CACHE_SCHEMA!r})"
+        )
+    entries: dict[str, str] = {}
+    for position, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if position == len(lines):
+                # torn final line: the server died mid-append; that response
+                # never reached the client either, so dropping it is safe
+                break
+            raise AnalysisError(
+                f"unusable cache {path}: corrupt record on line {position} ({exc})"
+            ) from exc
+        fingerprint = record.get("fingerprint")
+        body = record.get("body")
+        if not isinstance(fingerprint, str) or not isinstance(body, str):
+            raise AnalysisError(
+                f"unusable cache {path}: record on line {position} lacks "
+                "fingerprint/body"
+            )
+        entries[fingerprint] = body
+    return entries
+
+
+class ResultCache:
+    """In-memory content-addressed result store with an optional journal."""
+
+    def __init__(self, path: str | None = None):
+        self.path = path
+        self._handle: IO[str] | None = None
+        self.entries: dict[str, str] = {}
+        if path is not None:
+            self.entries = load_cache(path)
+            fresh = not os.path.exists(path)
+            self._handle = open(path, "a", encoding="utf-8")
+            if fresh:
+                self._write_line(json.dumps({"schema": CACHE_SCHEMA}))
+
+    def _write_line(self, line: str) -> None:
+        handle = self._handle
+        assert handle is not None
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def get(self, fingerprint: str) -> str | None:
+        return self.entries.get(fingerprint)
+
+    def put(self, fingerprint: str, model_name: str, body: str) -> None:
+        """Store (and journal, fsynced) one response body."""
+        self.entries[fingerprint] = body
+        if self._handle is not None:
+            self._write_line(json.dumps({
+                "fingerprint": fingerprint,
+                "model": model_name,
+                "body": body,
+            }))
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

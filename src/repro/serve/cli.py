@@ -1,0 +1,90 @@
+"""``repro-serve`` -- the analysis-as-a-service console entry point.
+
+Starts the hardened job server (:mod:`repro.serve.server`) and runs until
+SIGTERM/SIGINT triggers the graceful drain (finish in-flight requests,
+reject new ones with 503, flush the cache journal, reap the worker pool).
+
+The bound address is announced on stdout as::
+
+    repro-serve listening on 127.0.0.1:8321
+
+which, with ``--port 0`` (an ephemeral port), is how scripted callers --
+the CI smoke job, the chaos tests -- discover where to connect.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.serve.server import AnalysisServer, ServerConfig
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="serve timed-automata WCRT analyses over HTTP "
+                    "(supervised workers, content-addressed cache)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="TCP port (0 = ephemeral, announced on stdout)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="supervised worker processes")
+    parser.add_argument("--queue-limit", type=int, default=32,
+                        help="admitted-but-unsettled requests before 429")
+    parser.add_argument("--deadline-seconds", type=float, default=30.0,
+                        help="hard per-attempt wall-clock limit (SIGKILL)")
+    parser.add_argument("--max-attempts", type=int, default=2,
+                        help="attempts per job for transient worker deaths")
+    parser.add_argument("--max-states-cap", type=int, default=50_000,
+                        help="server-side clamp on requested max_states")
+    parser.add_argument("--max-seconds-cap", type=float, default=10.0,
+                        help="server-side clamp on requested max_seconds")
+    parser.add_argument("--cache", default=None, metavar="FILE",
+                        help="repro-cache-v1 journal path (persistent, "
+                             "crash-safe; omit for in-memory only)")
+    parser.add_argument("--breaker-threshold", type=int, default=2,
+                        help="abnormal failures per fingerprint before "
+                             "quarantine")
+    parser.add_argument("--breaker-cooldown", type=float, default=60.0,
+                        help="quarantine cooldown in seconds")
+    return parser
+
+
+async def _serve(config: ServerConfig) -> None:
+    server = AnalysisServer(config)
+    await server.start()
+    print(f"repro-serve listening on {config.host}:{server.port}", flush=True)
+    await server.serve_forever()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.workers < 1:
+        build_parser().error("--workers must be at least 1")
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        deadline_seconds=args.deadline_seconds,
+        max_attempts=args.max_attempts,
+        max_states_cap=args.max_states_cap,
+        max_seconds_cap=args.max_seconds_cap,
+        cache_path=args.cache,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+    )
+    try:
+        asyncio.run(_serve(config))
+    except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C race
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

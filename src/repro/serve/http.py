@@ -1,0 +1,122 @@
+"""A minimal HTTP/1.1 layer over ``asyncio`` streams.
+
+The analysis service is deliberately dependency-free: no aiohttp, no
+framework -- just enough of RFC 9112 to serve JSON request/response pairs
+(request line, headers, ``Content-Length`` bodies, one request per
+connection).  Keeping the parser tiny keeps the attack surface tiny, which
+is the point of a server meant to accept hostile models.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+__all__ = ["HTTPError", "HTTPRequest", "read_request", "write_response"]
+
+#: request bodies above this are rejected with 413 before buffering them
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: request line + headers above this are rejected (header smuggling guard)
+MAX_HEADER_BYTES = 64 * 1024
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HTTPError(Exception):
+    """A request that must be answered with an error status, not served."""
+
+    def __init__(self, status: int, detail: str):
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request: method, path and body, headers lower-cased."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+async def read_request(reader: asyncio.StreamReader) -> HTTPRequest | None:
+    """Parse one request off *reader*; None on a clean EOF (client gone).
+
+    Raises :class:`HTTPError` on malformed or oversized input -- the caller
+    answers with the carried status and closes the connection.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HTTPError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HTTPError(413, "request head too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HTTPError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HTTPError(400, f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HTTPError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise HTTPError(400, f"bad Content-Length {length_text!r}") from exc
+    if length < 0:
+        raise HTTPError(400, f"bad Content-Length {length_text!r}")
+    if length > MAX_BODY_BYTES:
+        raise HTTPError(413, f"body of {length} bytes exceeds {MAX_BODY_BYTES}")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HTTPError(400, "truncated request body") from exc
+    # strip any query string: the API is body-driven
+    path = target.split("?", 1)[0]
+    return HTTPRequest(method=method.upper(), path=path, headers=headers, body=body)
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: "bytes | str",
+    content_type: str = "application/json",
+    headers: "dict[str, str] | None" = None,
+) -> None:
+    """Write one response and flush it; the caller closes the connection."""
+    if isinstance(body, str):
+        body = body.encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    head = [f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close"]
+    for name, value in (headers or {}).items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    writer.write(body)
+    await writer.drain()

@@ -1,0 +1,147 @@
+"""Analysis jobs: one ``/analyze`` request as a supervised-worker task.
+
+An :class:`AnalysisJob` carries one ``repro-diffcheck-model-v1`` payload
+plus the (server-clamped) analysis options across the ``spawn`` boundary as
+plain primitives, exactly like a sweep cell.  The worker side is the
+duck-typed ``run_in_worker`` hook of :func:`repro.sweep.runner.run_cell`:
+the job travels the same pipe protocol, passes the same
+:func:`repro.sweep.faults.maybe_inject` hook (so chaos plans target service
+jobs by their ``serve/<model>`` name), and is supervised by the same
+crash/deadline/retry machinery as a batch sweep.
+
+The result is a plain JSON-able dict -- the response payload of the
+service, deliberately free of wall-clock timings so recomputing a request
+yields the same bytes the cache would have served.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.util.errors import ModelError
+
+__all__ = ["AnalysisJob", "analysis_options", "job_result"]
+
+#: option keys admitted into :class:`repro.diffcheck.oracle.OracleConfig`
+ORACLE_OPTIONS = ("max_states", "max_seconds", "des_runs",
+                  "des_horizon_periods", "des_max_seconds",
+                  "cross_check_binary", "binary_state_limit")
+
+#: witness strategies the service accepts ("none" skips the witness)
+WITNESS_OPTIONS = ("none", "earliest", "latest", "midpoint")
+
+
+def analysis_options(
+    options: Mapping,
+    max_states_cap: int,
+    max_seconds_cap: float,
+) -> dict:
+    """Normalise and clamp request options against the server's budgets.
+
+    Unknown keys are rejected (a typo'd budget must not silently analyse
+    with defaults); ``max_states``/``max_seconds`` are clamped to the
+    server-side caps so a hostile request cannot reserve a worker for
+    longer than the operator allowed.  The returned dict is complete and
+    canonical: it is what gets fingerprinted.
+    """
+    options = dict(options)
+    witness = options.pop("witness", "earliest")
+    if witness not in WITNESS_OPTIONS:
+        raise ModelError(
+            f"unknown witness option {witness!r} (expected one of {WITNESS_OPTIONS})"
+        )
+    unknown = sorted(set(options) - set(ORACLE_OPTIONS))
+    if unknown:
+        raise ModelError(f"unknown analysis options {unknown}")
+    try:
+        max_states = int(options.get("max_states", max_states_cap))
+        max_seconds = float(options.get("max_seconds", max_seconds_cap))
+    except (TypeError, ValueError) as exc:
+        raise ModelError(f"non-numeric analysis budget: {exc}") from exc
+    if max_states <= 0 or max_seconds <= 0:
+        raise ModelError("analysis budgets must be positive")
+    return {
+        **{key: options[key] for key in ORACLE_OPTIONS if key in options},
+        "max_states": min(max_states, max_states_cap),
+        "max_seconds": min(max_seconds, max_seconds_cap),
+        "witness": witness,
+    }
+
+
+@dataclass(frozen=True)
+class AnalysisJob:
+    """One supervised analysis request (picklable, primitives only)."""
+
+    #: dispatch name, ``serve/<model name>`` -- the fault-plan target
+    name: str
+    #: ``repro-diffcheck-model-v1`` payload
+    model: Mapping = field(default_factory=dict)
+    #: clamped output of :func:`analysis_options`
+    options: Mapping = field(default_factory=dict)
+
+    def run_in_worker(self, *, index: int = 0, attempt: int = 1,
+                      deadline: "float | None" = None) -> dict:
+        """Run the four-engine oracle on the job's model; plain-dict result.
+
+        Called inside a supervised worker via the ``run_in_worker`` hook of
+        :func:`repro.sweep.runner.run_cell` (*deadline* is unused: the
+        service enforces wall-clock limits non-cooperatively, by SIGKILL).
+        """
+        from repro.diffcheck.oracle import OracleConfig, check_model
+        from repro.diffcheck.serialize import model_from_dict
+
+        model = model_from_dict(self.model)
+        options = dict(self.options)
+        witness_strategy = options.pop("witness", "none")
+        config = OracleConfig.from_dict(options)
+        verdict = check_model(model, seed=0, config=config)
+        return job_result(model, verdict, config, witness_strategy,
+                          attempts=attempt)
+
+
+def job_result(model, verdict, config, witness_strategy: str, *,
+               attempts: int = 1) -> dict:
+    """Package a :class:`ModelVerdict` (and optional witness) as JSON data."""
+    from repro.diffcheck.oracle import witness_model
+    from repro.witness import run_to_dict
+
+    requirement = next(iter(model.requirements.values()))
+    engines = verdict.verdict_dicts()
+    ta = engines.get("ta", {})
+    out: dict = {
+        "status": verdict.status,
+        "model": model.name,
+        "requirement": requirement.name,
+        "bound_ticks": requirement.bound,
+        "wcrt_ticks": ta.get("value"),
+        "exact": bool(ta.get("exact")),
+        "satisfied": None,
+        "engines": engines,
+        "violations": list(verdict.violations),
+        "attempts": attempts,
+    }
+    if verdict.skip_reason:
+        out["detail"] = verdict.skip_reason
+    # the verdict against the requirement: strict, like the sweep engine
+    value = ta.get("value")
+    if value is not None and ta.get("exact"):
+        out["satisfied"] = value < requirement.bound
+    else:
+        uppers = [engines[e]["value"] for e in ("symta", "mpa")
+                  if e in engines and engines[e]["value"] is not None]
+        lowers = [engines[e]["value"] for e in ("des", "ta")
+                  if e in engines and engines[e].get("lower_bound")
+                  and engines[e]["value"] is not None]
+        if uppers and min(uppers) < requirement.bound:
+            out["satisfied"] = True
+        elif lowers and max(lowers) >= requirement.bound:
+            out["satisfied"] = False
+    if witness_strategy != "none" and verdict.status in ("checked", "violation"):
+        run, validation, error = witness_model(model, config, witness_strategy)
+        if run is not None:
+            out["witness"] = run_to_dict(run)
+            out["witness_validated"] = bool(validation.ok)
+        if error is not None:
+            out["witness_error"] = error
+    return out

@@ -1,0 +1,222 @@
+"""A persistent supervised worker pool for the analysis service.
+
+:class:`repro.sweep.supervisor.Supervisor` runs a *finite* task list to
+completion; a service needs the same crash isolation, SIGKILL deadlines and
+retry-with-backoff over an *open-ended* job stream.  :class:`ServePool`
+provides that: a dedicated dispatcher thread owns the worker processes
+(spawned and reaped through :func:`repro.sweep.supervisor.spawn_worker` /
+``discard_worker`` and running the very same ``_worker_main`` pipe loop the
+sweep uses) and multiplexes their pipes, their process sentinels and a
+wake-up socket through ``multiprocessing.connection.wait``.
+
+Jobs arrive via :meth:`ServePool.submit` from any thread (the asyncio event
+loop, in practice) and settle by callback in the dispatcher thread with one
+of four terminal outcomes:
+
+* ``("ok", result)``        -- the worker returned a result;
+* ``("error", message)``    -- a deterministic in-worker exception (the
+  worker survives; retrying would deterministically fail again);
+* ``("died", exitcode)``    -- the worker died abnormally on every allowed
+  attempt (retried with exponential backoff in between);
+* ``("deadline", seconds)`` -- the job overran the hard per-attempt
+  deadline and its worker was SIGKILLed (no retry: a hang already burnt a
+  full deadline).
+
+The caller (the server) decides what an outcome means -- cache, degrade,
+quarantine; the pool only guarantees that every submitted job settles and
+that a dead worker is always replaced.
+"""
+
+from __future__ import annotations
+
+import heapq
+import socket
+import threading
+import time
+from collections import deque
+
+from repro.sweep.supervisor import SupervisorConfig, discard_worker, spawn_worker
+
+__all__ = ["ServePool"]
+
+
+class ServePool:
+    """Supervised, self-healing worker pool over an open-ended job stream."""
+
+    def __init__(self, workers: int, config: SupervisorConfig | None = None,
+                 start_method: str = "spawn", initializer=None):
+        import multiprocessing
+
+        self.config = config or SupervisorConfig()
+        self.context = multiprocessing.get_context(start_method)
+        self.initializer = initializer
+        self.worker_count = max(1, int(workers))
+        #: workers respawned after an abnormal death or deadline kill
+        self.restarts = 0
+        self._lock = threading.Lock()
+        self._inbox: deque = deque()          # (job, callback) from submit()
+        self._pending: deque = deque()        # (job_id, job, attempt, callback)
+        self._delayed: list = []              # heap: (ready_at, job_id, job, attempt, cb)
+        self._busy: dict = {}                 # worker -> (job_id, job, attempt, cb, kill_at)
+        self._stop = False
+        self._job_ids = 0
+        # the wake channel: submit()/shutdown() write one byte, the
+        # dispatcher's connection.wait returns immediately
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._thread = threading.Thread(target=self._run, name="serve-pool",
+                                        daemon=True)
+        self._workers = [spawn_worker(self.context, initializer)
+                         for _ in range(self.worker_count)]
+        self._idle = list(self._workers)
+        self._thread.start()
+
+    # -- client side ------------------------------------------------------
+    def submit(self, job, callback) -> None:
+        """Enqueue *job*; *callback(kind, value, attempts)* settles it.
+
+        The callback runs in the dispatcher thread -- keep it tiny (the
+        server posts the outcome back to its event loop).
+        """
+        with self._lock:
+            if self._stop:
+                raise RuntimeError("pool is shut down")
+            self._inbox.append((job, callback))
+        self._wake()
+
+    @property
+    def depth(self) -> int:
+        """Jobs admitted but not yet settled (queued + retrying + running)."""
+        with self._lock:
+            return (len(self._inbox) + len(self._pending)
+                    + len(self._delayed) + len(self._busy))
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Stop dispatching, settle nothing new, reap every worker."""
+        with self._lock:
+            self._stop = True
+        self._wake()
+        self._thread.join(timeout)
+        for worker in self._workers:
+            discard_worker(worker)
+        self._workers.clear()
+
+    def _wake(self) -> None:
+        try:
+            self._wake_send.send(b"x")
+        except OSError:  # pragma: no cover - shutting down
+            pass
+
+    # -- dispatcher side --------------------------------------------------
+    def _respawn(self, worker) -> None:
+        discard_worker(worker)
+        self._workers.remove(worker)
+        self.restarts += 1
+        fresh = spawn_worker(self.context, self.initializer)
+        self._workers.append(fresh)
+        self._idle.append(fresh)
+
+    def _settle(self, callback, kind: str, value, attempts: int) -> None:
+        try:
+            callback(kind, value, attempts)
+        except Exception:  # pragma: no cover - a callback must not kill the pool
+            pass
+
+    def _run(self) -> None:
+        from multiprocessing.connection import wait as connection_wait
+
+        config = self.config
+        while True:
+            with self._lock:
+                if self._stop:
+                    break
+                while self._inbox:
+                    job, callback = self._inbox.popleft()
+                    self._job_ids += 1
+                    self._pending.append((self._job_ids, job, 1, callback))
+            now = time.perf_counter()
+            while self._delayed and self._delayed[0][0] <= now:
+                _, job_id, job, attempt, callback = heapq.heappop(self._delayed)
+                self._pending.append((job_id, job, attempt, callback))
+            while self._pending and self._idle:
+                worker = self._idle.pop()
+                if not worker.process.is_alive():  # pragma: no cover - rare
+                    self._respawn(worker)
+                    self.restarts -= 1  # replacing an idle corpse, not a job kill
+                    worker = self._idle.pop()
+                job_id, job, attempt, callback = self._pending.popleft()
+                try:
+                    worker.conn.send((job_id, attempt, job))
+                except (BrokenPipeError, OSError):  # pragma: no cover - rare
+                    self._respawn(worker)
+                    self._pending.appendleft((job_id, job, attempt, callback))
+                    continue
+                kill_at = (now + config.deadline_seconds
+                           if config.deadline_seconds is not None else None)
+                self._busy[worker] = (job_id, job, attempt, callback, kill_at)
+
+            timeout = 0.5  # upper bound: notice shutdown/new work promptly
+            for *_rest, kill_at in self._busy.values():
+                if kill_at is not None:
+                    timeout = min(timeout, kill_at - time.perf_counter())
+            if self._delayed:
+                timeout = min(timeout, self._delayed[0][0] - time.perf_counter())
+            watched: dict[object, object] = {self._wake_recv: None}
+            for worker in self._busy:
+                watched[worker.conn] = worker
+                watched[worker.process.sentinel] = worker
+            ready = connection_wait(list(watched), timeout=max(0.0, timeout))
+
+            if self._wake_recv in ready:
+                try:
+                    while self._wake_recv.recv(4096):
+                        pass
+                except BlockingIOError:
+                    pass
+            for worker in {watched[obj] for obj in ready if watched[obj] is not None}:
+                job_id, job, attempt, callback, _kill_at = self._busy.pop(worker)
+                payload = None
+                if worker.conn.poll():
+                    try:
+                        payload = worker.conn.recv()
+                    except (EOFError, OSError):
+                        payload = None
+                if payload is None:
+                    # abnormal exit mid-job
+                    worker.process.join()
+                    exitcode = worker.process.exitcode
+                    self._respawn(worker)
+                    if attempt < config.max_attempts:
+                        ready_at = time.perf_counter() + config.backoff(attempt + 1)
+                        heapq.heappush(self._delayed,
+                                       (ready_at, job_id, job, attempt + 1, callback))
+                    else:
+                        self._settle(callback, "died", exitcode, attempt)
+                else:
+                    status, _echo, value = payload
+                    self._idle.append(worker)
+                    if status == "ok":
+                        self._settle(callback, "ok", value, attempt)
+                    else:
+                        self._settle(callback, "error", str(value), attempt)
+
+            # hard deadlines: SIGKILL overrunning workers, settle without retry
+            now = time.perf_counter()
+            overdue = [worker for worker, (*_r, kill_at) in self._busy.items()
+                       if kill_at is not None and now > kill_at]
+            for worker in overdue:
+                job_id, job, attempt, callback, _kill_at = self._busy.pop(worker)
+                worker.process.kill()
+                self._respawn(worker)
+                self._settle(callback, "deadline", config.deadline_seconds, attempt)
+
+        # shutdown: poison-pill the idle workers (the final discard happens
+        # in shutdown(), on the caller's thread); in-flight jobs settle as
+        # cancelled so no caller awaits forever
+        for worker, (_id, _job, attempt, callback, _k) in list(self._busy.items()):
+            self._settle(callback, "error", "pool shut down", attempt)
+        for worker in self._idle:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass

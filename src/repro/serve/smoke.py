@@ -1,0 +1,224 @@
+"""The service smoke: cache consistency, then chaos (``python -m repro.serve.smoke``).
+
+Two phases against live ``repro-serve`` subprocesses:
+
+1. **Cache + crash recovery.**  Submit one model twice (the second response
+   must be a byte-identical cache hit), SIGKILL the server, restart it on
+   the same ``repro-cache-v1`` journal and assert the recovered cache still
+   serves the same bytes; finally SIGTERM and require a clean exit.
+2. **Chaos.**  Under a ``REPRO_FAULTS`` plan that crashes one model's
+   worker on every attempt, hangs another past the hard deadline and
+   poisons a third's degraded fallback too, every request must still
+   terminate -- degraded interval, degraded interval, quarantined 503 --
+   while ``/healthz`` stays green throughout, and a hostile
+   budget-busting request is clamped and answered.
+
+The helpers (model payloads, the tiny HTTP client, the server harness) are
+import-shared with ``tests/serve/``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+__all__ = [
+    "get_json",
+    "post_json",
+    "start_server",
+    "stop_server",
+    "two_task_model_dict",
+]
+
+
+def two_task_model_dict(name: str = "smoke") -> dict:
+    """A tiny two-task fixed-priority model (exact WCRT 12 ticks)."""
+    from repro.arch.eventmodels import PeriodicOffset
+    from repro.arch.model import ArchitectureModel
+    from repro.arch.requirements import LatencyRequirement
+    from repro.arch.resources import FIXED_PRIORITY_PREEMPTIVE, Processor
+    from repro.arch.workload import Execute, Operation, Scenario
+    from repro.diffcheck.serialize import model_to_dict
+
+    model = ArchitectureModel(name)
+    model.add_processor(Processor("CPU", 1.0, FIXED_PRIORITY_PREEMPTIVE))
+    model.add_scenario(Scenario(
+        "HI", (Execute(Operation("hi", 2.0), "CPU"),), PeriodicOffset(10, 0), 1
+    ))
+    model.add_scenario(Scenario(
+        "LO", (Execute(Operation("lo", 8.0), "CPU"),), PeriodicOffset(40, 0), 2
+    ))
+    model.add_requirement(LatencyRequirement("R0", "LO", 40))
+    model.validate()
+    return model_to_dict(model)
+
+
+def _request(port: int, method: str, path: str, payload=None,
+             timeout: float = 180.0):
+    """One HTTP exchange; returns (status, headers dict, body bytes)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        conn.request(method, path, body=body,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        data = response.read()
+        headers = {name.lower(): value for name, value in response.getheaders()}
+        return response.status, headers, data
+    finally:
+        conn.close()
+
+
+def post_json(port: int, path: str, payload, timeout: float = 180.0):
+    return _request(port, "POST", path, payload, timeout)
+
+
+def get_json(port: int, path: str, timeout: float = 30.0):
+    status, headers, body = _request(port, "GET", path, None, timeout)
+    return status, headers, json.loads(body)
+
+
+def start_server(args: "list[str]", env: "dict | None" = None,
+                 timeout: float = 60.0):
+    """Launch ``repro-serve --port 0 <args>``; returns (process, port)."""
+    repo_src = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    run_env = {**os.environ, **(env or {}), "PYTHONPATH": repo_src}
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve.cli", "--port", "0", *args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=run_env,
+    )
+    deadline = time.monotonic() + timeout
+    while True:
+        line = process.stdout.readline()
+        if "listening on" in line:
+            port = int(line.rsplit(":", 1)[1])
+            return process, port
+        if process.poll() is not None or time.monotonic() > deadline:
+            raise RuntimeError(
+                f"repro-serve failed to start: {line!r} "
+                f"(exit {process.poll()})"
+            )
+
+
+def stop_server(process, sig=signal.SIGTERM, timeout: float = 60.0) -> int:
+    process.send_signal(sig)
+    try:
+        return process.wait(timeout)
+    except subprocess.TimeoutExpired:  # pragma: no cover - bug trap
+        process.kill()
+        raise
+
+
+def _phase_cache() -> None:
+    print("== phase 1: cache consistency across SIGKILL + restart")
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = os.path.join(tmp, "serve.cache.jsonl")
+        args = ["--workers", "1", "--cache", cache,
+                "--max-states-cap", "5000", "--max-seconds-cap", "5"]
+        process, port = start_server(args)
+        try:
+            payload = {"model": two_task_model_dict("cache-model")}
+            status, headers, first = post_json(port, "/analyze", payload)
+            assert status == 200, (status, first)
+            assert headers.get("x-repro-cache") == "miss", headers
+            body = json.loads(first)
+            assert body["status"] == "checked" and body["wcrt_ticks"] == 12, body
+            assert body.get("witness_validated") is True, body
+
+            status, headers, second = post_json(port, "/analyze", payload)
+            assert status == 200 and headers.get("x-repro-cache") == "hit"
+            assert second == first, "cache hit is not byte-identical"
+        finally:
+            process.kill()
+            process.wait()
+        # SIGKILLed above: restart on the same journal, still byte-identical
+        process, port = start_server(args)
+        try:
+            status, headers, recovered = post_json(port, "/analyze", payload)
+            assert status == 200 and headers.get("x-repro-cache") == "hit"
+            assert recovered == first, "journal-recovered response differs"
+            status, _headers, health = get_json(port, "/healthz")
+            assert status == 200 and health["status"] == "ok", health
+        finally:
+            exitcode = stop_server(process)
+        assert exitcode == 0, f"graceful drain exited {exitcode}"
+    print("   ok: hit + SIGKILL + restart all served identical bytes")
+
+
+def _phase_chaos() -> None:
+    print("== phase 2: chaos under crash / hang / poison / hostile budgets")
+    plan = json.dumps([
+        {"cell": "serve/chaos-crash", "action": "crash"},
+        {"cell": "serve/chaos-hang", "action": "hang", "hang_seconds": 300},
+        {"cell": "serve/chaos-poison", "action": "oom", "megabytes": 8},
+        {"cell": "serve/chaos-poison", "action": "raise", "stage": "degraded"},
+    ])
+    args = ["--workers", "2", "--deadline-seconds", "3", "--max-attempts", "2",
+            "--max-states-cap", "5000", "--max-seconds-cap", "5",
+            "--breaker-threshold", "2", "--breaker-cooldown", "60"]
+    process, port = start_server(args, env={"REPRO_FAULTS": plan})
+    try:
+        def health_ok():
+            status, _headers, health = get_json(port, "/healthz")
+            assert status == 200 and health["status"] == "ok", (status, health)
+
+        health_ok()
+        # crash on every attempt: retried, then settled with analytic bounds
+        status, _h, body = post_json(
+            port, "/analyze", {"model": two_task_model_dict("chaos-crash")})
+        crash = json.loads(body)
+        assert status == 200 and crash["status"] == "degraded", (status, crash)
+        assert crash["degraded_lower_ticks"] <= crash["degraded_upper_ticks"]
+        health_ok()
+        # hang: SIGKILLed at the 3 s hard deadline, then degraded
+        status, _h, body = post_json(
+            port, "/analyze", {"model": two_task_model_dict("chaos-hang")})
+        hang = json.loads(body)
+        assert status == 200 and hang["status"] == "degraded", (status, hang)
+        assert "deadline" in hang["failure"], hang
+        health_ok()
+        # poison: workers die AND the degraded fallback raises -> quarantined
+        poison = {"model": two_task_model_dict("chaos-poison")}
+        status, _h, body = post_json(port, "/analyze", poison)
+        assert status == 503 and json.loads(body)["status"] == "quarantined"
+        # resubmission is rejected by the breaker without burning a worker
+        status, headers, body = post_json(port, "/analyze", poison)
+        assert status == 503 and "retry-after" in headers, (status, headers)
+        health_ok()
+        # hostile budgets: clamped server-side, answered normally
+        status, _h, body = post_json(port, "/analyze", {
+            "model": two_task_model_dict("chaos-hostile"),
+            "options": {"max_states": 10**9, "max_seconds": 10**6},
+        })
+        hostile = json.loads(body)
+        assert status == 200 and hostile["status"] == "checked", (status, hostile)
+        assert hostile["wcrt_ticks"] == 12, hostile
+        status, _headers, metrics = get_json(port, "/metrics")
+        assert metrics["degraded"] == 2, metrics
+        assert metrics["quarantined"] == 1, metrics
+        assert metrics["worker_restarts"] >= 3, metrics
+        assert metrics["quarantined_fingerprints"] == 1, metrics
+    finally:
+        exitcode = stop_server(process)
+    assert exitcode == 0, f"graceful drain exited {exitcode}"
+    print("   ok: every request terminated (degraded/quarantined/clamped), "
+          "health stayed green")
+
+
+def main() -> int:
+    _phase_cache()
+    _phase_chaos()
+    print("service smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

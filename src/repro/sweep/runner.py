@@ -260,6 +260,12 @@ def run_cell(cell: "SweepCell | DiffCheckCell", *, index: int = 0,
     deadline checks (the serial complement of the supervisor's hard kill).
     """
     maybe_inject(cell.name, index, attempt, stage="worker")
+    runner = getattr(cell, "run_in_worker", None)
+    if runner is not None:
+        # duck-typed dispatch: the analysis service ships its jobs through
+        # the same supervised-worker protocol as sweep cells (and past the
+        # same fault hook above, so chaos plans can target them by name)
+        return runner(index=index, attempt=attempt, deadline=deadline)
     if isinstance(cell, DiffCheckCell):
         # a diffcheck window budgets itself per model (OracleConfig
         # max_seconds); the hard per-cell deadline is the supervisor's job

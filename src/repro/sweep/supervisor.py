@@ -42,6 +42,8 @@ from __future__ import annotations
 
 import heapq
 import os
+import signal
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -55,8 +57,11 @@ __all__ = [
     "Supervisor",
     "cell_attribution",
     "degraded_cell_result",
+    "degraded_interval",
+    "discard_worker",
     "quarantined_cell_result",
     "run_supervised_serial",
+    "spawn_worker",
 ]
 
 
@@ -138,41 +143,31 @@ def quarantined_cell_result(cell, index: int, reason: str, attempts: int):
     )
 
 
-def degraded_cell_result(cell, index: int, reason: str, attempts: int,
-                         config: SupervisorConfig):
-    """Analytic fallback for a cell whose exact exploration died or hung.
+def degraded_interval(model, requirement_name: str, config: SupervisorConfig):
+    """What the robust engines can still say about *requirement_name*.
 
-    Computes what the cheap engines can still say about the cell's
-    requirement -- the tightest SymTA/MPA busy-window/curve *upper* bound
-    and a budgeted DES *lower* bound -- and returns a ``CellResult`` with
-    ``termination="degraded"``.  Raises :class:`AnalysisError` when no
-    engine produces a bound (the caller quarantines the cell then).
+    Computes the tightest SymTA/MPA busy-window/curve *upper* bound and a
+    budgeted DES *lower* bound on the requirement's WCRT, entirely in the
+    calling process: the fallback engines are analytic (SymTA/MPA) or
+    cooperatively budgeted (DES ``max_seconds``), so they cannot wedge the
+    caller the way an exact exploration can wedge a worker.  Returns
+    ``(lower, upper, satisfied)`` in model ticks; raises
+    :class:`AnalysisError` when no engine produces a bound.
 
-    Runs in the supervisor's own process: the fallback engines are analytic
-    (SymTA/MPA) or cooperatively budgeted (DES ``max_seconds``), so they
-    cannot wedge the parent the way the exact exploration wedged the worker.
+    Shared by :func:`degraded_cell_result` and the analysis service's
+    per-request degradation (:mod:`repro.serve`).
     """
     from repro.baselines.des.simulator import SimulationSettings, simulate
     from repro.baselines.mpa import analysis as mpa_analysis
     from repro.baselines.symta import analysis as symta_analysis
-    from repro.sweep.runner import CellResult, cell_model
 
-    if isinstance(cell, DiffCheckCell):
-        raise AnalysisError(
-            "a diffcheck cell has no analytic fallback (the campaign itself "
-            "is the cross-check); the seed window must be quarantined"
-        )
-    # the "degraded" stage hook: a test plan can poison the fallback too
-    maybe_inject(cell.name, index, attempts, stage="degraded")
-    started = time.perf_counter()
-    model = cell_model(cell)
-    requirement = model.requirement(cell.requirement)
+    requirement = model.requirement(requirement_name)
     notes: list[str] = []
 
     upper: int | None = None
     for engine_name, engine in (("symta", symta_analysis), ("mpa", mpa_analysis)):
         try:
-            value = engine.analyze(model).latencies[cell.requirement]
+            value = engine.analyze(model).latencies[requirement_name]
         except ReproError as exc:
             notes.append(f"{engine_name}: {exc}")
             continue
@@ -189,7 +184,7 @@ def degraded_cell_result(cell, index: int, reason: str, attempts: int,
             seed=1,
             max_seconds=config.degraded_des_seconds,
         ))
-        lower = des.observations[cell.requirement].maximum
+        lower = des.observations[requirement_name].maximum
     except ReproError as exc:
         notes.append(f"des: {exc}")
 
@@ -203,7 +198,30 @@ def degraded_cell_result(cell, index: int, reason: str, attempts: int,
         satisfied = True
     elif lower is not None and lower >= requirement.bound:
         satisfied = False
+    return lower, upper, satisfied
 
+
+def degraded_cell_result(cell, index: int, reason: str, attempts: int,
+                         config: SupervisorConfig):
+    """Analytic fallback for a cell whose exact exploration died or hung.
+
+    Computes what the cheap engines can still say about the cell's
+    requirement (:func:`degraded_interval`) and returns a ``CellResult``
+    with ``termination="degraded"``.  Raises :class:`AnalysisError` when no
+    engine produces a bound (the caller quarantines the cell then).
+    """
+    from repro.sweep.runner import CellResult, cell_model
+
+    if isinstance(cell, DiffCheckCell):
+        raise AnalysisError(
+            "a diffcheck cell has no analytic fallback (the campaign itself "
+            "is the cross-check); the seed window must be quarantined"
+        )
+    # the "degraded" stage hook: a test plan can poison the fallback too
+    maybe_inject(cell.name, index, attempts, stage="degraded")
+    started = time.perf_counter()
+    model = cell_model(cell)
+    lower, upper, satisfied = degraded_interval(model, cell.requirement, config)
     timebase = model.timebase
     return CellResult(
         name=cell.name,
@@ -328,6 +346,50 @@ class _WorkerHandle:
         self.conn = conn
 
 
+def spawn_worker(context, initializer=None) -> _WorkerHandle:
+    """Start one supervised worker on a private duplex pipe.
+
+    Shared by :class:`Supervisor` (batch sweeps) and the analysis
+    service's persistent pool (:mod:`repro.serve.pool`).
+    """
+    parent_conn, child_conn = context.Pipe(duplex=True)
+    process = context.Process(
+        target=_worker_main,
+        args=(child_conn, initializer),
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    return _WorkerHandle(process, parent_conn)
+
+
+def discard_worker(worker: _WorkerHandle) -> None:
+    """Close a worker's pipe and make sure its process is dead and reaped."""
+    try:
+        worker.conn.close()
+    except OSError:  # pragma: no cover - already gone
+        pass
+    if worker.process.is_alive():
+        worker.process.kill()
+    worker.process.join()
+
+
+def _interruptible_sleep(seconds: float) -> None:
+    """Sleep in short slices so SIGINT/SIGTERM interrupt within ~0.2 s.
+
+    A single long ``time.sleep`` is restarted by Python after the C-level
+    signal handler runs, and on some platforms the KeyboardInterrupt only
+    surfaces once the full sleep elapses.  Chunking bounds the teardown
+    latency of a supervisor interrupted during retry backoff.
+    """
+    deadline = time.perf_counter() + seconds
+    while True:
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            return
+        time.sleep(min(remaining, 0.2))
+
+
 # ----------------------------------------------------------------- supervisor
 class Supervisor:
     """The multiprocess supervision loop (see the module docstring)."""
@@ -345,25 +407,11 @@ class Supervisor:
 
     # -- worker lifecycle -------------------------------------------------
     def _spawn(self) -> _WorkerHandle:
-        parent_conn, child_conn = self.context.Pipe(duplex=True)
-        process = self.context.Process(
-            target=_worker_main,
-            args=(child_conn, self.initializer),
-            daemon=True,
-        )
-        process.start()
-        child_conn.close()
-        return _WorkerHandle(process, parent_conn)
+        return spawn_worker(self.context, self.initializer)
 
     @staticmethod
     def _discard(worker: _WorkerHandle) -> None:
-        try:
-            worker.conn.close()
-        except OSError:  # pragma: no cover - already gone
-            pass
-        if worker.process.is_alive():  # pragma: no cover - defensive
-            worker.process.kill()
-        worker.process.join()
+        discard_worker(worker)
 
     # -- outcomes ---------------------------------------------------------
     def _complete(self, results: dict, index: int, result) -> None:
@@ -381,6 +429,17 @@ class Supervisor:
         from multiprocessing.connection import wait as connection_wait
 
         config = self.config
+        # SIGTERM must tear the pool down exactly like Ctrl-C: raise
+        # KeyboardInterrupt so the `finally` block below reaps every live
+        # worker (a raw SIGTERM death would orphan them).  Signal handlers
+        # are process-global and main-thread-only; restore on exit.
+        restore_sigterm = False
+        previous_sigterm = None
+        if threading.current_thread() is threading.main_thread():
+            def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+                raise KeyboardInterrupt
+            previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+            restore_sigterm = True
         results: dict[int, object] = {}
         pending: deque = deque((index, cell, 1) for index, cell in self.tasks)
         delayed: list = []  # heap of (ready_at, sequence, index, cell, attempt)
@@ -424,7 +483,11 @@ class Supervisor:
                     busy[worker] = (index, cell, attempt, deadline)
                 if not busy:
                     if delayed:
-                        time.sleep(max(0.0, delayed[0][0] - time.perf_counter()))
+                        # interruptible: Ctrl-C/SIGTERM during a retry backoff
+                        # must not stall teardown for the full backoff
+                        _interruptible_sleep(
+                            max(0.0, delayed[0][0] - time.perf_counter())
+                        )
                     continue
 
                 timeout = None
@@ -494,6 +557,8 @@ class Supervisor:
                     )
             return results
         finally:
+            if restore_sigterm:
+                signal.signal(signal.SIGTERM, previous_sigterm)
             for worker in workers:
                 if worker not in busy and worker.process.is_alive():
                     try:

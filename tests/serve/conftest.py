@@ -1,0 +1,55 @@
+"""Shared harness: an in-process AnalysisServer on a background event loop.
+
+Running the server inside the pytest process (rather than a subprocess)
+keeps its code under coverage and lets tests reach the server object
+directly (metrics, breaker, drain); the worker pool still spawns real
+processes, so crash/deadline supervision is exercised for real.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve import AnalysisServer
+
+
+class LiveServer:
+    """An AnalysisServer running on a dedicated event-loop thread."""
+
+    def __init__(self, config):
+        self.loop = asyncio.new_event_loop()
+        self.server = AnalysisServer(config)
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, name="live-server",
+                                        daemon=True)
+        self._thread.start()
+        if not self._started.wait(120):  # pragma: no cover - bug trap
+            raise RuntimeError("server failed to start")
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self._started.set()
+        self.loop.run_forever()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def drain(self):
+        """The graceful-drain path, awaited from the test thread."""
+        future = asyncio.run_coroutine_threadsafe(self.server.drain(), self.loop)
+        future.result(120)
+
+    def stop(self):
+        self.drain()
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(60)
+        self.loop.close()
+
+
+@pytest.fixture(scope="session")
+def live_server_cls():
+    """The harness class, reachable from any scope without a package import."""
+    return LiveServer

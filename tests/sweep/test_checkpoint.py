@@ -13,7 +13,7 @@ import sys
 
 import pytest
 
-from repro.sweep import SweepCell, run_sweep
+from repro.sweep import FaultPlan, FaultSpec, SweepCell, install_plan, run_sweep
 from repro.sweep.checkpoint import (
     CHECKPOINT_SCHEMA,
     CheckpointJournal,
@@ -21,6 +21,7 @@ from repro.sweep.checkpoint import (
     sweep_fingerprint,
 )
 from repro.sweep.runner import CellResult, run_cell
+from repro.sweep.supervisor import SupervisorConfig
 from repro.util.errors import AnalysisError
 
 REPO_SRC = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
@@ -215,3 +216,78 @@ class TestInterruptedProcessResume:
         uninterrupted = run_sweep(cells, workers=1)
         assert resumed.resumed == 2
         assert [det(r) for r in resumed] == [det(r) for r in uninterrupted]
+
+
+#: the supervision-outcome fields a degraded or quarantined record carries
+#: (beyond the DETERMINISTIC exploration fields, which are None for them)
+SUPERVISION = (
+    "degraded_lower_ticks", "degraded_upper_ticks",
+    "degraded_lower_ms", "degraded_upper_ms",
+    "failure", "attempts", "usable",
+)
+
+
+class TestDegradedCellsResume:
+    """Degraded and quarantined cells round-trip through the journal: a
+    resume merges them back field-identical instead of re-running them."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_plan(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        install_plan(None)
+        yield
+        install_plan(None)
+
+    def test_resume_merges_degraded_and_quarantined_identically(self, tmp_path):
+        path = str(tmp_path / "sweep.checkpoint.jsonl")
+        cells = [small_cell(i) for i in range(3)]
+        # cell1 degrades (worker fault, analytic fallback succeeds); cell2
+        # is poison (fallback fails too) and is quarantined
+        install_plan(FaultPlan((
+            FaultSpec(cell="cell1", action="raise"),
+            FaultSpec(cell="cell2", action="raise"),
+            FaultSpec(cell="cell2", action="raise", stage="degraded"),
+        )))
+        config = SupervisorConfig(
+            on_error="degrade", backoff_seconds=0.05,
+            backoff_max_seconds=0.2, degraded_des_runs=1,
+            degraded_des_seconds=2.0, degraded_des_horizon_periods=20,
+        )
+        first = run_sweep(cells, workers=1, checkpoint=path, supervise=config)
+        assert first.degraded == 1 and first.quarantined == 1
+
+        # the faults are gone now: if the resume re-ran the damaged cells
+        # they would come back exact, which the field comparison would catch
+        install_plan(None)
+        resumed = run_sweep(cells, workers=1, checkpoint=path, resume=True,
+                            supervise=config)
+        assert resumed.resumed == 3
+        assert resumed.degraded == 1 and resumed.quarantined == 1
+        for before, after in zip(first.results, resumed.results):
+            assert det(after) == det(before)
+            for field in SUPERVISION:
+                assert getattr(after, field) == getattr(before, field), field
+        assert resumed.results[1].termination == "degraded"
+        assert resumed.results[2].termination == "quarantined"
+        assert not resumed.results[2].usable
+
+
+class TestCliResumeGuard:
+    """Both CLIs must refuse ``--resume`` without ``--checkpoint`` with the
+    standard argparse usage-error exit code (2), not start a doomed run."""
+
+    def test_repro_sweep_rejects_bare_resume(self, capsys):
+        from repro.sweep.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--grid", "table2", "--resume"])
+        assert excinfo.value.code == 2
+        assert "--resume needs --checkpoint" in capsys.readouterr().err
+
+    def test_repro_diffcheck_rejects_bare_resume(self, capsys):
+        from repro.diffcheck.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--smoke", "--resume"])
+        assert excinfo.value.code == 2
+        assert "--resume needs --checkpoint" in capsys.readouterr().err

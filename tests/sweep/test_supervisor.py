@@ -9,9 +9,15 @@ see it too).  The paths pinned here:
 * hang -> hard-deadline SIGKILL -> degraded analytic bounds
 * poison cell (fallback fails too) -> quarantine, sweep completes
 * serial supervision: cooperative deadlines, same degrade/raise semantics
+* SIGTERM during a retry backoff -> prompt teardown, all workers reaped
 """
 
 import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
 
 import pytest
 
@@ -301,3 +307,77 @@ class TestAcceptanceSweep:
         point = sweep.points()["sweep"]
         assert point["degraded"] == sweep.degraded
         assert point["quarantined"] == 1
+
+
+_BACKOFF_SCRIPT = """
+import multiprocessing
+import sys
+
+from repro.sweep import FaultPlan, FaultSpec, SweepCell, install_plan, run_sweep
+from repro.sweep.supervisor import SupervisorConfig
+
+
+def main():
+    # cell0 crashes on every attempt; the 120 s backoff between retries is
+    # where SIGTERM lands -- far longer than the test's patience, so only an
+    # interruptible sleep lets the process die on time
+    install_plan(FaultPlan((FaultSpec(cell="cell0", action="crash"),)))
+    cells = [SweepCell(
+        name="cell%d" % i, requirement="TMC", combination="AL+TMC",
+        configuration="po",
+        settings={"search_order": "bfs", "max_states": 200, "seed": 1},
+    ) for i in range(2)]
+    config = SupervisorConfig(
+        on_error="raise", max_attempts=5, backoff_seconds=120.0,
+        backoff_factor=1.0, backoff_max_seconds=120.0,
+    )
+    print("SWEEP-STARTED", flush=True)
+    try:
+        run_sweep(cells, workers=2, start_method="spawn", supervise=config)
+    except KeyboardInterrupt:
+        print("INTERRUPTED children=%d"
+              % len(multiprocessing.active_children()), flush=True)
+        sys.exit(3)
+    print("FINISHED", flush=True)
+
+
+if __name__ == "__main__":
+    main()
+"""
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+
+
+class TestInterruptibleBackoff:
+    """SIGTERM during a long retry backoff must tear the pool down promptly
+    (the supervisor translates it to KeyboardInterrupt and its interruptible
+    sleep wakes within a slice, not after the full 120 s backoff) and reap
+    every worker before the interrupt propagates."""
+
+    def test_sigterm_during_backoff_reaps_workers_promptly(self, tmp_path):
+        script = tmp_path / "backoff_sweep.py"
+        script.write_text(_BACKOFF_SCRIPT, encoding="utf-8")
+        env = {**os.environ, "PYTHONPATH": REPO_SRC}
+        env.pop(FAULTS_ENV, None)
+        proc = subprocess.Popen(
+            [sys.executable, str(script)], env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            assert "SWEEP-STARTED" in proc.stdout.readline()
+            # give the worker time to spawn, crash, and enter the backoff
+            time.sleep(4.0)
+            signalled_at = time.monotonic()
+            proc.send_signal(signal.SIGTERM)
+            output = proc.stdout.read()
+            exitcode = proc.wait(60)
+            elapsed = time.monotonic() - signalled_at
+        finally:
+            if proc.poll() is None:  # pragma: no cover - bug trap
+                proc.kill()
+                proc.wait()
+        assert exitcode == 3, output
+        # teardown must be prompt (sleep slices are 0.2 s), nowhere near
+        # the 120 s backoff it interrupted
+        assert elapsed < 30.0, f"teardown took {elapsed:.1f}s: {output}"
+        assert "INTERRUPTED children=0" in output, output

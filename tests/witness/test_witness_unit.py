@@ -83,6 +83,47 @@ class TestBuild:
         assert validate_witness(model, run, analysis.generated).ok
 
 
+class TestConcretisationDeadline:
+    """The cooperative ``max_seconds`` budget fails atomically: a clean
+    WitnessError naming the budget, never a partially-filled schedule."""
+
+    def test_build_witness_zero_budget_raises_cleanly(self, witnessed):
+        model, analysis, _run = witnessed
+        with pytest.raises(WitnessError, match="exceeded its 0.0s budget"):
+            build_witness(model, analysis, max_seconds=0.0)
+
+    def test_concretise_trace_deadline_mid_solve_names_the_transition(
+            self, witnessed):
+        from repro.witness.concretise import concretise_trace
+
+        _model, analysis, _run = witnessed
+        network = analysis.generated.compile()
+        with pytest.raises(WitnessError) as excinfo:
+            concretise_trace(network, analysis.detail.trace, max_seconds=0.0)
+        message = str(excinfo.value)
+        assert "budget" in message
+        assert "transition" in message  # the failure names where it stopped
+
+    def test_generous_budget_changes_nothing(self, witnessed):
+        # the deadline checks are pure guards: with headroom the witness is
+        # identical to the unbudgeted one
+        model, analysis, run = witnessed
+        budgeted = build_witness(model, analysis, max_seconds=60.0)
+        assert budgeted.response_ticks == run.response_ticks
+        assert [e.time for e in budgeted.events] == [e.time for e in run.events]
+
+    def test_oracle_reports_witness_error_instead_of_raising(self):
+        # the oracle's witness path converts construction failures into the
+        # (run=None, validation=None, error) triple -- a budget too small to
+        # even observe a response must surface as a message, not a crash
+        from repro.diffcheck.oracle import OracleConfig, witness_model
+
+        model = _two_task_model()
+        run, validation, error = witness_model(model, OracleConfig(max_states=2))
+        assert run is None and validation is None
+        assert error is not None and "witness construction failed" in error
+
+
 class TestSerialisation:
     def test_round_trip(self, witnessed):
         model, _analysis, run = witnessed
