@@ -85,11 +85,12 @@ def run_cell(
     policy: str = "fp",
     max_states: "int | None" = None,
     search_order: str = "bfs",
+    method: str = "sup",
 ) -> dict:
     """Run one cell *reps* times; returns metrics with the best throughput."""
     configured = configure(model, combination, configuration, policy=policy)
     settings = TimedAutomataSettings(
-        search_order=search_order, max_states=max_states, seed=1
+        search_order=search_order, max_states=max_states, seed=1, method=method
     )
     best = None
     for _ in range(max(1, reps)):
@@ -118,6 +119,72 @@ def verify_cell(
     problems = verify_anchors(name, point, baseline_points.get(name, {}))
     if exhaustive and point["is_lower_bound"]:
         problems.append(f"{name}: exhaustive run reported a lower bound")
+    return problems
+
+
+def run_guided_cell(
+    model,
+    combination: str,
+    configuration: str,
+    reps: int,
+    method: str = "sup",
+) -> dict:
+    """Run one cell bound-guided (``docs/portfolio.md``).
+
+    SymTA/MPA upper bounds clamp the observer's extrapolation ceiling; in
+    binary mode a budgeted DES lower bound additionally seeds the search
+    interval.  The WCRT must come out bit-identical to the unguided cell --
+    only the explored state count may shrink.
+    """
+    from repro.portfolio.bounds import analytic_upper_bounds, des_lower_bound, tightest
+    from repro.portfolio.guided import guided_settings
+
+    configured = configure(model, combination, configuration)
+    analytic, _notes = analytic_upper_bounds(configured, REQUIREMENT)
+    upper = tightest(analytic, "upper")
+    lower = None
+    if method in ("binary", "binary-search"):
+        lower, _des_notes = des_lower_bound(configured, REQUIREMENT, runs=2)
+    base = TimedAutomataSettings(search_order="bfs", seed=1, method=method)
+    settings = guided_settings(base, upper, lower)
+    best = None
+    for _ in range(max(1, reps)):
+        with Timer() as timer:
+            result = analyze_wcrt(configured, REQUIREMENT, settings)
+        stats = result.detail.statistics
+        point = {
+            "states_per_second": round(stats.states_per_second, 1),
+            "wcrt_ticks": result.wcrt_ticks,
+            "is_lower_bound": result.is_lower_bound,
+            "states_explored": stats.states_explored,
+            "states_stored": stats.states_stored,
+            "transitions": stats.transitions,
+            "explore_seconds": round(stats.elapsed_seconds, 4),
+            "wall_seconds": round(timer.seconds, 4),
+            "guided": True,
+            "analytic_upper_ticks": None if upper is None else upper.value_ticks,
+            "des_lower_ticks": None if lower is None else lower.value_ticks,
+        }
+        if best is None or point["states_per_second"] > best["states_per_second"]:
+            best = point
+    return best
+
+
+def verify_guided_cell(name: str, guided: dict, unguided: dict) -> list[str]:
+    """A guided run must change how much is explored, never what is computed."""
+    problems: list[str] = []
+    if guided["wcrt_ticks"] != unguided["wcrt_ticks"]:
+        problems.append(
+            f"{name}: guided wcrt {guided['wcrt_ticks']} != "
+            f"unguided {unguided['wcrt_ticks']} (bound clamping changed the verdict)"
+        )
+    if guided["is_lower_bound"]:
+        problems.append(f"{name}: guided run reported a lower bound")
+    if guided["states_explored"] > unguided["states_explored"]:
+        problems.append(
+            f"{name}: guided run explored {guided['states_explored']} states "
+            f"> unguided {unguided['states_explored']}"
+        )
     return problems
 
 
@@ -214,6 +281,52 @@ def main(argv: list[str] | None = None) -> int:
                 f"{point['states_per_second']:9.1f} states/s  "
                 f"(wcrt {bound} {point['wcrt_ticks']})"
             )
+
+    # bound-guided variants (docs/portfolio.md): analytic bounds clamp the
+    # observer ceiling, so the same exact WCRT comes out of a smaller zone
+    # graph.  Guided points ride next to their unguided anchors with a
+    # ``#guided`` suffix and stay out of the classic aggregate; any WCRT
+    # drift or state-count growth is a correctness failure (exit 2).
+    for combination, configuration in cells:
+        name = f"{combination}/{configuration}#guided"
+        unguided = points[f"{combination}/{configuration}"]
+        point = run_guided_cell(model, combination, configuration, reps)
+        points[name] = point
+        problems.extend(verify_guided_cell(name, point, unguided))
+        saved = unguided["states_explored"] - point["states_explored"]
+        print(
+            f"  {name:18s} {point['states_explored']:7d} states  "
+            f"{point['states_per_second']:9.1f} states/s  "
+            f"(wcrt = {point['wcrt_ticks']}, {saved} states saved)"
+        )
+
+    if not args.quick:
+        # the binary-search pair: here the DES lower bound also seeds the
+        # search interval, where the guided reduction is largest
+        pair_combination, pair_configuration = "AL+TMC", "pno"
+        unguided_binary = run_cell(
+            model, pair_combination, pair_configuration, reps, method="binary"
+        )
+        points[f"{pair_combination}/{pair_configuration}#binary"] = unguided_binary
+        guided_binary = run_guided_cell(
+            model, pair_combination, pair_configuration, reps, method="binary"
+        )
+        bname = f"{pair_combination}/{pair_configuration}#binary-guided"
+        points[bname] = guided_binary
+        problems.extend(verify_guided_cell(bname, guided_binary, unguided_binary))
+        sup_anchor = points[f"{pair_combination}/{pair_configuration}"]["wcrt_ticks"]
+        if guided_binary["wcrt_ticks"] != sup_anchor:
+            problems.append(
+                f"{bname}: binary-search wcrt {guided_binary['wcrt_ticks']} != "
+                f"sup wcrt {sup_anchor}"
+            )
+        saved = unguided_binary["states_explored"] - guided_binary["states_explored"]
+        print(
+            f"  {bname:18s} {guided_binary['states_explored']:7d} states  "
+            f"{guided_binary['states_per_second']:9.1f} states/s  "
+            f"(wcrt = {guided_binary['wcrt_ticks']}, {saved} states saved vs "
+            f"{unguided_binary['states_explored']} unguided)"
+        )
 
     # concrete witness schedules for the Table 1 WCRT anchors: every
     # strategy must concretise the exact AL+TMC/po trace into a schedule

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Anytime bound-guided analysis: sound intervals at every budget.
+
+A tour of the portfolio facade (``docs/portfolio.md``) on the paper's
+radio-navigation case study.  The same ``analyze(model, budget)`` call is
+made with growing budgets:
+
+1. a **zero budget** (``max_states=0``) — analytic SymTA/MPA upper bounds
+   plus a certified DES lower bound, milliseconds of work, already a sound
+   ``[lower, upper]`` interval;
+2. a **starved exact stage** — the bound-guided zone exploration is cut
+   off after a few hundred states and contributes a certified lower bound
+   (the paper's ``> x`` entries) instead of an exact value;
+3. a **sufficient budget** — the interval collapses to the exact WCRT,
+   with a concrete witness schedule proving it is attained.
+
+Each step prints the journaled interval updates: the interval only ever
+tightens, and every result in between is sound.
+
+Run with::
+
+    PYTHONPATH=src python examples/anytime_analysis.py
+"""
+
+from repro.casestudy import build_radio_navigation, configure
+from repro.portfolio import PortfolioBudget, analyze
+
+#: the paper's AL+TMC scenario combination, periodic-only event models
+COMBINATION, CONFIGURATION, REQUIREMENT = "AL+TMC", "po", "TMC"
+
+
+def show(step: str, result) -> None:
+    lower, upper = result.interval()
+    width = "point" if lower == upper else f"width {upper - lower}"
+    print(f"\n{step}")
+    print(f"  interval [{lower}, {upper}] ticks ({width}), "
+          f"exact={result.exact}, satisfied={result.satisfied}")
+    for update in result.updates:
+        print(f"    {update.stage:9s} {update.engine:5s} {update.kind:5s} "
+              f"{update.value_ticks:7d}  -> [{update.lower_ticks}, "
+              f"{update.upper_ticks}]")
+    for note in result.notes:
+        print(f"    note: {note}")
+
+
+def main() -> None:
+    model = configure(build_radio_navigation(), COMBINATION, CONFIGURATION)
+    print(f"model: {model.name}, requirement: {REQUIREMENT} "
+          f"(bound {model.requirement(REQUIREMENT).bound} ticks)")
+
+    # 1. the zero-budget floor: no exact exploration at all.  This is the
+    # same interval the supervised sweep degrades to when a worker dies.
+    floor = analyze(model, PortfolioBudget(max_states=0),
+                    requirement=REQUIREMENT)
+    show("1. zero budget (analytic + DES only)", floor)
+
+    # 2. a starved exact stage: the guided exploration is cut off early and
+    # certifies a lower bound -- the interval tightens but stays open.
+    starved = analyze(model, PortfolioBudget(max_states=150),
+                      requirement=REQUIREMENT)
+    show("2. starved exact stage (max_states=150)", starved)
+
+    # 3. enough budget: the guided exploration finishes, the interval is a
+    # point, and the edge carries a machine-checked witness schedule.
+    full = analyze(model, PortfolioBudget(max_states=50_000,
+                                          witness="earliest"),
+                   requirement=REQUIREMENT)
+    show("3. sufficient budget (exact, witnessed)", full)
+    print(f"\n  exact WCRT: {full.wcrt_ticks} ticks in "
+          f"{full.states_explored} guided states")
+    witness = full.upper.witness
+    print(f"  witness: {witness.get('schema')} with "
+          f"{len(witness.get('events', []))} events, response "
+          f"{witness.get('response_ticks')} ticks")
+
+    # monotone tightening across budgets, checkable by eye above:
+    assert floor.interval()[0] <= starved.interval()[0] <= full.interval()[0]
+    assert floor.interval()[1] >= starved.interval()[1] >= full.interval()[1]
+    print("\nanytime contract held: intervals tightened monotonically "
+          "with budget")
+
+
+if __name__ == "__main__":
+    main()

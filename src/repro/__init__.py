@@ -4,29 +4,45 @@ A reproduction of Hendriks & Verhoef, *Timed Automata Based Analysis of
 Embedded System Architectures* (IPPS 2006).  The library contains
 
 * :mod:`repro.core` — a zone-based timed-automata model checker
-  (UPPAAL-style semantics, DBMs, reachability, ``sup`` queries, WCRT),
+  (UPPAAL-style semantics, DBMs with scalar and batched stack kernels,
+  reachability, ``sup`` queries, WCRT),
 * :mod:`repro.arch` — an architecture-level front-end that generates timed
   automata from annotated scenarios, deployments and event models following
   the modelling patterns of the paper,
-* :mod:`repro.casestudy` — the in-car radio navigation case study,
+* :mod:`repro.casestudy` — the in-car radio navigation case study and the
+  Table 1/2 grids,
 * :mod:`repro.baselines` — the comparison techniques of Table 2
   (discrete-event simulation, compositional scheduling analysis, and
   modular performance analysis / real-time calculus),
+* :mod:`repro.portfolio` — the bound-guided portfolio: analytic bounds
+  clamp the exact engine, and the anytime ``analyze(model, budget)``
+  facade returns sound, monotonically tightening WCRT intervals,
+* :mod:`repro.diffcheck` — differential scenario fuzzing: random models
+  cross-validated across all four engines (the ``repro-diffcheck`` CLI),
+* :mod:`repro.witness` — concrete witness schedules: trace concretisation,
+  TA step-checking and trace-driven DES replay,
+* :mod:`repro.sweep` — supervised parallel scenario sweeps over the
+  paper's tables and user-defined grids (the ``repro-sweep`` CLI),
+* :mod:`repro.serve` — the hardened HTTP analysis service (the
+  ``repro-serve`` CLI),
 * :mod:`repro.io` — DOT / UPPAAL-XML export and result reporting,
-* :mod:`repro.sweep` — parallel scenario sweeps over the paper's tables and
-  user-defined configuration grids (the ``repro-sweep`` CLI),
 * :mod:`repro.perf` — timers, counters and ``repro-bench-v1`` benchmark
   trajectories.
+
+``docs/architecture.md`` maps the subsystems and the data flow between
+them.
 
 Quickstart
 ----------
 See ``examples/quickstart.py`` for a complete walk-through, or start from
-:func:`repro.casestudy.build_radio_navigation`.
+:func:`repro.casestudy.build_radio_navigation`.  For the anytime facade,
+see ``examples/anytime_analysis.py``.
 """
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "core", "arch", "casestudy", "baselines", "io", "util", "sweep", "perf",
+    "core", "arch", "casestudy", "baselines", "portfolio", "diffcheck",
+    "witness", "sweep", "serve", "io", "util", "perf",
     "__version__",
 ]

@@ -45,6 +45,16 @@ class TimedAutomataSettings:
     #: the observer-clock ceiling is ``ceiling_factor`` times the requirement
     #: bound; responses beyond the ceiling are reported as lower bounds
     ceiling_factor: float = 2.0
+    #: explicit observer-clock ceiling in ticks, overriding ``ceiling_factor``.
+    #: Sound whenever it exceeds the true WCRT (e.g. a SymTA/MPA analytic
+    #: upper bound plus a margin, as set by :mod:`repro.portfolio.guided`);
+    #: a tighter ceiling coarsens zone extrapolation and shrinks the explored
+    #: state space without changing any value below it
+    ceiling_ticks: int | None = None
+    #: lower edge of the binary-search interval (exclusive), in ticks.  Sound
+    #: whenever the WCRT is known to be at least this value (e.g. a response
+    #: time observed in a concrete DES run); ignored by ``method="sup"``
+    binary_lo: int = 0
     #: options of the network generator
     generator: GeneratorOptions = field(default_factory=GeneratorOptions)
     #: whether to keep parent pointers for witness traces
@@ -113,7 +123,13 @@ def analyze_wcrt(
     if generated.observer_clock is None or generated.observer_condition is None:
         raise AnalysisError("generated model carries no observer; cannot measure a WCRT")
 
-    ceiling = max(int(requirement_obj.bound * settings.ceiling_factor), requirement_obj.bound + 1)
+    if settings.ceiling_ticks is not None:
+        ceiling = max(int(settings.ceiling_ticks), 1)
+    else:
+        ceiling = max(
+            int(requirement_obj.bound * settings.ceiling_factor),
+            requirement_obj.bound + 1,
+        )
 
     if settings.method == "sup":
         result = wcrt_sup(
@@ -129,7 +145,7 @@ def analyze_wcrt(
             compiled,
             generated.observer_clock,
             generated.observer_condition,
-            lo=0,
+            lo=min(max(settings.binary_lo, 0), ceiling - 1),
             hi=ceiling,
             semantics=settings.semantics_options(),
             search=settings.search_options(),

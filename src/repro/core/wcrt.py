@@ -109,6 +109,21 @@ def wcrt_binary_search(
     ``hi`` does not satisfy the property — the caller chose the interval too
     small — and flags the result as a lower bound when any of the underlying
     explorations was cut short by its budget.
+
+    Interval soundness
+    ------------------
+    ``lo`` must be a value at which Property 1 is *known to fail* — i.e. a
+    certified lower bound on the WCRT.  A response of ``L`` ticks observed
+    in any concrete run (e.g. a DES trace) certifies ``lo = L``: the state
+    ``condition and observer_clock >= L`` is reachable, so the property
+    fails for every ``C <= L``.  ``hi`` must be a value at which the
+    property *holds* — any sound upper bound plus one (e.g. a SymTA/MPA
+    analytic bound + 1, as chosen by :mod:`repro.portfolio.guided`).  ``hi``
+    doubles as the observer-clock extrapolation ceiling for the whole
+    search (registered as a query constant), so a tighter upper bound also
+    shrinks every iteration's symbolic state space.  The defaults used by
+    :func:`repro.arch.analysis.analyze_wcrt` — ``lo = 0`` and ``hi = 2 x
+    requirement bound`` — are always safe but explore the most states.
     """
     if lo < 0 or hi <= lo:
         raise AnalysisError(f"invalid WCRT search interval ({lo}, {hi}]")

@@ -110,6 +110,8 @@ def _campaign_config(args) -> CampaignConfig:
         overrides["max_seconds"] = args.max_seconds
     if args.des_runs is not None:
         overrides["des_runs"] = args.des_runs
+    if args.bound_guided:
+        overrides["bound_guided"] = True
     if overrides:
         oracle = OracleConfig.from_dict({**oracle.to_dict(), **overrides})
     return CampaignConfig(
@@ -145,6 +147,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="TA wall-clock budget per model in seconds")
     parser.add_argument("--des-runs", type=int, default=None,
                         help="independent simulation runs per model")
+    parser.add_argument("--bound-guided", action="store_true",
+                        help="run the exact engine bound-guided (observer ceiling "
+                             "clamped to the tightest analytic bound, binary search "
+                             "seeded by the DES maximum); validates the portfolio "
+                             "pipeline -- the default independent mode remains the "
+                             "soundness baseline (docs/portfolio.md)")
     parser.add_argument("--min-models", type=int, default=None,
                         help="fail (exit 3) when fewer models pass through all four "
                              "engines (smoke default: %d)" % SMOKE_MIN_MODELS)

@@ -62,6 +62,14 @@ class OracleConfig:
     #: ``sup`` when the sup exploration stayed below ``binary_state_limit``
     cross_check_binary: bool = True
     binary_state_limit: int = 1_500
+    #: run the exact engine *bound-guided* (:mod:`repro.portfolio.guided`):
+    #: observer ceiling clamped to ``min(SymTA, MPA) + 2``, binary search
+    #: seeded with the DES maximum.  NOT the default -- guiding couples the
+    #: engines (the exact run trusts the analytic ceiling), so independent
+    #: mode remains the soundness baseline; a guided campaign instead
+    #: validates the portfolio itself: a guided lower bound that reaches the
+    #: clamped ceiling still surfaces as an ordering violation
+    bound_guided: bool = False
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -177,8 +185,22 @@ def witness_model(
 
     config = config or OracleConfig()
     requirement = next(iter(model.requirements.values()))
+    # the witness must re-analyze the model under exactly the ceiling of the
+    # verdict it is witnessing: widened in independent mode, clamped to the
+    # tightest analytic bound in guided mode
+    guided_clamps: dict = {}
     try:
-        ceiling_factor = _ceiling_factor(model, requirement)
+        if config.bound_guided:
+            from repro.portfolio.guided import guided_ceiling
+
+            symta_value = symta_analysis.analyze(model).latencies[requirement.name]
+            mpa_value = mpa_analysis.analyze(model).latencies[requirement.name]
+            ceiling_factor = 2.0
+            guided_clamps = {
+                "ceiling_ticks": guided_ceiling(min(symta_value, mpa_value), margin=2),
+            }
+        else:
+            ceiling_factor = _ceiling_factor(model, requirement)
     except (AnalysisError, ModelError) as exc:
         return None, None, f"analytic ceiling unavailable: {exc}"
     settings = TimedAutomataSettings(
@@ -188,6 +210,7 @@ def witness_model(
         ceiling_factor=ceiling_factor,
         seed=1,
         record_traces=True,
+        **guided_clamps,
     )
     try:
         analysis = analyze_wcrt(model, requirement.name, settings)
@@ -235,16 +258,59 @@ def check_model(
     verdict.verdicts["symta"] = EngineVerdict("symta", symta_value, upper_bound=True)
     verdict.verdicts["mpa"] = EngineVerdict("mpa", mpa_value, upper_bound=True)
 
+    violations: list[str] = []
+    des_value: int | None = None
+    des_ran = False
+
+    def run_des() -> None:
+        # unlike the analytic engines (which may legitimately refuse an
+        # overloaded model), simulating a valid model must never fail -- a
+        # DES crash is itself a finding, reported as a shrinkable violation
+        nonlocal des_value, des_ran
+        des_ran = True
+        horizon = config.des_horizon_periods * max(
+            scenario.event_model.period for scenario in model.scenarios.values()
+        )
+        try:
+            des_result = simulate(
+                model,
+                SimulationSettings(horizon=horizon, runs=config.des_runs,
+                                   seed=_des_seed(seed),
+                                   max_seconds=config.des_max_seconds),
+            )
+        except (AnalysisError, ModelError) as exc:
+            violations.append(f"des crashed: {exc}")
+            verdict.verdicts["des"] = EngineVerdict("des", None, detail=f"crashed: {exc}")
+        else:
+            des_value = des_result.observations[requirement.name].maximum
+            verdict.verdicts["des"] = EngineVerdict(
+                "des", des_value, lower_bound=des_value is not None
+            )
+
     # ---- exact timed automata --------------------------------------------------
-    # widen the observer ceiling beyond both upper bounds: a sound exact WCRT
-    # then always fits below the ceiling, so hitting it is itself a finding
+    # Independent mode widens the observer ceiling beyond both upper bounds:
+    # a sound exact WCRT then always fits below the ceiling, so hitting it is
+    # itself a finding.  Guided mode instead *trusts* the bounds for speed --
+    # ceiling clamped just above the tightest one, DES run first so its
+    # maximum seeds the binary search -- and a guided value that reaches the
+    # clamped ceiling shows up below as "lower bound > tightest analytic".
     ceiling_factor = _widened_ceiling_factor(symta_value, mpa_value, requirement.bound)
+    guided_clamps: dict = {}
+    if config.bound_guided:
+        from repro.portfolio.guided import guided_ceiling
+
+        run_des()
+        guided_clamps = {
+            "ceiling_ticks": guided_ceiling(min(symta_value, mpa_value), margin=2),
+            "binary_lo": des_value or 0,
+        }
     settings = TimedAutomataSettings(
         search_order="bfs",
         max_states=config.max_states,
         max_seconds=config.max_seconds,
         ceiling_factor=ceiling_factor,
         seed=1,
+        **guided_clamps,
     )
     ta_value: int | None = None
     ta_exact = False
@@ -284,6 +350,7 @@ def check_model(
             ceiling_factor=ceiling_factor,
             seed=1,
             method="binary-search",
+            **guided_clamps,
         )
         try:
             binary_result = analyze_wcrt(model, requirement.name, binary_settings)
@@ -301,29 +368,9 @@ def check_model(
         )
 
     # ---- discrete-event simulation ---------------------------------------------
-    # unlike the analytic engines (which may legitimately refuse an
-    # overloaded model), simulating a valid model must never fail -- a DES
-    # crash is itself a finding, reported as a shrinkable violation
-    horizon = config.des_horizon_periods * max(
-        scenario.event_model.period for scenario in model.scenarios.values()
-    )
-    violations: list[str] = []
-    des_value: int | None = None
-    try:
-        des_result = simulate(
-            model,
-            SimulationSettings(horizon=horizon, runs=config.des_runs,
-                               seed=_des_seed(seed),
-                               max_seconds=config.des_max_seconds),
-        )
-    except (AnalysisError, ModelError) as exc:
-        violations.append(f"des crashed: {exc}")
-        verdict.verdicts["des"] = EngineVerdict("des", None, detail=f"crashed: {exc}")
-    else:
-        des_value = des_result.observations[requirement.name].maximum
-        verdict.verdicts["des"] = EngineVerdict(
-            "des", des_value, lower_bound=des_value is not None
-        )
+    # (already ran up front in guided mode, where it seeds the binary search)
+    if not des_ran:
+        run_des()
 
     # ---- the soundness ordering ----------------------------------------------------
     if des_value is not None:

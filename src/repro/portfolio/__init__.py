@@ -1,0 +1,51 @@
+"""Bound-guided portfolio analysis: the cheap engines accelerate the exact one.
+
+Historically the four engines of the paper's comparison (exact timed
+automata, SymTA/S busy windows, MPA service curves, DES simulation) only
+*cross-checked* each other (:mod:`repro.diffcheck`).  This package inverts
+that relationship:
+
+* :mod:`repro.portfolio.bounds` runs the cheap engines and returns
+  *attributed* bounds — each one knows which engine produced it and why it
+  is sound (analytic upper bounds, observed-run lower bounds);
+* :mod:`repro.portfolio.guided` turns those bounds into clamped
+  :class:`~repro.arch.analysis.TimedAutomataSettings`: the observer-clock
+  extrapolation ceiling drops from ``2 x requirement bound`` to
+  ``min(SymTA, MPA) + 1`` and the binary-search interval starts at the DES
+  lower bound instead of zero, so the exact engine explores measurably
+  fewer symbolic states while producing bit-identical WCRTs;
+* :mod:`repro.portfolio.anytime` stages all of it behind one anytime
+  facade, :func:`analyze`: monotonically tightening ``[lower, upper]``
+  intervals, each bound carrying the witness of the engine that attained
+  it, sound at every interruption point (the zero-budget floor is the
+  PR 6 degraded interval).
+
+The one soundness caveat: bound-guiding deliberately *couples* the engines
+(the exact run trusts the analytic ceiling), so the differential oracle
+keeps its independent-engines mode as the default — see
+``docs/portfolio.md`` for the contract and ``docs/architecture.md`` for
+where this package sits in the system.
+"""
+
+from repro.portfolio.anytime import AnytimeResult, BoundUpdate, PortfolioBudget, analyze
+from repro.portfolio.bounds import (
+    EngineBound,
+    analytic_upper_bounds,
+    des_lower_bound,
+    tightest,
+)
+from repro.portfolio.guided import guided_ceiling, guided_settings, guided_wcrt
+
+__all__ = [
+    "AnytimeResult",
+    "BoundUpdate",
+    "EngineBound",
+    "PortfolioBudget",
+    "analytic_upper_bounds",
+    "analyze",
+    "des_lower_bound",
+    "guided_ceiling",
+    "guided_settings",
+    "guided_wcrt",
+    "tightest",
+]

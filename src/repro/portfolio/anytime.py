@@ -1,0 +1,385 @@
+"""The anytime ``analyze()`` facade: sound intervals at every budget.
+
+:func:`analyze` stages the portfolio from cheapest to most precise —
+
+1. **analytic** — SymTA/MPA upper bounds (milliseconds of arithmetic);
+2. **simulate** — a budgeted DES campaign whose observed maximum is a
+   certified lower bound;
+3. **exact** — the timed-automata engine, *clamped* by stages 1–2
+   (:mod:`repro.portfolio.guided`), under the caller's state/time budget —
+
+and maintains one ``[lower, upper]`` interval across all of them.  The
+interval only ever tightens (``lower`` is a running maximum, ``upper`` a
+running minimum), each edge remembers the :class:`~repro.portfolio.bounds.
+EngineBound` that attained it (including that engine's witness), and every
+stage transition is journaled as a :class:`BoundUpdate`.  Interrupting the
+pipeline at any stage therefore yields a sound, attributed interval:
+
+* ``PortfolioBudget(max_states=0)`` skips the exact stage entirely — the
+  result is exactly the degraded interval the supervised sweep falls back
+  to when a worker dies (:func:`repro.sweep.supervisor.degraded_interval`),
+  which is the zero-budget floor of the contract;
+* an exact stage that exhausts its budget contributes a *certified lower
+  bound* (the paper's ``> x`` entries) instead of an exact value;
+* an exact stage that completes collapses the interval to a point and, on
+  request, concretises the symbolic witness trace into a replayable
+  ``repro-witness-v1`` schedule.
+
+If a stage ever drives ``lower`` above ``upper`` the engines disagree —
+e.g. the exact WCRT provably exceeds an analytic "upper bound" — and
+:func:`analyze` raises :class:`~repro.util.errors.AnalysisError` rather
+than return an empty interval; this is the same cross-engine ordering the
+differential oracle checks, surfacing even in guided mode.
+
+See ``docs/portfolio.md`` for the full contract and
+``examples/anytime_analysis.py`` for a runnable tour.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.arch.analysis import TimedAutomataSettings, analyze_wcrt
+from repro.arch.model import ArchitectureModel
+from repro.portfolio.bounds import EngineBound, analytic_upper_bounds, des_lower_bound, tightest
+from repro.portfolio.guided import guided_settings
+from repro.util.errors import AnalysisError, ModelError, WitnessError
+
+__all__ = ["AnytimeResult", "BoundUpdate", "PortfolioBudget", "analyze"]
+
+
+_BUDGET_FIELDS = (
+    "max_states", "max_seconds", "des_runs", "des_horizon_periods",
+    "des_seconds", "des_seed", "method", "witness",
+)
+
+
+@dataclass(frozen=True)
+class PortfolioBudget:
+    """How much work :func:`analyze` may spend, stage by stage.
+
+    Primitives only, so a budget crosses process (spawn) and JSON (serve)
+    boundaries unchanged.
+    """
+
+    #: state budget of the exact stage; ``0`` skips the exact stage entirely
+    #: (the zero-budget floor: analytic + DES bounds only) and ``None`` is
+    #: unlimited
+    max_states: int | None = 50_000
+    #: wall-clock budget of the exact stage in seconds (None = unlimited)
+    max_seconds: float | None = None
+    #: DES campaign size; ``0`` skips the simulate stage (no lower bound)
+    des_runs: int = 3
+    #: DES horizon as a multiple of the largest scenario period
+    des_horizon_periods: int = 50
+    #: cooperative wall-clock budget of the DES campaign
+    des_seconds: float | None = 5.0
+    #: DES seed — fixed by default so lower bounds are reproducible
+    des_seed: int = 1
+    #: exact-stage method: "sup" (default) or "binary-search"
+    method: str = "sup"
+    #: witness concretisation strategy ("earliest"/"latest"/"midpoint") for
+    #: an exact result, or None to skip witness construction
+    witness: str | None = None
+
+    def __post_init__(self):
+        if self.method not in ("sup", "binary", "binary-search"):
+            raise ModelError(f"unknown exact method {self.method!r}")
+        if self.max_states is not None and self.max_states < 0:
+            raise ModelError("max_states must be >= 0 (0 skips the exact stage)")
+        if self.des_runs < 0:
+            raise ModelError("des_runs must be >= 0 (0 skips the simulate stage)")
+        if self.des_horizon_periods < 1:
+            raise ModelError("des_horizon_periods must be >= 1")
+        if self.witness is not None and self.witness not in (
+            "earliest", "latest", "midpoint"
+        ):
+            raise ModelError(
+                f"unknown witness strategy {self.witness!r} (expected "
+                "'earliest', 'latest', 'midpoint' or None)"
+            )
+
+    def to_dict(self) -> dict:
+        return {name: getattr(self, name) for name in _BUDGET_FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PortfolioBudget":
+        if not isinstance(data, dict):
+            raise ModelError("budget must be an object")
+        unknown = sorted(set(data) - set(_BUDGET_FIELDS))
+        if unknown:
+            raise ModelError(f"unknown budget field(s): {', '.join(unknown)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class BoundUpdate:
+    """One journaled step of the interval: which engine said what, when."""
+
+    #: pipeline stage that produced the update: "analytic", "simulate", "exact"
+    stage: str
+    #: engine that produced the bound ("symta", "mpa", "des", "ta")
+    engine: str
+    #: "upper", "lower" or "exact"
+    kind: str
+    #: the bound's value in model ticks
+    value_ticks: int
+    #: the interval *after* applying this bound (monotone: each update's
+    #: interval is contained in the previous update's)
+    lower_ticks: int | None
+    upper_ticks: int | None
+    #: provenance of the bound
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "engine": self.engine,
+            "kind": self.kind,
+            "value_ticks": self.value_ticks,
+            "lower_ticks": self.lower_ticks,
+            "upper_ticks": self.upper_ticks,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class AnytimeResult:
+    """Outcome of one :func:`analyze` call: an attributed, sound interval."""
+
+    #: analysed model and requirement
+    model: str
+    requirement: str
+    #: the requirement's latency bound in ticks
+    bound_ticks: int
+    #: bounds attaining the current interval edges (each carries the witness
+    #: of its engine); None when no engine produced that side
+    lower: EngineBound | None
+    upper: EngineBound | None
+    #: True when the exact stage completed: the interval is a point and
+    #: ``wcrt_ticks`` is the exact WCRT
+    exact: bool
+    wcrt_ticks: int | None
+    #: requirement verdict derivable from the interval (None = undecided)
+    satisfied: bool | None
+    #: full journal of interval updates, in application order
+    updates: list[BoundUpdate] = field(default_factory=list)
+    #: engines that refused the model or produced nothing, with reasons
+    notes: list[str] = field(default_factory=list)
+    #: symbolic states explored by the exact stage (0 when skipped)
+    states_explored: int = 0
+    wall_seconds: float = 0.0
+
+    def interval(self) -> tuple[int | None, int | None]:
+        """Current ``(lower_ticks, upper_ticks)`` — sound at any stage."""
+        return (
+            None if self.lower is None else self.lower.value_ticks,
+            None if self.upper is None else self.upper.value_ticks,
+        )
+
+    def to_dict(self) -> dict:
+        lower_ticks, upper_ticks = self.interval()
+        return {
+            "schema": "repro-anytime-v1",
+            "model": self.model,
+            "requirement": self.requirement,
+            "bound_ticks": self.bound_ticks,
+            "lower_ticks": lower_ticks,
+            "upper_ticks": upper_ticks,
+            "lower": None if self.lower is None else self.lower.to_dict(),
+            "upper": None if self.upper is None else self.upper.to_dict(),
+            "exact": self.exact,
+            "wcrt_ticks": self.wcrt_ticks,
+            "satisfied": self.satisfied,
+            "updates": [update.to_dict() for update in self.updates],
+            "notes": list(self.notes),
+            "states_explored": self.states_explored,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+class _Interval:
+    """The monotone interval state shared by all stages of one analysis."""
+
+    def __init__(self, model_name: str, requirement: str):
+        self.model_name = model_name
+        self.requirement = requirement
+        self.lower: EngineBound | None = None
+        self.upper: EngineBound | None = None
+        self.updates: list[BoundUpdate] = []
+
+    def apply(self, stage: str, bound: EngineBound) -> None:
+        """Clamp the interval with *bound*; journal; reject crossings."""
+        # an exact bound takes an edge on ties too, so the point interval is
+        # attributed to the exact engine (whose bound carries the witness)
+        if bound.kind in ("lower", "exact"):
+            if (self.lower is None or bound.value_ticks > self.lower.value_ticks
+                    or (bound.kind == "exact"
+                        and bound.value_ticks >= self.lower.value_ticks)):
+                self.lower = replace(bound, kind="lower") if bound.kind == "exact" else bound
+        if bound.kind in ("upper", "exact"):
+            if (self.upper is None or bound.value_ticks < self.upper.value_ticks
+                    or (bound.kind == "exact"
+                        and bound.value_ticks <= self.upper.value_ticks)):
+                self.upper = replace(bound, kind="upper") if bound.kind == "exact" else bound
+        lower_ticks = None if self.lower is None else self.lower.value_ticks
+        upper_ticks = None if self.upper is None else self.upper.value_ticks
+        if lower_ticks is not None and upper_ticks is not None and lower_ticks > upper_ticks:
+            raise AnalysisError(
+                f"cross-engine ordering violation on {self.model_name}/"
+                f"{self.requirement}: {self.lower.engine} certifies "
+                f"WCRT >= {lower_ticks} but {self.upper.engine} claims "
+                f"WCRT <= {upper_ticks} — an engine is unsound "
+                f"(run repro-diffcheck in independent mode to localise it)"
+            )
+        self.updates.append(BoundUpdate(
+            stage=stage,
+            engine=bound.engine,
+            kind=bound.kind,
+            value_ticks=bound.value_ticks,
+            lower_ticks=lower_ticks,
+            upper_ticks=upper_ticks,
+            detail=bound.detail,
+        ))
+
+
+def _resolve_requirement(model: ArchitectureModel, requirement: str | None) -> str:
+    if requirement is not None:
+        return requirement
+    names = list(model.requirements)
+    if len(names) != 1:
+        raise ModelError(
+            f"model {model.name!r} has {len(names)} requirements; "
+            f"pass requirement= explicitly"
+        )
+    return names[0]
+
+
+def analyze(
+    model: ArchitectureModel,
+    budget: PortfolioBudget | None = None,
+    requirement: str | None = None,
+    settings: TimedAutomataSettings | None = None,
+) -> AnytimeResult:
+    """Anytime bound-guided WCRT analysis of one requirement.
+
+    Stages analytic bounds, a DES campaign and a bound-guided exact
+    exploration under *budget* (see the module docstring for the interval
+    contract).  *settings* seeds the exact stage's non-budget knobs (search
+    order, generator options, ...); its method, budgets, ceiling and
+    interval are overridden by the portfolio.
+
+    Raises :class:`AnalysisError` when the engines' bounds contradict each
+    other, and :class:`ModelError` for an invalid model/budget.
+    """
+    budget = budget or PortfolioBudget()
+    requirement = _resolve_requirement(model, requirement)
+    requirement_obj = model.requirement(requirement)
+    started = time.perf_counter()
+
+    interval = _Interval(model.name, requirement)
+    notes: list[str] = []
+
+    # stage 1: analytic upper bounds -- near-free, always run
+    analytic, analytic_notes = analytic_upper_bounds(model, requirement)
+    notes.extend(analytic_notes)
+    for bound in analytic:
+        interval.apply("analytic", bound)
+
+    # stage 2: DES lower bound -- budgeted, certified by the observed run
+    if budget.des_runs > 0:
+        des_bound, des_notes = des_lower_bound(
+            model, requirement,
+            runs=budget.des_runs,
+            horizon_periods=budget.des_horizon_periods,
+            max_seconds=budget.des_seconds,
+            seed=budget.des_seed,
+        )
+        notes.extend(des_notes)
+        if des_bound is not None:
+            interval.apply("simulate", des_bound)
+
+    # stage 3: bound-guided exact analysis (skipped at zero budget)
+    exact = False
+    wcrt_ticks: int | None = None
+    states_explored = 0
+    witness_wanted = budget.witness is not None
+    if budget.max_states != 0:
+        base = settings or TimedAutomataSettings()
+        base = replace(
+            base,
+            method=budget.method,
+            max_states=budget.max_states,
+            max_seconds=budget.max_seconds,
+            record_traces=base.record_traces or witness_wanted,
+        )
+        clamped = guided_settings(
+            base, tightest(analytic, "upper"),
+            interval.lower if interval.lower is not None
+            and interval.lower.engine == "des" else None,
+        )
+        analysis = analyze_wcrt(model, requirement, clamped)
+        states_explored = analysis.detail.statistics.states_explored
+        if analysis.wcrt_ticks is None:
+            notes.append("ta: no response observed within the explored states")
+        elif analysis.is_lower_bound:
+            # budget hit (benign) or clamped ceiling hit (an ordering
+            # violation interval.apply will reject: the certified lower
+            # bound would exceed the analytic upper edge)
+            interval.apply("exact", EngineBound(
+                engine="ta",
+                kind="lower",
+                value_ticks=analysis.wcrt_ticks,
+                detail=(f"exact exploration cut short "
+                        f"({analysis.detail.statistics.termination}; "
+                        f"{states_explored} states)"),
+            ))
+        else:
+            exact = True
+            wcrt_ticks = analysis.wcrt_ticks
+            witness: dict = {}
+            if witness_wanted:
+                from repro.witness.build import build_witness
+                from repro.witness.schedule import run_to_dict
+
+                try:
+                    run = build_witness(model, analysis, strategy=budget.witness)
+                    witness = run_to_dict(run)
+                except WitnessError as exc:
+                    notes.append(f"witness: {exc}")
+            interval.apply("exact", EngineBound(
+                engine="ta",
+                kind="exact",
+                value_ticks=wcrt_ticks,
+                detail=(f"exhaustive {analysis.detail.method} exploration "
+                        f"({states_explored} states)"),
+                witness=witness,
+            ))
+
+    # the verdict the interval supports (exact results decide; pure bounds
+    # decide only when an edge clears or breaches the requirement bound)
+    lower_ticks, upper_ticks = (
+        None if interval.lower is None else interval.lower.value_ticks,
+        None if interval.upper is None else interval.upper.value_ticks,
+    )
+    satisfied: bool | None = None
+    if upper_ticks is not None and upper_ticks < requirement_obj.bound:
+        satisfied = True
+    elif lower_ticks is not None and lower_ticks >= requirement_obj.bound:
+        satisfied = False
+
+    return AnytimeResult(
+        model=model.name,
+        requirement=requirement,
+        bound_ticks=requirement_obj.bound,
+        lower=interval.lower,
+        upper=interval.upper,
+        exact=exact,
+        wcrt_ticks=wcrt_ticks,
+        satisfied=satisfied,
+        updates=interval.updates,
+        notes=notes,
+        states_explored=states_explored,
+        wall_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,164 @@
+"""Attributed WCRT bounds from the cheap engines.
+
+Every bound returned by this module knows which engine produced it, which
+side of the true worst case it sits on, and what evidence backs it:
+
+* **SymTA/S** and **MPA** are *analytic upper bounds* — their busy-window /
+  service-curve arguments hold for every possible run, so
+  ``WCRT <= bound`` unconditionally.  Their witness is the per-step latency
+  decomposition of the bound (which resource-local response times sum to
+  it).
+* **DES** observations are *certified lower bounds* — a simulated run is a
+  real run of the model, so its response time is attained and
+  ``WCRT >= observed maximum``.  Its witness names the seed, run count and
+  horizon that produced the observation, which is everything needed to
+  replay it deterministically.
+
+These are exactly the two ingredients the bound-guided exact analysis
+(:mod:`repro.portfolio.guided`) and the degraded fallback of the
+supervised sweep (:func:`repro.sweep.supervisor.degraded_interval`) need;
+both build on this module so there is one implementation of "what can the
+robust engines still say".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.arch.model import ArchitectureModel
+from repro.util.errors import ReproError
+
+__all__ = [
+    "EngineBound",
+    "analytic_upper_bounds",
+    "des_lower_bound",
+    "tightest",
+]
+
+
+@dataclass(frozen=True)
+class EngineBound:
+    """One engine's sound claim about a requirement's WCRT."""
+
+    #: engine that attained the bound: "symta", "mpa", "des" or "ta"
+    engine: str
+    #: "upper" (WCRT <= value), "lower" (WCRT >= value) or "exact"
+    kind: str
+    #: the bound in model ticks
+    value_ticks: int
+    #: human-readable provenance (budgets, iteration counts, ...)
+    detail: str = ""
+    #: JSON-able evidence for the bound: per-step latency decomposition for
+    #: the analytic engines, the replay recipe (seed/runs/horizon) for DES,
+    #: a validated ``repro-witness-v1`` schedule for the exact engine
+    witness: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "kind": self.kind,
+            "value_ticks": self.value_ticks,
+            "detail": self.detail,
+            "witness": dict(self.witness),
+        }
+
+
+def analytic_upper_bounds(
+    model: ArchitectureModel, requirement: str
+) -> tuple[list[EngineBound], list[str]]:
+    """SymTA/S and MPA upper bounds on *requirement*'s WCRT.
+
+    Returns ``(bounds, notes)``: one :class:`EngineBound` per engine that
+    accepted the model, plus a note per engine that refused it (an analytic
+    engine may legitimately reject an overloaded system — that is not an
+    error of the portfolio, just a missing bound).
+    """
+    from repro.baselines.mpa import analysis as mpa_analysis
+    from repro.baselines.symta import analysis as symta_analysis
+
+    bounds: list[EngineBound] = []
+    notes: list[str] = []
+    for name, engine in (("symta", symta_analysis), ("mpa", mpa_analysis)):
+        try:
+            result = engine.analyze(model)
+            value = result.latencies[requirement]
+        except ReproError as exc:
+            notes.append(f"{name}: {exc}")
+            continue
+        # SymTA steps report per-step WCRTs, MPA steps per-step delay bounds
+        decomposition = {
+            f"{key[0]}.{key[1]}": getattr(step, "wcrt", getattr(step, "delay", None))
+            for key, step in result.steps.items()
+        }
+        bounds.append(EngineBound(
+            engine=name,
+            kind="upper",
+            value_ticks=int(value),
+            detail=f"{name} busy-window/service-curve bound",
+            witness={"per_step_wcrt": decomposition},
+        ))
+    return bounds, notes
+
+
+def des_lower_bound(
+    model: ArchitectureModel,
+    requirement: str,
+    runs: int = 3,
+    horizon_periods: int = 50,
+    max_seconds: float | None = None,
+    deadline: float | None = None,
+    seed: int = 1,
+) -> tuple["EngineBound | None", list[str]]:
+    """A certified DES lower bound on *requirement*'s WCRT.
+
+    Simulates *runs* independent traces over ``horizon_periods`` times the
+    largest scenario period (cooperatively budgeted: an exhausted
+    ``max_seconds``/*deadline* truncates the campaign, every already
+    observed latency stays a valid sample).  Returns ``(bound, notes)``
+    where ``bound`` is ``None`` when no response was observed (or the DES
+    refused the model — recorded in the notes).
+    """
+    from repro.baselines.des.simulator import SimulationSettings, simulate
+
+    notes: list[str] = []
+    horizon = horizon_periods * max(
+        scenario.event_model.period for scenario in model.scenarios.values()
+    )
+    started = time.perf_counter()
+    try:
+        result = simulate(model, SimulationSettings(
+            horizon=horizon, runs=runs, seed=seed,
+            max_seconds=max_seconds, deadline=deadline,
+        ))
+    except ReproError as exc:
+        notes.append(f"des: {exc}")
+        return None, notes
+    observation = result.observations[requirement]
+    if observation.maximum is None:
+        notes.append("des: no response observed within the horizon")
+        return None, notes
+    return EngineBound(
+        engine="des",
+        kind="lower",
+        value_ticks=int(observation.maximum),
+        detail=(f"maximum over {observation.count} observed responses "
+                f"({runs} runs, horizon {horizon} ticks, "
+                f"{time.perf_counter() - started:.2f}s)"),
+        witness={
+            "seed": seed,
+            "runs": runs,
+            "horizon_ticks": horizon,
+            "samples": observation.count,
+        },
+    ), notes
+
+
+def tightest(bounds: list[EngineBound], kind: str) -> "EngineBound | None":
+    """The tightest bound of one *kind* ("upper": minimum, "lower": maximum)."""
+    candidates = [bound for bound in bounds if bound.kind == kind]
+    if not candidates:
+        return None
+    if kind == "upper":
+        return min(candidates, key=lambda bound: bound.value_ticks)
+    return max(candidates, key=lambda bound: bound.value_ticks)

@@ -1,0 +1,106 @@
+"""Bound-guided exact analysis: analytic bounds clamp the exact engine.
+
+The unguided exact analysis is deliberately conservative: the observer
+ceiling defaults to twice the requirement bound and the binary search
+starts at zero, because nothing else is known a priori.  But by the time
+the cheap engines have run, much more *is* known:
+
+* ``WCRT <= min(SymTA, MPA)`` — so an observer ceiling of
+  ``min(SymTA, MPA) + margin`` is sound, and a tighter ceiling coarsens
+  zone extrapolation: fewer distinguishable symbolic states, bit-identical
+  WCRT (every value below the ceiling is preserved exactly);
+* ``WCRT >= max observed DES response`` — so the binary search can start
+  its interval there instead of at zero, skipping the iterations that
+  would only re-establish what a concrete run already proved.
+
+Soundness is inherited from the cross-engine ordering the differential
+oracle enforces (``DES <= exact <= SymTA, MPA``); and even a *wrong*
+analytic bound cannot silently corrupt the result: a guided ``sup`` run
+whose value reaches the clamped ceiling reports a lower bound (not an
+exact value), and a guided binary search whose upper edge fails Property 1
+raises — both of which are precisely "exact exceeds analytic", the
+ordering violation diffcheck exists to surface.  This is also why the
+oracle's default mode keeps the engines independent: guided runs *trust*
+the analytic bounds for speed, so they cannot simultaneously audit them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.arch.analysis import RequirementAnalysis, TimedAutomataSettings, analyze_wcrt
+from repro.arch.model import ArchitectureModel
+from repro.portfolio.bounds import EngineBound, analytic_upper_bounds, des_lower_bound, tightest
+
+__all__ = ["guided_ceiling", "guided_settings", "guided_wcrt"]
+
+#: margin added above the tightest analytic bound: the ceiling must strictly
+#: exceed the WCRT for the supremum below it to be exact, and one extra tick
+#: keeps "WCRT == analytic bound" (a perfectly tight analytic model) exact
+#: instead of degenerating into a lower bound at the ceiling
+GUIDED_MARGIN = 1
+
+
+def guided_ceiling(upper_ticks: int, margin: int = GUIDED_MARGIN) -> int:
+    """Observer ceiling derived from an analytic upper bound.
+
+    ``upper_ticks + margin`` is sound for every ``margin >= 1``: the true
+    WCRT is at most ``upper_ticks``, hence strictly below the ceiling, and
+    the sup/binary-search value is exact whenever it is below the ceiling.
+    """
+    return max(int(upper_ticks) + max(int(margin), 1), 1)
+
+
+def guided_settings(
+    base: TimedAutomataSettings | None,
+    upper: EngineBound | None,
+    lower: EngineBound | None = None,
+) -> TimedAutomataSettings:
+    """Clamp exact-analysis settings with attributed portfolio bounds.
+
+    Returns a copy of *base* whose observer ceiling is
+    :func:`guided_ceiling` of the analytic *upper* bound and whose
+    binary-search interval starts at the DES *lower* bound.  A ``None``
+    bound leaves the corresponding knob at its conservative default.
+    """
+    settings = replace(base) if base is not None else TimedAutomataSettings()
+    if upper is not None:
+        settings = replace(settings, ceiling_ticks=guided_ceiling(upper.value_ticks))
+    if lower is not None:
+        settings = replace(settings, binary_lo=max(int(lower.value_ticks), 0))
+    return settings
+
+
+def guided_wcrt(
+    model: ArchitectureModel,
+    requirement: str,
+    settings: TimedAutomataSettings | None = None,
+    des_runs: int = 0,
+    des_horizon_periods: int = 50,
+    des_seconds: float | None = None,
+    des_seed: int = 1,
+) -> tuple[RequirementAnalysis, "EngineBound | None", "EngineBound | None"]:
+    """One-call bound-guided exact analysis.
+
+    Runs SymTA/MPA (and, when ``des_runs > 0``, a budgeted DES campaign),
+    clamps *settings* with the resulting bounds and performs the exact
+    timed-automata analysis.  Returns ``(analysis, upper, lower)`` where
+    *upper*/*lower* are the guiding bounds actually applied (``None`` when
+    no engine produced one — the analysis then ran unguided on that side).
+
+    For the staged anytime facade with interval history and witnesses, use
+    :func:`repro.portfolio.anytime.analyze` instead.
+    """
+    analytic, _notes = analytic_upper_bounds(model, requirement)
+    upper = tightest(analytic, "upper")
+    lower = None
+    if des_runs > 0:
+        lower, _des_notes = des_lower_bound(
+            model, requirement,
+            runs=des_runs,
+            horizon_periods=des_horizon_periods,
+            max_seconds=des_seconds,
+            seed=des_seed,
+        )
+    clamped = guided_settings(settings, upper, lower)
+    return analyze_wcrt(model, requirement, clamped), upper, lower

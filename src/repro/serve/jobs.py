@@ -21,7 +21,7 @@ from typing import Mapping
 
 from repro.util.errors import ModelError
 
-__all__ = ["AnalysisJob", "analysis_options", "job_result"]
+__all__ = ["AnalysisJob", "analysis_options", "job_result", "portfolio_budget"]
 
 #: option keys admitted into :class:`repro.diffcheck.oracle.OracleConfig`
 ORACLE_OPTIONS = ("max_states", "max_seconds", "des_runs",
@@ -69,6 +69,40 @@ def analysis_options(
     }
 
 
+def portfolio_budget(
+    budget: Mapping,
+    max_states_cap: int,
+    max_seconds_cap: float,
+) -> dict:
+    """Normalise and clamp an anytime-analysis budget (``/analyze`` mode 2).
+
+    Same contract as :func:`analysis_options`: unknown keys are rejected
+    (:meth:`repro.portfolio.anytime.PortfolioBudget.from_dict`), the exact
+    stage's ``max_states``/``max_seconds`` and the DES wall-clock budget are
+    clamped to the operator's caps.  ``max_states: 0`` is preserved -- it is
+    the zero-budget anytime request (analytic + DES bounds, no exact stage).
+    The returned dict is canonical: it is what gets fingerprinted.
+    """
+    from repro.portfolio.anytime import PortfolioBudget
+
+    parsed = PortfolioBudget.from_dict(dict(budget))
+    max_states = parsed.max_states
+    if max_states is None or max_states > max_states_cap:
+        max_states = max_states_cap
+    max_seconds = parsed.max_seconds
+    if max_seconds is None or max_seconds > max_seconds_cap:
+        max_seconds = max_seconds_cap
+    des_seconds = parsed.des_seconds
+    if des_seconds is None or des_seconds > max_seconds_cap:
+        des_seconds = max_seconds_cap
+    return PortfolioBudget.from_dict({
+        **parsed.to_dict(),
+        "max_states": max_states,
+        "max_seconds": max_seconds,
+        "des_seconds": des_seconds,
+    }).to_dict()
+
+
 @dataclass(frozen=True)
 class AnalysisJob:
     """One supervised analysis request (picklable, primitives only)."""
@@ -77,21 +111,35 @@ class AnalysisJob:
     name: str
     #: ``repro-diffcheck-model-v1`` payload
     model: Mapping = field(default_factory=dict)
-    #: clamped output of :func:`analysis_options`
+    #: clamped output of :func:`analysis_options` (oracle mode)
     options: Mapping = field(default_factory=dict)
+    #: clamped output of :func:`portfolio_budget` (anytime mode); when
+    #: non-empty the job runs :func:`repro.portfolio.anytime.analyze`
+    #: instead of the four-engine oracle
+    budget: Mapping = field(default_factory=dict)
 
     def run_in_worker(self, *, index: int = 0, attempt: int = 1,
                       deadline: "float | None" = None) -> dict:
-        """Run the four-engine oracle on the job's model; plain-dict result.
+        """Run the oracle (or the anytime portfolio) on the job's model.
 
         Called inside a supervised worker via the ``run_in_worker`` hook of
         :func:`repro.sweep.runner.run_cell` (*deadline* is unused: the
         service enforces wall-clock limits non-cooperatively, by SIGKILL).
+        Returns a plain JSON-able dict.
         """
         from repro.diffcheck.oracle import OracleConfig, check_model
         from repro.diffcheck.serialize import model_from_dict
 
         model = model_from_dict(self.model)
+        if self.budget:
+            from repro.portfolio.anytime import PortfolioBudget, analyze
+
+            result = analyze(
+                model,
+                PortfolioBudget.from_dict(dict(self.budget)),
+                requirement=next(iter(model.requirements)),
+            )
+            return {"status": "anytime", **result.to_dict(), "attempts": attempt}
         options = dict(self.options)
         witness_strategy = options.pop("witness", "none")
         config = OracleConfig.from_dict(options)

@@ -4,11 +4,13 @@ One asyncio event loop accepts ``repro-diffcheck-model-v1`` JSON over
 plain HTTP and settles every admitted request with exactly one of three
 terminal verdicts:
 
-* **exact/checked** -- the supervised worker pool ran the four-engine
-  oracle to completion (``status`` from the oracle verdict);
+* **exact/checked/anytime** -- the supervised worker pool ran the
+  four-engine oracle (``options`` requests) or the anytime portfolio
+  (``budget`` requests, :func:`repro.portfolio.anytime.analyze`) to
+  completion;
 * **degraded** -- the worker died, was deadline-killed or raised; the
-  server computed the SymTA/MPA upper + budgeted DES lower interval
-  in-process (:func:`repro.sweep.supervisor.degraded_interval`);
+  server computed the zero-budget anytime interval in-process
+  (SymTA/MPA upper + budgeted DES lower bounds, ``max_states=0``);
 * **quarantined** -- the degraded fallback failed too, or the circuit
   breaker already holds the request's fingerprint in cooldown (503).
 
@@ -33,9 +35,9 @@ from dataclasses import dataclass
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.cache import ResultCache, canonical_json, request_fingerprint
 from repro.serve.http import HTTPError, read_request, write_response
-from repro.serve.jobs import AnalysisJob, analysis_options
+from repro.serve.jobs import AnalysisJob, analysis_options, portfolio_budget
 from repro.serve.pool import ServePool
-from repro.sweep.supervisor import SupervisorConfig, degraded_interval
+from repro.sweep.supervisor import SupervisorConfig
 from repro.util.errors import ModelError, ReproError
 
 __all__ = ["ServerConfig", "Metrics", "AnalysisServer"]
@@ -245,6 +247,30 @@ class AnalysisServer:
 
     # -- /analyze ---------------------------------------------------------
     async def _handle_analyze(self, request, writer) -> None:
+        """POST /analyze -- one model, one analysis, one cached verdict.
+
+        Request body (JSON object):
+
+        * ``model`` (required) -- a ``repro-diffcheck-model-v1`` object;
+        * ``options`` (oracle mode, default) -- knobs admitted by
+          :func:`repro.serve.jobs.analysis_options`: oracle budgets plus a
+          ``witness`` strategy.  Response: the four-engine verdict dict of
+          :func:`repro.serve.jobs.job_result` (``status`` =
+          checked/violation/skipped, per-engine values, violations,
+          optional witness);
+        * ``budget`` (anytime mode, mutually exclusive with ``options``) --
+          a :class:`repro.portfolio.anytime.PortfolioBudget` object,
+          clamped by :func:`repro.serve.jobs.portfolio_budget`.  Response:
+          ``{"status": "anytime"}`` plus the ``repro-anytime-v1`` dict of
+          :meth:`repro.portfolio.anytime.AnytimeResult.to_dict` (the sound
+          ``[lower, upper]`` interval with per-engine attribution).
+
+        Unknown/malformed fields are 400s; the *clamped* options or budget
+        are part of the cache fingerprint, so identical requests coalesce
+        and replay byte-identically (``X-Repro-Cache`` header).  Failures
+        settle via :meth:`_degrade` (a zero-budget anytime interval,
+        ``status: "degraded"``) or quarantine (503 + ``Retry-After``).
+        """
         from repro.diffcheck.serialize import model_from_dict
 
         self.metrics.requests += 1
@@ -253,13 +279,28 @@ class AnalysisServer:
         if not isinstance(model_dict, dict):
             self.metrics.rejected_invalid += 1
             raise HTTPError(400, "missing 'model' object")
+        if "budget" in payload and "options" in payload:
+            self.metrics.rejected_invalid += 1
+            raise HTTPError(400, "'budget' (anytime mode) and 'options' "
+                                 "(oracle mode) are mutually exclusive")
+        budget_dict = payload.get("budget")
+        if budget_dict is not None and not isinstance(budget_dict, dict):
+            self.metrics.rejected_invalid += 1
+            raise HTTPError(400, "'budget' must be an object")
         try:
             # full structural validation up front: a malformed model is the
             # client's bug (400), never a worker crash
             model = model_from_dict(model_dict)
-            options = analysis_options(payload.get("options", {}),
-                                       self.config.max_states_cap,
-                                       self.config.max_seconds_cap)
+            if budget_dict is not None:
+                budget = portfolio_budget(budget_dict,
+                                          self.config.max_states_cap,
+                                          self.config.max_seconds_cap)
+                options = {}
+            else:
+                budget = {}
+                options = analysis_options(payload.get("options", {}),
+                                           self.config.max_states_cap,
+                                           self.config.max_seconds_cap)
         except ModelError as exc:
             self.metrics.rejected_invalid += 1
             raise HTTPError(400, str(exc)) from exc
@@ -267,7 +308,11 @@ class AnalysisServer:
             self.metrics.rejected_invalid += 1
             raise HTTPError(400, "model carries no requirement to analyse")
 
-        fingerprint = request_fingerprint(model_dict, options)
+        # the clamped budget is part of the identity: the same model under a
+        # different budget is a different (differently-sound) answer
+        fingerprint = request_fingerprint(
+            model_dict, {"budget": budget} if budget else options
+        )
         if self.draining:
             raise HTTPError(503, "draining")
         cached = self.cache.get(fingerprint) if self.cache else None
@@ -309,7 +354,7 @@ class AnalysisServer:
         settled.add_done_callback(self._jobs.discard)
         try:
             status, body = await self._compute(loop, model_dict, model, options,
-                                               fingerprint, settled)
+                                               fingerprint, settled, budget)
         finally:
             self._inflight.pop(fingerprint, None)
             if not settled.done():  # pragma: no cover - defensive
@@ -318,9 +363,9 @@ class AnalysisServer:
                              headers={"X-Repro-Cache": "miss"})
 
     async def _compute(self, loop, model_dict, model, options, fingerprint,
-                       settled) -> tuple[int, str]:
+                       settled, budget=None) -> tuple[int, str]:
         job = AnalysisJob(name=f"serve/{model.name}", model=model_dict,
-                          options=options)
+                          options=options, budget=budget or {})
         outcome = loop.create_future()
         self.pool.submit(job, lambda kind, value, attempts:
                          loop.call_soon_threadsafe(
@@ -350,19 +395,37 @@ class AnalysisServer:
 
     def _degrade(self, model, fingerprint: str, reason: str,
                  attempts: int) -> tuple[int, str]:
-        """Settle a failed job with analytic bounds -- or quarantine it.
+        """Settle a failed job with a zero-budget anytime interval -- or
+        quarantine it.
 
         Runs in an executor thread: the fallback engines are analytic or
-        cooperatively budgeted, so they cannot wedge the loop for long.
+        cooperatively budgeted, so they cannot wedge the loop for long.  The
+        interval is the zero-budget floor of the anytime portfolio
+        (:func:`repro.portfolio.anytime.analyze` with ``max_states=0``), so
+        a degraded response is an anytime response: sound ``[lower, upper]``
+        bounds, each attributed to the engine that attained it.
         """
+        from repro.portfolio.anytime import PortfolioBudget, analyze
         from repro.sweep.faults import maybe_inject
+        from repro.util.errors import AnalysisError
 
+        config = self.config
         requirement = next(iter(model.requirements.values()))
         try:
             # same chaos hook as the sweep's fallback (stage="degraded")
             maybe_inject(f"serve/{model.name}", -1, attempts, stage="degraded")
-            lower, upper, satisfied = degraded_interval(
-                model, requirement.name, self.config.supervisor_config())
+            result = analyze(model, PortfolioBudget(
+                max_states=0,
+                des_runs=config.degraded_des_runs,
+                des_seconds=config.degraded_des_seconds,
+                des_horizon_periods=config.degraded_des_horizon_periods,
+            ), requirement=requirement.name)
+            lower, upper = result.interval()
+            if lower is None and upper is None:
+                raise AnalysisError(
+                    "degraded fallback produced no bound ("
+                    + "; ".join(result.notes) + ")"
+                )
         except ReproError as exc:
             self.breaker.quarantine(fingerprint)
             self.metrics.quarantined += 1
@@ -379,9 +442,10 @@ class AnalysisServer:
             "bound_ticks": requirement.bound,
             "wcrt_ticks": None,
             "exact": False,
-            "satisfied": satisfied,
+            "satisfied": result.satisfied,
             "degraded_lower_ticks": lower,
             "degraded_upper_ticks": upper,
+            "anytime": result.to_dict(),
             "failure": reason,
             "attempts": attempts,
         })

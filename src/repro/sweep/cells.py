@@ -79,6 +79,10 @@ class SweepCell:
     #: a delay strategy name ("earliest"/"latest"/"midpoint"), "all" for all
     #: three, or None (default) to skip; forces trace recording
     witness: str | None = None
+    #: run the cell bound-guided (:mod:`repro.portfolio.guided`): SymTA/MPA
+    #: clamp the observer ceiling (and a budgeted DES run seeds the binary
+    #: search) before the exact exploration -- same WCRT, fewer states
+    guided: bool = False
 
     def __post_init__(self):
         if (self.combination is None) != (self.configuration is None):

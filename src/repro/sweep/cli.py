@@ -105,6 +105,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="build + validate a concrete witness schedule per cell "
                              "(TA step-check + DES replay; forces trace recording); "
                              "fails the sweep when a witness does not validate")
+    parser.add_argument("--guided", action="store_true",
+                        help="run every cell bound-guided: SymTA/MPA clamp the "
+                             "observer ceiling (and DES seeds the binary search) "
+                             "before the exact exploration -- identical WCRTs, "
+                             "fewer states (docs/portfolio.md)")
     supervision = parser.add_argument_group("supervision (docs/robustness.md)")
     supervision.add_argument("--deadline-seconds", type=float, default=None,
                              metavar="S",
@@ -157,6 +162,8 @@ def main(argv: list[str] | None = None) -> int:
         cells = _build_cells(args)
         if args.witness is not None:
             cells = [replace(cell, witness=args.witness) for cell in cells]
+        if args.guided:
+            cells = [replace(cell, guided=True) for cell in cells]
     except ModelError as exc:
         print(f"invalid cell specification: {exc}", file=sys.stderr)
         return 2

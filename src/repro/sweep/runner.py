@@ -110,6 +110,10 @@ class CellResult:
     #: degraded cells only: tightest SymTA/MPA upper bound
     degraded_upper_ticks: int | None = None
     degraded_upper_ms: float | None = None
+    #: True when the cell ran bound-guided (repro.portfolio.guided)
+    guided: bool = False
+    #: guided cells only: the analytic upper bound that clamped the ceiling
+    analytic_upper_ticks: int | None = None
 
     @property
     def usable(self) -> bool:
@@ -140,6 +144,11 @@ class CellResult:
                       "degraded_upper_ticks", "degraded_upper_ms"):
             if out[bound] is None:
                 out.pop(bound)
+        # guided fields only appear on guided cells, so the trajectory
+        # format of unguided runs is unchanged
+        if not self.guided:
+            out.pop("guided")
+            out.pop("analytic_upper_ticks")
         if self.kind == "diffcheck":
             # WCRT-specific fields (and the per-exploration counters the
             # campaign does not aggregate) carry no signal for a fuzzing window
@@ -277,6 +286,23 @@ def run_cell(cell: "SweepCell | DiffCheckCell", *, index: int = 0,
         settings.deadline = deadline
     if cell.witness is not None and not settings.record_traces:
         settings.record_traces = True
+    analytic_upper_ticks: int | None = None
+    if cell.guided:
+        # clamp the exact exploration with the cheap engines' bounds (same
+        # WCRT, fewer states -- docs/portfolio.md); the DES lower bound is
+        # only worth its runs when the binary search can consume it
+        from repro.portfolio.bounds import analytic_upper_bounds, des_lower_bound, tightest
+        from repro.portfolio.guided import guided_settings
+
+        analytic, _notes = analytic_upper_bounds(model, cell.requirement)
+        upper = tightest(analytic, "upper")
+        lower = None
+        if settings.method in ("binary", "binary-search"):
+            lower, _des_notes = des_lower_bound(
+                model, cell.requirement, runs=2, max_seconds=5.0, deadline=deadline
+            )
+        settings = guided_settings(settings, upper, lower)
+        analytic_upper_ticks = None if upper is None else upper.value_ticks
     analysis = analyze_wcrt(model, cell.requirement, settings)
     witnesses_attempted = witnesses_validated = 0
     witness_problems: list[str] = []
@@ -325,6 +351,8 @@ def run_cell(cell: "SweepCell | DiffCheckCell", *, index: int = 0,
         witnesses_validated=witnesses_validated,
         witness_problems=tuple(witness_problems),
         attempts=attempt,
+        guided=cell.guided,
+        analytic_upper_ticks=analytic_upper_ticks,
     )
 
 

@@ -155,38 +155,28 @@ def degraded_interval(model, requirement_name: str, config: SupervisorConfig):
     :class:`AnalysisError` when no engine produces a bound.
 
     Shared by :func:`degraded_cell_result` and the analysis service's
-    per-request degradation (:mod:`repro.serve`).
+    per-request degradation (:mod:`repro.serve`).  The bounds themselves
+    come from :mod:`repro.portfolio.bounds` — the degraded interval is
+    exactly the zero-budget floor of the anytime portfolio
+    (:func:`repro.portfolio.anytime.analyze` with ``max_states=0``).
     """
-    from repro.baselines.des.simulator import SimulationSettings, simulate
-    from repro.baselines.mpa import analysis as mpa_analysis
-    from repro.baselines.symta import analysis as symta_analysis
+    from repro.portfolio.bounds import analytic_upper_bounds, des_lower_bound, tightest
 
     requirement = model.requirement(requirement_name)
-    notes: list[str] = []
 
-    upper: int | None = None
-    for engine_name, engine in (("symta", symta_analysis), ("mpa", mpa_analysis)):
-        try:
-            value = engine.analyze(model).latencies[requirement_name]
-        except ReproError as exc:
-            notes.append(f"{engine_name}: {exc}")
-            continue
-        upper = value if upper is None else min(upper, value)
+    analytic, notes = analytic_upper_bounds(model, requirement_name)
+    upper_bound = tightest(analytic, "upper")
+    upper = None if upper_bound is None else upper_bound.value_ticks
 
-    lower: int | None = None
-    try:
-        horizon = config.degraded_des_horizon_periods * max(
-            scenario.event_model.period for scenario in model.scenarios.values()
-        )
-        des = simulate(model, SimulationSettings(
-            horizon=horizon,
-            runs=config.degraded_des_runs,
-            seed=1,
-            max_seconds=config.degraded_des_seconds,
-        ))
-        lower = des.observations[requirement_name].maximum
-    except ReproError as exc:
-        notes.append(f"des: {exc}")
+    lower_bound, des_notes = des_lower_bound(
+        model, requirement_name,
+        runs=config.degraded_des_runs,
+        horizon_periods=config.degraded_des_horizon_periods,
+        max_seconds=config.degraded_des_seconds,
+        seed=1,
+    )
+    notes.extend(des_notes)
+    lower = None if lower_bound is None else lower_bound.value_ticks
 
     if upper is None and lower is None:
         raise AnalysisError(

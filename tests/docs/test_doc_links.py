@@ -1,0 +1,78 @@
+"""The documentation cross-link web must stay unbroken (tools/check_doc_links.py)."""
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+CHECKER = os.path.join(REPO_ROOT, "tools", "check_doc_links.py")
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_doc_links", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_readme_and_docs_links_resolve():
+    """Every relative link/anchor in README.md + docs/*.md resolves."""
+    result = subprocess.run(
+        [sys.executable, CHECKER], cwd=REPO_ROOT,
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_checker_covers_the_doc_web():
+    """The default file set includes README and every docs page."""
+    checker = _load_checker()
+    files = {os.path.relpath(f, REPO_ROOT) for f in checker.default_files(REPO_ROOT)}
+    assert "README.md" in files
+    assert "docs/architecture.md" in files
+    assert "docs/portfolio.md" in files
+    assert len([f for f in files if f.startswith("docs/")]) >= 8
+
+
+@pytest.mark.parametrize("heading,slug", [
+    ("The anytime contract", "the-anytime-contract"),
+    ("### 3. `casestudy`", "3-casestudy"),
+    ("Why `Pool.map` is not enough", "why-poolmap-is-not-enough"),
+    ("Bound-guided exploration (`repro.portfolio`)",
+     "bound-guided-exploration-reproportfolio"),
+])
+def test_github_slug_algorithm(heading, slug):
+    checker = _load_checker()
+    text = heading.lstrip("#").strip()
+    assert checker.slugify(text) == slug
+
+
+def test_checker_catches_breakage(tmp_path):
+    """A missing file and a missing anchor both fail with exit code 1."""
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "a.md").write_text("# Real heading\n")
+    readme = tmp_path / "README.md"
+    readme.write_text(
+        "# Title\n\n[ok](docs/a.md#real-heading)\n"
+        "[bad](docs/missing.md)\n[badanchor](docs/a.md#nope)\n"
+    )
+    checker = _load_checker()
+    root = str(tmp_path)
+    problems = checker.check_file(str(readme), root, {})
+    assert len(problems) == 2
+    assert "docs/missing.md" in problems[0]
+    assert "nope" in problems[1]
+
+
+def test_code_fences_are_ignored(tmp_path):
+    """Example links inside fenced code blocks are not validated."""
+    readme = tmp_path / "README.md"
+    readme.write_text(
+        "# Title\n\n```markdown\n[example](not/a/real/file.md)\n```\n"
+    )
+    checker = _load_checker()
+    assert checker.check_file(str(readme), str(tmp_path), {}) == []

@@ -1,0 +1,99 @@
+"""Bound-guided exact analysis: exactness and the guided oracle mode.
+
+Guiding must change how much is explored, never what is computed: every
+test pins a guided run against its unguided reference, and a small guided
+diffcheck campaign (the ISSUE's exactness gate, scaled to CI) must report
+zero ordering violations.
+"""
+
+import pytest
+
+from repro.arch.analysis import TimedAutomataSettings, analyze_wcrt
+from repro.casestudy import build_radio_navigation, configure
+from repro.diffcheck import OracleConfig, check_model, sample_model
+from repro.portfolio import (
+    analytic_upper_bounds,
+    guided_ceiling,
+    guided_settings,
+    guided_wcrt,
+    tightest,
+)
+
+#: the guided campaign budget (mirrors the fast oracle budgets of
+#: tests/diffcheck; bound_guided clamps the TA runs on top)
+GUIDED = OracleConfig(max_states=4_000, max_seconds=2.0, des_runs=2,
+                      des_horizon_periods=20, bound_guided=True)
+
+
+class TestGuidedExactness:
+    def test_guided_reproduces_the_po_anchor_with_fewer_states(self):
+        model = configure(build_radio_navigation(), "AL+TMC", "po")
+        unguided = analyze_wcrt(model, "TMC", TimedAutomataSettings(seed=1))
+        analysis, upper, lower = guided_wcrt(model, "TMC")
+        assert not analysis.is_lower_bound
+        assert analysis.wcrt_ticks == unguided.wcrt_ticks == 172106
+        assert (analysis.detail.statistics.states_explored
+                < unguided.detail.statistics.states_explored)
+        assert upper.value_ticks >= 172106
+        assert lower is None  # sup mode needs no interval seed
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_guided_matches_unguided_on_sampled_models(self, seed):
+        model = sample_model(seed)
+        requirement = next(iter(model.requirements))
+        settings = TimedAutomataSettings(max_states=20_000, seed=1)
+        unguided = analyze_wcrt(model, requirement, settings)
+        if unguided.is_lower_bound:
+            pytest.skip(f"seed {seed}: unguided exploration not exact")
+        analytic, _notes = analytic_upper_bounds(model, requirement)
+        clamped = guided_settings(settings, tightest(analytic, "upper"))
+        guided = analyze_wcrt(model, requirement, clamped)
+        assert not guided.is_lower_bound
+        assert guided.wcrt_ticks == unguided.wcrt_ticks
+        assert (guided.detail.statistics.states_explored
+                <= unguided.detail.statistics.states_explored)
+
+    def test_guided_ceiling_margin(self):
+        assert guided_ceiling(100) == 101
+        assert guided_ceiling(100, margin=5) == 105
+        assert guided_ceiling(0) == 1
+
+    def test_guided_settings_clamp_ceiling_and_interval(self):
+        from repro.portfolio.bounds import EngineBound
+
+        base = TimedAutomataSettings(method="binary-search")
+        upper = EngineBound("symta", "upper", 500)
+        lower = EngineBound("des", "lower", 120)
+        clamped = guided_settings(base, upper, lower)
+        assert clamped.ceiling_ticks == guided_ceiling(500)
+        assert clamped.binary_lo == 120
+        assert clamped.method == "binary-search"
+
+
+class TestGuidedOracleCampaign:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_guided_campaign_has_zero_violations(self, seed):
+        """The exactness gate: guided runs keep the soundness ordering."""
+        verdict = check_model(sample_model(seed), seed=seed, config=GUIDED)
+        assert verdict.violations == [], (seed, verdict.violations)
+        assert verdict.status in ("checked", "checked-inexact", "skipped",
+                                  "degraded")
+
+    def test_guided_and_independent_agree_on_the_ta_value(self):
+        """Guiding never changes the exact verdict, only the state count."""
+        independent = OracleConfig(max_states=4_000, max_seconds=2.0,
+                                   des_runs=2, des_horizon_periods=20)
+        for seed in range(4):
+            model = sample_model(seed)
+            guided = check_model(model, seed=seed, config=GUIDED)
+            plain = check_model(model, seed=seed, config=independent)
+            if not (guided.verdicts["ta"].exact and plain.verdicts["ta"].exact):
+                continue
+            assert guided.verdicts["ta"].value == plain.verdicts["ta"].value, seed
+
+    def test_bound_guided_survives_config_round_trip(self):
+        config = OracleConfig(max_states=77, bound_guided=True)
+        restored = OracleConfig.from_dict(config.to_dict())
+        assert restored.bound_guided is True
+        assert restored.max_states == 77
+        assert OracleConfig().bound_guided is False  # independent by default

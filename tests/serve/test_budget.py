@@ -1,0 +1,100 @@
+"""The /analyze anytime mode: ``budget`` requests (docs/portfolio.md).
+
+One fault-free in-process server per module, like test_server.py; the
+two-task model's exact WCRT is 12 ticks (see serve.smoke).
+"""
+
+import json
+
+import pytest
+
+from repro.serve import ServerConfig
+from repro.serve.smoke import post_json, two_task_model_dict
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory, live_server_cls):
+    cache = str(tmp_path_factory.mktemp("serve-budget") / "serve.cache.jsonl")
+    live = live_server_cls(ServerConfig(
+        workers=2, queue_limit=8, deadline_seconds=60.0,
+        max_states_cap=5_000, max_seconds_cap=5.0, cache_path=cache,
+    ))
+    yield live
+    live.stop()
+
+
+class TestAnytimeMode:
+    def test_budget_request_returns_an_anytime_point_interval(self, server):
+        payload = {"model": two_task_model_dict("anytime-exact"),
+                   "budget": {"max_states": 2_000, "des_runs": 2}}
+        status, _headers, body = post_json(server.port, "/analyze", payload)
+        assert status == 200
+        result = json.loads(body)
+        assert result["status"] == "anytime"
+        assert result["schema"] == "repro-anytime-v1"
+        assert result["exact"] is True
+        assert result["wcrt_ticks"] == 12
+        assert result["lower_ticks"] == result["upper_ticks"] == 12
+        assert result["lower"]["engine"] == "ta"
+        assert result["upper"]["engine"] == "ta"
+        stages = [update["stage"] for update in result["updates"]]
+        assert stages.index("analytic") < stages.index("exact")
+        assert "wall_seconds" in result  # still JSON, but not part of the
+        # cached identity: see the byte-identity test below
+
+    def test_zero_budget_interval_brackets_the_wcrt(self, server):
+        payload = {"model": two_task_model_dict("anytime-floor"),
+                   "budget": {"max_states": 0, "des_runs": 2}}
+        status, _headers, body = post_json(server.port, "/analyze", payload)
+        assert status == 200
+        result = json.loads(body)
+        assert result["status"] == "anytime"
+        assert result["exact"] is False
+        assert result["wcrt_ticks"] is None
+        assert result["lower_ticks"] <= 12 <= result["upper_ticks"]
+        assert result["lower"]["engine"] == "des"
+        assert result["upper"]["engine"] in ("symta", "mpa")
+
+    def test_budget_is_part_of_the_cache_identity(self, server):
+        model = two_task_model_dict("anytime-cache")
+        first = {"model": model, "budget": {"max_states": 2_000}}
+        status1, headers1, body1 = post_json(server.port, "/analyze", first)
+        status2, headers2, body2 = post_json(server.port, "/analyze", first)
+        assert (status1, status2) == (200, 200)
+        assert headers2.get("x-repro-cache") == "hit"
+        assert body1 == body2  # byte-identical replay
+        different = {"model": model, "budget": {"max_states": 0}}
+        status3, headers3, body3 = post_json(server.port, "/analyze", different)
+        assert status3 == 200
+        assert headers3.get("x-repro-cache") == "miss"
+        assert json.loads(body3)["exact"] is False
+
+    def test_budget_clamped_to_server_caps(self, server):
+        payload = {"model": two_task_model_dict("anytime-clamp"),
+                   "budget": {"max_states": 10_000_000}}
+        status, _headers, body = post_json(server.port, "/analyze", payload)
+        assert status == 200
+        # the cap (5000) is plenty for this model: still exact
+        assert json.loads(body)["exact"] is True
+
+
+class TestBudgetValidation:
+    def test_budget_and_options_are_mutually_exclusive(self, server):
+        payload = {"model": two_task_model_dict("anytime-bad"),
+                   "budget": {}, "options": {}}
+        status, _headers, body = post_json(server.port, "/analyze", payload)
+        assert status == 400
+        assert "mutually exclusive" in json.loads(body)["error"]
+
+    def test_unknown_budget_key_400(self, server):
+        payload = {"model": two_task_model_dict("anytime-typo"),
+                   "budget": {"max_statez": 5}}
+        status, _headers, body = post_json(server.port, "/analyze", payload)
+        assert status == 400
+        assert "max_statez" in json.loads(body)["error"]
+
+    def test_non_object_budget_400(self, server):
+        payload = {"model": two_task_model_dict("anytime-type"),
+                   "budget": 7}
+        status, _headers, _body = post_json(server.port, "/analyze", payload)
+        assert status == 400

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Check relative markdown links and anchors across README and docs/.
+
+The documentation is a cross-linked web (``docs/architecture.md`` is the
+hub); a renamed file or heading silently strands readers.  This checker
+fails on:
+
+* relative links to files that do not exist (``[x](portfolio.md)``);
+* anchor links to headings that do not exist, in the same file
+  (``[x](#contract)``) or another (``[x](portfolio.md#contract)``),
+  using GitHub's heading-slug algorithm.
+
+External links (``http(s)://``, ``mailto:``) are not fetched, and links
+that resolve outside the repository root (GitHub-web paths like the badge
+targets ``../../actions/...``) are skipped.  Links inside fenced code
+blocks are ignored — they are examples, not navigation.
+
+Usage::
+
+    python tools/check_doc_links.py            # README.md + docs/*.md
+    python tools/check_doc_links.py FILE...    # explicit file list
+
+Exit codes: 0 ok, 1 broken links (each printed as ``file:line: problem``),
+2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import re
+import sys
+
+#: inline links/images: ``[text](target)`` with an optional "title"
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+_SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's heading-anchor slug: lowercase, drop punctuation, dash spaces."""
+    text = re.sub(r"[`*~]", "", heading.strip().lower())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    return re.sub(r"[^\w\- ]", "", text).replace(" ", "-")
+
+
+def _non_code_lines(text: str):
+    """Yield ``(lineno, line)`` for lines outside fenced code blocks."""
+    fence = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _FENCE_RE.match(line)
+        if match:
+            marker = match.group(1)
+            if fence is None:
+                fence = marker
+            elif marker == fence:
+                fence = None
+            continue
+        if fence is None:
+            yield lineno, line
+
+
+def heading_slugs(path: str) -> set[str]:
+    """All anchor slugs of *path*, with GitHub's -1/-2 duplicate suffixes."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    slugs: set[str] = set()
+    seen: dict[str, int] = {}
+    for _lineno, line in _non_code_lines(text):
+        match = _HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def check_file(path: str, repo_root: str, slug_cache: dict[str, set[str]]) -> list[str]:
+    """Return ``file:line: problem`` strings for every broken link in *path*."""
+    problems: list[str] = []
+    directory = os.path.dirname(os.path.abspath(path))
+    relative = os.path.relpath(path, repo_root)
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for lineno, line in _non_code_lines(text):
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if _SCHEME_RE.match(target):
+                continue  # external: not fetched
+            base, _, fragment = target.partition("#")
+            if base:
+                resolved = os.path.normpath(os.path.join(directory, base))
+                if os.path.commonpath(
+                    [repo_root, os.path.abspath(resolved)]
+                ) != repo_root:
+                    continue  # GitHub-web path outside the repo (badges)
+                if not os.path.exists(resolved):
+                    problems.append(
+                        f"{relative}:{lineno}: broken link {target!r} "
+                        f"({os.path.relpath(resolved, repo_root)} does not exist)"
+                    )
+                    continue
+            else:
+                resolved = os.path.abspath(path)
+            if not fragment:
+                continue
+            if not resolved.endswith((".md", ".markdown")):
+                continue  # anchors into non-markdown files: not checkable
+            if resolved not in slug_cache:
+                slug_cache[resolved] = heading_slugs(resolved)
+            if fragment.lower() not in slug_cache[resolved]:
+                problems.append(
+                    f"{relative}:{lineno}: broken anchor {target!r} "
+                    f"(no heading slug {fragment!r} in "
+                    f"{os.path.relpath(resolved, repo_root)})"
+                )
+    return problems
+
+
+def default_files(repo_root: str) -> list[str]:
+    files = [os.path.join(repo_root, "README.md")]
+    files.extend(sorted(glob.glob(os.path.join(repo_root, "docs", "*.md"))))
+    return [path for path in files if os.path.exists(path)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*",
+                        help="markdown files to check (default: README.md docs/*.md)")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: the checker's parent dir)")
+    args = parser.parse_args(argv)
+
+    repo_root = os.path.abspath(
+        args.root or os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+    )
+    files = [os.path.abspath(f) for f in args.files] or default_files(repo_root)
+    missing = [f for f in files if not os.path.exists(f)]
+    if missing:
+        for f in missing:
+            print(f"no such file: {f}", file=sys.stderr)
+        return 2
+
+    slug_cache: dict[str, set[str]] = {}
+    problems: list[str] = []
+    links = 0
+    for path in files:
+        before = len(problems)
+        problems.extend(check_file(path, repo_root, slug_cache))
+        with open(path, encoding="utf-8") as handle:
+            links += sum(
+                1 for _ln, line in _non_code_lines(handle.read())
+                for _m in _LINK_RE.finditer(line)
+            )
+        rel = os.path.relpath(path, repo_root)
+        status = "ok" if len(problems) == before else f"{len(problems) - before} broken"
+        print(f"  {rel}: {status}")
+    if problems:
+        print(f"\n{len(problems)} broken link(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"doc links ok: {links} links across {len(files)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
