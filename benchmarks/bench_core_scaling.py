@@ -89,8 +89,12 @@ def run_cell(
 ) -> dict:
     """Run one cell *reps* times; returns metrics with the best throughput."""
     configured = configure(model, combination, configuration, policy=policy)
+    # reductions off: these cells are the unreduced baseline whose anchors
+    # stay comparable across the trajectory history; the ``#reduced`` twins
+    # below measure the reductions against them (docs/reductions.md)
     settings = TimedAutomataSettings(
-        search_order=search_order, max_states=max_states, seed=1, method=method
+        search_order=search_order, max_states=max_states, seed=1, method=method,
+        reductions="none",
     )
     best = None
     for _ in range(max(1, reps)):
@@ -145,7 +149,10 @@ def run_guided_cell(
     lower = None
     if method in ("binary", "binary-search"):
         lower, _des_notes = des_lower_bound(configured, REQUIREMENT, runs=2)
-    base = TimedAutomataSettings(search_order="bfs", seed=1, method=method)
+    # reductions off here too: the guided points isolate what the bound
+    # clamp alone saves, the ``#reduced`` points what the reductions save
+    base = TimedAutomataSettings(search_order="bfs", seed=1, method=method,
+                                 reductions="none")
     settings = guided_settings(base, upper, lower)
     best = None
     for _ in range(max(1, reps)):
@@ -185,6 +192,77 @@ def verify_guided_cell(name: str, guided: dict, unguided: dict) -> list[str]:
             f"{name}: guided run explored {guided['states_explored']} states "
             f"> unguided {unguided['states_explored']}"
         )
+    return problems
+
+
+def run_reduced_cell(
+    configured, requirement: str, reps: int, reductions: str = "all"
+) -> dict:
+    """Run one cell with the given state-space reductions (docs/reductions.md).
+
+    LU extrapolation, partial-order reduction and symmetry are all
+    exactness-preserving: the WCRT must come out bit-identical to the
+    unreduced twin, only the explored state count may shrink.  The point
+    records which reductions actually fired through the engine's counters
+    (``reductions="none"`` records the unreduced twin itself).
+    """
+    settings = TimedAutomataSettings(search_order="bfs", seed=1,
+                                     reductions=reductions)
+    best = None
+    for _ in range(max(1, reps)):
+        with Timer() as timer:
+            result = analyze_wcrt(configured, requirement, settings)
+        stats = result.detail.statistics
+        point = {
+            "states_per_second": round(stats.states_per_second, 1),
+            "wcrt_ticks": result.wcrt_ticks,
+            "is_lower_bound": result.is_lower_bound,
+            "states_explored": stats.states_explored,
+            "states_stored": stats.states_stored,
+            "transitions": stats.transitions,
+            "explore_seconds": round(stats.elapsed_seconds, 4),
+            "wall_seconds": round(timer.seconds, 4),
+            "reductions": reductions,
+            **stats.reduction_counters(),
+        }
+        if best is None or point["states_per_second"] > best["states_per_second"]:
+            best = point
+    return best
+
+
+def verify_reduced_cell(
+    name: str, reduced: dict, unreduced: dict, min_reduction: float = 0.0
+) -> list[str]:
+    """A reduced run must change how much is explored, never what is computed.
+
+    The twin comparison runs in-process on the same machine and model build,
+    so a WCRT drift is a soundness bug in a reduction, not noise.
+    ``min_reduction`` additionally requires the explored state count to
+    shrink by at least that fraction (the replicated-load cell pins the
+    symmetry fold this way).
+    """
+    problems: list[str] = []
+    if reduced["wcrt_ticks"] != unreduced["wcrt_ticks"]:
+        problems.append(
+            f"{name}: reduced wcrt {reduced['wcrt_ticks']} != "
+            f"unreduced {unreduced['wcrt_ticks']} (a reduction changed the verdict)"
+        )
+    if reduced["is_lower_bound"] != unreduced["is_lower_bound"]:
+        problems.append(f"{name}: reduced run changed the lower-bound status")
+    if reduced["states_explored"] > unreduced["states_explored"]:
+        problems.append(
+            f"{name}: reduced run explored {reduced['states_explored']} states "
+            f"> unreduced {unreduced['states_explored']}"
+        )
+    if min_reduction > 0.0:
+        ceiling = (1.0 - min_reduction) * unreduced["states_explored"]
+        if reduced["states_explored"] > ceiling:
+            problems.append(
+                f"{name}: reduced run explored {reduced['states_explored']} "
+                f"states, needs <= {ceiling:.0f} "
+                f"(>= {min_reduction:.0%} below unreduced "
+                f"{unreduced['states_explored']})"
+            )
     return problems
 
 
@@ -327,6 +405,52 @@ def main(argv: list[str] | None = None) -> int:
             f"(wcrt = {guided_binary['wcrt_ticks']}, {saved} states saved vs "
             f"{unguided_binary['states_explored']} unguided)"
         )
+
+    # state-space reduction twins (docs/reductions.md): LU extrapolation,
+    # partial-order and symmetry reduction all on, each point verified
+    # in-run against its unreduced anchor above -- bit-identical WCRT,
+    # never more states.  The replicated-load cell exercises the symmetry
+    # fold the case study cannot (its scenarios share every resource) and
+    # pins a >= 30% explored-state reduction.
+    for combination, configuration in cells:
+        name = f"{combination}/{configuration}#reduced"
+        unreduced = points[f"{combination}/{configuration}"]
+        point = run_reduced_cell(
+            configure(model, combination, configuration), REQUIREMENT, reps
+        )
+        points[name] = point
+        problems.extend(verify_reduced_cell(name, point, unreduced))
+        saved = unreduced["states_explored"] - point["states_explored"]
+        print(
+            f"  {name:18s} {point['states_explored']:7d} states  "
+            f"{point['states_per_second']:9.1f} states/s  "
+            f"(wcrt = {point['wcrt_ticks']}, {saved} states saved)"
+        )
+
+    from repro.casestudy import REPLICATED_REQUIREMENT, build_replicated_load
+
+    replicated = build_replicated_load()
+    replicated_unreduced = run_reduced_cell(
+        replicated, REPLICATED_REQUIREMENT, reps, reductions="none"
+    )
+    points["replicated/periodic"] = replicated_unreduced
+    replicated_reduced = run_reduced_cell(replicated, REPLICATED_REQUIREMENT, reps)
+    points["replicated/periodic#reduced"] = replicated_reduced
+    problems.extend(verify_reduced_cell(
+        "replicated/periodic#reduced", replicated_reduced, replicated_unreduced,
+        min_reduction=0.30,
+    ))
+    saved = (replicated_unreduced["states_explored"]
+             - replicated_reduced["states_explored"])
+    fraction = (saved / replicated_unreduced["states_explored"]
+                if replicated_unreduced["states_explored"] else 0.0)
+    print(
+        f"  {'replicated/periodic#reduced':27s} "
+        f"{replicated_reduced['states_explored']:7d} states  "
+        f"{replicated_reduced['states_per_second']:9.1f} states/s  "
+        f"(wcrt = {replicated_reduced['wcrt_ticks']}, {saved} states saved, "
+        f"{fraction:.0%} below unreduced {replicated_unreduced['states_explored']})"
+    )
 
     # concrete witness schedules for the Table 1 WCRT anchors: every
     # strategy must concretise the exact AL+TMC/po trace into a schedule

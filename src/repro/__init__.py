@@ -32,6 +32,18 @@ Embedded System Architectures* (IPPS 2006).  The library contains
 ``docs/architecture.md`` maps the subsystems and the data flow between
 them.
 
+Public API
+----------
+The names in ``__all__`` below are the library's curated surface: the
+anytime :func:`analyze` facade with its :class:`PortfolioBudget`, the exact
+engine's :class:`TimedAutomataSettings` / :func:`analyze_wcrt` /
+:class:`SearchOptions`, the unified :class:`ReductionConfig` of the
+state-space reductions (``docs/reductions.md``), sweep cells, the case
+study, and the model/witness schema helpers used to move models and
+schedules across JSON boundaries.  They are re-exported lazily (PEP 562),
+so ``import repro`` stays cheap; ``tools/check_public_api.py`` pins the
+surface against ``tools/public_api.txt``.
+
 Quickstart
 ----------
 See ``examples/quickstart.py`` for a complete walk-through, or start from
@@ -39,10 +51,60 @@ See ``examples/quickstart.py`` for a complete walk-through, or start from
 see ``examples/anytime_analysis.py``.
 """
 
+from __future__ import annotations
+
 __version__ = "1.0.0"
 
-__all__ = [
+#: curated name -> defining module (PEP 562 lazy re-exports)
+_EXPORTS = {
+    # anytime portfolio facade
+    "analyze": "repro.portfolio.anytime",
+    "AnytimeResult": "repro.portfolio.anytime",
+    "PortfolioBudget": "repro.portfolio.anytime",
+    # exact engine configuration
+    "TimedAutomataSettings": "repro.arch.analysis",
+    "analyze_wcrt": "repro.arch.analysis",
+    "analyze_requirements": "repro.arch.analysis",
+    "SearchOptions": "repro.core.reachability",
+    "ReductionConfig": "repro.core.reductions",
+    # sweep grids
+    "SweepCell": "repro.sweep.cells",
+    "run_sweep": "repro.sweep.runner",
+    # the case study
+    "build_radio_navigation": "repro.casestudy.system",
+    # model schema helpers (repro-diffcheck-model-v1)
+    "model_to_dict": "repro.diffcheck.serialize",
+    "model_from_dict": "repro.diffcheck.serialize",
+    # witness schema helpers (repro-witness-v1)
+    "run_to_dict": "repro.witness.schedule",
+    "run_from_dict": "repro.witness.schedule",
+    "build_witness": "repro.witness.build",
+    "validate_witness": "repro.witness.replay",
+}
+
+#: subsystem modules, importable as ``repro.<name>``
+_SUBSYSTEMS = (
     "core", "arch", "casestudy", "baselines", "portfolio", "diffcheck",
     "witness", "sweep", "serve", "io", "util", "perf",
-    "__version__",
-]
+)
+
+__all__ = [*sorted(_EXPORTS), *_SUBSYSTEMS, "__version__"]
+
+
+def __getattr__(name: str):
+    import importlib
+
+    if name in _SUBSYSTEMS:
+        # ``repro.sweep`` etc. work without an explicit submodule import
+        value = importlib.import_module(f"{__name__}.{name}")
+    else:
+        module_name = _EXPORTS.get(name)
+        if module_name is None:
+            raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+        value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -13,9 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+import warnings
+
 from repro.arch.generator import GeneratedModel, GeneratorOptions, build_model
 from repro.arch.model import ArchitectureModel
 from repro.core.reachability import SearchOptions
+from repro.core.reductions import ReductionConfig
 from repro.core.successors import SemanticsOptions
 from repro.core.wcrt import WCRTResult, wcrt_binary_search, wcrt_sup
 from repro.util.errors import AnalysisError
@@ -59,6 +62,23 @@ class TimedAutomataSettings:
     generator: GeneratorOptions = field(default_factory=GeneratorOptions)
     #: whether to keep parent pointers for witness traces
     record_traces: bool = False
+    #: exactness-preserving state-space reductions (LU extrapolation,
+    #: partial-order reduction, symmetry).  Accepts a
+    #: :class:`~repro.core.reductions.ReductionConfig`, a spec string such as
+    #: ``"all"``/``"none"``/``"lu_extrapolation,symmetry"``, or a mapping;
+    #: ``None`` means all reductions enabled (the default)
+    reductions: ReductionConfig | str | Mapping | None = None
+
+    def __post_init__(self):
+        if self.extrapolation == "lu":
+            warnings.warn(
+                "extrapolation='lu' is deprecated; use "
+                "reductions='lu_extrapolation' (the explorer now selects the "
+                "LU grid through ReductionConfig)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        self.reductions = ReductionConfig.parse(self.reductions)
 
     def search_options(self) -> SearchOptions:
         return SearchOptions(
@@ -68,6 +88,7 @@ class TimedAutomataSettings:
             deadline=self.deadline,
             seed=self.seed,
             record_traces=self.record_traces,
+            reductions=self.reductions,
         )
 
     def semantics_options(self) -> SemanticsOptions:

@@ -108,9 +108,13 @@ class GeneratedModel:
     _compiled: CompiledNetwork | None = field(default=None, repr=False)
 
     def compile(self) -> CompiledNetwork:
-        """Compile (and cache) the network."""
+        """Compile (and cache) the network, attaching detected symmetry."""
         if self._compiled is None:
-            self._compiled = self.network.compile()
+            from repro.arch.symmetry import detect_symmetry
+
+            compiled = self.network.compile()
+            compiled.symmetry = detect_symmetry(self, compiled)
+            self._compiled = compiled
         return self._compiled
 
 

@@ -1,0 +1,265 @@
+"""Detection of replicated architecture units for the symmetry reduction.
+
+Replicated load — ``k`` structurally identical scenarios, each served by its
+own dedicated processors/buses — induces an automorphism group on the
+generated network: permuting the replicas maps runs onto runs.  This module
+finds those replicas in the :class:`~repro.arch.model.ArchitectureModel` and
+builds the :class:`~repro.core.symmetry.SymmetrySpec` the explorer uses to
+canonicalise discrete states.
+
+Detection *proposes*, verification *disposes*: candidate clone scenarios are
+grouped by a coarse structural signature, but an orbit is only emitted after
+
+* every member's automaton templates verified *isomorphic* to the first
+  member's under the induced renaming
+  (:func:`repro.core.symmetry.isomorphic_templates`), and
+* the unit is *closed* at the compiled level: no instance outside the unit
+  reads or writes the unit's variables, clocks or channels and the unit
+  itself only touches its own state plus the shared (symmetric) ``hurry``
+  channel.
+
+Soundness therefore never rests on generator naming conventions — renaming
+is only used to line the replicas up, the structural checks do the proving.
+The observed scenario (the one carrying the measured requirement) is never
+part of a unit, so the observer and its ``done_*``/``inject_*`` coupling
+stay fixed under the group.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.network import CompiledNetwork
+from repro.core.symmetry import SymmetrySpec, SymmetryUnit, isomorphic_templates
+from repro.util.naming import qualify
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with the generator
+    from repro.arch.generator import GeneratedModel
+
+__all__ = ["detect_symmetry"]
+
+
+def _dedicated_resources(generated: "GeneratedModel", scenario_name: str) -> list[str] | None:
+    """The resources of a scenario, when every one of them is dedicated.
+
+    Returns the resource names in first-use order, or ``None`` when any
+    resource also serves another scenario (shared resources couple the
+    replicas through dispatch guards and are out of scope for the
+    instance-level units built here).
+    """
+    model = generated.model
+    scenario = model.scenarios[scenario_name]
+    resources: list[str] = []
+    for step in scenario.steps:
+        mapped = model.steps_on_resource(step.resource)
+        if any(other.name != scenario_name for other, _step in mapped):
+            return None
+        if step.resource not in resources:
+            resources.append(step.resource)
+    return resources
+
+
+def _unit_instance_names(scenario_name: str, resources: list[str]) -> list[str]:
+    return [*resources, f"env_{scenario_name}"]
+
+
+def _unit_footprint(
+    net: CompiledNetwork, generated: "GeneratedModel", scenario_name: str, resources: list[str]
+) -> SymmetryUnit:
+    """Index-level footprint of one clone unit, in a replica-aligned order."""
+    model = generated.model
+    scenario = model.scenarios[scenario_name]
+    instance_names = _unit_instance_names(scenario_name, resources)
+    instances = [net.instance_id(name) for name in instance_names]
+    variables = [
+        net.variable_index[generated.queues[(scenario_name, step.name)]]
+        for step in scenario.steps
+    ]
+    clocks: list[int] = []
+    for name in instance_names:
+        template = net.instances[net.instance_id(name)].template
+        for var_name in template.variables:
+            variables.append(net.variable_index[qualify(name, var_name)])
+        for clock_name in template.clocks:
+            clocks.append(net.clock_index[qualify(name, clock_name)])
+    return SymmetryUnit(
+        instances=tuple(instances), variables=tuple(variables), clocks=tuple(clocks)
+    )
+
+
+def _pair_rename(
+    net: CompiledNetwork,
+    generated: "GeneratedModel",
+    scenario_a: str,
+    scenario_b: str,
+    instance_a: str,
+    instance_b: str,
+) -> dict[str, str] | None:
+    """Name substitution mapping instance *a* of one replica onto *b*.
+
+    Combines the unit-global map (queue variables in step order, the inject
+    channel) with a positional map of the two templates' local declarations
+    (locations, clocks, variables, constants).  Positional alignment is an
+    assumption here; :func:`~repro.core.symmetry.isomorphic_templates`
+    verifies it structurally.  Returns ``None`` when the templates cannot
+    line up at all (different declaration counts).
+    """
+    from repro.arch.generator import inject_channel
+
+    model = generated.model
+    steps_a = model.scenarios[scenario_a].steps
+    steps_b = model.scenarios[scenario_b].steps
+    if len(steps_a) != len(steps_b):
+        return None
+    rename: dict[str, str] = {
+        inject_channel(scenario_a): inject_channel(scenario_b),
+    }
+    for step_a, step_b in zip(steps_a, steps_b):
+        rename[generated.queues[(scenario_a, step_a.name)]] = generated.queues[
+            (scenario_b, step_b.name)
+        ]
+    template_a = net.instances[net.instance_id(instance_a)].template
+    template_b = net.instances[net.instance_id(instance_b)].template
+    for table in ("locations", "clocks", "variables", "constants"):
+        names_a = list(getattr(template_a, table))
+        names_b = list(getattr(template_b, table))
+        if len(names_a) != len(names_b):
+            return None
+        for name_a, name_b in zip(names_a, names_b):
+            if name_a != name_b:
+                rename[name_a] = name_b
+    return rename
+
+
+def _verified_clone(
+    net: CompiledNetwork, generated: "GeneratedModel", scenario_a: str, scenario_b: str
+) -> bool:
+    """Template-level verification that *scenario_b* replicates *scenario_a*."""
+    resources_a = _dedicated_resources(generated, scenario_a)
+    resources_b = _dedicated_resources(generated, scenario_b)
+    if resources_a is None or resources_b is None or len(resources_a) != len(resources_b):
+        return False
+    names_a = _unit_instance_names(scenario_a, resources_a)
+    names_b = _unit_instance_names(scenario_b, resources_b)
+    for instance_a, instance_b in zip(names_a, names_b):
+        rename = _pair_rename(net, generated, scenario_a, scenario_b, instance_a, instance_b)
+        if rename is None:
+            return False
+        template_a = net.instances[net.instance_id(instance_a)].template
+        template_b = net.instances[net.instance_id(instance_b)].template
+        if not isomorphic_templates(template_a, template_b, rename):
+            return False
+    return True
+
+
+def _unit_closed(
+    net: CompiledNetwork,
+    unit: SymmetryUnit,
+    own_channels: frozenset[str],
+    shared_channels: frozenset[str],
+) -> bool:
+    """Compiled-level closure check of one unit's state footprint.
+
+    The unit may only touch its own variables/clocks and synchronise on its
+    own channels or the shared symmetric ones; nothing outside the unit may
+    touch the unit's variables, clocks or channels.
+    """
+    inside = set(unit.instances)
+    var_set = set(unit.variables)
+    clock_set = set(unit.clocks)
+    var_index = net.variable_index
+    for instance in net.instances:
+        member = instance.index in inside
+        for location in instance.locations:
+            clocks: set[int] = set()
+            variables: set[int] = set()
+            for c in location.invariant:
+                if c.i:
+                    clocks.add(c.i)
+                if c.j:
+                    clocks.add(c.j)
+                variables |= {
+                    var_index[n] for n in c.source.rhs.variables() if n in var_index
+                }
+            if member:
+                if not (clocks <= clock_set and variables <= var_set):
+                    return False
+            elif (clocks & clock_set) or (variables & var_set):
+                return False
+        for edges in instance.outgoing:
+            for edge in edges:
+                clocks = {c.i for c in edge.clock_constraints if c.i}
+                clocks |= {c.j for c in edge.clock_constraints if c.j}
+                clocks |= {clock for clock, _value in edge.resets}
+                variables = set(edge.reads | edge.writes)
+                channel = edge.channel.name if edge.channel is not None else None
+                if member:
+                    if not (clocks <= clock_set and variables <= var_set):
+                        return False
+                    if channel is not None and channel not in (own_channels | shared_channels):
+                        return False
+                else:
+                    if (clocks & clock_set) or (variables & var_set):
+                        return False
+                    if channel in own_channels:
+                        return False
+    return True
+
+
+def detect_symmetry(generated: "GeneratedModel", net: CompiledNetwork) -> SymmetrySpec | None:
+    """Verified replication symmetry of a generated model, or ``None``.
+
+    Returns a :class:`~repro.core.symmetry.SymmetrySpec` whose orbits each
+    hold at least two verified clone units; ``None`` when the model carries
+    no usable replication (the common case for the paper's case-study
+    combinations, whose scenarios share resources).
+    """
+    from repro.arch.generator import HURRY, inject_channel
+
+    model = generated.model
+    observed = generated.requirement.scenario if generated.requirement is not None else None
+
+    candidates: dict[str, list[str]] = {}
+    for name in model.scenarios:
+        if name == observed:
+            continue
+        resources = _dedicated_resources(generated, name)
+        if resources:
+            candidates[name] = resources
+
+    # group by a coarse structural signature; verification disposes below
+    groups: dict[tuple, list[str]] = {}
+    for name, resources in candidates.items():
+        scenario = model.scenarios[name]
+        signature = (
+            len(resources),
+            tuple(type(step).__name__ for step in scenario.steps),
+        )
+        groups.setdefault(signature, []).append(name)
+
+    orbits: list[list[SymmetryUnit]] = []
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        reference = members[0]
+        verified = [reference]
+        for other in members[1:]:
+            if _verified_clone(net, generated, reference, other):
+                verified.append(other)
+        if len(verified) < 2:
+            continue
+        units = []
+        closed = True
+        for name in verified:
+            unit = _unit_footprint(net, generated, name, candidates[name])
+            own_channels = frozenset({inject_channel(name)})
+            if not _unit_closed(net, unit, own_channels, frozenset({HURRY})):
+                closed = False
+                break
+            units.append(unit)
+        if closed and len(units) >= 2:
+            orbits.append(units)
+
+    if not orbits:
+        return None
+    return SymmetrySpec(net.dim, orbits)

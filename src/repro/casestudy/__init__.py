@@ -21,6 +21,10 @@ from repro.casestudy.configurations import (
     apply_policy_variant,
     configure,
 )
+from repro.casestudy.replicated import (
+    REPLICATED_REQUIREMENT,
+    build_replicated_load,
+)
 from repro.casestudy.expected import (
     TABLE1_LOWER_BOUNDS,
     TABLE1_UPPAAL_MS,
@@ -45,6 +49,8 @@ from repro.casestudy.witnesses import (
 
 __all__ = [
     "build_radio_navigation",
+    "build_replicated_load",
+    "REPLICATED_REQUIREMENT",
     "WITNESS_ANCHOR_CELLS",
     "AnchorWitness",
     "anchor_witness",

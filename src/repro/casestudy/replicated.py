@@ -1,0 +1,73 @@
+"""A synthetic replicated-load system for the symmetry reduction.
+
+The radio-navigation case study shares every resource across its scenarios,
+so it carries no replication symmetry (``docs/reductions.md``).  This module
+builds the complementary extreme: ``clones`` structurally identical worker
+scenarios, each on its own dedicated processor, running next to one
+*observed* scenario on a separate CPU.  The workers are interchangeable —
+permuting them maps runs onto runs — which
+
+* gives :func:`repro.arch.symmetry.detect_symmetry` one orbit of ``clones``
+  verified units, and
+* lets the explorer fold the ``clones!`` symmetric interleavings of the
+  worker phases down to one canonical representative per equivalence class.
+
+The observed scenario is excluded from the orbit by construction (the
+observer measures it), so the reported WCRT must come out bit-identical
+with and without the reduction; only the explored state count may shrink.
+``benchmarks/bench_core_scaling.py`` records this model as the
+``replicated/periodic#reduced`` trajectory point, verified in-run against
+its unreduced twin.
+"""
+
+from __future__ import annotations
+
+from repro.arch.eventmodels import Periodic
+from repro.arch.model import ArchitectureModel
+from repro.arch.requirements import LatencyRequirement
+from repro.arch.resources import FIXED_PRIORITY_PREEMPTIVE, Processor
+from repro.arch.workload import Execute, Operation, Scenario
+
+__all__ = ["REPLICATED_REQUIREMENT", "build_replicated_load"]
+
+#: the requirement measured on the observed scenario
+REPLICATED_REQUIREMENT = "R0"
+
+
+def build_replicated_load(clones: int = 2) -> ArchitectureModel:
+    """Build the replicated-load model: *clones* workers + one observed task.
+
+    Every worker scenario ``W<k>`` executes a 2-tick operation on its own
+    dedicated processor ``P<k>`` with a 6-tick period; the observed scenario
+    ``OBS`` executes a 5-tick operation on its own ``CPU`` with a 12-tick
+    period and carries the measured latency requirement ``R0``.  The workers
+    neither share resources with each other nor with the observed task, so
+    their units are closed and the symmetry group is the full permutation
+    group on the ``clones`` replicas.
+
+    The default size keeps the *unreduced* exploration (a few thousand
+    symbolic states) fast enough for the PR bench gate; every extra clone
+    multiplies the unreduced space by roughly the phase count of one worker
+    while the folded space grows ``clones!`` times slower.
+    """
+    if clones < 2:
+        raise ValueError("a replicated load needs at least 2 clone scenarios")
+    model = ArchitectureModel("replicated")
+    model.add_processor(Processor("CPU", 1.0, FIXED_PRIORITY_PREEMPTIVE))
+    for k in range(clones):
+        model.add_processor(Processor(f"P{k}", 1.0, FIXED_PRIORITY_PREEMPTIVE))
+        model.add_scenario(Scenario(
+            f"W{k}",
+            (Execute(Operation(f"w{k}", 2.0), f"P{k}"),),
+            Periodic(6),
+            1,
+        ))
+    model.add_scenario(Scenario(
+        "OBS",
+        (Execute(Operation("obs_work", 5.0), "CPU"),),
+        Periodic(12),
+        2,
+    ))
+    model.add_requirement(LatencyRequirement(REPLICATED_REQUIREMENT, "OBS", 12))
+    model.validate()
+    return model

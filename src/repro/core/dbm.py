@@ -580,6 +580,21 @@ class DBM:
         a[clock, clock] = LE_ZERO
         return self
 
+    def permute(self, perm: Sequence[int]) -> "DBM":
+        """Relabel the clocks: entry ``(i, j)`` receives old ``(perm[i], perm[j])``.
+
+        *perm* must be a permutation of ``0 .. dim-1`` fixing index 0 (the
+        reference clock).  A consistent relabelling preserves the canonical
+        form, so no re-closure is needed.  Used by the symmetry reduction to
+        map a zone onto the canonical representative of its discrete state.
+        """
+        p = np.asarray(perm, dtype=np.intp)
+        if len(p) != self.dim or p[0] != 0:
+            raise ModelError("permutation must cover every clock and fix the reference")
+        a = self.m2
+        np.copyto(a, a[np.ix_(p, p)])
+        return self
+
     def copy_clock(self, dst: int, src: int) -> "DBM":
         """Assign clock *dst* := clock *src* (UPPAAL clock copy)."""
         if dst == src:
@@ -1049,6 +1064,14 @@ class DBMStack:
         bad = (diag < LE_ZERO).any(axis=1)
         if bad.any():
             a[bad, 0, 0] = _EMPTY_RAW
+        return self
+
+    def permute(self, perm: Sequence[int]) -> "DBMStack":
+        """Batched :meth:`DBM.permute` across every layer."""
+        p = np.asarray(perm, dtype=np.intp)
+        if len(p) != self.dim or p[0] != 0:
+            raise ModelError("permutation must cover every clock and fix the reference")
+        np.copyto(self.a, self.a[:, p[:, None], p[None, :]])
         return self
 
     def extrapolate(self, upper_grid: np.ndarray, lower_grid: np.ndarray) -> "DBMStack":

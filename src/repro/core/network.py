@@ -72,6 +72,12 @@ class CompiledEdge:
     update: Callable[[Sequence[int]], tuple[int, ...]] | None
     resets: tuple[tuple[int, Callable[[Sequence[int]], int]], ...]
     original: Edge
+    #: variable indices read by the guard, update right-hand sides, reset
+    #: values and clock-constraint right-hand sides (static independence
+    #: analysis for the partial-order reduction)
+    reads: frozenset[int] = frozenset()
+    #: variable indices written by the updates
+    writes: frozenset[int] = frozenset()
 
     def data_enabled(self, variables: Sequence[int]) -> bool:
         """Evaluate the data guard against the variable vector."""
@@ -254,8 +260,17 @@ class CompiledNetwork:
 
         #: per-clock maximal constants (for extrapolation); updated lazily
         self._max_constants: list[int] = [0] * self.dim
+        #: per-clock lower/upper bound constants (for LU extrapolation):
+        #: ``L`` collects constants a clock is bounded from below against,
+        #: ``U`` those it is bounded from above against (docs/reductions.md)
+        self._lower_constants: list[int] = [0] * self.dim
+        self._upper_constants: list[int] = [0] * self.dim
         #: extra constants registered by queries (e.g. WCRT bound being tested)
         self._extra_constants: dict[int, int] = {}
+        #: verified replication-symmetry specification, attached by the
+        #: architecture compiler (:class:`repro.core.symmetry.SymmetrySpec`
+        #: or None when the network carries no verified automorphism)
+        self.symmetry = None
         #: bumped whenever the effective extrapolation bounds change, so that
         #: consumers (the successor generator) can cache derived vectors
         self._bounds_version: int = 0
@@ -385,6 +400,11 @@ class CompiledNetwork:
                     "are not supported"
                 )
 
+        read_names: set[str] = set(data.variables())
+        write_names: set[str] = set()
+        for constraint in clock_constraints:
+            read_names |= constraint.source.rhs.variables()
+
         update = None
         if edge.updates:
             resolved_updates = [
@@ -399,6 +419,8 @@ class CompiledNetwork:
                     raise ModelError(
                         f"edge {edge} of {compiled.name} assigns to unknown variable {u.target!r}"
                     )
+                read_names |= u.expr.variables()
+                write_names.add(u.target)
             update = ex.compile_updates(resolved_updates, self.variable_index)
 
         resets: list[tuple[int, Callable[[Sequence[int]], int]]] = []
@@ -407,6 +429,7 @@ class CompiledNetwork:
             if qualified not in self.clock_index:
                 raise ModelError(f"edge {edge} of {compiled.name} resets unknown clock {clock!r}")
             value_expr = self._resolve_expr(value, rename, constants)
+            read_names |= value_expr.variables()
             resets.append(
                 (self.clock_index[qualified], ex.compile_int_expr(value_expr, self.variable_index))
             )
@@ -423,6 +446,10 @@ class CompiledNetwork:
             update=update,
             resets=tuple(resets),
             original=edge,
+            reads=frozenset(
+                self.variable_index[name] for name in read_names if name in self.variable_index
+            ),
+            writes=frozenset(self.variable_index[name] for name in write_names),
         )
 
     def _validate_syncs(self) -> None:
@@ -445,8 +472,20 @@ class CompiledNetwork:
                     )
 
     def _compute_max_constants(self, domains: Mapping[str, IntInterval]) -> None:
-        """Derive per-clock maximal constants for extrapolation."""
+        """Derive per-clock maximal (and lower/upper) extrapolation constants.
+
+        Every compiled entry ``(i, j)`` encodes ``x_i - x_j ≼ rhs``: it
+        bounds clock ``i`` from above (relative to ``j``) and clock ``j``
+        from below (relative to ``i``), so its constant feeds ``U[i]`` and
+        ``L[j]``.  ``x >= c`` compiles to the entry ``(0, x)`` and lands in
+        ``L[x]`` only; ``x <= c`` compiles to ``(x, 0)`` and lands in
+        ``U[x]`` only; equalities emit both entries, so ``L = U`` for
+        equality-driven clocks and LU extrapolation coincides with the
+        classical maximal-constant grid there.
+        """
         maxima = [0] * self.dim
+        lower = [0] * self.dim
+        upper = [0] * self.dim
         domain_env = dict(domains)
 
         def visit(constraint: CompiledConstraint) -> None:
@@ -454,9 +493,12 @@ class CompiledNetwork:
                 value = abs(constraint.rhs_const)
             else:
                 value = constraint.source.max_constant(domain_env)
-            for idx in (constraint.i, constraint.j):
-                if idx != 0:
-                    maxima[idx] = max(maxima[idx], value)
+            if constraint.i != 0:
+                maxima[constraint.i] = max(maxima[constraint.i], value)
+                upper[constraint.i] = max(upper[constraint.i], value)
+            if constraint.j != 0:
+                maxima[constraint.j] = max(maxima[constraint.j], value)
+                lower[constraint.j] = max(lower[constraint.j], value)
 
         for instance in self.instances:
             for location in instance.locations:
@@ -467,6 +509,8 @@ class CompiledNetwork:
                     for constraint in edge.clock_constraints:
                         visit(constraint)
         self._max_constants = maxima
+        self._lower_constants = lower
+        self._upper_constants = upper
 
     # -- public helpers --------------------------------------------------------------------
     @property
@@ -476,6 +520,22 @@ class CompiledNetwork:
         for idx, value in self._extra_constants.items():
             bounds[idx] = max(bounds[idx], value)
         return bounds
+
+    @property
+    def lu_bounds(self) -> tuple[list[int], list[int]]:
+        """Per-clock ``(lower, upper)`` constants for LU extrapolation.
+
+        Query-registered constants raise *both* sides: a ``sup`` query reads
+        the observer clock's upper bound below its ceiling, so distinctions
+        up to the registered constant must survive on both the raise
+        (``L``) and the relax (``U``) side of Extra_LU.
+        """
+        lower = list(self._lower_constants)
+        upper = list(self._upper_constants)
+        for idx, value in self._extra_constants.items():
+            lower[idx] = max(lower[idx], value)
+            upper[idx] = max(upper[idx], value)
+        return lower, upper
 
     def register_query_constant(self, clock: "str | int", value: int) -> None:
         """Raise the extrapolation ceiling of *clock* to at least *value*.

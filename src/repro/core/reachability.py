@@ -27,7 +27,7 @@ from __future__ import annotations
 import random
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
@@ -35,13 +35,15 @@ import numpy as np
 from repro.core.dbm import INFINITY_RAW, bound_as_tuple
 from repro.core.federation import Federation
 from repro.core.network import CompiledNetwork
-from repro.core.properties import AG, EF, BoundFormula, Query, Sup
+from repro.core.properties import AG, EF, BoundFormula, Query, StateFormula, Sup, formula_visibility
+from repro.core.reductions import ReductionConfig
 from repro.core.statistics import ExplorationStatistics
 from repro.core.successors import (
     SemanticsOptions,
     SuccessorGenerator,
     SymbolicState,
     TransitionLabel,
+    pack_discrete,
 )
 from repro.util.errors import AnalysisError, ModelError
 
@@ -81,12 +83,18 @@ class SearchOptions:
     #: kernels; 1 disables frontier batching (dfs/rdfs always run scalar,
     #: their pop order is incompatible with popping runs)
     block_size: int = 128
+    #: which state-space reductions the engine may apply; accepts a
+    #: :class:`ReductionConfig`, a spec string (``"all"``, ``"none"``, a
+    #: comma list of canonical names), a dict of flags or ``None`` (all on);
+    #: normalised to a :class:`ReductionConfig` by ``__post_init__``
+    reductions: ReductionConfig | str | dict | None = None
 
     def __post_init__(self):
         if self.order not in ("bfs", "dfs", "rdfs"):
             raise ModelError(f"unknown search order {self.order!r}")
         if self.block_size < 1:
             raise ModelError("block_size must be at least 1")
+        self.reductions = ReductionConfig.parse(self.reductions)
 
 
 @dataclass(frozen=True)
@@ -227,7 +235,34 @@ class Explorer:
         self.network = network
         self.semantics = semantics or SemanticsOptions()
         self.search = search or SearchOptions()
+        reductions = self.search.reductions
+        # effective extrapolation: the reductions config upgrades "max" to
+        # the per-clock LU grid, and recorded traces force the classical
+        # grid back on (witness concretisation is specified against it);
+        # "none" always stays "none" (docs/reductions.md, fallback table)
+        mode = self.semantics.extrapolation
+        if mode != "none":
+            if self.search.record_traces:
+                mode = "max" if mode == "lu" else mode
+            elif reductions.lu_extrapolation:
+                mode = "lu"
+        if mode != self.semantics.extrapolation:
+            self.semantics = replace(self.semantics, extrapolation=mode)
         self.generator = SuccessorGenerator(network, self.semantics)
+        #: the verified replication symmetry in effect (None = folding
+        #: inert): requires the config flag, a spec attached to the network
+        #: and no trace recording -- a canonical trace is not a genuine run
+        #: of the unfolded network
+        self.symmetry = (
+            network.symmetry
+            if reductions.symmetry and not self.search.record_traces
+            else None
+        )
+        self._lu_active = mode == "lu"
+        # the ample-set reduction leans on inclusion checking for its
+        # ignoring proviso ("covered successor => expand fully"); without a
+        # coverage-checked passed list it stays off
+        self._por = reductions.partial_order and self.search.inclusion_checking
 
     # ------------------------------------------------------------------ core loop
     def explore(
@@ -251,7 +286,7 @@ class Explorer:
         waiting: deque[_SearchNode] = deque()
         record_traces = options.record_traces
 
-        initial = self.generator.initial_state()
+        initial = self._canonical(self.generator.initial_state(), stats)
         root = _SearchNode(initial, None, None)
         self._store(passed, initial)
         stats.states_stored += 1
@@ -305,6 +340,13 @@ class Explorer:
                 run = 1
                 while run < limit and waiting[run].state.discrete_bytes() == head_key:
                     run += 1
+                if run > 1 and self._por:
+                    # keys with an ample plan expand one node at a time: the
+                    # probe/proviso decisions must interleave with the
+                    # passed-list updates exactly as in the scalar engine
+                    head_info = self.generator.plan_info(waiting[0].state)
+                    if self.generator.ample_plan(head_info) is not None:
+                        run = 1
                 if run > 1:
                     block = [waiting.popleft() for _ in range(run)]
                     if self._expand_block(block, passed, waiting, stats, visit, record_traces):
@@ -315,14 +357,26 @@ class Explorer:
             node = waiting.popleft() if breadth_first else waiting.pop()
             stats.states_explored += 1
 
+            if self._por:
+                outcome = self._expand_ample(node, passed, waiting, stats, visit, record_traces)
+                if outcome is not None:
+                    if outcome:
+                        stats.termination = "goal"
+                        stats.stop_timer()
+                        return stats
+                    continue
+
             successors = generate(node.state, with_labels=record_traces, extrapolate=False)
             if randomised:
                 rng.shuffle(successors)
             for label, successor in successors:
                 stats.transitions += 1
+                successor = self._canonical(successor, stats)
                 if options.inclusion_checking:
                     if not self._store(passed, successor):
                         stats.inclusions += 1
+                        if self._lu_active:
+                            stats.states_subsumed_lu += 1
                         successor.zone.discard()
                         continue
                 else:
@@ -331,6 +385,8 @@ class Explorer:
                     federation = passed.setdefault(key, Federation(successor.zone.dim))
                     if len(federation):
                         stats.inclusions += 1
+                        if self._lu_active:
+                            stats.states_subsumed_lu += 1
                         successor.zone.discard()
                         continue
                     federation.add(successor.zone)
@@ -348,6 +404,104 @@ class Explorer:
 
         stats.stop_timer()
         return stats
+
+    def _canonical(self, state: SymbolicState, stats: ExplorationStatistics) -> SymbolicState:
+        """Fold *state* onto its symmetry-orbit representative (in place).
+
+        Identity (the common case, memoised per discrete key) returns the
+        state untouched; a genuine fold permutes the zone's clocks to follow
+        the discrete relabelling and counts one ``keys_folded``.
+        """
+        spec = self.symmetry
+        if spec is None:
+            return state
+        locations, variables, perm = spec.canonicalize(
+            state.locations, state.variables, state.dkey
+        )
+        if perm is None:
+            return state
+        stats.keys_folded += 1
+        state.zone.permute(perm)
+        return SymbolicState(
+            locations, variables, state.zone, pack_discrete(locations, variables)
+        )
+
+    def _expand_ample(
+        self,
+        node: _SearchNode,
+        passed: dict,
+        waiting: deque,
+        stats: ExplorationStatistics,
+        visit: Callable[[SymbolicState, "_SearchNode"], bool] | None,
+        record_traces: bool,
+    ) -> bool | None:
+        """Try to expand *node* through a singleton ample plan.
+
+        Returns ``None`` when the state has no ample plan or the ignoring
+        proviso triggered -- the ample successor was already covered by the
+        passed list, or its zone died on the target invariant -- in which
+        case the caller falls back to the full expansion (this closes the
+        classical ignoring problem: a cycle of ample steps must revisit a
+        stored state eventually, and the revisit forces a full expansion).
+        Returns ``True`` when the stored ample successor was a goal,
+        ``False`` when the commuting succeeded.  A rejected probe is off the
+        books: only an accepted ample expansion touches the counters, the
+        rejected probe leaves the statistics to the full expansion that
+        follows.
+        """
+        generator = self.generator
+        info = generator.plan_info(node.state)
+        ample = generator.ample_plan(info)
+        if ample is None:
+            return None
+        folds_before = stats.keys_folded
+        probe = generator.successors(
+            node.state, with_labels=record_traces, extrapolate=False,
+            plan_indices=(ample,),
+        )
+        if not probe:
+            return None
+        label, successor = probe[0]
+        successor = self._canonical(successor, stats)
+        if not self._store(passed, successor):
+            successor.zone.discard()
+            stats.keys_folded = folds_before
+            return None
+        stats.transitions += 1
+        stats.states_stored += 1
+        stats.plans_commuted += len(info.plans) - 1
+        child = _SearchNode(successor, node if record_traces else _UNRECORDED, label)
+        if visit is not None and visit(successor, child):
+            return True
+        waiting.append(child)
+        if len(waiting) > stats.peak_waiting:
+            stats.peak_waiting = len(waiting)
+        return False
+
+    def _declare_visibility(
+        self, *formulas: StateFormula | None, clocks: tuple[str, ...] = ()
+    ) -> None:
+        """Declare what the active query observes (POR invisibility gate).
+
+        Called by every query entry point before exploring; with no
+        arguments the query observes nothing and every eligible plan may be
+        commuted.  Raw :meth:`explore` calls do *not* declare visibility --
+        a fresh explorer then keeps the reduction off until some entry
+        point states what its visit callback reads.
+        """
+        if not self._por:
+            return
+        instances: set[int] = set()
+        variables: set[int] = set()
+        clock_ids: set[int] = {self.network.clock_id(name) for name in clocks}
+        for formula in formulas:
+            if formula is None:
+                continue
+            f_instances, f_variables, f_clocks = formula_visibility(formula, self.network)
+            instances |= f_instances
+            variables |= f_variables
+            clock_ids |= f_clocks
+        self.generator.set_visibility(instances, variables, clock_ids)
 
     def _expand_block(
         self,
@@ -382,9 +536,11 @@ class Explorer:
         states = [node.state for node in nodes]
         info, fires = self.generator.block_successors(states)
         count = len(nodes)
+        spec = self.symmetry
 
-        # per-fire preparation: pre-block coverage pass, batched
-        # extrapolation of the surviving layers, layer lookup tables
+        # per-fire preparation: symmetry folding of the shared target key,
+        # pre-block coverage pass, batched extrapolation of the surviving
+        # layers, layer lookup tables
         prepared = []
         errors = []
         for fire in fires:
@@ -394,9 +550,24 @@ class Explorer:
                 errors.append((fire, has_node))
                 continue
             plan = fire.plan
+            locations, variables = plan.locations, plan.variables
+            key_bytes = plan.key_bytes
+            folded = False
+            if spec is not None:
+                locations, variables, perm = spec.canonicalize(
+                    plan.locations, plan.variables, plan.key_bytes
+                )
+                if perm is not None:
+                    # every layer shares the plan's target discrete state,
+                    # so one whole-stack clock permutation folds them all;
+                    # it must precede coverage and extrapolation (both are
+                    # clock-labelled)
+                    fire.stack.permute(perm)
+                    key_bytes = pack_discrete(locations, variables)
+                    folded = True
             layer_of = np.full(count, -1, dtype=np.intp)
             layer_of[fire.node_indices] = np.arange(len(fire.node_indices))
-            federation = passed.get(plan.key_bytes)
+            federation = passed.get(key_bytes)
             if federation is not None:
                 covered = federation.covers_many(fire.stack.a)
             else:
@@ -415,7 +586,10 @@ class Explorer:
             kept_layer = np.full(len(fire.node_indices), -1, dtype=np.intp)
             kept_layer[kept] = np.arange(len(kept))
             label = self.generator._plan_label(info, fire.plan_index) if record_traces else None
-            prepared.append((fire, layer_of, covered, kept_layer, stack, flat, label))
+            prepared.append((
+                layer_of, covered, kept_layer, stack, flat, label,
+                locations, variables, key_bytes, folded,
+            ))
 
         try:
             return self._replay_block(
@@ -425,7 +599,8 @@ class Explorer:
         finally:
             # also reached when a deferred plan error propagates mid-replay:
             # the pooled block buffers must go back either way
-            for _fire, _layer_of, _covered, _kept_layer, stack, _flat, _label in prepared:
+            for entry in prepared:
+                stack = entry[3]
                 if stack is not None:
                     stack.discard()
 
@@ -453,29 +628,35 @@ class Explorer:
                     # scalar generation raises before yielding any successor
                     # of this state; earlier nodes of the block are done
                     raise fire.error.with_traceback(None)
-            for fire, layer_of, covered, kept_layer, stack, flat, label in prepared:
+            for (layer_of, covered, kept_layer, stack, flat, label,
+                 locations, variables, key_bytes, folded) in prepared:
                 layer = layer_of[position]
                 if layer < 0:
                     continue
                 stats.transitions += 1
+                if folded:
+                    stats.keys_folded += 1
                 if covered[layer]:
                     stats.inclusions += 1
+                    if self._lu_active:
+                        stats.states_subsumed_lu += 1
                     continue
-                plan = fire.plan
                 row = flat[kept_layer[layer]]
-                stored_here = pending.get(plan.key_bytes)
+                stored_here = pending.get(key_bytes)
                 if stored_here is not None and any(
                     (row <= zone.m).all() for zone in stored_here
                 ):
                     stats.inclusions += 1
+                    if self._lu_active:
+                        stats.states_subsumed_lu += 1
                     continue
                 zone = stack.layer_dbm(kept_layer[layer])
                 if stored_here is None:
-                    pending[plan.key_bytes] = [zone]
+                    pending[key_bytes] = [zone]
                 else:
                     stored_here.append(zone)
                 stats.states_stored += 1
-                successor = SymbolicState(plan.locations, plan.variables, zone, plan.key_bytes)
+                successor = SymbolicState(locations, variables, zone, key_bytes)
                 child = _SearchNode(successor, node if record_traces else _UNRECORDED, label)
                 if visit is not None and visit(successor, child):
                     goal = True
@@ -539,6 +720,7 @@ class Explorer:
         saved_constants = self.network.query_constants_snapshot()
         try:
             bound_formula = query.bind(self.network)
+            self._declare_visibility(query.formula)
             found: list[_SearchNode] = []
 
             def visit(state: SymbolicState, node: _SearchNode) -> bool:
@@ -570,6 +752,8 @@ class Explorer:
                 self.network.register_query_constant(clock, constant)
             for clock, constant in bound_formula.max_clock_constant().items():
                 self.network.register_query_constant(clock, constant)
+            # ¬φ observes exactly the atoms of φ
+            self._declare_visibility(query.formula)
             violations: list[_SearchNode] = []
 
             def visit(state: SymbolicState, node: _SearchNode) -> bool:
@@ -609,6 +793,11 @@ class Explorer:
             if condition is not None:
                 for clock, constant in condition.max_clock_constant().items():
                     network.register_query_constant(clock, constant)
+            # the supremum reads the queried clock in every matching state;
+            # commuted interleavings never lose it: time is frozen while an
+            # ample source location is occupied, so the skipped states'
+            # clock bounds never exceed their block entry state's
+            self._declare_visibility(query.condition, clocks=(query.clock,))
 
             best_raw = None
             best_node: list[_SearchNode | None] = [None]
@@ -658,14 +847,24 @@ class Explorer:
 
     # ------------------------------------------------------------------ convenience
     def reachable_discrete_states(self) -> set[tuple]:
-        """Explore fully and return the set of reachable discrete states."""
+        """Explore fully and return the set of reachable discrete states.
+
+        Always enumerates the *concrete* discrete space: symmetry folding
+        and ample commuting are suspended for the duration of the call, so
+        the result is independent of the active reduction config.
+        """
         seen: set[tuple] = set()
 
         def visit(state: SymbolicState, _node: _SearchNode) -> bool:
             seen.add(state.discrete_key())
             return False
 
-        stats = self.explore(visit)
+        saved_symmetry, saved_por = self.symmetry, self._por
+        self.symmetry, self._por = None, False
+        try:
+            stats = self.explore(visit)
+        finally:
+            self.symmetry, self._por = saved_symmetry, saved_por
         if not stats.exhaustive:
             raise AnalysisError(
                 "exploration budget exhausted before the state space was covered"
@@ -673,5 +872,10 @@ class Explorer:
         return seen
 
     def count_states(self) -> ExplorationStatistics:
-        """Explore fully (or until the budget) and return the statistics."""
+        """Explore fully (or until the budget) and return the statistics.
+
+        Declares an empty visibility: a pure state count observes nothing,
+        so the partial-order reduction may commute every eligible plan.
+        """
+        self._declare_visibility()
         return self.explore(None)

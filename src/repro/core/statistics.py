@@ -26,6 +26,15 @@ class ExplorationStatistics:
     transitions: int = 0
     #: successors discarded because an already-stored zone included them
     inclusions: int = 0
+    #: inclusion discards that happened while LU extrapolation was active
+    #: (the coarser Extra_LU zones subsume states the max-bounds grid keeps)
+    states_subsumed_lu: int = 0
+    #: firing plans skipped by the partial-order reduction (an ample
+    #: singleton was expanded instead of the full commuting interleaving)
+    plans_commuted: int = 0
+    #: successor keys rewritten to a different canonical representative by
+    #: the symmetry reduction
+    keys_folded: int = 0
     #: maximum length reached by the waiting list
     peak_waiting: int = 0
     #: wall-clock duration of the exploration in seconds
@@ -65,16 +74,34 @@ class ExplorationStatistics:
         self.states_stored += other.states_stored
         self.transitions += other.transitions
         self.inclusions += other.inclusions
+        self.states_subsumed_lu += other.states_subsumed_lu
+        self.plans_commuted += other.plans_commuted
+        self.keys_folded += other.keys_folded
         self.elapsed_seconds += other.elapsed_seconds
         self.peak_waiting = max(self.peak_waiting, other.peak_waiting)
 
+    def reduction_counters(self) -> dict:
+        """The non-zero reduction counters (``docs/reductions.md``)."""
+        counters = {
+            "states_subsumed_lu": self.states_subsumed_lu,
+            "plans_commuted": self.plans_commuted,
+            "keys_folded": self.keys_folded,
+        }
+        return {name: value for name, value in counters.items() if value}
+
     def as_dict(self) -> dict:
-        """Plain-dict view used by report formatting and benchmarks."""
+        """Plain-dict view used by report formatting and benchmarks.
+
+        The reduction counters only appear when a reduction actually acted,
+        so the dict (and every trajectory point built from it) keeps the
+        exact pre-reduction format on unreduced runs.
+        """
         return {
             "states_explored": self.states_explored,
             "states_stored": self.states_stored,
             "transitions": self.transitions,
             "inclusions": self.inclusions,
+            **self.reduction_counters(),
             "peak_waiting": self.peak_waiting,
             "elapsed_seconds": round(self.elapsed_seconds, 6),
             "states_per_second": round(self.states_per_second, 1),

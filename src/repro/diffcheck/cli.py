@@ -112,6 +112,12 @@ def _campaign_config(args) -> CampaignConfig:
         overrides["des_runs"] = args.des_runs
     if args.bound_guided:
         overrides["bound_guided"] = True
+    if args.reductions is not None:
+        # validate the spec here so a typo fails fast (exit 2, not a worker
+        # crash mid-campaign)
+        from repro.core.reductions import ReductionConfig
+
+        overrides["reductions"] = ReductionConfig.parse(args.reductions).spec()
     if overrides:
         oracle = OracleConfig.from_dict({**oracle.to_dict(), **overrides})
     return CampaignConfig(
@@ -147,6 +153,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="TA wall-clock budget per model in seconds")
     parser.add_argument("--des-runs", type=int, default=None,
                         help="independent simulation runs per model")
+    parser.add_argument("--reductions", default=None, metavar="SPEC",
+                        help="state-space reductions of the exact engine: 'all' "
+                             "(default), 'none' or a comma list of "
+                             "lu_extrapolation, partial_order, symmetry "
+                             "(docs/reductions.md); the reduced exploration must "
+                             "produce bit-identical WCRTs, so a campaign with "
+                             "reductions on cross-checks them against the three "
+                             "other engines")
     parser.add_argument("--bound-guided", action="store_true",
                         help="run the exact engine bound-guided (observer ceiling "
                              "clamped to the tightest analytic bound, binary search "
@@ -202,6 +216,13 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--workers must be at least 1")
     if args.batch <= 0:
         parser.error("--batch must be positive")
+    if args.reductions is not None:
+        from repro.core.reductions import ReductionConfig
+
+        try:
+            ReductionConfig.parse(args.reductions)
+        except ModelError as exc:
+            parser.error(str(exc))
 
     config = _campaign_config(args)
     print(f"diffcheck campaign: seeds {args.seed}..{args.seed + count - 1} "

@@ -70,6 +70,17 @@ class OracleConfig:
     #: validates the portfolio itself: a guided lower bound that reaches the
     #: clamped ceiling still surfaces as an ordering violation
     bound_guided: bool = False
+    #: state-space reductions of the exact engine as a canonical spec string
+    #: ("all", "none", or a comma list); None means all reductions enabled.
+    #: Kept as a plain string so the config stays picklable/JSON-portable
+    reductions: str | None = None
+
+    def __post_init__(self):
+        from repro.core.reductions import ReductionConfig
+
+        object.__setattr__(
+            self, "reductions", ReductionConfig.parse(self.reductions).spec()
+        )
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -131,6 +142,9 @@ class ModelVerdict:
     policies: tuple[str, ...] = ()
     #: symbolic states explored by the TA engine (sup + binary cross-check)
     ta_states: int = 0
+    #: non-zero reduction counters of the TA sup run (states_subsumed_lu,
+    #: plans_commuted, keys_folded); empty when no reduction fired
+    reduction_counters: dict[str, int] = field(default_factory=dict)
     wall_seconds: float = 0.0
 
     @property
@@ -210,6 +224,7 @@ def witness_model(
         ceiling_factor=ceiling_factor,
         seed=1,
         record_traces=True,
+        reductions=config.reductions,
         **guided_clamps,
     )
     try:
@@ -310,6 +325,7 @@ def check_model(
         max_seconds=config.max_seconds,
         ceiling_factor=ceiling_factor,
         seed=1,
+        reductions=config.reductions,
         **guided_clamps,
     )
     ta_value: int | None = None
@@ -327,6 +343,7 @@ def check_model(
         ta_value = ta_result.wcrt_ticks
         ta_exact = ta_value is not None and not ta_result.is_lower_bound
         verdict.ta_states = ta_result.detail.statistics.states_explored
+        verdict.reduction_counters = ta_result.detail.statistics.reduction_counters()
         verdict.verdicts["ta"] = EngineVerdict(
             "ta",
             ta_value,
@@ -350,6 +367,7 @@ def check_model(
             ceiling_factor=ceiling_factor,
             seed=1,
             method="binary-search",
+            reductions=config.reductions,
             **guided_clamps,
         )
         try:

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.arch.analysis import TimedAutomataSettings, analyze_wcrt
 from repro.arch.model import ArchitectureModel
+from repro.core.reductions import ReductionConfig
 from repro.portfolio.bounds import EngineBound, analytic_upper_bounds, des_lower_bound, tightest
 from repro.portfolio.guided import guided_settings
 from repro.util.errors import AnalysisError, ModelError, WitnessError
@@ -51,7 +52,7 @@ __all__ = ["AnytimeResult", "BoundUpdate", "PortfolioBudget", "analyze"]
 
 _BUDGET_FIELDS = (
     "max_states", "max_seconds", "des_runs", "des_horizon_periods",
-    "des_seconds", "des_seed", "method", "witness",
+    "des_seconds", "des_seed", "method", "witness", "reductions",
 )
 
 
@@ -82,10 +83,19 @@ class PortfolioBudget:
     #: witness concretisation strategy ("earliest"/"latest"/"midpoint") for
     #: an exact result, or None to skip witness construction
     witness: str | None = None
+    #: state-space reductions of the exact stage as a canonical spec string
+    #: ("all", "none", or a comma list of reduction names); kept as a plain
+    #: string so the budget stays JSON/pickle-portable.  ``None`` means all
+    #: reductions enabled
+    reductions: str | None = None
 
     def __post_init__(self):
         if self.method not in ("sup", "binary", "binary-search"):
             raise ModelError(f"unknown exact method {self.method!r}")
+        # normalise to the canonical spec string (also validates the names)
+        object.__setattr__(
+            self, "reductions", ReductionConfig.parse(self.reductions).spec()
+        )
         if self.max_states is not None and self.max_states < 0:
             raise ModelError("max_states must be >= 0 (0 skips the exact stage)")
         if self.des_runs < 0:
@@ -313,6 +323,7 @@ def analyze(
             max_states=budget.max_states,
             max_seconds=budget.max_seconds,
             record_traces=base.record_traces or witness_wanted,
+            reductions=budget.reductions,
         )
         clamped = guided_settings(
             base, tightest(analytic, "upper"),

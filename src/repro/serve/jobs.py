@@ -26,7 +26,7 @@ __all__ = ["AnalysisJob", "analysis_options", "job_result", "portfolio_budget"]
 #: option keys admitted into :class:`repro.diffcheck.oracle.OracleConfig`
 ORACLE_OPTIONS = ("max_states", "max_seconds", "des_runs",
                   "des_horizon_periods", "des_max_seconds",
-                  "cross_check_binary", "binary_state_limit")
+                  "cross_check_binary", "binary_state_limit", "reductions")
 
 #: witness strategies the service accepts ("none" skips the witness)
 WITNESS_OPTIONS = ("none", "earliest", "latest", "midpoint")
@@ -54,6 +54,12 @@ def analysis_options(
     unknown = sorted(set(options) - set(ORACLE_OPTIONS))
     if unknown:
         raise ModelError(f"unknown analysis options {unknown}")
+    if "reductions" in options:
+        from repro.core.reductions import ReductionConfig
+
+        # canonicalise the spec string so equivalent requests fingerprint
+        # identically (and a typo'd reduction name 400s here, not in a worker)
+        options["reductions"] = ReductionConfig.parse(options["reductions"]).spec()
     try:
         max_states = int(options.get("max_states", max_states_cap))
         max_seconds = float(options.get("max_seconds", max_seconds_cap))
@@ -169,6 +175,8 @@ def job_result(model, verdict, config, witness_strategy: str, *,
         "violations": list(verdict.violations),
         "attempts": attempts,
     }
+    if verdict.reduction_counters:
+        out["reduction_counters"] = dict(verdict.reduction_counters)
     if verdict.skip_reason:
         out["detail"] = verdict.skip_reason
     # the verdict against the requirement: strict, like the sweep engine

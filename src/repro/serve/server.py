@@ -99,6 +99,17 @@ class Metrics:
     ok: int = 0
     degraded: int = 0
     quarantined: int = 0
+    # cumulative state-space reduction counters of successful oracle runs
+    # (docs/reductions.md): LU-subsumed states, POR-commuted plans,
+    # symmetry-folded keys
+    states_subsumed_lu: int = 0
+    plans_commuted: int = 0
+    keys_folded: int = 0
+
+    def record_reductions(self, counters: "dict | None") -> None:
+        """Accumulate one result's non-zero reduction counters."""
+        for name in ("states_subsumed_lu", "plans_commuted", "keys_folded"):
+            setattr(self, name, getattr(self, name) + int((counters or {}).get(name, 0)))
 
     def to_dict(self) -> dict:
         return dict(vars(self))
@@ -376,6 +387,8 @@ class AnalysisServer:
             self.cache.put(fingerprint, model.name, body)
             self.breaker.record_success(fingerprint)
             self.metrics.ok += 1
+            if isinstance(value, dict):
+                self.metrics.record_reductions(value.get("reduction_counters"))
             settled.set_result((200, body))
             return 200, body
         if kind in ("died", "deadline"):

@@ -160,14 +160,20 @@ def _cell_name(combination: str, configuration: str, requirement: str) -> str:
 
 
 def core_scaling_cells() -> list[SweepCell]:
-    """The three exhaustive cells of ``benchmarks/bench_core_scaling.py``."""
+    """The three exhaustive cells of ``benchmarks/bench_core_scaling.py``.
+
+    Reductions are explicitly off: these cells are the unreduced baseline
+    whose state counts stay comparable across the whole trajectory history;
+    the ``#reduced`` twin cells measure the reductions against them.
+    """
     return [
         SweepCell(
             name=f"AL+TMC/{configuration}",
             requirement="TMC",
             combination="AL+TMC",
             configuration=configuration,
-            settings={"search_order": "bfs", "max_states": None, "seed": 1},
+            settings={"search_order": "bfs", "max_states": None, "seed": 1,
+                      "reductions": "none"},
         )
         for configuration in ("po", "pno", "sp")
     ]

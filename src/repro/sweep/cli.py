@@ -33,6 +33,7 @@ import argparse
 import sys
 from dataclasses import replace
 
+from repro.core.reductions import ReductionConfig
 from repro.perf import load_baseline_json
 from repro.sweep.cells import (
     core_scaling_cells,
@@ -110,6 +111,12 @@ def main(argv: list[str] | None = None) -> int:
                              "observer ceiling (and DES seeds the binary search) "
                              "before the exact exploration -- identical WCRTs, "
                              "fewer states (docs/portfolio.md)")
+    parser.add_argument("--reductions", default=None, metavar="SPEC",
+                        help="state-space reductions applied to every cell: 'all', "
+                             "'none' or a comma list of lu_extrapolation, "
+                             "partial_order, symmetry -- identical WCRTs, fewer "
+                             "states (docs/reductions.md); default: the cells' "
+                             "own settings")
     supervision = parser.add_argument_group("supervision (docs/robustness.md)")
     supervision.add_argument("--deadline-seconds", type=float, default=None,
                              metavar="S",
@@ -164,6 +171,14 @@ def main(argv: list[str] | None = None) -> int:
             cells = [replace(cell, witness=args.witness) for cell in cells]
         if args.guided:
             cells = [replace(cell, guided=True) for cell in cells]
+        if args.reductions is not None:
+            # validate once here (a typo must fail fast, not in a worker) and
+            # override whatever the grid's cells carry
+            spec = ReductionConfig.parse(args.reductions).spec()
+            cells = [
+                replace(cell, settings={**dict(cell.settings), "reductions": spec})
+                for cell in cells
+            ]
     except ModelError as exc:
         print(f"invalid cell specification: {exc}", file=sys.stderr)
         return 2

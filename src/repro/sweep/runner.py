@@ -79,6 +79,11 @@ class CellResult:
     wall_seconds: float
     #: pid of the worker that ran the cell (observability)
     worker_pid: int
+    #: reduction counters (docs/reductions.md); zero when the corresponding
+    #: reduction is off or never fired (dropped from trajectory points then)
+    states_subsumed_lu: int = 0
+    plans_commuted: int = 0
+    keys_folded: int = 0
     #: cell kind: "wcrt" (table analysis) or "diffcheck" (fuzzing window)
     kind: str = "wcrt"
     #: diffcheck cells only: models that went through all four engines
@@ -127,6 +132,11 @@ class CellResult:
             out.pop(dropped)
         diffcheck_keys = ("models_checked", "models_degraded", "violations",
                           "counterexamples", "models_per_second", "policy_mix")
+        # reduction counters only appear when a reduction actually acted, so
+        # the trajectory format of unreduced runs is unchanged
+        for counter in ("states_subsumed_lu", "plans_commuted", "keys_folded"):
+            if not out[counter]:
+                out.pop(counter)
         if not self.witnesses_attempted:
             out.pop("witnesses_attempted")
             out.pop("witnesses_validated")
@@ -342,6 +352,9 @@ def run_cell(cell: "SweepCell | DiffCheckCell", *, index: int = 0,
         states_stored=stats.states_stored,
         transitions=stats.transitions,
         inclusions=stats.inclusions,
+        states_subsumed_lu=stats.states_subsumed_lu,
+        plans_commuted=stats.plans_commuted,
+        keys_folded=stats.keys_folded,
         explore_seconds=stats.elapsed_seconds,
         states_per_second=stats.states_per_second,
         termination=stats.termination,

@@ -1,0 +1,96 @@
+"""The replicated-load model and the symmetry reduction it showcases.
+
+The radio-navigation case study carries no replication symmetry (all
+scenarios share the MMI/RAD/NAV processors), so
+:mod:`repro.casestudy.replicated` provides the complementary model: clones
+of identical workers on dedicated processors next to one observed task.
+These tests pin the detected orbit, the exactness of the fold (bit-identical
+WCRT) and the >=30% state reduction the benchmark gate relies on.
+"""
+
+import pytest
+
+from repro.arch.analysis import TimedAutomataSettings, analyze_wcrt
+from repro.arch.generator import build_model
+from repro.casestudy import (
+    REPLICATED_REQUIREMENT,
+    build_radio_navigation,
+    build_replicated_load,
+    configure,
+)
+from repro.core.reductions import ReductionConfig
+
+
+def _analyze(model, requirement, reductions):
+    return analyze_wcrt(
+        model, requirement, TimedAutomataSettings(reductions=reductions)
+    )
+
+
+class TestModel:
+    def test_default_model_validates(self):
+        model = build_replicated_load()
+        assert set(model.scenarios) == {"W0", "W1", "OBS"}
+        assert REPLICATED_REQUIREMENT in model.requirements
+
+    def test_fewer_than_two_clones_is_rejected(self):
+        with pytest.raises(ValueError):
+            build_replicated_load(clones=1)
+
+
+class TestSymmetryDetection:
+    def test_replicated_network_carries_one_orbit_of_clones(self):
+        model = build_replicated_load(clones=3)
+        generated = build_model(model, model.requirement(REPLICATED_REQUIREMENT))
+        compiled = generated.compile()
+        assert compiled.symmetry is not None
+        assert len(compiled.symmetry.orbits) == 1
+        orbit = compiled.symmetry.orbits[0]
+        assert len(orbit) == 3
+        # the aligned unit footprints are disjoint and equally shaped
+        shapes = {(len(u.instances), len(u.variables), len(u.clocks)) for u in orbit}
+        assert len(shapes) == 1
+
+    def test_radio_navigation_has_no_replication_symmetry(self):
+        model = configure(build_radio_navigation(), "AL+TMC", "po")
+        generated = build_model(model, model.requirement("TMC"))
+        compiled = generated.compile()
+        assert compiled.symmetry is None
+
+
+class TestReducedExploration:
+    def test_symmetry_fold_saves_30_percent_with_identical_wcrt(self):
+        model = build_replicated_load()
+        unreduced = _analyze(model, REPLICATED_REQUIREMENT, "none")
+        reduced = _analyze(model, REPLICATED_REQUIREMENT, "all")
+
+        assert not unreduced.is_lower_bound
+        assert not reduced.is_lower_bound
+        assert reduced.wcrt_ticks == unreduced.wcrt_ticks
+
+        stats_off = unreduced.detail.statistics
+        stats_on = reduced.detail.statistics
+        assert stats_on.keys_folded > 0
+        assert stats_on.states_explored <= 0.70 * stats_off.states_explored, (
+            stats_on.states_explored, stats_off.states_explored,
+        )
+
+    def test_symmetry_alone_folds_states(self):
+        model = build_replicated_load()
+        baseline = _analyze(model, REPLICATED_REQUIREMENT, "none")
+        folded = _analyze(
+            model, REPLICATED_REQUIREMENT, ReductionConfig.parse("symmetry")
+        )
+        assert folded.wcrt_ticks == baseline.wcrt_ticks
+        assert (folded.detail.statistics.states_explored
+                < baseline.detail.statistics.states_explored)
+
+
+class TestCaseStudyAnchorsWithReductions:
+    def test_al_tmc_po_anchor_survives_all_reductions(self):
+        """The Table 1 AL+TMC/po WCRT (172106 ticks) with every reduction
+        enabled — the reductions must not perturb the paper's anchor."""
+        model = configure(build_radio_navigation(), "AL+TMC", "po")
+        result = _analyze(model, "TMC", "all")
+        assert result.wcrt_ticks == 172106
+        assert not result.is_lower_bound

@@ -1,0 +1,52 @@
+"""The curated public API surface (tools/check_public_api.py).
+
+``repro.__all__`` is the library's contract; this pins the snapshot check
+itself (CI runs the same script in the lint job) and the PEP 562 lazy
+re-export machinery behind it.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+CHECKER = os.path.join(REPO_ROOT, "tools", "check_public_api.py")
+
+
+def test_surface_matches_the_committed_snapshot():
+    result = subprocess.run(
+        [sys.executable, CHECKER], cwd=REPO_ROOT,
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_every_curated_name_resolves_lazily():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_dir_includes_the_curated_surface():
+    import repro
+
+    missing = set(repro.__all__) - set(dir(repro))
+    assert not missing
+
+
+def test_reduction_config_is_part_of_the_surface():
+    import repro
+    from repro.core.reductions import ReductionConfig
+
+    assert repro.ReductionConfig is ReductionConfig
+    assert "ReductionConfig" in repro.__all__
+
+
+def test_unknown_attribute_still_raises():
+    import repro
+
+    with pytest.raises(AttributeError):
+        repro.definitely_not_exported

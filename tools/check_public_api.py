@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Check the curated public API of :mod:`repro` against a committed snapshot.
+
+``src/repro/__init__.py`` re-exports a curated surface (``__all__``); this
+checker renders that surface — every exported name with its defining module
+and kind — and compares it against ``tools/public_api.txt``.  A changed
+surface fails CI until the snapshot is regenerated, which makes API growth
+(and especially accidental removals or module moves) an explicit, reviewed
+diff instead of a silent side effect.
+
+Usage::
+
+    python tools/check_public_api.py               # compare against snapshot
+    python tools/check_public_api.py --update      # rewrite the snapshot
+
+Exit codes: 0 ok, 1 surface drifted (diff printed), 2 usage/setup errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import inspect
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SNAPSHOT = os.path.join(ROOT, "tools", "public_api.txt")
+
+
+def _kind(obj) -> str:
+    if inspect.isclass(obj):
+        return "class"
+    if inspect.isfunction(obj):
+        return "function"
+    if inspect.ismodule(obj):
+        return "module"
+    return type(obj).__name__
+
+
+def render_surface() -> str:
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    import repro
+
+    lines = [
+        "# Curated public API of the repro package.",
+        "# Regenerate with: python tools/check_public_api.py --update",
+        "# Checked in CI by: python tools/check_public_api.py",
+    ]
+    for name in sorted(repro.__all__):
+        if name == "__version__":
+            lines.append("repro.__version__ = str")
+            continue
+        if name in repro._SUBSYSTEMS:
+            lines.append(f"repro.{name}: subsystem module")
+            continue
+        obj = getattr(repro, name)
+        lines.append(f"repro.{name}: {_kind(obj)} from {obj.__module__}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the snapshot instead of checking it")
+    args = parser.parse_args(argv)
+
+    surface = render_surface()
+    if args.update:
+        with open(SNAPSHOT, "w", encoding="utf-8") as handle:
+            handle.write(surface)
+        print(f"wrote {os.path.relpath(SNAPSHOT, ROOT)}")
+        return 0
+
+    if not os.path.exists(SNAPSHOT):
+        print(f"missing snapshot {os.path.relpath(SNAPSHOT, ROOT)}; "
+              f"create it with --update", file=sys.stderr)
+        return 2
+    with open(SNAPSHOT, encoding="utf-8") as handle:
+        expected = handle.read()
+    if surface == expected:
+        print(f"public API matches {os.path.relpath(SNAPSHOT, ROOT)} "
+              f"({surface.count(chr(10)) - 3} entries)")
+        return 0
+    print("PUBLIC API DRIFT (regenerate with "
+          "'python tools/check_public_api.py --update' if intended):")
+    for line in difflib.unified_diff(
+        expected.splitlines(), surface.splitlines(),
+        fromfile="tools/public_api.txt", tofile="current surface", lineterm="",
+    ):
+        print(f"  {line}")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
