@@ -18,6 +18,12 @@ sweep stage) and recorded as a ``sweep/workersN`` trajectory point -- every
 sweep cell is cross-checked against the same seed anchors, so a parallel
 run that explores a different state space fails exactly like a serial one.
 
+The largest cell additionally re-runs on the sharded multi-core engine
+(``--shard-workers 2,4``; ``shard/workersN`` trajectory points).  Sharding
+is observationally exact, so every anchor is compared *strictly* against
+the serial twin of the same run -- any deviation is exit 2, like a seed
+anchor mismatch.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_core_scaling.py            # run + write BENCH_core.json
@@ -123,6 +129,66 @@ def verify_cell(
     problems = verify_anchors(name, point, baseline_points.get(name, {}))
     if exhaustive and point["is_lower_bound"]:
         problems.append(f"{name}: exhaustive run reported a lower bound")
+    return problems
+
+
+def run_shard_cell(
+    model,
+    combination: str,
+    configuration: str,
+    reps: int,
+    shard_workers: int,
+) -> dict:
+    """Run one cell on the sharded multi-core engine (docs/performance.md).
+
+    Same model, seed and search order as :func:`run_cell`; only the engine
+    differs.  Sharding is observationally exact: every anchor the scalar
+    twin records must come out bit-identical, only the wall clock may move.
+    """
+    configured = configure(model, combination, configuration)
+    settings = TimedAutomataSettings(
+        search_order="bfs", seed=1, reductions="none",
+        shard_workers=shard_workers,
+    )
+    best = None
+    for _ in range(max(1, reps)):
+        with Timer() as timer:
+            result = analyze_wcrt(configured, REQUIREMENT, settings)
+        stats = result.detail.statistics
+        point = {
+            "states_per_second": round(stats.states_per_second, 1),
+            "wcrt_ticks": result.wcrt_ticks,
+            "is_lower_bound": result.is_lower_bound,
+            "states_explored": stats.states_explored,
+            "states_stored": stats.states_stored,
+            "transitions": stats.transitions,
+            "explore_seconds": round(stats.elapsed_seconds, 4),
+            "wall_seconds": round(timer.seconds, 4),
+            "shard_workers": stats.shard_workers,
+            "shard_handoffs": stats.shard_handoffs,
+            "shard_steals": stats.shard_steals,
+        }
+        if best is None or point["states_per_second"] > best["states_per_second"]:
+            best = point
+    return best
+
+
+#: the anchors a sharded run must reproduce bit-identically (strict
+#: equality -- sharding that changes *anything* the scalar engine computes
+#: is a soundness bug, exit 2, not noise)
+SHARD_ANCHORS = ("wcrt_ticks", "is_lower_bound", "states_explored",
+                 "states_stored", "transitions")
+
+
+def verify_shard_cell(name: str, sharded: dict, scalar: dict) -> list[str]:
+    """A sharded run must change wall clock only, never what is computed."""
+    problems: list[str] = []
+    for anchor in SHARD_ANCHORS:
+        if sharded[anchor] != scalar[anchor]:
+            problems.append(
+                f"{name}: sharded {anchor} {sharded[anchor]!r} != "
+                f"scalar {scalar[anchor]!r} (sharding changed the result)"
+            )
     return problems
 
 
@@ -287,6 +353,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=2,
                         help="worker processes of the parallel sweep stage "
                              "(default 2; 1 skips the sweep)")
+    parser.add_argument("--shard-workers", default="2,4",
+                        help="comma list of shard-worker counts for the "
+                             "sharded-engine stage on the largest cell "
+                             "(default '2,4'; '0' or '' skips the stage)")
     parser.add_argument("--start-method", choices=("spawn", "fork", "forkserver"),
                         default="spawn", help="sweep start method (default spawn)")
     parser.add_argument("--update-baseline", action="store_true",
@@ -485,6 +555,38 @@ def main(argv: list[str] | None = None) -> int:
         f"validated (AL+TMC/po/{REQUIREMENT}, response {witness_response} ticks)"
     )
 
+    # sharded-engine twins (docs/performance.md): the largest cell re-run on
+    # the forked multi-core engine, verified in-run against its serial
+    # anchor above -- strict equality on every anchor, exit 2 on deviation.
+    # Like the sweep point, shard points are wall-clock throughput and stay
+    # out of the committed baseline.
+    shard_counts = [int(w) for w in str(args.shard_workers).split(",")
+                    if w.strip() and int(w) > 0]
+    if shard_counts and not args.quick:
+        if not hasattr(os, "fork"):
+            print("  shard stage skipped: os.fork unavailable")
+        else:
+            shard_combination, shard_configuration = cells[-1]
+            scalar_name = f"{shard_combination}/{shard_configuration}"
+            scalar_point = points[scalar_name]
+            for workers in shard_counts:
+                name = f"shard/workers{workers}"
+                point = run_shard_cell(
+                    model, shard_combination, shard_configuration, reps, workers
+                )
+                point["speedup_vs_scalar"] = round(
+                    point["states_per_second"]
+                    / scalar_point["states_per_second"], 2)
+                points[name] = point
+                problems.extend(verify_shard_cell(name, point, scalar_point))
+                print(
+                    f"  {name:14s} {point['states_explored']:7d} states  "
+                    f"{point['states_per_second']:9.1f} states/s  "
+                    f"({point['speedup_vs_scalar']:.2f}x vs {scalar_name}, "
+                    f"{point['shard_handoffs']} handoffs, "
+                    f"{point['shard_steals']} steals)"
+                )
+
     aggregate = round(total_states / total_seconds, 1) if total_seconds else 0.0
     # a partial (--quick) run must not be compared against the full-run
     # aggregate of the baseline, so it records under a different point name
@@ -527,12 +629,13 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {os.path.relpath(args.output)}")
 
     if args.update_baseline:
-        # the sweep point is machine- and core-count-specific wall-clock
-        # throughput; recording it would turn it into a future --check gate
+        # the sweep and shard points are machine- and core-count-specific
+        # wall-clock throughput; recording them would turn them into future
+        # --check gates
         # witness points carry validation counts, not throughput/anchors
         baseline_points_out = {
             name: point for name, point in points.items()
-            if not name.startswith(("sweep/", "witness/"))
+            if not name.startswith(("sweep/", "witness/", "shard/"))
         }
         for name, point in baseline_points_out.items():
             if name == "aggregate":

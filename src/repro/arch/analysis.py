@@ -58,6 +58,10 @@ class TimedAutomataSettings:
     #: whenever the WCRT is known to be at least this value (e.g. a response
     #: time observed in a concrete DES run); ignored by ``method="sup"``
     binary_lo: int = 0
+    #: number of forked shard workers for the exact exploration (0/1 = the
+    #: scalar in-process engine).  Verdicts, statistics and witnesses are
+    #: bit-identical to the scalar engine; see ``docs/performance.md``
+    shard_workers: int = 0
     #: options of the network generator
     generator: GeneratorOptions = field(default_factory=GeneratorOptions)
     #: whether to keep parent pointers for witness traces
@@ -89,6 +93,7 @@ class TimedAutomataSettings:
             seed=self.seed,
             record_traces=self.record_traces,
             reductions=self.reductions,
+            shard_workers=self.shard_workers,
         )
 
     def semantics_options(self) -> SemanticsOptions:

@@ -9,7 +9,9 @@ This package is a self-contained, UPPAAL-style analysis stack:
 * :mod:`repro.core.successors` — the symbolic (zone-graph) semantics,
 * :mod:`repro.core.reachability`, :mod:`repro.core.properties`,
   :mod:`repro.core.wcrt` — exploration, queries and worst-case response
-  times.
+  times,
+* :mod:`repro.core.shard` — the forked multi-core exploration engine
+  (bit-identical verdicts, statistics and witnesses).
 """
 
 from repro.core.automaton import Edge, Location, Sync, TimedAutomaton
@@ -45,6 +47,7 @@ from repro.core.reachability import (
     Trace,
     TraceStep,
 )
+from repro.core.shard import ShardedExplorer, select_explorer
 from repro.core.statistics import ExplorationStatistics
 from repro.core.successors import (
     SemanticsOptions,
@@ -66,6 +69,7 @@ __all__ = [
     # semantics + exploration
     "SemanticsOptions", "SuccessorGenerator", "SymbolicState", "TransitionLabel",
     "Explorer", "SearchOptions", "ReachabilityResult", "SupResult",
+    "ShardedExplorer", "select_explorer",
     "Trace", "TraceStep", "ExplorationStatistics",
     # properties + WCRT
     "StateFormula", "LocationProp", "DataProp", "ClockProp", "And", "Or", "Not",

@@ -196,6 +196,15 @@ def _close_numpy_inplace(a: np.ndarray, dim: int) -> None:
 #: squaring tensor is dim^3 entries; beyond this the per-k sweep wins)
 _SQUARING_MAX_DIM = 24
 
+#: stack width above which :meth:`DBMStack.close` switches from min-plus
+#: squaring to the per-k sweep.  Squaring needs fewer ufunc dispatches
+#: (log d rounds vs d sweeps) but each round streams ``count * dim**4``
+#: elements against the sweep's ``count * dim**3`` total; on wide stacks
+#: memory traffic dominates dispatch.  Both paths compute the same unique
+#: shortest-path fixpoint for satisfiable layers (empty layers are only
+#: flagged, their remaining entries are unspecified either way).
+_SQUARING_MAX_COUNT = 16
+
 
 class _Scratch:
     """Preallocated work buffers for the vectorised kernels, one per dim.
@@ -1031,12 +1040,22 @@ class DBMStack:
         dim = self.dim
         count = self.count
         s = _stack_scratch(count, dim)
-        if dim <= _SQUARING_MAX_DIM:
-            t, w, mask, cand = s.t4[:count], s.w4[:count], s.m4[:count], s.c3[:count]
+        if dim <= _SQUARING_MAX_DIM and count < _SQUARING_MAX_COUNT:
+            # `work` is the unconverged working set: a view over `a` at
+            # first, a gathered copy once layers start converging (a layer
+            # at its fixpoint is untouched by further rounds, so dropping
+            # it early changes nothing -- but on wide stacks most layers
+            # converge after one round and the shrink saves whole rounds
+            # of (b, d, d, d) min-plus work)
+            work = a
+            index_map: "np.ndarray | None" = None
             rounds = max(1, int(dim - 1).bit_length())
             for round_index in range(rounds):
-                p = a[:, :, :, None]
-                q = a[:, None, :, :]
+                active = len(work)
+                t, w = s.t4[:active], s.w4[:active]
+                mask, cand = s.m4[:active], s.c3[:active]
+                p = work[:, :, :, None]
+                q = work[:, None, :, :]
                 np.add(p, q, out=t)  # t[b, i, k, j] = a[b,i,k] (+) a[b,k,j]
                 np.bitwise_or(p, q, out=w)
                 np.bitwise_and(w, 1, out=w)
@@ -1044,10 +1063,22 @@ class DBMStack:
                 np.greater_equal(t, _INF_GUARD, out=mask)
                 np.copyto(t, INFINITY_RAW, where=mask)
                 np.minimum.reduce(t, axis=2, out=cand)
-                np.minimum(a, cand, out=cand)
-                if round_index and np.array_equal(cand, a):
+                np.minimum(work, cand, out=cand)
+                changed = (cand != work).any(axis=(1, 2))
+                work[:] = cand
+                if round_index + 1 == rounds or not changed.any():
                     break
-                a[:] = cand
+                if not changed.all():
+                    keep = np.flatnonzero(changed)
+                    if index_map is not None:
+                        # flush the converged copies before shrinking
+                        a[index_map] = work
+                        index_map = index_map[keep]
+                    else:
+                        index_map = keep
+                    work = np.ascontiguousarray(work[keep])
+            if index_map is not None:
+                a[index_map] = work
         else:
             cand, mask3 = s.c3[:count], s.m3[:count]
             for k in range(dim):

@@ -88,12 +88,19 @@ class SearchOptions:
     #: comma list of canonical names), a dict of flags or ``None`` (all on);
     #: normalised to a :class:`ReductionConfig` by ``__post_init__``
     reductions: ReductionConfig | str | dict | None = None
+    #: worker processes the sharded breadth-first engine may fork; 0 and 1
+    #: run in-process.  Sharding requires bfs order with inclusion checking
+    #: and ``os.fork`` -- :func:`repro.core.shard.select_explorer` falls back
+    #: to the scalar/block engine otherwise (see ``docs/performance.md``)
+    shard_workers: int = 0
 
     def __post_init__(self):
         if self.order not in ("bfs", "dfs", "rdfs"):
             raise ModelError(f"unknown search order {self.order!r}")
         if self.block_size < 1:
             raise ModelError("block_size must be at least 1")
+        if self.shard_workers < 0:
+            raise ModelError("shard_workers must be non-negative")
         self.reductions = ReductionConfig.parse(self.reductions)
 
 
@@ -333,9 +340,12 @@ class Explorer:
                 if max_states is not None:
                     limit = min(limit, max_states - stats.states_explored)
                 if deadline is not None:
-                    # the deadline is only re-checked between blocks; keep
-                    # blocks small under a time budget so the overshoot past
-                    # the deadline stays bounded
+                    # keep blocks small under a time budget so the batched
+                    # clock work between two deadline checks stays bounded;
+                    # the replay additionally re-checks the deadline before
+                    # every expansion (the scalar before-pop check) and
+                    # pushes unexpanded nodes back, so an expensive plan can
+                    # overshoot by at most one expansion, not a whole block
                     limit = min(limit, 8)
                 run = 1
                 while run < limit and waiting[run].state.discrete_bytes() == head_key:
@@ -349,10 +359,17 @@ class Explorer:
                         run = 1
                 if run > 1:
                     block = [waiting.popleft() for _ in range(run)]
-                    if self._expand_block(block, passed, waiting, stats, visit, record_traces):
+                    outcome = self._expand_block(
+                        block, passed, waiting, stats, visit, record_traces,
+                        deadline,
+                    )
+                    if outcome == "goal":
                         stats.termination = "goal"
                         stats.stop_timer()
                         return stats
+                    if outcome == "deadline":
+                        stats.termination = "time-budget"
+                        break
                     continue
             node = waiting.popleft() if breadth_first else waiting.pop()
             stats.states_explored += 1
@@ -511,7 +528,8 @@ class Explorer:
         stats: ExplorationStatistics,
         visit: Callable[[SymbolicState, "_SearchNode"], bool] | None,
         record_traces: bool,
-    ) -> bool:
+        deadline: float | None = None,
+    ) -> str | None:
         """Expand a run of waiting nodes sharing one discrete key as a block.
 
         The clock work runs batched (:meth:`SuccessorGenerator.
@@ -520,7 +538,10 @@ class Explorer:
         passed-list updates, statistics and ``visit`` calls replay in the
         exact scalar order (node-major, plans in firing order) -- so the
         stored states, counters and traces are identical to expanding the
-        nodes one by one.  Returns ``True`` when *visit* found a goal.
+        nodes one by one.  Returns ``"goal"`` when *visit* found a goal,
+        ``"deadline"`` when the replay stopped on *deadline* (unexpanded
+        nodes are already back at the head of *waiting*), ``None``
+        otherwise.
 
         The pre-computed coverage verdicts stay exact under the replay:
         coverage is monotone (``covers_many``), so a candidate covered
@@ -594,7 +615,7 @@ class Explorer:
         try:
             return self._replay_block(
                 nodes, prepared, errors, passed, waiting, stats, visit,
-                record_traces,
+                record_traces, deadline,
             )
         finally:
             # also reached when a deferred plan error propagates mid-replay:
@@ -606,8 +627,8 @@ class Explorer:
 
     def _replay_block(
         self, nodes, prepared, errors, passed, waiting, stats, visit,
-        record_traces,
-    ) -> bool:
+        record_traces, deadline=None,
+    ) -> str | None:
         """The scalar-order replay of :meth:`_expand_block` (see there).
 
         ``pending`` collects the zones stored per target key while the block
@@ -615,12 +636,27 @@ class Explorer:
         pre-block coverage verdict, so later candidates re-check against
         just them, and each federation is flushed once at block end
         (``add_many_uncovered``), not once per stored zone.
+
+        *deadline* replays the scalar engine's before-pop time-budget check
+        before every expansion after the first (the outer loop already
+        checked before the block was popped): on expiry the unexpanded tail
+        goes back to the head of the waiting list in order and the zones
+        stored so far are flushed, leaving exactly the state a scalar run
+        stopped at the same expansion count would leave.
         """
         count = len(nodes)
         pending: dict[bytes, list] = {}
         goal = False
+        expired = False
         for position, node in enumerate(nodes):
             if goal:
+                break
+            if (
+                deadline is not None and position
+                and time.perf_counter() > deadline
+            ):
+                waiting.extendleft(reversed(nodes[position:]))
+                expired = True
                 break
             stats.states_explored += 1
             for fire, has_node in errors:
@@ -679,7 +715,9 @@ class Explorer:
                     federation = Federation(zones[0].dim)
                     passed[key] = federation
                 federation.add_many_uncovered(zones)
-        return goal
+        if goal:
+            return "goal"
+        return "deadline" if expired else None
 
     def _store(self, passed: dict, state: SymbolicState) -> bool:
         """Insert into the passed list; False when an existing zone covers it.

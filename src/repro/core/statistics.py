@@ -37,6 +37,17 @@ class ExplorationStatistics:
     keys_folded: int = 0
     #: maximum length reached by the waiting list
     peak_waiting: int = 0
+    #: worker processes the sharded engine ran with (0 = scalar/block engine);
+    #: the shard counters are topology observations, not exploration
+    #: semantics, so they are excluded from equality comparisons -- a sharded
+    #: run must compare equal to its scalar twin on everything else
+    shard_workers: int = field(default=0, compare=False)
+    #: successor candidates handed off to a different shard (the generating
+    #: worker did not own the target discrete key)
+    shard_handoffs: int = field(default=0, compare=False)
+    #: frontier states shipped between shards by the deterministic
+    #: work-stealing pass
+    shard_steals: int = field(default=0, compare=False)
     #: wall-clock duration of the exploration in seconds
     elapsed_seconds: float = 0.0
     #: why the exploration stopped: "exhausted", "goal", "state-budget",
@@ -79,6 +90,9 @@ class ExplorationStatistics:
         self.keys_folded += other.keys_folded
         self.elapsed_seconds += other.elapsed_seconds
         self.peak_waiting = max(self.peak_waiting, other.peak_waiting)
+        self.shard_workers = max(self.shard_workers, other.shard_workers)
+        self.shard_handoffs += other.shard_handoffs
+        self.shard_steals += other.shard_steals
 
     def reduction_counters(self) -> dict:
         """The non-zero reduction counters (``docs/reductions.md``)."""
@@ -86,6 +100,20 @@ class ExplorationStatistics:
             "states_subsumed_lu": self.states_subsumed_lu,
             "plans_commuted": self.plans_commuted,
             "keys_folded": self.keys_folded,
+        }
+        return {name: value for name, value in counters.items() if value}
+
+    def shard_counters(self) -> dict:
+        """The non-zero shard counters (``docs/performance.md``).
+
+        Zeros are dropped for the same reason as the reduction counters:
+        scalar runs (and every trajectory point built from them) keep the
+        exact pre-sharding format.
+        """
+        counters = {
+            "shard_workers": self.shard_workers,
+            "shard_handoffs": self.shard_handoffs,
+            "shard_steals": self.shard_steals,
         }
         return {name: value for name, value in counters.items() if value}
 
@@ -102,6 +130,7 @@ class ExplorationStatistics:
             "transitions": self.transitions,
             "inclusions": self.inclusions,
             **self.reduction_counters(),
+            **self.shard_counters(),
             "peak_waiting": self.peak_waiting,
             "elapsed_seconds": round(self.elapsed_seconds, 6),
             "states_per_second": round(self.states_per_second, 1),

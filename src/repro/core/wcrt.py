@@ -24,7 +24,8 @@ from repro.core import expressions as ex
 from repro.core.guards import ClockConstraint
 from repro.core.network import CompiledNetwork
 from repro.core.properties import AG, EF, And, ClockProp, Not, Or, StateFormula, Sup
-from repro.core.reachability import Explorer, SearchOptions, Trace
+from repro.core.reachability import SearchOptions, Trace
+from repro.core.shard import select_explorer
 from repro.core.statistics import ExplorationStatistics
 from repro.core.successors import SemanticsOptions
 from repro.util.errors import AnalysisError
@@ -79,7 +80,7 @@ def wcrt_sup(
         latency requirement being checked.  Values above the ceiling are
         reported as lower bounds.
     """
-    explorer = Explorer(network, semantics, search)
+    explorer = select_explorer(network, semantics, search)
     result = explorer.sup(Sup(observer_clock, condition, ceiling))
     return WCRTResult(
         value=result.value,
@@ -135,7 +136,7 @@ def wcrt_binary_search(
         formula = Or(Not(condition), ClockProp(
             ClockConstraint(observer_clock, "<", ex.IntConst(int(c)))
         ))
-        explorer = Explorer(network, semantics, search)
+        explorer = select_explorer(network, semantics, search)
         outcome = explorer.check(AG(formula))
         total_stats.merge(outcome.statistics)
         return outcome.holds
@@ -176,7 +177,7 @@ def wcrt_binary_search(
             witness_query = EF(And(condition, ClockProp(
                 ClockConstraint(observer_clock, ">=", ex.IntConst(int(high - 1)))
             )))
-            explorer = Explorer(network, semantics, search)
+            explorer = select_explorer(network, semantics, search)
             witness_outcome = explorer.check(witness_query)
             total_stats.merge(witness_outcome.statistics)
             if witness_outcome.holds is not True:

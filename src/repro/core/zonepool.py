@@ -50,7 +50,7 @@ import os
 
 import numpy as np
 
-__all__ = ["ZonePool", "global_zone_pool", "reset_global_pool"]
+__all__ = ["SharedZonePool", "ZonePool", "global_zone_pool", "reset_global_pool"]
 
 
 def _block_capacity(rows: int) -> int:
@@ -170,6 +170,80 @@ class ZonePool:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ZonePool(acquired={self.acquired}, reused={self.reused})"
+
+
+class SharedZonePool:
+    """Per-worker outboxes of flat int64 zone rows in shared memory.
+
+    The sharded exploration engine (:mod:`repro.core.shard`) ships raw zone
+    matrices between worker processes.  Pickling every row through a pipe
+    would copy each matrix twice per hand-off; instead the coordinator
+    creates one ``multiprocessing.shared_memory`` segment per worker
+    *before* forking, each worker writes the rows of its outgoing
+    candidates into its own segment, and the receiving worker reads them
+    straight out of the sender's segment -- the pipe carries only
+    ``(offset, count)`` descriptors.  The round barrier of the sharded
+    engine provides both the happens-before edge (descriptors travel after
+    the rows are written) and the reuse guarantee (a segment is rewound
+    only after every reader of the previous round has replied).
+
+    Only the creating process may :meth:`close` the pool; forked workers
+    exit with ``os._exit`` and never touch the segments' lifetime.  The
+    numpy views must be dropped before closing, or ``SharedMemory.close``
+    refuses with "cannot close exported pointers exist".
+    """
+
+    def __init__(self, workers: int, dim: int, rows: int = 8192):
+        from multiprocessing import shared_memory
+
+        self.dim = dim
+        self.capacity_rows = rows
+        self._segments = []
+        self._views: list[np.ndarray] = []
+        try:
+            for _ in range(workers):
+                segment = shared_memory.SharedMemory(
+                    create=True, size=rows * dim * dim * 8
+                )
+                self._segments.append(segment)
+                self._views.append(
+                    np.frombuffer(segment.buf, dtype=np.int64).reshape(
+                        rows, dim * dim
+                    )
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    def write(self, rank: int, offset: int, rows: np.ndarray) -> bool:
+        """Copy *rows* into worker *rank*'s segment at row *offset*.
+
+        Returns ``False`` (without writing) when the rows do not fit; the
+        caller then spills them inline through the pipe instead.
+        """
+        count = len(rows)
+        if offset + count > self.capacity_rows:
+            return False
+        self._views[rank][offset : offset + count] = rows.reshape(count, -1)
+        return True
+
+    def read(self, rank: int, offset: int, count: int) -> np.ndarray:
+        """Copy *count* rows out of worker *rank*'s segment at *offset*."""
+        return self._views[rank][offset : offset + count].copy()
+
+    def close(self) -> None:
+        """Drop the views and close + unlink every segment (creator only)."""
+        self._views.clear()
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - platform-specific teardown
+                pass
+            try:
+                segment.unlink()
+            except OSError:  # pragma: no cover - already unlinked
+                pass
 
 
 #: the process-wide pool used by :class:`~repro.core.dbm.DBM`

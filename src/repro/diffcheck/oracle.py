@@ -74,6 +74,10 @@ class OracleConfig:
     #: ("all", "none", or a comma list); None means all reductions enabled.
     #: Kept as a plain string so the config stays picklable/JSON-portable
     reductions: str | None = None
+    #: forked shard workers of the exact engine (0/1 = scalar); verdicts and
+    #: statistics are bit-identical either way, so sharding can never mask
+    #: (or fake) a soundness-ordering violation
+    shard_workers: int = 0
 
     def __post_init__(self):
         from repro.core.reductions import ReductionConfig
@@ -225,6 +229,7 @@ def witness_model(
         seed=1,
         record_traces=True,
         reductions=config.reductions,
+        shard_workers=config.shard_workers,
         **guided_clamps,
     )
     try:
@@ -326,6 +331,7 @@ def check_model(
         ceiling_factor=ceiling_factor,
         seed=1,
         reductions=config.reductions,
+        shard_workers=config.shard_workers,
         **guided_clamps,
     )
     ta_value: int | None = None
@@ -368,6 +374,7 @@ def check_model(
             seed=1,
             method="binary-search",
             reductions=config.reductions,
+            shard_workers=config.shard_workers,
             **guided_clamps,
         )
         try:

@@ -26,7 +26,12 @@ __all__ = ["AnalysisJob", "analysis_options", "job_result", "portfolio_budget"]
 #: option keys admitted into :class:`repro.diffcheck.oracle.OracleConfig`
 ORACLE_OPTIONS = ("max_states", "max_seconds", "des_runs",
                   "des_horizon_periods", "des_max_seconds",
-                  "cross_check_binary", "binary_state_limit", "reductions")
+                  "cross_check_binary", "binary_state_limit", "reductions",
+                  "shard_workers")
+
+#: server-side ceiling on per-job shard workers: one analysis job must not
+#: fork more exploration processes than the pool would give whole jobs
+SHARD_WORKERS_CAP = 4
 
 #: witness strategies the service accepts ("none" skips the witness)
 WITNESS_OPTIONS = ("none", "earliest", "latest", "midpoint")
@@ -60,6 +65,15 @@ def analysis_options(
         # canonicalise the spec string so equivalent requests fingerprint
         # identically (and a typo'd reduction name 400s here, not in a worker)
         options["reductions"] = ReductionConfig.parse(options["reductions"]).spec()
+    if "shard_workers" in options:
+        # clamp, don't reject: the operator's core budget wins over the
+        # request, and the clamped value is what gets fingerprinted
+        try:
+            options["shard_workers"] = max(
+                0, min(int(options["shard_workers"]), SHARD_WORKERS_CAP)
+            )
+        except (TypeError, ValueError) as exc:
+            raise ModelError(f"non-numeric shard_workers: {exc}") from exc
     try:
         max_states = int(options.get("max_states", max_states_cap))
         max_seconds = float(options.get("max_seconds", max_seconds_cap))

@@ -29,7 +29,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import signal
+from collections import deque
 from dataclasses import dataclass
 
 from repro.serve.breaker import CircuitBreaker
@@ -128,6 +130,9 @@ class AnalysisServer:
         self.draining = False
         self._server: asyncio.AbstractServer | None = None
         self._inflight: dict[str, asyncio.Future] = {}
+        #: wall latencies of the most recent settled jobs, feeding the
+        #: 429 ``Retry-After`` estimate (queue depth x mean latency)
+        self._latencies: deque[float] = deque(maxlen=32)
         self._jobs: set[asyncio.Future] = set()
         self._connections: set[asyncio.Task] = set()
         self._stopped: asyncio.Future | None = None
@@ -211,6 +216,20 @@ class AnalysisServer:
                            headers: dict | None = None) -> None:
         body = canonical_json({"error": detail})
         await write_response(writer, status, body, headers=headers)
+
+    def _retry_after(self) -> int:
+        """A 429's ``Retry-After`` estimate, in whole seconds (floor 1 s).
+
+        Roughly when the backlog will have drained: the current queue depth
+        times the mean wall latency of the recently settled jobs, rounded
+        up.  With no completed job yet there is nothing to extrapolate from
+        and the floor applies.
+        """
+        depth = self.pool.depth if self.pool is not None else 0
+        if not self._latencies:
+            return 1
+        mean = sum(self._latencies) / len(self._latencies)
+        return max(1, math.ceil(depth * mean))
 
     async def _route(self, request, writer) -> None:
         if request.path == "/healthz":
@@ -340,7 +359,8 @@ class AnalysisServer:
                 "detail": "fingerprint is in circuit-breaker cooldown",
             })
             await write_response(writer, 503, body,
-                                 headers={"Retry-After": str(int(remaining) + 1)})
+                                 headers={"Retry-After":
+                                          str(max(1, math.ceil(remaining)))})
             return
         inflight = self._inflight.get(fingerprint)
         if inflight is not None:
@@ -354,7 +374,8 @@ class AnalysisServer:
         if self.pool.depth >= self.config.queue_limit:
             self.metrics.rejected_queue_full += 1
             await self._reply_error(writer, 429, "admission queue full",
-                                    headers={"Retry-After": "1"})
+                                    headers={"Retry-After":
+                                             str(self._retry_after())})
             return
         self.metrics.cache_misses += 1
 
@@ -378,10 +399,14 @@ class AnalysisServer:
         job = AnalysisJob(name=f"serve/{model.name}", model=model_dict,
                           options=options, budget=budget or {})
         outcome = loop.create_future()
+        submitted = loop.time()
         self.pool.submit(job, lambda kind, value, attempts:
                          loop.call_soon_threadsafe(
                              outcome.set_result, (kind, value, attempts)))
         kind, value, attempts = await outcome
+        # every settled job feeds the Retry-After estimate -- a crashed or
+        # deadline-killed job occupied a worker for exactly that long too
+        self._latencies.append(loop.time() - submitted)
         if kind == "ok":
             body = canonical_json(value)
             self.cache.put(fingerprint, model.name, body)
@@ -500,7 +525,8 @@ class AnalysisServer:
             self.metrics.rejected_queue_full += 1
             await self._reply_error(writer, 429,
                                     f"batch of {len(cells)} cells exceeds queue",
-                                    headers={"Retry-After": "1"})
+                                    headers={"Retry-After":
+                                             str(self._retry_after())})
             return
         loop = asyncio.get_running_loop()
         outcomes = []

@@ -111,6 +111,11 @@ def main(argv: list[str] | None = None) -> int:
                              "observer ceiling (and DES seeds the binary search) "
                              "before the exact exploration -- identical WCRTs, "
                              "fewer states (docs/portfolio.md)")
+    parser.add_argument("--shard-workers", type=int, default=None, metavar="N",
+                        help="fork N shard workers inside every cell's exact "
+                             "exploration (0/1 = scalar engine); verdicts, "
+                             "statistics and witnesses are bit-identical to "
+                             "the scalar engine (docs/performance.md)")
     parser.add_argument("--reductions", default=None, metavar="SPEC",
                         help="state-space reductions applied to every cell: 'all', "
                              "'none' or a comma list of lu_extrapolation, "
@@ -152,6 +157,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--resume needs --checkpoint")
     if args.max_attempts < 1:
         parser.error("--max-attempts must be at least 1")
+    if args.shard_workers is not None and args.shard_workers < 0:
+        parser.error("--shard-workers must be non-negative")
     # fail before the (potentially multi-minute) sweep runs
     if args.check and not args.baseline:
         print("--check needs --baseline", file=sys.stderr)
@@ -177,6 +184,12 @@ def main(argv: list[str] | None = None) -> int:
             spec = ReductionConfig.parse(args.reductions).spec()
             cells = [
                 replace(cell, settings={**dict(cell.settings), "reductions": spec})
+                for cell in cells
+            ]
+        if args.shard_workers is not None:
+            cells = [
+                replace(cell, settings={**dict(cell.settings),
+                                        "shard_workers": args.shard_workers})
                 for cell in cells
             ]
     except ModelError as exc:

@@ -80,9 +80,10 @@ class FaultSpec:
     #: attempt numbers (1-based) on which the fault fires; None = every attempt
     attempts: tuple[int, ...] | None = None
     #: pipeline stage the fault targets: ``"worker"`` (inside the worker's
-    #: ``run_cell``) or ``"degraded"`` (inside the supervisor's analytic
+    #: ``run_cell``), ``"degraded"`` (inside the supervisor's analytic
     #: fallback) -- the latter is how a test builds a truly poison cell whose
-    #: degradation also fails
+    #: degradation also fails -- or ``"shard"`` (inside a forked shard of the
+    #: sharded exploration engine, keyed ``shard/<rank>``)
     stage: str = "worker"
     #: ``"oom"`` only: megabytes to allocate before dying
     megabytes: int = 64
@@ -94,9 +95,10 @@ class FaultSpec:
             raise ModelError(
                 f"unknown fault action {self.action!r} (expected one of {FAULT_ACTIONS})"
             )
-        if self.stage not in ("worker", "degraded"):
+        if self.stage not in ("worker", "degraded", "shard"):
             raise ModelError(
-                f"unknown fault stage {self.stage!r} (expected 'worker' or 'degraded')"
+                f"unknown fault stage {self.stage!r} "
+                "(expected 'worker', 'degraded' or 'shard')"
             )
 
     def matches(self, name: str, index: int, attempt: int, stage: str) -> bool:

@@ -84,6 +84,11 @@ class CellResult:
     states_subsumed_lu: int = 0
     plans_commuted: int = 0
     keys_folded: int = 0
+    #: sharded-exploration topology counters (docs/performance.md); zero when
+    #: the cell ran on the scalar engine (dropped from trajectory points then)
+    shard_workers: int = 0
+    shard_handoffs: int = 0
+    shard_steals: int = 0
     #: cell kind: "wcrt" (table analysis) or "diffcheck" (fuzzing window)
     kind: str = "wcrt"
     #: diffcheck cells only: models that went through all four engines
@@ -135,6 +140,11 @@ class CellResult:
         # reduction counters only appear when a reduction actually acted, so
         # the trajectory format of unreduced runs is unchanged
         for counter in ("states_subsumed_lu", "plans_commuted", "keys_folded"):
+            if not out[counter]:
+                out.pop(counter)
+        # shard counters only appear for sharded cells, so the trajectory
+        # format of scalar runs is unchanged
+        for counter in ("shard_workers", "shard_handoffs", "shard_steals"):
             if not out[counter]:
                 out.pop(counter)
         if not self.witnesses_attempted:
@@ -355,6 +365,9 @@ def run_cell(cell: "SweepCell | DiffCheckCell", *, index: int = 0,
         states_subsumed_lu=stats.states_subsumed_lu,
         plans_commuted=stats.plans_commuted,
         keys_folded=stats.keys_folded,
+        shard_workers=stats.shard_workers,
+        shard_handoffs=stats.shard_handoffs,
+        shard_steals=stats.shard_steals,
         explore_seconds=stats.elapsed_seconds,
         states_per_second=stats.states_per_second,
         termination=stats.termination,

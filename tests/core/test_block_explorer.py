@@ -9,6 +9,9 @@ against the seed baseline on the case study, these tests pin it on small
 networks where both engines run in milliseconds.
 """
 
+import dataclasses
+import itertools
+
 import pytest
 
 from repro.core import (
@@ -39,6 +42,22 @@ def _interleaved_network(workers=3, period=7, limit=4):
     return net.compile()
 
 
+def _samekey_network(workers=6, period=7, limit=4):
+    """Tickers with *equal* periods: the root expansion already produces a
+    run of ``workers`` same-key states, so the very first block is wide."""
+    net = Network("samekey")
+    net.add_variable("n", 0, 0, workers * limit + 1)
+    for index in range(workers):
+        ta = TimedAutomaton(f"W{index}")
+        ta.add_clock("x")
+        ta.add_constant("P", period)
+        ta.add_location("run", invariant="x <= P", initial=True)
+        ta.add_edge("run", "run", guard=f"x == P && n < {workers * limit}",
+                    updates="n++", resets="x")
+        net.add_instance(ta, f"w{index}")
+    return net.compile()
+
+
 def _branching_network(depth=6):
     """A branching automaton whose zones repeatedly cover one another."""
     net = Network("branching")
@@ -56,15 +75,13 @@ def _branching_network(depth=6):
     return net.compile()
 
 
-def _stat_tuple(stats):
-    return (
-        stats.states_explored,
-        stats.states_stored,
-        stats.transitions,
-        stats.inclusions,
-        stats.peak_waiting,
-        stats.termination,
-    )
+def _stat_tuple(stats, ignore=("elapsed_seconds",)):
+    """Every comparable ExplorationStatistics field (wall time excluded)."""
+    return {
+        field.name: getattr(stats, field.name)
+        for field in dataclasses.fields(stats)
+        if field.compare and field.name not in ignore
+    }
 
 
 def _explore_both(compiled, **search_kwargs):
@@ -194,6 +211,60 @@ class TestBlockedMatchesScalar:
         assert balance["acquired"] == balance["released"]
         with pytest.raises(ModelError):
             Explorer(compiled, search=SearchOptions(block_size=1)).count_states()
+
+    def test_deadline_overshoot_is_bounded_in_block_mode(self, monkeypatch):
+        """An expired deadline stops the replay inside a block, not after it.
+
+        The fake clock advances one second per reading, so the deadline is
+        already past when the block engine starts replaying its first run of
+        6 same-key nodes.  The before-every-expansion re-check must stop the
+        replay after a single expansion and push the unexpanded tail back;
+        the pre-fix engine (deadline only re-checked between blocks) would
+        replay the whole run and overshoot to 7 explored states.
+        """
+        import time as time_module
+
+        compiled = _samekey_network(workers=6)
+        explorer = Explorer(compiled, search=SearchOptions(deadline=3.0))
+        ticks = itertools.count(1)
+        monkeypatch.setattr(time_module, "perf_counter",
+                            lambda: float(next(ticks)))
+        stats = explorer.count_states()
+        assert stats.termination == "time-budget"
+        # root + at most one expansion of the popped block
+        assert stats.states_explored <= 2
+
+    def test_deadline_stop_matches_scalar_statistics_field_by_field(
+        self, monkeypatch
+    ):
+        """Stats parity at a time-budget stop (the block/scalar drift bug).
+
+        Stopping mid-block must leave *exactly* the statistics a scalar run
+        stopped at the same expansion count reports -- including
+        ``peak_waiting``, whose block-side ``virtual_length`` accounting used
+        to keep measuring the overshot expansions.  Only the termination
+        reason may differ (time vs state budget).
+        """
+        import time as time_module
+
+        compiled = _samekey_network(workers=6)
+        explorer = Explorer(compiled, search=SearchOptions(deadline=3.0))
+        ticks = itertools.count(1)
+        monkeypatch.setattr(time_module, "perf_counter",
+                            lambda: float(next(ticks)))
+        blocked = explorer.count_states()
+        # a *mid-block* stop (root + 1 of the 6-node block): the pre-fix
+        # engine could only stop between blocks, so it never reached this
+        # state -- and overshot the deadline to 7 expansions instead
+        assert blocked.states_explored == 2
+        scalar = Explorer(
+            compiled,
+            search=SearchOptions(block_size=1,
+                                 max_states=blocked.states_explored),
+        ).count_states()
+        assert scalar.termination == "state-budget"
+        ignore = ("elapsed_seconds", "termination")
+        assert _stat_tuple(blocked, ignore) == _stat_tuple(scalar, ignore)
 
     def test_tiny_block_cap_still_exact(self):
         compiled = _interleaved_network()

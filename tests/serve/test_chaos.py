@@ -208,7 +208,9 @@ class TestChaos:
             chaos_server.port, "/analyze",
             {"model": two_task_model_dict("chaos-rejected")})
         assert status == 429, body
-        assert headers["retry-after"] == "1"
+        # derived from queue depth x recent mean latency: an integer >= 1 s
+        # (the exact value depends on this module's earlier job latencies)
+        assert int(headers["retry-after"]) >= 1
         assert json.loads(body)["error"] == "admission queue full"
         t1.join(120)
         t2.join(120)

@@ -146,6 +146,72 @@ class TestBatch:
         assert status == 400
 
 
+class TestRetryAfter:
+    """429/503 ``Retry-After`` values are derived, not hardcoded."""
+
+    def test_queue_full_429_derives_from_depth_and_latency(
+        self, server, monkeypatch
+    ):
+        from repro.serve.pool import ServePool
+
+        # a saturated queue (depth == queue_limit == 8) with a known job
+        # latency history: the header must say ceil(8 * mean(1.5, 2.5))
+        monkeypatch.setattr(ServePool, "depth", property(lambda self: 8))
+        server.server._latencies.clear()
+        server.server._latencies.extend([1.5, 2.5])
+        status, headers, body = post_json(
+            server.port, "/analyze",
+            {"model": two_task_model_dict("retry-after-model")})
+        assert status == 429, body
+        assert headers["retry-after"] == "16"
+
+    def test_batch_429_shares_the_derived_retry_after(
+        self, server, monkeypatch
+    ):
+        from repro.serve.pool import ServePool
+
+        monkeypatch.setattr(ServePool, "depth", property(lambda self: 8))
+        server.server._latencies.clear()
+        server.server._latencies.extend([0.5])
+        payload = {"grid": {
+            "combinations": ["AL+TMC"],
+            "configurations": ["po", "pno"],
+            "requirements": ["TMC"],
+            "settings": {"max_states": 200},
+        }}
+        status, headers, _body = post_json(server.port, "/batch", payload)
+        assert status == 429
+        assert headers["retry-after"] == "4"  # ceil(8 * 0.5)
+
+    def test_queue_full_429_floors_at_one_second_without_history(
+        self, server, monkeypatch
+    ):
+        from repro.serve.pool import ServePool
+
+        monkeypatch.setattr(ServePool, "depth", property(lambda self: 8))
+        server.server._latencies.clear()
+        status, headers, _body = post_json(
+            server.port, "/analyze",
+            {"model": two_task_model_dict("retry-after-floor-model")})
+        assert status == 429
+        assert headers["retry-after"] == "1"
+
+    def test_breaker_503_retry_after_is_the_ceiled_cooldown(
+        self, server, monkeypatch
+    ):
+        from repro.serve.breaker import CircuitBreaker
+
+        # 2.0 s of cooldown left: ceil(2.0) == 2, not int(2.0) + 1 == 3
+        monkeypatch.setattr(CircuitBreaker, "quarantined_for",
+                            lambda self, fingerprint: 2.0)
+        status, headers, body = post_json(
+            server.port, "/analyze",
+            {"model": two_task_model_dict("breaker-retry-after-model")})
+        assert status == 503, body
+        assert json.loads(body)["status"] == "quarantined"
+        assert headers["retry-after"] == "2"
+
+
 class TestMetrics:
     def test_counters_accumulate(self, server):
         status, _headers, metrics = get_json(server.port, "/metrics")

@@ -272,6 +272,70 @@ class TestDegradedCellsResume:
         assert not resumed.results[2].usable
 
 
+_INTERRUPTED_SHARD_SCRIPT = """
+import sys
+from repro.sweep import FaultPlan, FaultSpec, SweepCell, install_plan, run_sweep
+
+cells = [SweepCell(name=f"cell{i}", requirement="TMC", combination="AL+TMC",
+                   configuration="po",
+                   settings={"search_order": "bfs", "max_states": 200,
+                             "seed": 1, "shard_workers": 2})
+         for i in range(4)]
+install_plan(FaultPlan((FaultSpec(cell=2, action="crash"),)))
+run_sweep(cells, workers=1, checkpoint=sys.argv[1])
+"""
+
+
+class TestShardedCellResume:
+    """Sharded cells survive the same SIGKILL-grade interruption: the
+    journal records them like any other cell (shard counters included), and
+    a resume merges them back deterministic-field identical instead of
+    re-forking the workers."""
+
+    SHARD_COUNTERS = ("shard_workers", "shard_handoffs", "shard_steals")
+
+    def shard_cell(self, i: int) -> SweepCell:
+        return SweepCell(
+            name=f"cell{i}",
+            requirement="TMC",
+            combination="AL+TMC",
+            configuration="po",
+            settings={"search_order": "bfs", "max_states": 200, "seed": 1,
+                      "shard_workers": 2},
+        )
+
+    @pytest.mark.skipif(not hasattr(os, "fork"),
+                        reason="sharded engine requires os.fork")
+    def test_killed_sharded_sweep_resumes_identically(self, tmp_path):
+        path = str(tmp_path / "sweep.checkpoint.jsonl")
+        env = {**os.environ, "PYTHONPATH": REPO_SRC}
+        env.pop("REPRO_FAULTS", None)
+        proc = subprocess.run(
+            [sys.executable, "-c", _INTERRUPTED_SHARD_SCRIPT, path],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 42, proc.stderr  # died at cell 2, by plan
+
+        cells = [self.shard_cell(i) for i in range(4)]
+        names = [cell.name for cell in cells]
+        completed = load_checkpoint(path, names)
+        assert sorted(completed) == [0, 1]
+        # the journalled sharded cells carry their topology counters
+        assert completed[0].shard_workers == 2
+        assert completed[0].shard_handoffs > 0
+
+        resumed = run_sweep(cells, workers=1, checkpoint=path, resume=True)
+        uninterrupted = run_sweep(cells, workers=1)
+        assert resumed.resumed == 2
+        assert [det(r) for r in resumed] == [det(r) for r in uninterrupted]
+        for after, before in zip(resumed.results, uninterrupted.results):
+            for counter in self.SHARD_COUNTERS:
+                assert getattr(after, counter) == getattr(before, counter)
+        # and the sharded run itself matches an unsharded one exactly
+        scalar = run_sweep([small_cell(i) for i in range(4)], workers=1)
+        assert [det(r) for r in resumed] == [det(r) for r in scalar]
+
+
 class TestCliResumeGuard:
     """Both CLIs must refuse ``--resume`` without ``--checkpoint`` with the
     standard argparse usage-error exit code (2), not start a doomed run."""
